@@ -1,0 +1,74 @@
+"""Ablation: the paper's wait-based strict ordering vs abort-on-conflict.
+
+Paper section 4: "we enforce strict ordering by using a wait based
+protocol for concurrent operations that are not able to execute.  For
+late operations … we do aborts with immediate restarts."  This ablation
+flips the first choice — conflicts abort-and-restart instead of
+waiting — and measures what the paper's design bought:
+
+* at **high bounds** the two policies coincide: ESR admits nearly every
+  conflicting operation, so there is almost nothing left to wait for;
+* at **zero bounds** (SR) the choice matters and crosses over with
+  load — aborting conflicting readers is competitive while restarts are
+  cheap, but under heavier contention restart work snowballs and the
+  paper's waits win.
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_PLAN
+
+from repro.experiments.report import format_table
+from repro.sim.system import SimulationConfig, run_simulation
+
+
+def _run(wait_policy: str, til: float, tel: float, mpl: int):
+    return run_simulation(
+        SimulationConfig(
+            mpl=mpl,
+            til=til,
+            tel=tel,
+            wait_policy=wait_policy,
+            duration_ms=BENCH_PLAN.duration_ms,
+            warmup_ms=BENCH_PLAN.warmup_ms,
+            seed=1,
+        )
+    )
+
+
+def test_wait_policy_ablation(benchmark):
+    rows = []
+    results = {}
+    for label, til, tel in (("zero", 0.0, 0.0), ("high", 100_000.0, 10_000.0)):
+        for policy in ("wait", "abort"):
+            for mpl in (4, 8):
+                result = _run(policy, til, tel, mpl)
+                results[(label, policy, mpl)] = result
+                rows.append(
+                    (
+                        label,
+                        policy,
+                        mpl,
+                        f"{result.throughput:.2f}",
+                        result.aborts,
+                        result.metrics.waits,
+                    )
+                )
+    benchmark.pedantic(_run, args=("wait", 0.0, 0.0, 8), rounds=2)
+    print()
+    print(
+        format_table(
+            ["bounds", "policy", "MPL", "throughput", "aborts", "waits"],
+            rows,
+        )
+    )
+    # The abort policy produces no waits at all, by construction.
+    assert results[("zero", "abort", 8)].metrics.waits == 0
+    assert results[("zero", "wait", 8)].metrics.waits > 0
+    # With high bounds the policies are indistinguishable (nothing waits).
+    high_wait = results[("high", "wait", 8)].throughput
+    high_abort = results[("high", "abort", 8)].throughput
+    assert abs(high_wait - high_abort) / high_wait < 0.10
+    # Which policy wins at zero bounds depends on the contention level —
+    # the crossover itself is the finding — so no directional assertion
+    # there; the printed table carries the measurement.

@@ -1,0 +1,63 @@
+"""Extension: multi-level hierarchical bounds under the paper workload.
+
+The paper evaluates only the two-level hierarchy; this extension runs a
+three-level one (transaction → hot group → partition subgroups →
+objects) on every query and quantifies section 5.3.1's "small price":
+
+* loose group limits must be behaviourally free (same throughput as the
+  flat two-level configuration);
+* tightening the group limits trades throughput for per-group accuracy,
+  mirroring at the group level what Figure 12 shows for OIL.
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_PLAN
+
+from repro.experiments.extensions import hierarchy_settings, hierarchy_study
+from repro.experiments.report import format_table
+from repro.sim.system import SimulationConfig, run_simulation
+
+
+def test_hierarchy_strictness_tradeoff(benchmark, capsys=None):
+    study = hierarchy_study(BENCH_PLAN)
+    limits = hierarchy_settings(BENCH_PLAN.workload)["medium groups"]
+    config = SimulationConfig(
+        mpl=4,
+        til=100_000.0,
+        tel=10_000.0,
+        query_group_limits=limits,
+        duration_ms=BENCH_PLAN.duration_ms,
+        warmup_ms=BENCH_PLAN.warmup_ms,
+        seed=1,
+    )
+    benchmark.pedantic(run_simulation, args=(config,), rounds=2, iterations=1)
+
+    print()
+    print(
+        format_table(
+            ["setting", "throughput", "aborts", "inconsistent ops"],
+            [
+                (
+                    name,
+                    f"{m.throughput.mean:.2f}",
+                    f"{m.aborts.mean:.0f}",
+                    f"{m.inconsistent_operations.mean:.0f}",
+                )
+                for name, m in study.items()
+            ],
+        )
+    )
+
+    flat = study["flat (no groups)"]
+    loose = study["loose groups"]
+    tight = study["tight groups"]
+    # Loose hierarchical limits are free.
+    assert loose.throughput.mean >= flat.throughput.mean * 0.93
+    # Tight ones bind: fewer inconsistent admissions, lower throughput.
+    assert (
+        tight.inconsistent_operations.mean
+        < flat.inconsistent_operations.mean * 0.75
+    )
+    assert tight.throughput.mean < flat.throughput.mean
+    assert tight.aborts.mean > flat.aborts.mean

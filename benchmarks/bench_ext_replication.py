@@ -1,0 +1,119 @@
+"""Extension: ESR over asynchronous replication (the paper's future work).
+
+The paper closes with "it will be worthwhile to evaluate ESR in the case
+of a distributed system with data replication".  This benchmark runs that
+evaluation on the simulated primary/replica system:
+
+* **export sweep** — update throughput vs the replica divergence bound:
+  epsilon 0 is eager replication (slow, exact), epsilon infinity is fully
+  asynchronous (fast, stale);
+* **import sweep** — query throughput vs the per-read staleness cap:
+  tight caps force remote fetches (fresh but slow), loose caps serve
+  everything locally.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.experiments.report import format_table
+from repro.replication.system import ReplicationConfig, run_replication
+
+W = 2_000.0
+SWEEP_W = (0.0, 1.0, 2.0, 4.0, math.inf)
+
+
+def _eps(value_w: float) -> float:
+    return math.inf if math.isinf(value_w) else value_w * W
+
+
+def test_replication_export_tradeoff(benchmark):
+    results = {
+        eps_w: run_replication(
+            ReplicationConfig(
+                replica_epsilon=_eps(eps_w),
+                duration_ms=15_000.0,
+                propagation_delay=200.0,
+                seed=2,
+            )
+        )
+        for eps_w in SWEEP_W
+    }
+    benchmark.pedantic(
+        run_replication,
+        args=(
+            ReplicationConfig(
+                replica_epsilon=2 * W,
+                duration_ms=15_000.0,
+                propagation_delay=200.0,
+                seed=2,
+            ),
+        ),
+        rounds=3,
+    )
+    print()
+    print(
+        format_table(
+            ["epsilon (w)", "updates/s", "forced syncs", "staleness/query"],
+            [
+                (
+                    f"{eps_w:g}",
+                    f"{r.update_throughput:.1f}",
+                    r.forced_syncs,
+                    f"{r.mean_staleness_per_query:.0f}",
+                )
+                for eps_w, r in results.items()
+            ],
+        )
+    )
+    tight, loose = results[0.0], results[math.inf]
+    assert loose.update_throughput > tight.update_throughput * 2
+    assert tight.mean_staleness_per_query == 0.0
+    assert loose.forced_syncs == 0
+
+
+def test_replication_import_tradeoff(benchmark):
+    results = {
+        oil_w: run_replication(
+            ReplicationConfig(
+                oil=_eps(oil_w),
+                til=math.inf,
+                duration_ms=15_000.0,
+                propagation_delay=200.0,
+                seed=2,
+            )
+        )
+        for oil_w in SWEEP_W
+    }
+    benchmark.pedantic(
+        run_replication,
+        args=(
+            ReplicationConfig(
+                oil=2 * W,
+                til=math.inf,
+                duration_ms=15_000.0,
+                propagation_delay=200.0,
+                seed=2,
+            ),
+        ),
+        rounds=3,
+    )
+    print()
+    print(
+        format_table(
+            ["oil (w)", "queries/s", "local reads", "staleness/query"],
+            [
+                (
+                    f"{oil_w:g}",
+                    f"{r.query_throughput:.1f}",
+                    f"{r.local_read_fraction:.0%}",
+                    f"{r.mean_staleness_per_query:.0f}",
+                )
+                for oil_w, r in results.items()
+            ],
+        )
+    )
+    tight, loose = results[0.0], results[math.inf]
+    assert loose.query_throughput > tight.query_throughput * 1.5
+    assert tight.mean_staleness_per_query == 0.0
+    assert loose.local_read_fraction == 1.0

@@ -1,0 +1,92 @@
+"""Extension: timestamp-ordered ESR vs lock-based divergence control.
+
+The paper implements ESR over timestamp ordering; Wu et al. (its
+reference [21]) implement the same correctness notion over strict 2PL.
+Running both engines on the identical workload separates what ESR buys
+from what the underlying concurrency control costs:
+
+* with bounds, the two ESR engines deliver comparable throughput — the
+  relaxation, not the CC mechanism, is what defeats the contention;
+* without bounds, blocking (2PL) beats abort-and-restart (TSO) under
+  high contention — the classic Agrawal/Carey/Livny result the paper
+  cites as reference [1] — but pays with deadlock aborts, a failure
+  mode the age-ordered TSO waits cannot produce.
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_PLAN
+
+from repro.experiments.report import format_table
+from repro.sim.system import SimulationConfig, run_simulation
+
+SETTINGS = (
+    ("tso-sr", "sr", 0.0, 0.0),
+    ("tso-esr-high", "esr", 100_000.0, 10_000.0),
+    ("2pl-sr", "2pl-sr", 0.0, 0.0),
+    ("2pl-esr-high", "2pl", 100_000.0, 10_000.0),
+)
+
+
+def _run(protocol: str, til: float, tel: float, mpl: int):
+    return run_simulation(
+        SimulationConfig(
+            mpl=mpl,
+            til=til,
+            tel=tel,
+            protocol=protocol,
+            duration_ms=BENCH_PLAN.duration_ms,
+            warmup_ms=BENCH_PLAN.warmup_ms,
+            seed=1,
+        )
+    )
+
+
+def test_tso_vs_2pl_divergence_control(benchmark):
+    mpl = 8
+    results = {
+        label: _run(protocol, til, tel, mpl)
+        for label, protocol, til, tel in SETTINGS
+    }
+    benchmark.pedantic(
+        _run, args=("2pl", 100_000.0, 10_000.0, mpl), rounds=2
+    )
+    print()
+    print(f"MPL = {mpl}")
+    print(
+        format_table(
+            ["engine", "throughput", "aborts", "deadlocks", "inconsistent ops"],
+            [
+                (
+                    label,
+                    f"{r.throughput:.2f}",
+                    r.aborts,
+                    r.metrics.aborts_by_reason.get("deadlock", 0),
+                    r.inconsistent_operations,
+                )
+                for label, r in results.items()
+            ],
+        )
+    )
+    # ESR defeats the contention on either substrate.
+    assert (
+        results["tso-esr-high"].throughput
+        > results["tso-sr"].throughput * 1.5
+    )
+    assert (
+        results["2pl-esr-high"].throughput
+        > results["2pl-sr"].throughput * 1.3
+    )
+    # The two ESR engines land in the same ballpark.
+    ratio = (
+        results["2pl-esr-high"].throughput
+        / results["tso-esr-high"].throughput
+    )
+    assert 0.75 <= ratio <= 1.25
+    # Blocking beats abort-restart for the SR baselines (reference [1]).
+    assert (
+        results["2pl-sr"].throughput >= results["tso-sr"].throughput * 0.95
+    )
+    # Deadlocks exist only under 2PL; TSO's age-ordered waits are acyclic.
+    assert results["tso-sr"].metrics.aborts_by_reason.get("deadlock", 0) == 0
+    assert results["tso-esr-high"].metrics.aborts_by_reason.get("deadlock", 0) == 0

@@ -1,0 +1,29 @@
+"""Figure 7 — Throughput vs Multiprogramming Level.
+
+Regenerates the paper's headline figure: four throughput curves (zero /
+low / medium / high epsilon) over MPL 1–10, and asserts its qualitative
+claims — curves ordered by bound level, a clear ESR-over-SR gain, and
+the thrashing point shifting right as bounds loosen.  The timed kernel
+is one full simulation run at the contention knee (MPL 5, high epsilon).
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_PLAN, report_figure
+
+from repro.experiments.figures import fig7
+from repro.sim.system import SimulationConfig, run_simulation
+
+
+def test_fig7_throughput_vs_mpl(benchmark, shared_mpl_study):
+    config = SimulationConfig(
+        mpl=5,
+        til=100_000.0,
+        tel=10_000.0,
+        duration_ms=BENCH_PLAN.duration_ms,
+        warmup_ms=BENCH_PLAN.warmup_ms,
+        seed=1,
+    )
+    benchmark.pedantic(run_simulation, args=(config,), rounds=3, iterations=1)
+    figure = fig7(BENCH_PLAN, study=shared_mpl_study)
+    report_figure(figure)

@@ -1,0 +1,33 @@
+"""Figure 8 — Successful Inconsistent Operations vs MPL.
+
+Counts operations that executed *despite* viewing or exporting
+inconsistency (the zero-epsilon curve does not exist: SR admits none).
+Expected shape: grows with both MPL and the bound level.  The timed
+kernel is the low-epsilon MPL-10 run, where the counter churns most.
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_PLAN, report_figure
+
+from repro.experiments.figures import fig8
+from repro.sim.system import SimulationConfig, run_simulation
+
+
+def test_fig8_inconsistent_operations_vs_mpl(benchmark, shared_mpl_study):
+    config = SimulationConfig(
+        mpl=10,
+        til=10_000.0,
+        tel=1_000.0,
+        duration_ms=BENCH_PLAN.duration_ms,
+        warmup_ms=BENCH_PLAN.warmup_ms,
+        seed=1,
+    )
+    benchmark.pedantic(run_simulation, args=(config,), rounds=3, iterations=1)
+    figure = fig8(BENCH_PLAN, study=shared_mpl_study)
+    report_figure(figure)
+    # Under SR semantics the counter must be structurally zero.
+    zero_runs = shared_mpl_study["zero-epsilon"]
+    assert all(
+        m.inconsistent_operations.mean == 0 for m in zero_runs.values()
+    )

@@ -1,0 +1,27 @@
+"""Figure 9 — Number of Aborts (retries) vs MPL.
+
+Expected shape: aborts are almost zero at high bounds, shoot up as the
+bounds shrink, and are highest for zero-epsilon (the SR case).  The
+timed kernel is the zero-epsilon MPL-10 run — the abort-heaviest point.
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_PLAN, report_figure
+
+from repro.experiments.figures import fig9
+from repro.sim.system import SimulationConfig, run_simulation
+
+
+def test_fig9_aborts_vs_mpl(benchmark, shared_mpl_study):
+    config = SimulationConfig(
+        mpl=10,
+        til=0.0,
+        tel=0.0,
+        duration_ms=BENCH_PLAN.duration_ms,
+        warmup_ms=BENCH_PLAN.warmup_ms,
+        seed=1,
+    )
+    benchmark.pedantic(run_simulation, args=(config,), rounds=3, iterations=1)
+    figure = fig9(BENCH_PLAN, study=shared_mpl_study)
+    report_figure(figure)

@@ -1,0 +1,39 @@
+"""Figure 10 — Total Operations (R + W) vs MPL.
+
+Total operations executed, including work thrown away by aborts.  The
+paper reads this figure as a waste meter: the high-epsilon curve (no
+aborts) is the useful-work floor; the gap between another level's
+operations-per-commit and that floor is wasted effort.  The benchmark
+asserts exactly that relationship since the raw totals converge once the
+server saturates.
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_PLAN, report_figure
+
+from repro.experiments.figures import fig10
+from repro.sim.system import SimulationConfig, run_simulation
+
+
+def test_fig10_total_operations_vs_mpl(benchmark, shared_mpl_study):
+    config = SimulationConfig(
+        mpl=6,
+        til=50_000.0,
+        tel=5_000.0,
+        duration_ms=BENCH_PLAN.duration_ms,
+        warmup_ms=BENCH_PLAN.warmup_ms,
+        seed=1,
+    )
+    benchmark.pedantic(run_simulation, args=(config,), rounds=3, iterations=1)
+    figure = fig10(BENCH_PLAN, study=shared_mpl_study)
+    report_figure(figure)
+    # The waste reading: at MPL 8+, zero-epsilon spends strictly more
+    # operations per committed transaction than high-epsilon.
+    for mpl in (8, 9, 10):
+        zero_opc = shared_mpl_study["zero-epsilon"][mpl].operations_per_commit.mean
+        high_opc = shared_mpl_study["high-epsilon"][mpl].operations_per_commit.mean
+        assert zero_opc > high_opc * 1.2, (
+            f"expected wasted work at MPL {mpl}: zero={zero_opc:.1f} "
+            f"high={high_opc:.1f}"
+        )

@@ -1,0 +1,23 @@
+"""Figure 11 — Throughput vs Transaction Import Limit (TEL varies).
+
+MPL is held at 4 (the paper's bound-study setting); TIL sweeps from 0
+(SR) to 150,000 for three constant TEL levels.  Expected shape: rising
+with TIL, steepest at small-to-medium values.
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_PLAN, report_figure
+
+from repro.experiments.figures import fig11
+
+
+def test_fig11_throughput_vs_til(benchmark):
+    figure = benchmark.pedantic(
+        fig11, args=(BENCH_PLAN,), rounds=1, iterations=1
+    )
+    report_figure(figure)
+    # The SR end of every curve is the floor.
+    for series in figure.series:
+        means = series.means()
+        assert means[0] == min(means) or means[0] <= means[-1] * 0.75

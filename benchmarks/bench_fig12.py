@@ -1,0 +1,31 @@
+"""Figure 12 — Throughput vs Object Import Limit (TIL varies).
+
+MPL held constant; OIL sweeps in units of the average write change w.
+The paper's second headline observation: for low TIL, throughput peaks
+at an *intermediate* OIL — zero OIL is the SR case, and a very large OIL
+admits operations whose transactions are doomed to abort later, wasting
+work.  The timed kernel is the interesting point: low TIL at OIL = 2w.
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_PLAN, report_figure
+
+from repro.experiments.figures import fig12
+from repro.sim.system import SimulationConfig, run_simulation
+
+
+def test_fig12_throughput_vs_oil(benchmark, shared_oil_study):
+    w = BENCH_PLAN.workload.mean_write_change
+    config = SimulationConfig(
+        mpl=4,
+        til=10_000.0,
+        tel=1_000.0,
+        oil=2.0 * w,
+        duration_ms=BENCH_PLAN.duration_ms,
+        warmup_ms=BENCH_PLAN.warmup_ms,
+        seed=1,
+    )
+    benchmark.pedantic(run_simulation, args=(config,), rounds=3, iterations=1)
+    figure = fig12(BENCH_PLAN, study=shared_oil_study)
+    report_figure(figure)

@@ -1,0 +1,32 @@
+"""Figure 13 — Average Operations per Transaction vs OIL (TIL varies).
+
+The waste meter behind Figure 12: operations executed per committed
+transaction, including the operations of its aborted incarnations.
+Expected shape: falls as OIL loosens for high TIL; for low TIL it falls,
+then rises again at large OIL — transactions admit doomed operations and
+abort later, having wasted more work.
+"""
+
+from __future__ import annotations
+
+import math
+
+from conftest import BENCH_PLAN, report_figure
+
+from repro.experiments.figures import fig13
+from repro.sim.system import SimulationConfig, run_simulation
+
+
+def test_fig13_operations_per_transaction_vs_oil(benchmark, shared_oil_study):
+    config = SimulationConfig(
+        mpl=4,
+        til=10_000.0,
+        tel=1_000.0,
+        oil=math.inf,
+        duration_ms=BENCH_PLAN.duration_ms,
+        warmup_ms=BENCH_PLAN.warmup_ms,
+        seed=1,
+    )
+    benchmark.pedantic(run_simulation, args=(config,), rounds=3, iterations=1)
+    figure = fig13(BENCH_PLAN, study=shared_oil_study)
+    report_figure(figure)

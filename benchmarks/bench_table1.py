@@ -1,0 +1,33 @@
+"""Table 1 (paper section 7): the inconsistency bound levels.
+
+The table is an input, not a measurement; this benchmark asserts the
+values match the paper and times the (trivial) generation so the table
+is part of the regeneratable record.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.config import bounds_table
+from repro.experiments.report import format_table
+
+
+def test_table1_bound_levels(benchmark):
+    rows = benchmark(bounds_table)
+    by_level = {row["level"]: row for row in rows}
+    assert by_level["high-epsilon"] == {
+        "level": "high-epsilon",
+        "TIL": 100_000,
+        "TEL": 10_000,
+    }
+    assert by_level["medium-epsilon"]["TIL"] == 50_000
+    assert by_level["medium-epsilon"]["TEL"] == 5_000
+    assert by_level["low-epsilon"]["TIL"] == 10_000
+    assert by_level["low-epsilon"]["TEL"] == 1_000
+    assert by_level["zero-epsilon"]["TIL"] == 0
+    print()
+    print(
+        format_table(
+            ["level", "TIL", "TEL"],
+            [(r["level"], f"{r['TIL']:,.0f}", f"{r['TEL']:,.0f}") for r in rows],
+        )
+    )

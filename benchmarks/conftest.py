@@ -1,0 +1,51 @@
+"""Shared fixtures for the benchmark suite.
+
+Figures 7–10 are views over one MPL sweep and Figures 12–13 over one OIL
+sweep, so those studies are computed once per session and shared across
+the per-figure benchmark files.  Each ``bench_figNN`` file then:
+
+* times a representative simulation configuration with pytest-benchmark;
+* regenerates its figure from the shared study;
+* asserts the paper's shape checks and prints the measured table.
+
+Run with ``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.analysis import check_figure
+from repro.experiments.config import MeasurementPlan
+from repro.experiments.figures import FigureResult, mpl_study, oil_study
+from repro.experiments.report import figure_table
+
+#: The measurement plan behind every figure benchmark: long enough for
+#: stable shapes, short enough for the suite to finish in minutes.
+BENCH_PLAN = MeasurementPlan(
+    duration_ms=30_000.0, warmup_ms=3_000.0, repetitions=2, base_seed=1
+)
+
+
+@pytest.fixture(scope="session")
+def shared_mpl_study():
+    """The MPL sweep behind Figures 7-10 (computed once per session)."""
+    return mpl_study(BENCH_PLAN)
+
+
+@pytest.fixture(scope="session")
+def shared_oil_study():
+    """The OIL sweep behind Figures 12-13 (computed once per session)."""
+    return oil_study(BENCH_PLAN)
+
+
+def report_figure(figure: FigureResult) -> None:
+    """Print the measured table and enforce the paper's shape checks."""
+    print()
+    print(figure.title)
+    print(figure_table(figure))
+    checks = check_figure(figure)
+    for check in checks:
+        print(check)
+    failed = [check for check in checks if not check.passed]
+    assert not failed, f"shape checks failed: {[c.name for c in failed]}"

@@ -1,0 +1,91 @@
+"""Airline reservations: object-level limits and aggregate queries.
+
+The paper's other motivating domain.  Each flight's seat count is an
+object; load monitors run continuously while reservation agents book
+seats.  Two features beyond the quickstart:
+
+* **object import limits (OIL)** — a per-flight cap on how stale any
+  single reading may be, independent of the query's overall budget;
+* **non-sum aggregates (paper section 5.3.2)** — an *average* load query
+  cannot charge per-read divergences linearly; instead the min/max
+  values viewed per object bracket the result, and the result
+  inconsistency (half the envelope) is checked against the TIL.
+
+Run with:  python examples/airline_reservation.py
+"""
+
+from __future__ import annotations
+
+from repro import Database, HIGH_EPSILON, LocalClient, ObjectBounds, TransactionBounds
+from repro.core.aggregates import aggregate_bounds
+
+FLIGHTS = {
+    900: 210.0,  # flight id -> seats currently sold
+    901: 180.0,
+    902: 240.0,
+    903: 150.0,
+}
+
+
+def main() -> None:
+    db = Database()
+    # Every flight tolerates at most 12 seats of staleness per reading.
+    per_flight = ObjectBounds(import_limit=12.0, export_limit=25.0)
+    for flight, sold in FLIGHTS.items():
+        db.create_object(flight, sold, per_flight)
+    client = LocalClient(db)
+
+    # Agents book seats; one booking is still uncommitted.
+    with client.begin("update", HIGH_EPSILON) as agent:
+        agent.write(901, agent.read(901) + 4.0)
+    in_flight = client.begin("update", HIGH_EPSILON)
+    in_flight.write(902, in_flight.read(902) + 9.0)  # staged, uncommitted
+
+    # The load monitor reads all flights with a 30-seat total budget; the
+    # 9-seat staleness on flight 902 passes both OIL (12) and TIL (30).
+    monitor = client.begin("query", TransactionBounds(import_limit=30.0))
+    readings = {flight: monitor.read(flight) for flight in FLIGHTS}
+    total = sum(readings.values())
+    print(f"seats sold across the fleet: {total:.0f}")
+    print(f"  imported staleness: {monitor.inconsistency:.0f} seats (<= 30)")
+
+    # --- the section 5.3.2 mechanism for an AVERAGE query -----------------
+    # The account tracked min/max per flight; the average's inconsistency
+    # is half the spread between the all-min and all-max results.
+    ranges = {
+        flight: monitor.txn.account.value_range(flight) for flight in FLIGHTS
+    }
+    envelope = aggregate_bounds("avg", ranges)
+    print(
+        f"average load: {envelope.midpoint:.1f} seats "
+        f"(result inconsistency {envelope.inconsistency:.2f})"
+    )
+    til = monitor.txn.bounds.import_limit
+    if envelope.within(til):
+        print(f"  average accepted: {envelope.inconsistency:.2f} <= TIL {til:.0f}")
+    monitor.commit()
+
+    # --- OIL as a hard per-object filter -----------------------------------
+    # A big uncommitted group booking (+40) exceeds the 12-seat OIL, so
+    # even a query with a huge TIL cannot read through it.
+    group_booking = client.begin("update", HIGH_EPSILON)
+    group_booking.write(903, group_booking.read(903) + 40.0)
+    eager = client.begin("query", TransactionBounds(import_limit=1_000.0))
+    from repro import TransactionAborted, WouldBlock
+
+    try:
+        eager.read(903)
+    except (TransactionAborted, WouldBlock):
+        print(
+            "\nreading flight 903 refused: the +40 staged booking exceeds "
+            "the flight's OIL of 12 seats, regardless of the query's TIL"
+        )
+        if eager.txn.is_active:
+            eager.abort()
+    group_booking.commit()
+    in_flight.commit()
+    print(f"\nfinal committed seat counts: {db.committed_snapshot()}")
+
+
+if __name__ == "__main__":
+    main()

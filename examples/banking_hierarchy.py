@@ -1,0 +1,113 @@
+"""Hierarchical inconsistency bounds: the paper's Figure 1 bank.
+
+A bank estimates its overall holdings while tellers keep posting
+transactions.  The query tolerates a bounded error overall (TIL), but
+also caps how much of that error may come from each account category —
+company, preferred, personal — and from individual subsidiaries, exactly
+the hierarchy of the paper's banking example:
+
+    TIL 10,000
+      company   4,000
+        com1    200
+        com2    (unbounded within company)
+      preferred 3,000
+      personal  3,000
+
+Control is bottom-up: each inconsistent read is checked against the
+object's OIL, then every group on its path, then the TIL; a violation at
+any level aborts the query.
+
+Run with:  python examples/banking_hierarchy.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    Database,
+    GroupCatalog,
+    HIGH_EPSILON,
+    LocalClient,
+    TransactionAborted,
+    TransactionBounds,
+)
+
+
+def build_bank() -> Database:
+    catalog = GroupCatalog()
+    catalog.add_group("company")
+    catalog.add_group("preferred")
+    catalog.add_group("personal")
+    catalog.add_group("com1", parent="company")
+    catalog.add_group("com2", parent="company")
+
+    db = Database(catalog=catalog)
+    accounts = {
+        "com1": range(100, 104),
+        "com2": range(200, 204),
+        "preferred": range(300, 306),
+        "personal": range(400, 410),
+    }
+    for group, ids in accounts.items():
+        for account in ids:
+            db.create_object(account, 5_000.0, group=group)
+    return db
+
+
+def main() -> None:
+    db = build_bank()
+    client = LocalClient(db)
+    all_accounts = sorted(db.object_ids())
+
+    # Tellers post uncommitted updates the query will read through.
+    teller_a = client.begin("update", HIGH_EPSILON)
+    teller_a.write(101, teller_a.read(101) + 150.0)  # com1: +150
+    teller_b = client.begin("update", HIGH_EPSILON)
+    teller_b.write(301, teller_b.read(301) + 2_500.0)  # preferred: +2,500
+
+    audit = client.begin(
+        "query",
+        TransactionBounds(import_limit=10_000.0),
+        group_limits={
+            "company": 4_000.0,
+            "com1": 200.0,
+            "preferred": 3_000.0,
+            "personal": 3_000.0,
+        },
+    )
+    total = sum(audit.read(account) for account in all_accounts)
+    print(f"overall estimate: {total:,.0f}")
+    for level, (usage, limit) in sorted(audit.txn.account.level_snapshot().items()):
+        print(f"  {level:<14} inconsistency {usage:>8,.0f} of limit {limit:,.0f}")
+    audit.commit()
+
+    # Now violate a *group* limit while the TIL still has headroom.  The
+    # second audit starts first; a teller then posts and COMMITS a +500
+    # change on a com1 account, so the audit's read of it arrives late
+    # (case 1 of Figure 3) carrying 500 of inconsistency through com1 —
+    # past the com1 group limit of 200.
+    picky = client.begin(
+        "query",
+        TransactionBounds(import_limit=10_000.0),
+        group_limits={"company": 4_000.0, "com1": 200.0},
+    )
+    teller_c = client.begin("update", HIGH_EPSILON)
+    teller_c.write(102, teller_c.read(102) + 500.0)
+    teller_c.commit()
+    try:
+        for account in all_accounts:
+            picky.read(account)
+    except TransactionAborted as aborted:
+        print(
+            "\nsecond audit aborted by the hierarchy "
+            f"(reason: {aborted.reason}) — the +500 on account 102 "
+            "exceeds the com1 group limit of 200, even though the TIL "
+            "had 10,000 of headroom"
+        )
+
+    for teller in (teller_a, teller_b):
+        teller.commit()
+    print(f"\nfinal committed holdings: {db.total_committed_value():,.0f}")
+
+
+if __name__ == "__main__":
+    main()

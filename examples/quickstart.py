@@ -1,0 +1,82 @@
+"""Quickstart: epsilon transactions over an in-memory database.
+
+Demonstrates the core idea of epsilon serializability in a dozen lines:
+a long-running query is allowed to read data a concurrent update has not
+yet committed — as long as the total inconsistency it views stays inside
+its transaction import limit (TIL) — while a zero-bound query behaves
+exactly like classic serializability.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    Database,
+    HIGH_EPSILON,
+    LocalClient,
+    TransactionAborted,
+    TransactionBounds,
+    WouldBlock,
+)
+
+
+def main() -> None:
+    # A tiny bank: 100 accounts of $5,000 each.
+    db = Database()
+    db.create_many((account, 5_000.0) for account in range(100))
+    client = LocalClient(db)
+
+    # --- an ordinary serializable update -------------------------------
+    with client.begin("update", HIGH_EPSILON) as deposit:
+        balance = deposit.read(7)
+        deposit.write(7, balance + 250.0)
+    print(f"account 7 balance is now {db.get(7).committed_value:,.0f}")
+
+    # --- ESR in action ---------------------------------------------------
+    # An update stages a withdrawal but has NOT committed yet.
+    withdrawal = client.begin("update", HIGH_EPSILON)
+    balance = withdrawal.read(12)
+    withdrawal.write(12, balance - 400.0)
+
+    # A query with a generous TIL may read right through it (case 2 of
+    # the paper's Figure 3), importing |staged - committed| = $400.
+    audit = client.begin("query", TransactionBounds(import_limit=100_000.0))
+    total = sum(audit.read(account) for account in range(100))
+    print(
+        f"audit total = {total:,.0f} "
+        f"(imported inconsistency = {audit.inconsistency:,.0f}, "
+        f"guaranteed within 100,000 of a serializable result)"
+    )
+    audit.commit()
+
+    # A zero-bound query is plain SR: it must wait for the withdrawal.
+    strict = client.begin("query", TransactionBounds(import_limit=0.0))
+    try:
+        strict.read(12)
+    except WouldBlock as blocked:
+        print(
+            "strict query blocked by uncommitted transaction "
+            f"{blocked.blocking_transaction} (classic SR behaviour)"
+        )
+        strict.abort()
+
+    withdrawal.commit()
+    print(f"account 12 balance is now {db.get(12).committed_value:,.0f}")
+
+    # --- bounds are enforced, not advisory -------------------------------
+    staged = client.begin("update", HIGH_EPSILON)
+    value = staged.read(30)
+    staged.write(30, value + 3_000.0)  # uncommitted change of $3,000
+    tight = client.begin("query", TransactionBounds(import_limit=1_000.0))
+    try:
+        tight.read(30)  # would import $3,000 > TIL $1,000
+    except (TransactionAborted, WouldBlock):
+        print("tight query refused: importing $3,000 would exceed TIL $1,000")
+        if tight.txn.is_active:
+            tight.abort()
+    staged.abort()
+
+
+if __name__ == "__main__":
+    main()

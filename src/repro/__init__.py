@@ -1,0 +1,83 @@
+"""Epsilon serializability with hierarchical inconsistency bounds.
+
+A reproduction of Kamath & Ramamritham, *Performance Characteristics of
+Epsilon Serializability with Hierarchical Inconsistency Bounds* (ICDE
+1993): a timestamp-ordered transaction processing system whose query
+transactions may view — and whose update transactions may export —
+bounded amounts of inconsistency, with the bounds arranged hierarchically
+(transaction → groups → objects), plus the paper's complete performance
+study.
+
+Quick start::
+
+    from repro import Database, LocalClient, HIGH_EPSILON
+
+    db = Database()
+    db.create_many((i, 5000) for i in range(100))
+    client = LocalClient(db)
+    with client.begin("query", HIGH_EPSILON) as q:
+        total = sum(q.read(i) for i in range(100))
+
+Package map:
+
+* :mod:`repro.core` — bounds, hierarchies, accounting, divergence, metrics;
+* :mod:`repro.engine` — database, timestamp ordering (SR + ESR), manager;
+* :mod:`repro.lang` — the paper's transaction mini-language;
+* :mod:`repro.workload` — synthetic workloads and trace files;
+* :mod:`repro.sim` — the deterministic client/server simulator;
+* :mod:`repro.net` — the real threaded TCP prototype;
+* :mod:`repro.experiments` — the figures and tables of the evaluation;
+* :mod:`repro.runtime` — in-process client (this module re-exports it).
+"""
+
+from repro.core.bounds import (
+    HIGH_EPSILON,
+    LOW_EPSILON,
+    MEDIUM_EPSILON,
+    STANDARD_LEVELS,
+    UNBOUNDED,
+    ZERO_EPSILON,
+    EpsilonLevel,
+    ObjectBounds,
+    TransactionBounds,
+    level_by_name,
+)
+from repro.core.hierarchy import GroupCatalog
+from repro.engine.database import Database
+from repro.engine.manager import TransactionManager
+from repro.errors import (
+    BoundViolation,
+    ReproError,
+    TransactionAborted,
+    TransactionError,
+)
+from repro.lang.parser import parse_program, parse_script
+from repro.runtime import LocalClient, LocalSession, WouldBlock
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "HIGH_EPSILON",
+    "LOW_EPSILON",
+    "MEDIUM_EPSILON",
+    "STANDARD_LEVELS",
+    "UNBOUNDED",
+    "ZERO_EPSILON",
+    "EpsilonLevel",
+    "ObjectBounds",
+    "TransactionBounds",
+    "level_by_name",
+    "GroupCatalog",
+    "Database",
+    "TransactionManager",
+    "BoundViolation",
+    "ReproError",
+    "TransactionAborted",
+    "TransactionError",
+    "parse_program",
+    "parse_script",
+    "LocalClient",
+    "LocalSession",
+    "WouldBlock",
+    "__version__",
+]

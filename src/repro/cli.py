@@ -1,0 +1,251 @@
+"""Command-line interface: ``python -m repro`` or the ``repro`` script.
+
+Subcommands::
+
+    repro table1                          print the bound-levels table
+    repro figure fig7 [--fast] [...]      regenerate one paper figure
+    repro report [--out EXPERIMENTS.md]   regenerate all figures to markdown
+    repro sweep --mpl 4 --til 1e5 ...     one simulation run, metrics printed
+    repro gen-workload out.trace ...      write a client trace file
+    repro serve [--port N] [...]          start the networked prototype
+    repro run-trace out.trace --port N    replay a trace against a server
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+import time
+from pathlib import Path
+
+from repro.core.bounds import level_by_name
+from repro.experiments.config import FAST_PLAN, PAPER_PLAN, MeasurementPlan, bounds_table
+from repro.experiments.figures import ALL_FIGURES
+from repro.experiments.report import format_table, render_figure
+from repro.sim.system import SimulationConfig, run_simulation
+from repro.workload.generator import WorkloadGenerator, build_database
+from repro.workload.spec import PAPER_WORKLOAD
+from repro.workload.trace import read_trace, write_trace
+
+__all__ = ["main"]
+
+
+def _plan_from_args(args: argparse.Namespace) -> MeasurementPlan:
+    plan = FAST_PLAN if args.fast else PAPER_PLAN
+    overrides = {}
+    if args.duration is not None:
+        overrides["duration_ms"] = args.duration
+        if plan.warmup_ms >= args.duration:
+            overrides["warmup_ms"] = args.duration / 10.0
+    if args.reps is not None:
+        overrides["repetitions"] = args.reps
+    if overrides:
+        from dataclasses import replace
+
+        plan = replace(plan, **overrides)
+    return plan
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    rows = [(r["level"], f"{r['TIL']:,.0f}", f"{r['TEL']:,.0f}") for r in bounds_table()]
+    print(format_table(["level", "TIL", "TEL"], rows))
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    if args.name not in ALL_FIGURES:
+        print(
+            f"unknown figure {args.name!r}; choose from "
+            f"{', '.join(sorted(ALL_FIGURES))}",
+            file=sys.stderr,
+        )
+        return 2
+    plan = _plan_from_args(args)
+    started = time.time()
+    figure = ALL_FIGURES[args.name](plan)
+    print(render_figure(figure, chart=not args.no_chart))
+    print(f"\n({time.time() - started:.1f}s wall)")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.reportgen import generate_experiments_markdown
+
+    plan = _plan_from_args(args)
+    text = generate_experiments_markdown(plan, progress=print)
+    Path(args.out).write_text(text, encoding="utf-8")
+    print(f"wrote {args.out}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    if args.level is not None:
+        level = level_by_name(args.level)
+        til, tel = level.til, level.tel
+    else:
+        til, tel = args.til, args.tel
+    duration = args.duration or 30_000.0
+    warmup = args.warmup if args.warmup < duration else duration / 10.0
+    config = SimulationConfig(
+        mpl=args.mpl,
+        til=til,
+        tel=tel,
+        oil=args.oil,
+        oel=args.oel,
+        protocol=args.protocol,
+        duration_ms=duration,
+        warmup_ms=warmup,
+        seed=args.seed,
+    )
+    result = run_simulation(config)
+    m = result.metrics
+    rows = [
+        ("throughput (tx/s)", f"{result.throughput:.2f}"),
+        ("commits (query/update)", f"{m.commits_query}/{m.commits_update}"),
+        ("aborts", str(m.aborts)),
+        ("aborts by reason", str(dict(m.aborts_by_reason))),
+        ("inconsistent ops", str(m.inconsistent_operations)),
+        ("by case", str(dict(m.inconsistent_by_case))),
+        ("total operations", str(m.total_operations)),
+        ("ops per commit", f"{m.operations_per_commit:.2f}"),
+        ("waits", str(m.waits)),
+        ("server utilisation", f"{result.server_utilisation:.2f}"),
+    ]
+    print(format_table(["metric", "value"], rows))
+    return 0
+
+
+def _cmd_gen_workload(args: argparse.Namespace) -> int:
+    generator = WorkloadGenerator(PAPER_WORKLOAD, seed=args.seed)
+    programs = generator.generate_mix(args.count, args.til, args.tel)
+    header = (
+        f"generated workload: count={args.count} til={args.til:g} "
+        f"tel={args.tel:g} seed={args.seed}"
+    )
+    written = write_trace(args.out, programs, header=header)
+    print(f"wrote {written} transactions to {args.out}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.engine.database import Database
+    from repro.net.server import TransactionServer
+
+    if args.startup:
+        database = Database.from_startup_file(args.startup)
+    else:
+        database = build_database(PAPER_WORKLOAD, seed=args.seed)
+    server = TransactionServer(
+        database, (args.host, args.port), protocol=args.protocol
+    )
+    print(f"serving {len(database)} objects on {args.host}:{server.port}")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    return 0
+
+
+def _cmd_run_trace(args: argparse.Namespace) -> int:
+    from repro.net.client import RemoteConnection
+
+    programs = read_trace(args.trace)
+    started = time.time()
+    commits = 0
+    restarts = 0
+    with RemoteConnection(args.host, args.port, site=args.site) as connection:
+        for program in programs:
+            result, attempts = connection.run_program(program)
+            commits += 1
+            restarts += attempts
+            for line in result.outputs:
+                print(line)
+    elapsed = time.time() - started
+    print(
+        f"committed {commits} transactions ({restarts} restarts) "
+        f"in {elapsed:.2f}s — {commits / elapsed:.1f} tx/s"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Epsilon serializability with hierarchical inconsistency "
+        "bounds (ICDE 1993 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="print the section 7 bound-levels table")
+
+    fig = sub.add_parser("figure", help="regenerate one paper figure")
+    fig.add_argument("name", help="fig7 .. fig13")
+    fig.add_argument("--fast", action="store_true", help="short measurement plan")
+    fig.add_argument("--duration", type=float, help="simulated ms per run")
+    fig.add_argument("--reps", type=int, help="repetitions per point")
+    fig.add_argument("--no-chart", action="store_true", help="table only")
+
+    rep = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
+    rep.add_argument("--out", default="EXPERIMENTS.md")
+    rep.add_argument("--fast", action="store_true")
+    rep.add_argument("--duration", type=float)
+    rep.add_argument("--reps", type=int)
+
+    sweep = sub.add_parser("sweep", help="run one simulation configuration")
+    sweep.add_argument("--mpl", type=int, default=4)
+    sweep.add_argument("--level", help="zero|low|medium|high (sets TIL/TEL)")
+    sweep.add_argument("--til", type=float, default=0.0)
+    sweep.add_argument("--tel", type=float, default=0.0)
+    sweep.add_argument("--oil", type=float, default=math.inf)
+    sweep.add_argument("--oel", type=float, default=math.inf)
+    sweep.add_argument(
+        "--protocol",
+        choices=("esr", "sr", "2pl", "2pl-sr", "mvto"),
+        default="esr",
+    )
+    sweep.add_argument("--duration", type=float)
+    sweep.add_argument("--warmup", type=float, default=3_000.0)
+    sweep.add_argument("--seed", type=int, default=1)
+
+    gen = sub.add_parser("gen-workload", help="write a client trace file")
+    gen.add_argument("out")
+    gen.add_argument("--count", type=int, default=100)
+    gen.add_argument("--til", type=float, default=100_000.0)
+    gen.add_argument("--tel", type=float, default=10_000.0)
+    gen.add_argument("--seed", type=int, default=1)
+
+    serve = sub.add_parser("serve", help="start the networked prototype")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7453)
+    serve.add_argument("--protocol", choices=("esr", "sr"), default="esr")
+    serve.add_argument("--startup", help="database startup file")
+    serve.add_argument("--seed", type=int, default=0)
+
+    run = sub.add_parser("run-trace", help="replay a trace against a server")
+    run.add_argument("trace")
+    run.add_argument("--host", default="127.0.0.1")
+    run.add_argument("--port", type=int, default=7453)
+    run.add_argument("--site", type=int, default=1)
+
+    return parser
+
+
+_COMMANDS = {
+    "table1": _cmd_table1,
+    "figure": _cmd_figure,
+    "report": _cmd_report,
+    "sweep": _cmd_sweep,
+    "gen-workload": _cmd_gen_workload,
+    "serve": _cmd_serve,
+    "run-trace": _cmd_run_trace,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

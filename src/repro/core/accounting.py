@@ -1,0 +1,153 @@
+"""Per-transaction inconsistency accounting.
+
+Each epsilon transaction carries one :class:`InconsistencyAccount` for the
+direction relevant to its kind — *import* for query ETs (the ``I`` counter
+of paper section 5.1), *export* for update ETs (the ``E`` counter of
+section 5.2).  The account wraps a :class:`~repro.core.hierarchy.
+HierarchyLedger` for the bottom-up bound checks and additionally keeps the
+bookkeeping the engine and the performance study need:
+
+* per-object accumulated inconsistency (diagnostics, tests);
+* a count of *inconsistent operations admitted* — operations that viewed or
+  exported a strictly positive inconsistency, the metric of the paper's
+  Figure 8;
+* per-object minimum/maximum values viewed, feeding the aggregate-query
+  mechanism of section 5.3.2 (:mod:`repro.core.aggregates`).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.core.bounds import UNBOUNDED
+from repro.core.hierarchy import ChargeOutcome, GroupCatalog, HierarchyLedger
+from repro.errors import SpecificationError
+
+__all__ = ["Direction", "ValueRange", "InconsistencyAccount"]
+
+
+class Direction:
+    """The two accounting directions, used as plain string constants."""
+
+    IMPORT = "import"
+    EXPORT = "export"
+
+
+class ValueRange:
+    """Running min/max of the values one transaction saw for one object.
+
+    Section 5.3.2's mechanism for non-sum aggregates needs, per object, the
+    extreme values viewed across (possibly repeated) reads.
+    """
+
+    __slots__ = ("minimum", "maximum")
+
+    def __init__(self, value: float):
+        self.minimum = value
+        self.maximum = value
+
+    def observe(self, value: float) -> None:
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def spread(self) -> float:
+        return self.maximum - self.minimum
+
+    def __repr__(self) -> str:
+        return f"ValueRange(min={self.minimum:g}, max={self.maximum:g})"
+
+
+class InconsistencyAccount:
+    """Accumulated inconsistency for one transaction, one direction.
+
+    The account is the single authority the concurrency control consults
+    before admitting an inconsistent operation: :meth:`admit` performs the
+    complete object → groups → transaction check and, on success, charges
+    every level and updates the counters.
+    """
+
+    def __init__(
+        self,
+        direction: str,
+        catalog: GroupCatalog,
+        transaction_limit: float,
+        group_limits: Mapping[str, float] | None = None,
+    ):
+        if direction not in (Direction.IMPORT, Direction.EXPORT):
+            raise SpecificationError(f"unknown direction {direction!r}")
+        self.direction = direction
+        self._ledger = HierarchyLedger(catalog, transaction_limit, group_limits)
+        self._per_object: dict[int, float] = {}
+        self._ranges: dict[int, ValueRange] = {}
+        self.inconsistent_operations = 0
+
+    # -- admission ---------------------------------------------------------
+
+    def admit(
+        self, object_id: int, amount: float, object_limit: float = UNBOUNDED
+    ) -> ChargeOutcome:
+        """Try to admit an operation carrying inconsistency ``amount``.
+
+        Returns the :class:`ChargeOutcome`; when admitted with a strictly
+        positive amount the operation counts as an *inconsistent operation
+        that succeeded* (paper Figure 8).  Zero-amount admissions are
+        consistent operations and always succeed at the object level.
+        """
+        outcome = self._ledger.check_and_charge(object_id, amount, object_limit)
+        if outcome.admitted:
+            if amount > 0:
+                self.inconsistent_operations += 1
+                self._per_object[object_id] = (
+                    self._per_object.get(object_id, 0.0) + amount
+                )
+        return outcome
+
+    def would_admit(self, object_id: int, amount: float) -> bool:
+        """Non-charging preview of the group/transaction levels."""
+        return self._ledger.would_admit(object_id, amount)
+
+    # -- value observation (aggregates, section 5.3.2) ----------------------
+
+    def observe_value(self, object_id: int, value: float) -> None:
+        """Record a value viewed for ``object_id`` (min/max tracking)."""
+        existing = self._ranges.get(object_id)
+        if existing is None:
+            self._ranges[object_id] = ValueRange(value)
+        else:
+            existing.observe(value)
+
+    def value_range(self, object_id: int) -> ValueRange | None:
+        return self._ranges.get(object_id)
+
+    def observed_objects(self) -> tuple[int, ...]:
+        return tuple(self._ranges)
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def total(self) -> float:
+        """Total inconsistency charged at the transaction level."""
+        return self._ledger.total
+
+    @property
+    def transaction_limit(self) -> float:
+        return self._ledger.transaction_limit
+
+    def headroom(self) -> float:
+        return self._ledger.headroom()
+
+    def object_inconsistency(self, object_id: int) -> float:
+        """Inconsistency this transaction accumulated against one object."""
+        return self._per_object.get(object_id, 0.0)
+
+    def level_snapshot(self) -> dict[str, tuple[float, float]]:
+        return self._ledger.snapshot()
+
+    def __repr__(self) -> str:
+        return (
+            f"InconsistencyAccount({self.direction}, total={self.total:g}, "
+            f"limit={self.transaction_limit:g})"
+        )

@@ -1,0 +1,136 @@
+"""Result inconsistency for aggregate queries (paper section 5.3.2).
+
+The per-read charging mechanism of section 5.1 is exact when the query
+computes the *sum* of the values it reads: each read's divergence adds
+linearly into the result, so bounding the sum of divergences bounds the
+result's error.  For other aggregates — *average*, *minimum*, *maximum* —
+the error of the result depends on the extreme values the reads might have
+seen, so the paper instead:
+
+1. tracks, per object, the minimum and maximum values the transaction
+   viewed (done by :class:`repro.core.accounting.InconsistencyAccount`);
+2. at the aggregate point, computes the result over all-minimum and over
+   all-maximum inputs; the *result inconsistency* is half the spread
+   between those two results;
+3. compares the result inconsistency against the TIL, deciding only then
+   whether the aggregate may be produced.
+
+This module implements step 2 for the standard aggregates and exposes
+:func:`result_inconsistency` for step 3.  Object-level limits are
+unaffected — they are enforced at read time exactly as for sum queries.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Sequence
+
+from repro.core.accounting import ValueRange
+from repro.errors import EvaluationError, SpecificationError
+
+__all__ = [
+    "AggregateResult",
+    "aggregate_bounds",
+    "result_inconsistency",
+    "AGGREGATES",
+]
+
+
+class AggregateResult:
+    """Envelope of an aggregate computed over uncertain inputs.
+
+    ``low`` and ``high`` bracket the values the aggregate could have taken
+    had every read seen its extreme observations; ``midpoint`` is the
+    natural point estimate and ``inconsistency`` is half the spread — the
+    quantity section 5.3.2 compares against the TIL.
+    """
+
+    __slots__ = ("name", "low", "high")
+
+    def __init__(self, name: str, low: float, high: float):
+        if high < low:
+            raise EvaluationError(
+                f"aggregate {name!r} produced an inverted envelope "
+                f"[{low}, {high}]"
+            )
+        self.name = name
+        self.low = low
+        self.high = high
+
+    @property
+    def midpoint(self) -> float:
+        return (self.low + self.high) / 2.0
+
+    @property
+    def inconsistency(self) -> float:
+        return (self.high - self.low) / 2.0
+
+    def within(self, limit: float) -> bool:
+        """True when the result inconsistency fits within ``limit``."""
+        return self.inconsistency <= limit
+
+    def __repr__(self) -> str:
+        return (
+            f"AggregateResult({self.name!r}, low={self.low:g}, "
+            f"high={self.high:g}, inconsistency={self.inconsistency:g})"
+        )
+
+
+def _sum_bounds(mins: Sequence[float], maxs: Sequence[float]) -> tuple[float, float]:
+    return sum(mins), sum(maxs)
+
+
+def _avg_bounds(mins: Sequence[float], maxs: Sequence[float]) -> tuple[float, float]:
+    n = len(mins)
+    return sum(mins) / n, sum(maxs) / n
+
+
+def _min_bounds(mins: Sequence[float], maxs: Sequence[float]) -> tuple[float, float]:
+    # The true minimum over the actual values lies between the minimum of
+    # the per-object minima and the minimum of the per-object maxima.
+    return min(mins), min(maxs)
+
+
+def _max_bounds(mins: Sequence[float], maxs: Sequence[float]) -> tuple[float, float]:
+    return max(mins), max(maxs)
+
+
+AGGREGATES: dict[str, Callable[[Sequence[float], Sequence[float]], tuple[float, float]]]
+AGGREGATES = {
+    "sum": _sum_bounds,
+    "avg": _avg_bounds,
+    "min": _min_bounds,
+    "max": _max_bounds,
+}
+
+
+def aggregate_bounds(
+    name: str, ranges: Mapping[int, ValueRange] | Sequence[ValueRange]
+) -> AggregateResult:
+    """Compute the envelope of aggregate ``name`` over observed ranges.
+
+    ``ranges`` maps object ids to the :class:`ValueRange` each accumulated
+    during the transaction (a bare sequence of ranges is also accepted).
+    Raises :class:`SpecificationError` for an unknown aggregate and
+    :class:`EvaluationError` when no objects were observed.
+    """
+    try:
+        rule = AGGREGATES[name.lower()]
+    except KeyError:
+        known = ", ".join(sorted(AGGREGATES))
+        raise SpecificationError(
+            f"unknown aggregate {name!r}; known aggregates: {known}"
+        ) from None
+    values = list(ranges.values()) if isinstance(ranges, Mapping) else list(ranges)
+    if not values:
+        raise EvaluationError(f"aggregate {name!r} over zero observed objects")
+    mins = [r.minimum for r in values]
+    maxs = [r.maximum for r in values]
+    low, high = rule(mins, maxs)
+    return AggregateResult(name.lower(), low, high)
+
+
+def result_inconsistency(
+    name: str, ranges: Mapping[int, ValueRange] | Sequence[ValueRange]
+) -> float:
+    """Shorthand for ``aggregate_bounds(...).inconsistency``."""
+    return aggregate_bounds(name, ranges).inconsistency

@@ -1,0 +1,146 @@
+"""Metric-space distance functions for epsilon serializability.
+
+ESR is defined over a database state space that forms a *metric space*
+(paper section 2): a distance function must exist over every pair of states,
+be symmetric, and satisfy the triangle inequality.  The triangle inequality
+is what lets the system accumulate inconsistency incrementally — without it,
+the distance over the whole history would have to be recomputed on every
+change.
+
+This module provides:
+
+* the :class:`DistanceFunction` protocol used by the rest of the library;
+* the concrete distances used by the paper's prototype (absolute numeric
+  difference, because object values are bank-balance-like integers);
+* a few additional, still-metric distances useful for other state spaces
+  (scaled, discrete, and Euclidean over vectors);
+* :func:`check_metric_axioms`, a sampling validator used by the test suite's
+  property tests to assert that any user-supplied distance is actually a
+  metric.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Callable, Iterable, Protocol, Sequence, runtime_checkable
+
+from repro.errors import MetricSpaceError
+
+__all__ = [
+    "DistanceFunction",
+    "absolute_distance",
+    "ScaledDistance",
+    "discrete_distance",
+    "euclidean_distance",
+    "check_metric_axioms",
+]
+
+
+@runtime_checkable
+class DistanceFunction(Protocol):
+    """A distance over database states.
+
+    Implementations must behave as a metric: non-negative, zero only for
+    identical states, symmetric, and triangle-inequality compliant.  The
+    engine treats the returned value as the *magnitude of inconsistency*
+    introduced by viewing one state in place of another.
+    """
+
+    def __call__(self, u: float, v: float) -> float:  # pragma: no cover
+        ...
+
+
+def absolute_distance(u: float, v: float) -> float:
+    """Absolute numeric difference, the paper's distance function.
+
+    The prototype's objects hold dollar-amount-like integers (1000–9999), so
+    the natural metric is ``|u - v|``: the amount by which a stale or
+    uncommitted reading differs from the proper value.
+    """
+    return abs(u - v)
+
+
+class ScaledDistance:
+    """Absolute difference scaled by a positive weight.
+
+    Scaling a metric by a positive constant preserves all metric axioms.
+    This is useful when different object groups measure inconsistency in
+    different units (e.g. cents vs. dollars) but share one bound budget —
+    the weight converts object-local units into budget units.
+    """
+
+    def __init__(self, weight: float):
+        if weight <= 0 or not math.isfinite(weight):
+            raise MetricSpaceError(
+                f"scale weight must be positive and finite, got {weight!r}"
+            )
+        self.weight = float(weight)
+
+    def __call__(self, u: float, v: float) -> float:
+        return self.weight * abs(u - v)
+
+    def __repr__(self) -> str:
+        return f"ScaledDistance(weight={self.weight!r})"
+
+
+def discrete_distance(u: float, v: float) -> float:
+    """The discrete metric: 0 for equal states, 1 otherwise.
+
+    Under this metric an inconsistency bound of ``k`` reads as "at most
+    ``k`` operations may view any divergence at all", which models
+    count-based staleness tolerances.
+    """
+    return 0.0 if u == v else 1.0
+
+
+def euclidean_distance(u: Sequence[float], v: Sequence[float]) -> float:
+    """Euclidean distance for vector-valued states.
+
+    Provided for state spaces where an object is a tuple (e.g. a seat map
+    summarised as counts per fare class).  Both vectors must have the same
+    length.
+    """
+    if len(u) != len(v):
+        raise MetricSpaceError(
+            f"vector states must have equal length, got {len(u)} and {len(v)}"
+        )
+    return math.sqrt(sum((a - b) ** 2 for a, b in zip(u, v)))
+
+
+def check_metric_axioms(
+    distance: Callable[[object, object], float],
+    samples: Iterable[object],
+    tolerance: float = 1e-9,
+) -> None:
+    """Validate metric axioms on a finite sample of states.
+
+    Checks, for every pair/triple drawn from ``samples``:
+
+    * non-negativity and identity: ``d(u, u) == 0`` and ``d(u, v) >= 0``;
+    * symmetry: ``d(u, v) == d(v, u)``;
+    * triangle inequality: ``d(u, w) <= d(u, v) + d(v, w)``.
+
+    Raises :class:`MetricSpaceError` naming the first violated axiom.  This
+    cannot *prove* a function is a metric, but as a property-test oracle over
+    generated samples it catches practically every non-metric.
+    """
+    points = list(samples)
+    for u in points:
+        if abs(distance(u, u)) > tolerance:
+            raise MetricSpaceError(f"identity violated: d({u!r}, {u!r}) != 0")
+    for u, v in itertools.combinations(points, 2):
+        duv = distance(u, v)
+        dvu = distance(v, u)
+        if duv < -tolerance:
+            raise MetricSpaceError(f"negativity: d({u!r}, {v!r}) = {duv}")
+        if abs(duv - dvu) > tolerance:
+            raise MetricSpaceError(
+                f"symmetry violated: d({u!r}, {v!r}) = {duv} but "
+                f"d({v!r}, {u!r}) = {dvu}"
+            )
+    for u, v, w in itertools.permutations(points, 3):
+        if distance(u, w) > distance(u, v) + distance(v, w) + tolerance:
+            raise MetricSpaceError(
+                f"triangle inequality violated for ({u!r}, {v!r}, {w!r})"
+            )

@@ -1,0 +1,61 @@
+"""The prototype transaction-processing engine.
+
+Runtime-agnostic server internals (paper section 6): the in-memory
+database and its objects, timestamp generation, the SR and ESR
+concurrency-control decisions, the wait registry, the transaction
+manager, and the performance counters.
+"""
+
+from repro.engine.database import Database
+from repro.engine.manager import PROTOCOLS, TransactionManager
+from repro.engine.metrics import MetricsCollector, MetricsSnapshot
+from repro.engine.objects import DEFAULT_VERSION_WINDOW, DataObject, Version
+from repro.engine.results import (
+    CASE_LATE_READ,
+    CASE_LATE_WRITE,
+    CASE_READ_UNCOMMITTED,
+    Granted,
+    MustWait,
+    Outcome,
+    Rejected,
+)
+from repro.engine.locks import LockMode, LockTable
+from repro.engine.mvto import MVTOManager
+from repro.engine.scheduler import WaitRegistry
+from repro.engine.twopl import REASON_DEADLOCK, TwoPhaseManager
+from repro.engine.timestamps import GENESIS, Timestamp, TimestampGenerator
+from repro.engine.transactions import (
+    TransactionKind,
+    TransactionState,
+    TransactionStatus,
+)
+
+__all__ = [
+    "Database",
+    "PROTOCOLS",
+    "TransactionManager",
+    "MetricsCollector",
+    "MetricsSnapshot",
+    "DEFAULT_VERSION_WINDOW",
+    "DataObject",
+    "Version",
+    "CASE_LATE_READ",
+    "CASE_LATE_WRITE",
+    "CASE_READ_UNCOMMITTED",
+    "Granted",
+    "MustWait",
+    "Outcome",
+    "Rejected",
+    "WaitRegistry",
+    "LockMode",
+    "LockTable",
+    "MVTOManager",
+    "REASON_DEADLOCK",
+    "TwoPhaseManager",
+    "GENESIS",
+    "Timestamp",
+    "TimestampGenerator",
+    "TransactionKind",
+    "TransactionState",
+    "TransactionStatus",
+]

@@ -1,0 +1,137 @@
+"""A lock table for two-phase locking.
+
+The paper implements ESR over timestamp ordering but notes that "just
+like SR, ESR can be implemented using one of the many concurrency
+control mechanisms available" — its reference [21] (Wu, Yu & Pu,
+*Divergence Control for Epsilon Serializability*) does it over 2PL.
+This lock table supports that alternative engine
+(:mod:`repro.engine.twopl`).
+
+Design: retry-based rather than queue-based.  ``acquire`` either grants
+the lock or names one blocking holder; the caller (the manager) reports
+:class:`~repro.engine.results.MustWait` and the runtime retries after
+that transaction finishes — the same discipline the TSO engine uses, so
+both engines share the runtimes unchanged.  Deadlocks are possible under
+2PL (unlike TSO's age-ordered waits), so the manager performs cycle
+detection in the wait-for relation before parking a waiter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["LockMode", "LockTable"]
+
+
+class LockMode:
+    """Lock modes as plain constants."""
+
+    SHARED = "S"
+    EXCLUSIVE = "X"
+
+
+@dataclass
+class _ObjectLocks:
+    """Holders of one object's locks: txn id -> mode."""
+
+    holders: dict[int, str] = field(default_factory=dict)
+
+    def exclusive_holder(self) -> int | None:
+        for txn_id, mode in self.holders.items():
+            if mode == LockMode.EXCLUSIVE:
+                return txn_id
+        return None
+
+    def shared_holders(self) -> list[int]:
+        return [
+            txn_id
+            for txn_id, mode in self.holders.items()
+            if mode == LockMode.SHARED
+        ]
+
+
+class LockTable:
+    """S/X locks per object, with upgrade support and full release."""
+
+    def __init__(self) -> None:
+        self._objects: dict[int, _ObjectLocks] = {}
+        # txn id -> object ids it holds locks on (for release-all).
+        self._held: dict[int, set[int]] = {}
+
+    def _locks(self, object_id: int) -> _ObjectLocks:
+        locks = self._objects.get(object_id)
+        if locks is None:
+            locks = _ObjectLocks()
+            self._objects[object_id] = locks
+        return locks
+
+    # -- acquisition --------------------------------------------------------------
+
+    def acquire_shared(self, txn_id: int, object_id: int) -> int | None:
+        """Take (or keep) an S lock; returns a blocking txn id or None.
+
+        S is compatible with S.  A transaction already holding X keeps
+        reading under it.
+        """
+        locks = self._locks(object_id)
+        current = locks.holders.get(txn_id)
+        if current is not None:
+            return None  # S or X already held by us covers a read
+        exclusive = locks.exclusive_holder()
+        if exclusive is not None and exclusive != txn_id:
+            return exclusive
+        locks.holders[txn_id] = LockMode.SHARED
+        self._held.setdefault(txn_id, set()).add(object_id)
+        return None
+
+    def acquire_exclusive(
+        self, txn_id: int, object_id: int, ignore: set[int] | None = None
+    ) -> int | None:
+        """Take (or upgrade to) an X lock; returns a blocking txn id.
+
+        ``ignore`` names holders the caller has decided to coexist with
+        (the divergence-control relaxation: an update may write past
+        query S-holders whose exported inconsistency fits the bounds).
+        """
+        locks = self._locks(object_id)
+        ignore = ignore or set()
+        exclusive = locks.exclusive_holder()
+        if exclusive is not None and exclusive != txn_id:
+            return exclusive
+        for holder in locks.shared_holders():
+            if holder != txn_id and holder not in ignore:
+                return holder
+        locks.holders[txn_id] = LockMode.EXCLUSIVE
+        self._held.setdefault(txn_id, set()).add(object_id)
+        return None
+
+    # -- inspection -----------------------------------------------------------------
+
+    def mode_held(self, txn_id: int, object_id: int) -> str | None:
+        return self._locks(object_id).holders.get(txn_id)
+
+    def exclusive_holder(self, object_id: int) -> int | None:
+        return self._locks(object_id).exclusive_holder()
+
+    def shared_holders(self, object_id: int) -> list[int]:
+        return self._locks(object_id).shared_holders()
+
+    def held_by(self, txn_id: int) -> set[int]:
+        return set(self._held.get(txn_id, ()))
+
+    # -- release --------------------------------------------------------------------
+
+    def release_all(self, txn_id: int) -> None:
+        """Drop every lock a finished transaction holds."""
+        for object_id in self._held.pop(txn_id, set()):
+            locks = self._objects.get(object_id)
+            if locks is not None:
+                locks.holders.pop(txn_id, None)
+                if not locks.holders:
+                    del self._objects[object_id]
+
+    def __repr__(self) -> str:
+        return (
+            f"LockTable(objects={len(self._objects)}, "
+            f"transactions={len(self._held)})"
+        )

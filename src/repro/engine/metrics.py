@@ -1,0 +1,154 @@
+"""Performance counters for the transaction engine.
+
+The paper's evaluation (sections 7 and 8) tracks, besides throughput:
+
+* the number of **retries (aborts)** — Figure 9;
+* the number of **successful inconsistent operations** — operations that
+  executed despite viewing/exporting inconsistency — Figure 8, broken down
+  here by which of the three relaxation cases admitted them;
+* the **total number of operations performed** (reads + writes, including
+  work later thrown away by aborts) — Figure 10;
+* the **average number of operations per completed transaction**,
+  including the operations of its aborted incarnations — Figure 13.
+
+A :class:`MetricsCollector` is owned by one
+:class:`~repro.engine.manager.TransactionManager`; runtimes add timing on
+top (the collector itself is clock-free so it works identically under the
+simulator and the threaded server).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+__all__ = ["MetricsCollector", "MetricsSnapshot"]
+
+
+@dataclass
+class MetricsSnapshot:
+    """An immutable copy of the counters, plus derived ratios."""
+
+    commits: int
+    commits_query: int
+    commits_update: int
+    aborts: int
+    aborts_by_reason: dict[str, int]
+    reads: int
+    writes: int
+    inconsistent_operations: int
+    inconsistent_by_case: dict[str, int]
+    rejected_operations: int
+    waits: int
+    total_imported: float
+    total_exported: float
+
+    @property
+    def total_operations(self) -> int:
+        """Reads plus writes actually executed (Figure 10's metric)."""
+        return self.reads + self.writes
+
+    @property
+    def operations_per_commit(self) -> float:
+        """Average executed operations per committed transaction.
+
+        Includes operations performed by aborted incarnations, so it
+        measures wasted work (Figure 13's metric).  Zero when nothing
+        committed.
+        """
+        if self.commits == 0:
+            return 0.0
+        return self.total_operations / self.commits
+
+    @property
+    def abort_rate(self) -> float:
+        """Aborts per commit (retries needed per successful transaction)."""
+        if self.commits == 0:
+            return 0.0
+        return self.aborts / self.commits
+
+
+class MetricsCollector:
+    """Mutable counters updated by the transaction manager."""
+
+    def __init__(self) -> None:
+        self.commits = 0
+        self.commits_query = 0
+        self.commits_update = 0
+        self.aborts = 0
+        self.aborts_by_reason: Counter[str] = Counter()
+        self.reads = 0
+        self.writes = 0
+        self.inconsistent_by_case: Counter[str] = Counter()
+        self.rejected_operations = 0
+        self.waits = 0
+        self.total_imported = 0.0
+        self.total_exported = 0.0
+
+    # -- recording hooks -------------------------------------------------------
+
+    def record_read(self, esr_case: str | None) -> None:
+        self.reads += 1
+        if esr_case is not None:
+            self.inconsistent_by_case[esr_case] += 1
+
+    def record_write(self, esr_case: str | None) -> None:
+        self.writes += 1
+        if esr_case is not None:
+            self.inconsistent_by_case[esr_case] += 1
+
+    def record_wait(self) -> None:
+        self.waits += 1
+
+    def record_rejection(self) -> None:
+        self.rejected_operations += 1
+
+    def record_commit(self, is_query: bool, imported: float, exported: float) -> None:
+        self.commits += 1
+        if is_query:
+            self.commits_query += 1
+        else:
+            self.commits_update += 1
+        self.total_imported += imported
+        self.total_exported += exported
+
+    def record_abort(self, reason: str) -> None:
+        self.aborts += 1
+        self.aborts_by_reason[reason] += 1
+
+    # -- reading ----------------------------------------------------------------
+
+    @property
+    def inconsistent_operations(self) -> int:
+        return sum(self.inconsistent_by_case.values())
+
+    @property
+    def total_operations(self) -> int:
+        return self.reads + self.writes
+
+    def snapshot(self) -> MetricsSnapshot:
+        return MetricsSnapshot(
+            commits=self.commits,
+            commits_query=self.commits_query,
+            commits_update=self.commits_update,
+            aborts=self.aborts,
+            aborts_by_reason=dict(self.aborts_by_reason),
+            reads=self.reads,
+            writes=self.writes,
+            inconsistent_operations=self.inconsistent_operations,
+            inconsistent_by_case=dict(self.inconsistent_by_case),
+            rejected_operations=self.rejected_operations,
+            waits=self.waits,
+            total_imported=self.total_imported,
+            total_exported=self.total_exported,
+        )
+
+    def reset(self) -> None:
+        """Zero every counter (used between measurement phases)."""
+        self.__init__()
+
+    def __repr__(self) -> str:
+        return (
+            f"MetricsCollector(commits={self.commits}, aborts={self.aborts}, "
+            f"ops={self.total_operations})"
+        )

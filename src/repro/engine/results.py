@@ -1,0 +1,90 @@
+"""Operation outcomes returned by the concurrency control.
+
+Every Read or Write submitted to the engine resolves to exactly one of:
+
+:class:`Granted`
+    The operation executed.  For reads, ``value`` carries the value read;
+    ``inconsistency`` is the divergence charged to the transaction's
+    account (0 for consistent operations) and ``esr_case`` names which of
+    the paper's three relaxation cases applied, if any.
+
+:class:`MustWait`
+    Strict ordering requires the operation to wait for another transaction
+    to finish (commit or abort).  The runtime — simulated or threaded —
+    blocks the client and retries the operation once
+    ``blocking_transaction`` completes.  Waits only ever point at *older*
+    transactions, so no deadlock can arise.
+
+:class:`Rejected`
+    The operation cannot execute (late under timestamp ordering, or an
+    inconsistency bound would be violated).  The transaction must abort;
+    clients resubmit with a fresh timestamp.
+
+These are plain frozen dataclasses rather than exceptions because the
+common cases (wait, reject-and-restart) are normal control flow in a
+timestamp-ordered system, not errors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+__all__ = [
+    "Granted",
+    "MustWait",
+    "Rejected",
+    "Outcome",
+    "CASE_LATE_READ",
+    "CASE_READ_UNCOMMITTED",
+    "CASE_LATE_WRITE",
+    "REASON_LATE_READ",
+    "REASON_LATE_WRITE",
+    "REASON_BOUND_VIOLATION",
+    "REASON_WRITE_CONFLICT",
+]
+
+#: Paper Figure 3, case 1 — a query read arrives after a newer committed write.
+CASE_LATE_READ = "late-read-committed"
+#: Paper Figure 3, case 2 — a query read views uncommitted data.
+CASE_READ_UNCOMMITTED = "read-uncommitted"
+#: Paper Figure 3, case 3 — an update write arrives after a newer query read.
+CASE_LATE_WRITE = "late-write"
+
+REASON_LATE_READ = "late-read"
+REASON_LATE_WRITE = "late-write"
+REASON_BOUND_VIOLATION = "bound-violation"
+REASON_WRITE_CONFLICT = "write-write-conflict"
+
+
+@dataclass(frozen=True)
+class Granted:
+    """The operation executed successfully."""
+
+    value: float | None = None
+    inconsistency: float = 0.0
+    esr_case: str | None = None
+
+    @property
+    def was_inconsistent(self) -> bool:
+        """True when this operation succeeded only thanks to ESR."""
+        return self.esr_case is not None
+
+
+@dataclass(frozen=True)
+class MustWait:
+    """Strict ordering: wait for ``blocking_transaction`` to finish."""
+
+    blocking_transaction: int
+
+
+@dataclass(frozen=True)
+class Rejected:
+    """The operation cannot execute; the transaction must abort."""
+
+    reason: str
+    detail: str = ""
+    violated_level: str | None = None
+
+
+Outcome = Union[Granted, MustWait, Rejected]

@@ -1,0 +1,101 @@
+"""Strict timestamp-ordering decisions — the SR baseline.
+
+This is the classical protocol the paper enhances (section 4): basic
+timestamp ordering with *strict ordering* enforced by waiting, and
+abort-with-immediate-restart for late operations:
+
+* a read that arrives with a timestamp older than the object's last write
+  timestamp is **late** and rejected;
+* a read of an object with a pending uncommitted write **waits** for the
+  writer to finish (strictness: no dirty reads), unless the read is older
+  than the pending write, in which case it is late and rejected;
+* a write older than the object's read timestamp or last write timestamp
+  is **late** and rejected;
+* a write over a pending uncommitted write **waits** (no Thomas write
+  rule — recovery relies on a single staged write per object).
+
+Because an operation only ever waits when its timestamp is *newer* than
+the blocking transaction's, all wait-for edges point young → old and no
+deadlock is possible.
+
+The functions here are pure decisions: they inspect object and transaction
+state and return an :class:`~repro.engine.results.Outcome` without mutating
+anything; the :class:`~repro.engine.manager.TransactionManager` applies the
+effects of a :class:`Granted` outcome.
+"""
+
+from __future__ import annotations
+
+from repro.engine.objects import DataObject
+from repro.engine.results import (
+    Granted,
+    MustWait,
+    Outcome,
+    Rejected,
+    REASON_LATE_READ,
+    REASON_LATE_WRITE,
+)
+from repro.engine.transactions import TransactionState
+
+__all__ = ["sr_read_decision", "sr_write_decision"]
+
+
+def sr_read_decision(obj: DataObject, txn: TransactionState) -> Outcome:
+    """Decide a read under plain strict TSO."""
+    if obj.writer_id is not None and obj.writer_id != txn.transaction_id:
+        if txn.timestamp > obj.writer_ts:
+            # Strictness: the value this read must return is being produced
+            # by an older, still-uncommitted transaction — wait for it.
+            return MustWait(obj.writer_id)
+        return Rejected(
+            REASON_LATE_READ,
+            detail=(
+                f"read ts {txn.timestamp} is older than pending write "
+                f"ts {obj.writer_ts} on object {obj.object_id}"
+            ),
+        )
+    if obj.writer_id == txn.transaction_id:
+        # Reading our own staged write is always consistent.
+        return Granted(value=obj.uncommitted_value)
+    if txn.timestamp < obj.committed_write_ts:
+        return Rejected(
+            REASON_LATE_READ,
+            detail=(
+                f"read ts {txn.timestamp} is older than committed write "
+                f"ts {obj.committed_write_ts} on object {obj.object_id}"
+            ),
+        )
+    return Granted(value=obj.committed_value)
+
+
+def sr_write_decision(
+    obj: DataObject, txn: TransactionState
+) -> Outcome:
+    """Decide a write under plain strict TSO."""
+    if obj.writer_id is not None and obj.writer_id != txn.transaction_id:
+        if txn.timestamp > obj.writer_ts:
+            return MustWait(obj.writer_id)
+        return Rejected(
+            REASON_LATE_WRITE,
+            detail=(
+                f"write ts {txn.timestamp} is older than pending write "
+                f"ts {obj.writer_ts} on object {obj.object_id}"
+            ),
+        )
+    if txn.timestamp < obj.committed_write_ts:
+        return Rejected(
+            REASON_LATE_WRITE,
+            detail=(
+                f"write ts {txn.timestamp} is older than committed write "
+                f"ts {obj.committed_write_ts} on object {obj.object_id}"
+            ),
+        )
+    if txn.timestamp < obj.read_ts:
+        return Rejected(
+            REASON_LATE_WRITE,
+            detail=(
+                f"write ts {txn.timestamp} is older than read "
+                f"ts {obj.read_ts} on object {obj.object_id}"
+            ),
+        )
+    return Granted()

@@ -1,0 +1,84 @@
+"""The performance study: configs, runner, figures, analysis, reports."""
+
+from repro.experiments.analysis import (
+    ShapeCheck,
+    check_figure,
+    dominates,
+    peak_x,
+    thrashing_point,
+)
+from repro.experiments.config import (
+    BOUND_STUDY_MPL,
+    FAST_PLAN,
+    MPL_RANGE,
+    OIL_SWEEP_W,
+    PAPER_PLAN,
+    TIL_SWEEP,
+    MeasurementPlan,
+    bounds_table,
+)
+from repro.experiments.figures import (
+    ALL_FIGURES,
+    FigureResult,
+    Series,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    mpl_study,
+    oil_study,
+    table1,
+)
+from repro.experiments.report import (
+    ascii_chart,
+    figure_markdown,
+    figure_table,
+    format_table,
+    render_figure,
+)
+from repro.experiments.extensions import ext_hierarchy, hierarchy_study
+from repro.experiments.reportgen import generate_experiments_markdown
+from repro.experiments.runner import Estimate, Measurement, measure
+
+__all__ = [
+    "ShapeCheck",
+    "check_figure",
+    "dominates",
+    "peak_x",
+    "thrashing_point",
+    "BOUND_STUDY_MPL",
+    "FAST_PLAN",
+    "MPL_RANGE",
+    "OIL_SWEEP_W",
+    "PAPER_PLAN",
+    "TIL_SWEEP",
+    "MeasurementPlan",
+    "bounds_table",
+    "ALL_FIGURES",
+    "FigureResult",
+    "Series",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "mpl_study",
+    "oil_study",
+    "table1",
+    "ascii_chart",
+    "figure_markdown",
+    "figure_table",
+    "format_table",
+    "render_figure",
+    "Estimate",
+    "Measurement",
+    "measure",
+    "ext_hierarchy",
+    "hierarchy_study",
+    "generate_experiments_markdown",
+]

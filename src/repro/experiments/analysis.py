@@ -1,0 +1,315 @@
+"""Shape analysis: the paper's qualitative claims, made checkable.
+
+The reproduction does not chase the paper's absolute numbers (different
+hardware, different decade); it checks the *shapes* of the curves.  This
+module turns those shapes into functions over :class:`~repro.experiments.
+figures.FigureResult` values:
+
+* :func:`thrashing_point` — the MPL where a throughput curve stops
+  improving (the knee the paper calls the thrashing point);
+* :func:`peak_x` — the x of a curve's maximum (Figure 12's interior-OIL
+  peak);
+* :func:`check_figure` — per-figure lists of named shape assertions,
+  used by the benchmark suite and the EXPERIMENTS.md generator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.figures import FigureResult, Series
+
+__all__ = [
+    "ShapeCheck",
+    "thrashing_point",
+    "peak_x",
+    "dominates",
+    "check_fig7",
+    "check_fig8",
+    "check_fig9",
+    "check_fig10",
+    "check_fig11",
+    "check_fig12",
+    "check_fig13",
+    "check_figure",
+]
+
+
+@dataclass(frozen=True)
+class ShapeCheck:
+    """One named, evaluated shape assertion."""
+
+    name: str
+    passed: bool
+    detail: str
+
+    def __str__(self) -> str:
+        status = "PASS" if self.passed else "FAIL"
+        return f"[{status}] {self.name}: {self.detail}"
+
+
+def thrashing_point(series: Series, tolerance: float = 0.05) -> float | None:
+    """The MPL where throughput peaks and then genuinely declines.
+
+    The paper calls the thrashing point "the MPL where the throughput
+    begins to drop".  Operationally: the *knee* is the smallest x whose y
+    is within ``tolerance`` of the curve's maximum; if the curve later
+    falls below that tolerance band the knee is the thrashing point,
+    otherwise the curve merely saturates and there is **no thrashing
+    within the measured range** — returned as ``None`` (treat as "past
+    the last x" when comparing).
+    """
+    ys = series.means()
+    top = max(ys)
+    floor = (1.0 - tolerance) * top
+    knee_index = next(i for i, y in enumerate(ys) if y >= floor)
+    declines = any(y < floor for y in ys[knee_index + 1 :])
+    if not declines:
+        return None
+    return series.x[knee_index]
+
+
+def peak_x(series: Series) -> float:
+    """The x of the series' maximum y (first one, on ties)."""
+    ys = series.means()
+    top = max(ys)
+    for x, y in zip(series.x, ys):
+        if y == top:
+            return x
+    return series.x[-1]
+
+
+def dominates(
+    upper: Series, lower: Series, slack: float = 0.05, from_x: float | None = None
+) -> bool:
+    """True when ``upper`` ≥ ``lower`` (within ``slack``) pointwise."""
+    for x, yu, yl in zip(upper.x, upper.means(), lower.means()):
+        if from_x is not None and x < from_x:
+            continue
+        if yu < yl * (1.0 - slack) - 1e-9:
+            return False
+    return True
+
+
+def _mostly_increasing(series: Series, slack: float = 0.1) -> bool:
+    """True when the curve trends upward (small dips tolerated)."""
+    ys = series.means()
+    running_max = ys[0]
+    for y in ys[1:]:
+        if y < running_max * (1.0 - slack) - 1e-9:
+            return False
+        running_max = max(running_max, y)
+    return True
+
+
+# -- per-figure checks ---------------------------------------------------------------
+
+
+def check_fig7(figure: FigureResult) -> list[ShapeCheck]:
+    checks: list[ShapeCheck] = []
+    order = ["zero-epsilon", "low-epsilon", "medium-epsilon", "high-epsilon"]
+    curves = {s.label: s for s in figure.series}
+    for lower_name, upper_name in zip(order, order[1:]):
+        upper, lower = curves[upper_name], curves[lower_name]
+        ok = dominates(upper, lower, from_x=2.0)
+        checks.append(
+            ShapeCheck(
+                name=f"throughput({upper_name}) >= throughput({lower_name})",
+                passed=ok,
+                detail="pointwise for MPL >= 2, 5% slack",
+            )
+        )
+    max_mpl = curves["zero-epsilon"].x[-1]
+    tp = {name: thrashing_point(curves[name]) for name in order}
+
+    def effective(name: str) -> float:
+        value = tp[name]
+        return max_mpl + 1 if value is None else value
+
+    def render(name: str) -> str:
+        value = tp[name]
+        return f">{max_mpl:g}" if value is None else f"{value:g}"
+
+    checks.append(
+        ShapeCheck(
+            name="thrashing point shifts right with bounds",
+            passed=effective("high-epsilon") >= effective("zero-epsilon"),
+            detail=(
+                f"thrashing MPL: zero={render('zero-epsilon')}, "
+                f"low={render('low-epsilon')}, med={render('medium-epsilon')}, "
+                f"high={render('high-epsilon')}"
+            ),
+        )
+    )
+    zero, high = curves["zero-epsilon"], curves["high-epsilon"]
+    gain = max(high.means()) / max(zero.means()) if max(zero.means()) else float("inf")
+    checks.append(
+        ShapeCheck(
+            name="ESR peak throughput well above SR",
+            passed=gain >= 1.3,
+            detail=f"peak(high)/peak(zero) = {gain:.2f}x",
+        )
+    )
+    return checks
+
+
+def check_fig8(figure: FigureResult) -> list[ShapeCheck]:
+    checks: list[ShapeCheck] = []
+    for series in figure.series:
+        checks.append(
+            ShapeCheck(
+                name=f"inconsistent ops grow with MPL ({series.label})",
+                passed=_mostly_increasing(series, slack=0.25),
+                detail=f"values {tuple(round(v, 1) for v in series.means())}",
+            )
+        )
+    curves = {s.label: s for s in figure.series}
+    low, high = curves["low-epsilon"], curves["high-epsilon"]
+    checks.append(
+        ShapeCheck(
+            name="more inconsistent ops at higher bounds",
+            passed=dominates(high, low, slack=0.1, from_x=3.0),
+            detail="high-epsilon >= low-epsilon for MPL >= 3",
+        )
+    )
+    return checks
+
+
+def check_fig9(figure: FigureResult) -> list[ShapeCheck]:
+    curves = {s.label: s for s in figure.series}
+    checks = [
+        ShapeCheck(
+            name="aborts nearly zero at high bounds",
+            passed=max(curves["high-epsilon"].means()) <= 0.05
+            * max(max(curves["zero-epsilon"].means()), 1.0),
+            detail=(
+                f"max aborts: high={max(curves['high-epsilon'].means()):.0f}, "
+                f"zero={max(curves['zero-epsilon'].means()):.0f}"
+            ),
+        ),
+        ShapeCheck(
+            name="aborts highest for zero-epsilon (SR)",
+            passed=dominates(
+                curves["zero-epsilon"], curves["low-epsilon"], from_x=3.0
+            ),
+            detail="zero-epsilon >= low-epsilon for MPL >= 3",
+        ),
+        ShapeCheck(
+            name="aborts shoot up at low bounds and high MPL",
+            passed=curves["low-epsilon"].means()[-1]
+            > 5 * max(curves["high-epsilon"].means()[-1], 1.0),
+            detail="low-epsilon aborts at MPL 10 >> high-epsilon aborts",
+        ),
+    ]
+    return checks
+
+
+def check_fig10(figure: FigureResult) -> list[ShapeCheck]:
+    curves = {s.label: s for s in figure.series}
+    checks = [
+        ShapeCheck(
+            name=f"total operations grow with MPL ({label})",
+            passed=_mostly_increasing(curves[label], slack=0.15),
+            detail="rising until server saturation",
+        )
+        for label in curves
+    ]
+    return checks
+
+
+def check_fig11(figure: FigureResult) -> list[ShapeCheck]:
+    checks: list[ShapeCheck] = []
+    for series in figure.series:
+        ys = series.means()
+        increasing = _mostly_increasing(series, slack=0.05)
+        checks.append(
+            ShapeCheck(
+                name=f"throughput rises with TIL ({series.label})",
+                passed=increasing,
+                detail=f"values {tuple(round(v, 1) for v in ys)}",
+            )
+        )
+        half = len(ys) // 2
+        early_gain = ys[half] - ys[0]
+        late_gain = ys[-1] - ys[half]
+        checks.append(
+            ShapeCheck(
+                name=f"slope steepest at small-to-medium TIL ({series.label})",
+                passed=early_gain >= late_gain,
+                detail=(
+                    f"gain over first half {early_gain:.2f} vs second half "
+                    f"{late_gain:.2f}"
+                ),
+            )
+        )
+    return checks
+
+
+def check_fig12(figure: FigureResult) -> list[ShapeCheck]:
+    checks: list[ShapeCheck] = []
+    curves = {s.label: s for s in figure.series}
+    low = curves["TIL=10000"]
+    ys = low.means()
+    peak = peak_x(low)
+    interior = 0 < peak < low.x[-1] and not (
+        peak == low.x[-2] and ys[-1] >= ys[-2] * 0.99
+    )
+    checks.append(
+        ShapeCheck(
+            name="low-TIL throughput peaks at intermediate OIL",
+            passed=0 < peak and ys[low.x.index(peak)] > ys[-1] * 1.02
+            and ys[low.x.index(peak)] > ys[0] * 1.02,
+            detail=f"peak at OIL={peak:g}w; endpoints {ys[0]:.1f} / {ys[-1]:.1f}",
+        )
+    )
+    checks.append(
+        ShapeCheck(
+            name="zero OIL approximates the SR case (lowest throughput)",
+            passed=all(ys[0] <= y * 1.10 for y in ys[2:]),
+            detail=f"OIL=0 throughput {ys[0]:.2f} vs rest",
+        )
+    )
+    return checks
+
+
+def check_fig13(figure: FigureResult) -> list[ShapeCheck]:
+    curves = {s.label: s for s in figure.series}
+    checks: list[ShapeCheck] = []
+    high = curves["TIL=100000"].means()
+    checks.append(
+        ShapeCheck(
+            name="ops/transaction falls with OIL at high TIL",
+            passed=high[-1] <= high[0] and high[-1] <= min(high) * 1.1,
+            detail=f"from {high[0]:.1f} down to {high[-1]:.1f}",
+        )
+    )
+    low = curves["TIL=10000"].means()
+    trough = min(low)
+    checks.append(
+        ShapeCheck(
+            name="ops/transaction rises again at large OIL for low TIL",
+            passed=low[-1] > trough * 1.02,
+            detail=f"trough {trough:.2f}, at max OIL {low[-1]:.2f}",
+        )
+    )
+    return checks
+
+
+_CHECKERS = {
+    "fig7": check_fig7,
+    "fig8": check_fig8,
+    "fig9": check_fig9,
+    "fig10": check_fig10,
+    "fig11": check_fig11,
+    "fig12": check_fig12,
+    "fig13": check_fig13,
+}
+
+
+def check_figure(figure: FigureResult) -> list[ShapeCheck]:
+    """Dispatch to the figure's shape checks by its id."""
+    try:
+        checker = _CHECKERS[figure.figure_id]
+    except KeyError:
+        raise KeyError(f"no shape checks defined for {figure.figure_id!r}")
+    return checker(figure)

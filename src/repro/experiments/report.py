@@ -1,0 +1,158 @@
+"""Rendering: ASCII tables, terminal line charts, EXPERIMENTS.md.
+
+The prototype has no plotting dependency, so figures render as aligned
+value tables plus a coarse ASCII chart — enough to eyeball every shape
+the paper discusses — and the full paper-vs-measured record is written to
+``EXPERIMENTS.md`` by :func:`experiments_markdown`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+from repro.experiments.analysis import ShapeCheck, check_figure
+from repro.experiments.figures import FigureResult
+
+__all__ = [
+    "format_table",
+    "figure_table",
+    "ascii_chart",
+    "render_figure",
+    "figure_markdown",
+]
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Align a simple text table (left-aligned header, right-aligned data)."""
+    materialised = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialised:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in materialised:
+        lines.append(
+            "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def _format_x(x: float) -> str:
+    if math.isinf(x):
+        return "inf"
+    if x == int(x):
+        return str(int(x))
+    return f"{x:g}"
+
+
+def figure_table(figure: FigureResult, precision: int = 2) -> str:
+    """The figure's data as one table: x column plus one column per series."""
+    headers = [figure.x_label] + [s.label for s in figure.series]
+    xs = figure.series[0].x
+    rows = []
+    for index, x in enumerate(xs):
+        row: list[object] = [_format_x(x)]
+        for series in figure.series:
+            estimate = series.y[index]
+            if estimate.half_width > 0:
+                row.append(f"{estimate.mean:.{precision}f}±{estimate.half_width:.{precision}f}")
+            else:
+                row.append(f"{estimate.mean:.{precision}f}")
+        rows.append(row)
+    return format_table(headers, rows)
+
+
+_MARKS = "ox+*#@%&"
+
+
+def ascii_chart(
+    figure: FigureResult, width: int = 64, height: int = 16
+) -> str:
+    """A coarse terminal line chart of all series (marks per series)."""
+    xs = figure.series[0].x
+    finite_xs = [x for x in xs if not math.isinf(x)]
+    x_lo, x_hi = min(finite_xs), max(finite_xs)
+    all_y = [y for s in figure.series for y in s.means()]
+    y_lo, y_hi = min(all_y + [0.0]), max(all_y)
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+    grid = [[" "] * width for _ in range(height)]
+
+    def col(x: float) -> int:
+        if math.isinf(x):
+            return width - 1
+        if x_hi == x_lo:
+            return 0
+        return min(width - 1, int((x - x_lo) / (x_hi - x_lo) * (width - 1)))
+
+    def row(y: float) -> int:
+        return min(
+            height - 1,
+            int((y_hi - y) / (y_hi - y_lo) * (height - 1)),
+        )
+
+    for s_index, series in enumerate(figure.series):
+        mark = _MARKS[s_index % len(_MARKS)]
+        for x, y in zip(series.x, series.means()):
+            grid[row(y)][col(x)] = mark
+    lines = [f"{figure.title}"]
+    lines.append(f"{y_hi:>10.1f} +" + "".join(grid[0]))
+    for r in range(1, height - 1):
+        lines.append(" " * 10 + " |" + "".join(grid[r]))
+    lines.append(f"{y_lo:>10.1f} +" + "".join(grid[height - 1]))
+    lines.append(
+        " " * 12 + f"{_format_x(x_lo)}".ljust(width - 8) + f"{_format_x(x_hi)}"
+    )
+    lines.append(" " * 12 + f"x: {figure.x_label}")
+    legend = "   ".join(
+        f"{_MARKS[i % len(_MARKS)]} {s.label}"
+        for i, s in enumerate(figure.series)
+    )
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)
+
+
+def render_figure(figure: FigureResult, chart: bool = True) -> str:
+    """Full terminal rendering: chart, data table, notes, shape checks."""
+    parts = []
+    if chart:
+        parts.append(ascii_chart(figure))
+    parts.append(figure_table(figure))
+    if figure.notes:
+        parts.append(f"note: {figure.notes}")
+    try:
+        checks = check_figure(figure)
+    except KeyError:
+        checks = []
+    if checks:
+        parts.append("\n".join(str(check) for check in checks))
+    return "\n\n".join(parts)
+
+
+def figure_markdown(figure: FigureResult, paper_expectation: str) -> str:
+    """One EXPERIMENTS.md section: expectation, measured data, checks."""
+    lines = [f"### {figure.figure_id} — {figure.title}", ""]
+    lines.append(f"**Paper:** {paper_expectation}")
+    lines.append("")
+    lines.append("**Measured** (means ± 90% CI half-width):")
+    lines.append("")
+    lines.append("```")
+    lines.append(figure_table(figure))
+    lines.append("```")
+    lines.append("")
+    try:
+        checks: list[ShapeCheck] = check_figure(figure)
+    except KeyError:
+        checks = []
+    if checks:
+        lines.append("**Shape checks:**")
+        lines.append("")
+        for check in checks:
+            status = "✅" if check.passed else "❌"
+            lines.append(f"- {status} {check.name} ({check.detail})")
+        lines.append("")
+    return "\n".join(lines)

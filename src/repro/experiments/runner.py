@@ -1,0 +1,131 @@
+"""Running measured experiments: repetitions, aggregation, confidence.
+
+The paper repeats each test "a few times to eliminate any disturbances"
+and reports that 90 % confidence intervals lie within ±3 % of the mean.
+:func:`measure` mirrors that: it runs one simulation configuration under
+``repetitions`` different seeds and aggregates each metric into a
+:class:`Estimate` (mean, half-width of the 90 % confidence interval,
+per-repetition values).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Callable, Sequence
+
+from repro.experiments.config import MeasurementPlan
+from repro.sim.system import RunResult, SimulationConfig, run_simulation
+
+__all__ = ["Estimate", "Measurement", "measure", "student_t_90"]
+
+# Two-sided 90 % Student-t critical values by degrees of freedom (1..30).
+_T90 = (
+    6.314, 2.920, 2.353, 2.132, 2.015, 1.943, 1.895, 1.860, 1.833, 1.812,
+    1.796, 1.782, 1.771, 1.761, 1.753, 1.746, 1.740, 1.734, 1.729, 1.725,
+    1.721, 1.717, 1.714, 1.711, 1.708, 1.706, 1.703, 1.701, 1.699, 1.697,
+)
+
+
+def student_t_90(degrees_of_freedom: int) -> float:
+    """Two-sided 90 % t critical value (≈1.645 for large samples)."""
+    if degrees_of_freedom < 1:
+        return float("nan")
+    if degrees_of_freedom <= len(_T90):
+        return _T90[degrees_of_freedom - 1]
+    return 1.645
+
+
+@dataclass(frozen=True)
+class Estimate:
+    """Mean of a metric over repetitions, with a 90 % CI half-width."""
+
+    mean: float
+    half_width: float
+    samples: tuple[float, ...]
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[float]) -> "Estimate":
+        values = tuple(float(v) for v in samples)
+        n = len(values)
+        mean = sum(values) / n
+        if n < 2:
+            return cls(mean=mean, half_width=0.0, samples=values)
+        variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+        half = student_t_90(n - 1) * math.sqrt(variance / n)
+        return cls(mean=mean, half_width=half, samples=values)
+
+    @property
+    def relative_half_width(self) -> float:
+        """CI half-width as a fraction of the mean (paper quotes ±3 %)."""
+        if self.mean == 0:
+            return 0.0
+        return self.half_width / abs(self.mean)
+
+    def __format__(self, spec: str) -> str:
+        if not spec:
+            spec = ".2f"
+        return f"{self.mean:{spec}} ± {self.half_width:{spec}}"
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """Aggregated metrics for one simulation configuration."""
+
+    config: SimulationConfig
+    throughput: Estimate
+    aborts: Estimate
+    inconsistent_operations: Estimate
+    total_operations: Estimate
+    operations_per_commit: Estimate
+    commits: Estimate
+    runs: tuple[RunResult, ...]
+
+    def metric(self, name: str) -> Estimate:
+        """Look up an aggregated metric by its attribute name."""
+        value = getattr(self, name)
+        if not isinstance(value, Estimate):
+            raise AttributeError(f"{name!r} is not an aggregated metric")
+        return value
+
+
+def _apply_plan(config: SimulationConfig, plan: MeasurementPlan) -> SimulationConfig:
+    overrides: dict[str, object] = {
+        "duration_ms": plan.duration_ms,
+        "warmup_ms": plan.warmup_ms,
+        "workload": plan.workload,
+    }
+    if plan.service_time_ms is not None:
+        overrides["service_time_ms"] = plan.service_time_ms
+    return replace(config, **overrides)
+
+
+def measure(
+    config: SimulationConfig,
+    plan: MeasurementPlan,
+    progress: Callable[[RunResult], None] | None = None,
+) -> Measurement:
+    """Run ``config`` once per plan seed and aggregate the metrics."""
+    config = _apply_plan(config, plan)
+    runs: list[RunResult] = []
+    for seed in plan.seeds():
+        result = run_simulation(replace(config, seed=seed))
+        runs.append(result)
+        if progress is not None:
+            progress(result)
+    return Measurement(
+        config=config,
+        throughput=Estimate.from_samples([r.throughput for r in runs]),
+        aborts=Estimate.from_samples([r.aborts for r in runs]),
+        inconsistent_operations=Estimate.from_samples(
+            [r.inconsistent_operations for r in runs]
+        ),
+        total_operations=Estimate.from_samples(
+            [r.total_operations for r in runs]
+        ),
+        operations_per_commit=Estimate.from_samples(
+            [r.operations_per_commit for r in runs]
+        ),
+        commits=Estimate.from_samples([r.commits for r in runs]),
+        runs=tuple(runs),
+    )

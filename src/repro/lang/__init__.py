@@ -1,0 +1,61 @@
+"""The paper's transaction mini-language.
+
+Lexer, parser, AST, interpreter, and compiler for programs like::
+
+    BEGIN Update TEL = 10000
+    t1 = Read 1923
+    t2 = Read 1644
+    Write 1078 , t2+3000
+    COMMIT
+
+Round-trip guarantee: ``parse_program(format_program(p)) == p`` for every
+program ``p`` the parser can produce (property-tested).
+"""
+
+from repro.lang.ast import (
+    AggregateCall,
+    BinaryOp,
+    Expr,
+    LimitDecl,
+    Number,
+    OutputStmt,
+    Program,
+    ReadStmt,
+    Statement,
+    Variable,
+    WriteStmt,
+)
+from repro.lang.compiler import (
+    CompiledTransaction,
+    compile_program,
+    format_expr,
+    format_program,
+)
+from repro.lang.eval import ExecutionResult, Session, evaluate_expr, execute
+from repro.lang.lexer import tokenize
+from repro.lang.parser import parse_program, parse_script
+
+__all__ = [
+    "AggregateCall",
+    "BinaryOp",
+    "Expr",
+    "LimitDecl",
+    "Number",
+    "OutputStmt",
+    "Program",
+    "ReadStmt",
+    "Statement",
+    "Variable",
+    "WriteStmt",
+    "CompiledTransaction",
+    "compile_program",
+    "format_expr",
+    "format_program",
+    "ExecutionResult",
+    "Session",
+    "evaluate_expr",
+    "execute",
+    "tokenize",
+    "parse_program",
+    "parse_script",
+]

@@ -1,0 +1,143 @@
+"""Abstract syntax for the transaction mini-language.
+
+A *program* is one epsilon transaction: a BEGIN header naming the kind and
+the transaction-level limit, optional LIMIT lines (group limits, or
+per-object overrides written ``LIMIT OBJECT <id> <value>``), a body of
+Read / Write / output statements, and a terminator (COMMIT, END, or
+ABORT).
+
+Expression nodes cover what update transactions need — arithmetic over
+read results — plus aggregate calls (``sum``, ``avg``, ``min``, ``max``)
+for section 5.3.2 query programs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+__all__ = [
+    "Expr",
+    "Number",
+    "Variable",
+    "BinaryOp",
+    "AggregateCall",
+    "Statement",
+    "ReadStmt",
+    "WriteStmt",
+    "OutputStmt",
+    "LimitDecl",
+    "Program",
+]
+
+
+@dataclass(frozen=True)
+class Number:
+    value: float
+
+
+@dataclass(frozen=True)
+class Variable:
+    name: str
+
+
+@dataclass(frozen=True)
+class BinaryOp:
+    op: str  # one of + - * /
+    left: "Expr"
+    right: "Expr"
+
+
+@dataclass(frozen=True)
+class AggregateCall:
+    """``avg(t1, t2, ...)`` — an aggregate over previously read values."""
+
+    name: str  # sum | avg | min | max
+    args: tuple["Expr", ...]
+
+
+Expr = Union[Number, Variable, BinaryOp, AggregateCall]
+
+
+@dataclass(frozen=True)
+class ReadStmt:
+    """``t1 = Read 1863`` (or bare ``Read 1863`` discarding the value)."""
+
+    object_id: int
+    target: str | None = None
+
+
+@dataclass(frozen=True)
+class WriteStmt:
+    """``Write 1078 , t2+3000``."""
+
+    object_id: int
+    value: Expr
+
+
+@dataclass(frozen=True)
+class OutputStmt:
+    """``output("Sum is: ", t1+t2)`` — strings and expressions mixed."""
+
+    parts: tuple[Union[str, Expr], ...]
+
+
+Statement = Union[ReadStmt, WriteStmt, OutputStmt]
+
+
+@dataclass(frozen=True)
+class LimitDecl:
+    """``LIMIT company 4000`` or ``LIMIT OBJECT 1863 250``."""
+
+    name: str
+    value: float
+    object_id: int | None = None
+
+    @property
+    def is_object_limit(self) -> bool:
+        return self.object_id is not None
+
+
+@dataclass(frozen=True)
+class Program:
+    """One complete epsilon transaction."""
+
+    kind: str  # "query" | "update"
+    transaction_limit: float
+    limits: tuple[LimitDecl, ...] = ()
+    body: tuple[Statement, ...] = ()
+    terminator: str = "commit"  # "commit" | "abort"
+
+    @property
+    def is_query(self) -> bool:
+        return self.kind == "query"
+
+    @property
+    def group_limits(self) -> dict[str, float]:
+        return {
+            decl.name: decl.value
+            for decl in self.limits
+            if not decl.is_object_limit
+        }
+
+    @property
+    def object_limits(self) -> dict[int, float]:
+        return {
+            decl.object_id: decl.value
+            for decl in self.limits
+            if decl.is_object_limit
+        }
+
+    def read_count(self) -> int:
+        return sum(1 for stmt in self.body if isinstance(stmt, ReadStmt))
+
+    def write_count(self) -> int:
+        return sum(1 for stmt in self.body if isinstance(stmt, WriteStmt))
+
+    def objects_touched(self) -> tuple[int, ...]:
+        """Object ids referenced, in program order, with duplicates."""
+        ids: list[int] = []
+        for stmt in self.body:
+            if isinstance(stmt, (ReadStmt, WriteStmt)):
+                ids.append(stmt.object_id)
+        return tuple(ids)

@@ -1,0 +1,127 @@
+"""Program ↔ source conversion and engine-facing compilation.
+
+Two jobs live here:
+
+* :func:`format_program` — serialise an AST back to source text in the
+  paper's style, used by the workload generator to write client trace
+  files;
+* :func:`compile_program` — turn an AST into a
+  :class:`CompiledTransaction`, the bundle the runtimes hand to a
+  transaction manager: the kind, the :class:`TransactionBounds`, the group
+  limits, the per-object overrides, and the executable body.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.bounds import TransactionBounds
+from repro.lang.ast import (
+    AggregateCall,
+    BinaryOp,
+    Expr,
+    Number,
+    OutputStmt,
+    Program,
+    ReadStmt,
+    Variable,
+    WriteStmt,
+)
+
+__all__ = ["CompiledTransaction", "compile_program", "format_program", "format_expr"]
+
+
+@dataclass(frozen=True)
+class CompiledTransaction:
+    """A program plus everything a runtime needs to BEGIN it."""
+
+    program: Program
+    kind: str
+    bounds: TransactionBounds
+    group_limits: dict[str, float]
+    object_limits: dict[int, float]
+
+    @property
+    def is_query(self) -> bool:
+        return self.kind == "query"
+
+
+def compile_program(program: Program) -> CompiledTransaction:
+    """Resolve a program's header into engine-level bound objects.
+
+    A query's declared limit becomes the TIL (TEL 0 — it never writes);
+    an update's becomes the TEL (TIL 0 — its reads must be consistent,
+    paper section 3.2.1).
+    """
+    if program.is_query:
+        bounds = TransactionBounds(import_limit=program.transaction_limit)
+    else:
+        bounds = TransactionBounds(export_limit=program.transaction_limit)
+    return CompiledTransaction(
+        program=program,
+        kind=program.kind,
+        bounds=bounds,
+        group_limits=program.group_limits,
+        object_limits=program.object_limits,
+    )
+
+
+# -- serialisation back to source ------------------------------------------------
+
+
+def _format_number(value: float) -> str:
+    if value == int(value):
+        return str(int(value))
+    return f"{value:g}"
+
+
+def format_expr(expr: Expr) -> str:
+    """Render an expression as source text (fully parenthesised nesting)."""
+    if isinstance(expr, Number):
+        return _format_number(expr.value)
+    if isinstance(expr, Variable):
+        return expr.name
+    if isinstance(expr, BinaryOp):
+        left = format_expr(expr.left)
+        right = format_expr(expr.right)
+        if isinstance(expr.right, BinaryOp):
+            right = f"({right})"
+        if isinstance(expr.left, BinaryOp) and expr.op in ("*", "/"):
+            left = f"({left})"
+        return f"{left}{expr.op}{right}"
+    if isinstance(expr, AggregateCall):
+        args = ", ".join(format_expr(arg) for arg in expr.args)
+        return f"{expr.name}({args})"
+    raise TypeError(f"unknown expression node {expr!r}")
+
+
+def format_program(program: Program) -> str:
+    """Render a program as source text in the paper's style."""
+    kind = "Query" if program.is_query else "Update"
+    limit_kw = "TIL" if program.is_query else "TEL"
+    lines = [
+        f"BEGIN {kind} {limit_kw} = {_format_number(program.transaction_limit)}"
+    ]
+    for decl in program.limits:
+        if decl.is_object_limit:
+            lines.append(
+                f"LIMIT object {decl.object_id} {_format_number(decl.value)}"
+            )
+        else:
+            lines.append(f"LIMIT {decl.name} {_format_number(decl.value)}")
+    for stmt in program.body:
+        if isinstance(stmt, ReadStmt):
+            if stmt.target is not None:
+                lines.append(f"{stmt.target} = Read {stmt.object_id}")
+            else:
+                lines.append(f"Read {stmt.object_id}")
+        elif isinstance(stmt, WriteStmt):
+            lines.append(f"Write {stmt.object_id} , {format_expr(stmt.value)}")
+        elif isinstance(stmt, OutputStmt):
+            parts = ", ".join(
+                f'"{part}"' if isinstance(part, str) else format_expr(part)
+                for part in stmt.parts
+            )
+            lines.append(f"output({parts})")
+    lines.append("ABORT" if program.terminator == "abort" else "COMMIT")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,174 @@
+"""Interpreter for transaction programs.
+
+A parsed :class:`~repro.lang.ast.Program` executes against a *session* —
+any object providing blocking ``read(object_id) -> value`` and
+``write(object_id, value)`` methods (plus optional hooks below).  Sessions
+are supplied by the runtimes: the in-process runtime wraps a
+:class:`~repro.engine.manager.TransactionManager` transaction, the
+simulator wraps a simulated client, the networked client wraps an RPC
+connection.  The interpreter itself is runtime-blind.
+
+Optional session hooks:
+
+``aggregate_guard(name, object_ids)``
+    Called before producing a non-sum aggregate whose arguments are plain
+    read variables.  Gives the runtime the chance to apply the paper's
+    section 5.3.2 check: compute the result inconsistency from the
+    min/max values viewed per object and reject if it exceeds the TIL.
+    The hook should raise to reject; its return value is ignored.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Protocol, runtime_checkable
+
+from repro.errors import EvaluationError
+from repro.lang.ast import (
+    AggregateCall,
+    BinaryOp,
+    Expr,
+    Number,
+    OutputStmt,
+    Program,
+    ReadStmt,
+    Variable,
+    WriteStmt,
+)
+
+__all__ = ["Session", "ExecutionResult", "evaluate_expr", "execute"]
+
+
+@runtime_checkable
+class Session(Protocol):
+    """The operations a program needs from its hosting runtime."""
+
+    def read(self, object_id: int) -> float:  # pragma: no cover
+        ...
+
+    def write(self, object_id: int, value: float) -> None:  # pragma: no cover
+        ...
+
+
+@dataclass
+class ExecutionResult:
+    """Everything a finished program produced."""
+
+    outputs: list[str] = field(default_factory=list)
+    environment: dict[str, float] = field(default_factory=dict)
+    reads: int = 0
+    writes: int = 0
+    aborted_by_program: bool = False
+
+
+def evaluate_expr(expr: Expr, environment: dict[str, float]) -> float:
+    """Evaluate an expression over the current variable bindings."""
+    if isinstance(expr, Number):
+        return expr.value
+    if isinstance(expr, Variable):
+        try:
+            return environment[expr.name]
+        except KeyError:
+            raise EvaluationError(
+                f"variable {expr.name!r} used before being read"
+            ) from None
+    if isinstance(expr, BinaryOp):
+        left = evaluate_expr(expr.left, environment)
+        right = evaluate_expr(expr.right, environment)
+        if expr.op == "+":
+            return left + right
+        if expr.op == "-":
+            return left - right
+        if expr.op == "*":
+            return left * right
+        if expr.op == "/":
+            if right == 0:
+                raise EvaluationError("division by zero")
+            return left / right
+        raise EvaluationError(f"unknown operator {expr.op!r}")
+    if isinstance(expr, AggregateCall):
+        values = [evaluate_expr(arg, environment) for arg in expr.args]
+        if expr.name == "sum":
+            return sum(values)
+        if expr.name == "avg":
+            return sum(values) / len(values)
+        if expr.name == "min":
+            return min(values)
+        if expr.name == "max":
+            return max(values)
+        raise EvaluationError(f"unknown aggregate {expr.name!r}")
+    raise EvaluationError(f"unknown expression node {expr!r}")
+
+
+def _aggregate_objects(
+    call: AggregateCall, var_objects: dict[str, int]
+) -> list[int] | None:
+    """Object ids behind an aggregate's arguments, if all are plain reads."""
+    object_ids: list[int] = []
+    for arg in call.args:
+        if not isinstance(arg, Variable):
+            return None
+        object_id = var_objects.get(arg.name)
+        if object_id is None:
+            return None
+        object_ids.append(object_id)
+    return object_ids
+
+
+def _format_output(part: object, environment: dict[str, float]) -> str:
+    if isinstance(part, str):
+        return part
+    value = evaluate_expr(part, environment)
+    if value == int(value):
+        return str(int(value))
+    return f"{value:g}"
+
+
+def execute(
+    program: Program,
+    session: Session,
+    on_output: Callable[[str], None] | None = None,
+) -> ExecutionResult:
+    """Run ``program`` against ``session``.
+
+    The session's ``read``/``write`` may raise (e.g.
+    :class:`~repro.errors.TransactionAborted`); the exception propagates to
+    the caller, which owns retry policy.  A program terminated by ABORT
+    sets ``aborted_by_program`` — the caller should abort the session's
+    transaction rather than commit it.
+    """
+    result = ExecutionResult()
+    var_objects: dict[str, int] = {}
+    guard = getattr(session, "aggregate_guard", None)
+    for stmt in program.body:
+        if isinstance(stmt, ReadStmt):
+            value = session.read(stmt.object_id)
+            result.reads += 1
+            if stmt.target is not None:
+                result.environment[stmt.target] = value
+                var_objects[stmt.target] = stmt.object_id
+        elif isinstance(stmt, WriteStmt):
+            value = evaluate_expr(stmt.value, result.environment)
+            session.write(stmt.object_id, value)
+            result.writes += 1
+        elif isinstance(stmt, OutputStmt):
+            for part in stmt.parts:
+                if (
+                    guard is not None
+                    and isinstance(part, AggregateCall)
+                    and part.name != "sum"
+                ):
+                    object_ids = _aggregate_objects(part, var_objects)
+                    if object_ids is not None:
+                        guard(part.name, object_ids)
+            text = "".join(
+                _format_output(part, result.environment)
+                for part in stmt.parts
+            )
+            result.outputs.append(text)
+            if on_output is not None:
+                on_output(text)
+        else:  # pragma: no cover - parser only produces the above
+            raise EvaluationError(f"unknown statement {stmt!r}")
+    result.aborted_by_program = program.terminator == "abort"
+    return result

@@ -1,0 +1,102 @@
+"""Hand-rolled tokenizer for the transaction mini-language."""
+
+from __future__ import annotations
+
+from repro.errors import LexError
+from repro.lang.tokens import KEYWORDS, Token, TokenType
+
+__all__ = ["tokenize"]
+
+_SINGLE_CHAR = {
+    "+": TokenType.PLUS,
+    "-": TokenType.MINUS,
+    "*": TokenType.STAR,
+    "/": TokenType.SLASH,
+    "(": TokenType.LPAREN,
+    ")": TokenType.RPAREN,
+    ",": TokenType.COMMA,
+    "=": TokenType.EQUALS,
+}
+
+
+def tokenize(source: str) -> list[Token]:
+    """Convert source text into a token list ending with EOF.
+
+    Consecutive newlines collapse into a single NEWLINE token; ``#``
+    comments run to end of line; string literals use double quotes with no
+    escapes (the language never needs them).
+    """
+    tokens: list[Token] = []
+    line = 1
+    column = 1
+    i = 0
+    n = len(source)
+
+    def emit(token_type: str, value: str, start_col: int) -> None:
+        tokens.append(Token(token_type, value, line, start_col))
+
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            if tokens and tokens[-1].type != TokenType.NEWLINE:
+                emit(TokenType.NEWLINE, "\n", column)
+            i += 1
+            line += 1
+            column = 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            column += 1
+            continue
+        if ch == "#":
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if ch in _SINGLE_CHAR:
+            emit(_SINGLE_CHAR[ch], ch, column)
+            i += 1
+            column += 1
+            continue
+        if ch == '"':
+            start_col = column
+            i += 1
+            column += 1
+            start = i
+            while i < n and source[i] not in '"\n':
+                i += 1
+                column += 1
+            if i >= n or source[i] != '"':
+                raise LexError("unterminated string literal", line, start_col)
+            emit(TokenType.STRING, source[start:i], start_col)
+            i += 1
+            column += 1
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and source[i + 1].isdigit()):
+            start = i
+            start_col = column
+            seen_dot = False
+            while i < n and (source[i].isdigit() or (source[i] == "." and not seen_dot)):
+                if source[i] == ".":
+                    seen_dot = True
+                i += 1
+                column += 1
+            emit(TokenType.NUMBER, source[start:i], start_col)
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            start_col = column
+            while i < n and (source[i].isalnum() or source[i] == "_"):
+                i += 1
+                column += 1
+            word = source[start:i]
+            if word.lower() in KEYWORDS:
+                emit(TokenType.KEYWORD, word, start_col)
+            else:
+                emit(TokenType.IDENT, word, start_col)
+            continue
+        raise LexError(f"unexpected character {ch!r}", line, column)
+
+    if tokens and tokens[-1].type != TokenType.NEWLINE:
+        tokens.append(Token(TokenType.NEWLINE, "\n", line, column))
+    tokens.append(Token(TokenType.EOF, "", line, column))
+    return tokens

@@ -1,0 +1,287 @@
+"""Recursive-descent parser for the transaction mini-language.
+
+Grammar (statements are newline-separated)::
+
+    script      := program (NEWLINE* program)* NEWLINE*
+    program     := begin NEWLINE (limit NEWLINE)* (stmt NEWLINE)* terminator
+    begin       := BEGIN kind limitkw ["="] NUMBER
+    kind        := QUERY | UPDATE
+    limitkw     := TIL | TEL
+    limit       := LIMIT IDENT NUMBER
+                 | LIMIT "object" NUMBER NUMBER
+    stmt        := [IDENT "="] READ NUMBER
+                 | WRITE NUMBER "," expr
+                 | OUTPUT "(" outargs ")"
+    outargs     := outarg ("," outarg)*
+    outarg      := STRING | expr
+    terminator  := COMMIT | END | ABORT
+    expr        := term (("+"|"-") term)*
+    term        := factor (("*"|"/") factor)*
+    factor      := NUMBER | IDENT | agg "(" expr ("," expr)* ")"
+                 | "(" expr ")" | "-" factor
+    agg         := "sum" | "avg" | "min" | "max" (as IDENTs)
+
+The header's kind and limit keyword must agree: ``Query`` declares a TIL,
+``Update`` declares a TEL (paper section 3.2.1).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParseError
+from repro.lang.ast import (
+    AggregateCall,
+    BinaryOp,
+    Expr,
+    LimitDecl,
+    Number,
+    OutputStmt,
+    Program,
+    ReadStmt,
+    Statement,
+    Variable,
+    WriteStmt,
+)
+from repro.lang.lexer import tokenize
+from repro.lang.tokens import Token, TokenType
+
+__all__ = ["parse_program", "parse_script"]
+
+_AGGREGATE_NAMES = frozenset({"sum", "avg", "min", "max"})
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token plumbing -----------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.type != TokenType.EOF:
+            self._pos += 1
+        return token
+
+    def _check(self, token_type: str, value: str | None = None) -> bool:
+        token = self.current
+        if token.type != token_type:
+            return False
+        if value is not None and token.value.lower() != value:
+            return False
+        return True
+
+    def _accept(self, token_type: str, value: str | None = None) -> Token | None:
+        if self._check(token_type, value):
+            return self._advance()
+        return None
+
+    def _expect(self, token_type: str, value: str | None = None) -> Token:
+        token = self.current
+        if not self._check(token_type, value):
+            wanted = value if value is not None else token_type
+            raise ParseError(
+                f"expected {wanted}, found {token.value!r}", token.line
+            )
+        return self._advance()
+
+    def _skip_newlines(self) -> None:
+        while self._accept(TokenType.NEWLINE):
+            pass
+
+    def _end_statement(self) -> None:
+        if self.current.type == TokenType.EOF:
+            return
+        self._expect(TokenType.NEWLINE)
+        self._skip_newlines()
+
+    def at_eof(self) -> bool:
+        return self.current.type == TokenType.EOF
+
+    # -- grammar --------------------------------------------------------------
+
+    def parse_program(self) -> Program:
+        self._skip_newlines()
+        kind, transaction_limit = self._parse_begin()
+        self._end_statement()
+        limits: list[LimitDecl] = []
+        while self._check(TokenType.KEYWORD, "limit"):
+            limits.append(self._parse_limit())
+            self._end_statement()
+        body: list[Statement] = []
+        while True:
+            token = self.current
+            if token.type == TokenType.KEYWORD and token.keyword in (
+                "commit",
+                "end",
+                "abort",
+            ):
+                terminator = "abort" if token.keyword == "abort" else "commit"
+                self._advance()
+                self._skip_newlines()
+                break
+            if token.type == TokenType.EOF:
+                raise ParseError("transaction is missing COMMIT/END/ABORT")
+            body.append(self._parse_statement())
+            self._end_statement()
+        return Program(
+            kind=kind,
+            transaction_limit=transaction_limit,
+            limits=tuple(limits),
+            body=tuple(body),
+            terminator=terminator,
+        )
+
+    def _parse_begin(self) -> tuple[str, float]:
+        self._expect(TokenType.KEYWORD, "begin")
+        kind_token = self.current
+        kind = kind_token.value.lower()
+        if kind_token.type not in (TokenType.KEYWORD, TokenType.IDENT) or kind not in (
+            "query",
+            "update",
+        ):
+            raise ParseError(
+                f"expected Query or Update, found {kind_token.value!r}",
+                kind_token.line,
+            )
+        self._advance()
+        limit_token = self._expect(TokenType.KEYWORD)
+        limit_kw = limit_token.keyword
+        if limit_kw not in ("til", "tel"):
+            raise ParseError(
+                f"expected TIL or TEL, found {limit_token.value!r}",
+                limit_token.line,
+            )
+        expected = "til" if kind == "query" else "tel"
+        if limit_kw != expected:
+            raise ParseError(
+                f"a {kind} transaction declares {expected.upper()}, "
+                f"not {limit_kw.upper()}",
+                limit_token.line,
+            )
+        self._accept(TokenType.EQUALS)
+        number = self._expect(TokenType.NUMBER)
+        return kind, float(number.value)
+
+    def _parse_limit(self) -> LimitDecl:
+        self._expect(TokenType.KEYWORD, "limit")
+        if self._check(TokenType.IDENT) and self.current.value.lower() == "object":
+            self._advance()
+            object_token = self._expect(TokenType.NUMBER)
+            value_token = self._expect(TokenType.NUMBER)
+            return LimitDecl(
+                name="object",
+                value=float(value_token.value),
+                object_id=int(float(object_token.value)),
+            )
+        name_token = self._expect(TokenType.IDENT)
+        value_token = self._expect(TokenType.NUMBER)
+        return LimitDecl(name=name_token.value, value=float(value_token.value))
+
+    def _parse_statement(self) -> Statement:
+        token = self.current
+        if token.type == TokenType.IDENT and token.value.lower() != "output":
+            # `t1 = Read 1863`
+            target = self._advance().value
+            self._expect(TokenType.EQUALS)
+            self._expect(TokenType.KEYWORD, "read")
+            object_token = self._expect(TokenType.NUMBER)
+            return ReadStmt(object_id=int(float(object_token.value)), target=target)
+        if self._check(TokenType.KEYWORD, "read"):
+            self._advance()
+            object_token = self._expect(TokenType.NUMBER)
+            return ReadStmt(object_id=int(float(object_token.value)))
+        if self._check(TokenType.KEYWORD, "write"):
+            self._advance()
+            object_token = self._expect(TokenType.NUMBER)
+            self._expect(TokenType.COMMA)
+            value = self._parse_expr()
+            return WriteStmt(
+                object_id=int(float(object_token.value)), value=value
+            )
+        if self._check(TokenType.KEYWORD, "output"):
+            self._advance()
+            self._expect(TokenType.LPAREN)
+            parts: list[object] = []
+            while True:
+                if self._check(TokenType.STRING):
+                    parts.append(self._advance().value)
+                else:
+                    parts.append(self._parse_expr())
+                if not self._accept(TokenType.COMMA):
+                    break
+            self._expect(TokenType.RPAREN)
+            return OutputStmt(parts=tuple(parts))
+        raise ParseError(
+            f"unexpected token {token.value!r} at statement start", token.line
+        )
+
+    # -- expressions -------------------------------------------------------------
+
+    def _parse_expr(self) -> Expr:
+        node = self._parse_term()
+        while self.current.type in (TokenType.PLUS, TokenType.MINUS):
+            op = self._advance().value
+            node = BinaryOp(op=op, left=node, right=self._parse_term())
+        return node
+
+    def _parse_term(self) -> Expr:
+        node = self._parse_factor()
+        while self.current.type in (TokenType.STAR, TokenType.SLASH):
+            op = self._advance().value
+            node = BinaryOp(op=op, left=node, right=self._parse_factor())
+        return node
+
+    def _parse_factor(self) -> Expr:
+        token = self.current
+        if token.type == TokenType.MINUS:
+            self._advance()
+            return BinaryOp(op="-", left=Number(0.0), right=self._parse_factor())
+        if token.type == TokenType.NUMBER:
+            self._advance()
+            return Number(float(token.value))
+        if token.type == TokenType.IDENT:
+            name = self._advance().value
+            if name.lower() in _AGGREGATE_NAMES and self._check(TokenType.LPAREN):
+                self._advance()
+                args = [self._parse_expr()]
+                while self._accept(TokenType.COMMA):
+                    args.append(self._parse_expr())
+                self._expect(TokenType.RPAREN)
+                return AggregateCall(name=name.lower(), args=tuple(args))
+            return Variable(name=name)
+        if token.type == TokenType.LPAREN:
+            self._advance()
+            node = self._parse_expr()
+            self._expect(TokenType.RPAREN)
+            return node
+        raise ParseError(
+            f"unexpected token {token.value!r} in expression", token.line
+        )
+
+
+def parse_program(source: str) -> Program:
+    """Parse exactly one transaction program from ``source``."""
+    parser = _Parser(tokenize(source))
+    program = parser.parse_program()
+    parser._skip_newlines()
+    if not parser.at_eof():
+        token = parser.current
+        raise ParseError(
+            f"trailing input after program: {token.value!r}", token.line
+        )
+    return program
+
+
+def parse_script(source: str) -> list[Program]:
+    """Parse a file containing any number of transaction programs."""
+    parser = _Parser(tokenize(source))
+    programs: list[Program] = []
+    parser._skip_newlines()
+    while not parser.at_eof():
+        programs.append(parser.parse_program())
+        parser._skip_newlines()
+    return programs

@@ -1,0 +1,78 @@
+"""Token definitions for the transaction mini-language.
+
+The language is the one the paper writes its epsilon transactions in::
+
+    BEGIN Query TIL = 100000
+    LIMIT company 4000
+    t1 = Read 1863
+    t2 = Read 1427
+    output("Sum is: ", t1+t2)
+    COMMIT
+
+Statements are line-oriented, so newlines are significant tokens.
+Keywords are recognised case-insensitively (the paper mixes ``BEGIN`` and
+``Read``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["TokenType", "Token", "KEYWORDS"]
+
+
+class TokenType:
+    """Token kinds, as plain string constants."""
+
+    NUMBER = "NUMBER"
+    STRING = "STRING"
+    IDENT = "IDENT"
+    KEYWORD = "KEYWORD"
+    PLUS = "PLUS"
+    MINUS = "MINUS"
+    STAR = "STAR"
+    SLASH = "SLASH"
+    LPAREN = "LPAREN"
+    RPAREN = "RPAREN"
+    COMMA = "COMMA"
+    EQUALS = "EQUALS"
+    NEWLINE = "NEWLINE"
+    EOF = "EOF"
+
+
+#: Keywords, stored lowercase; the lexer lowercases candidate identifiers
+#: before checking membership.
+KEYWORDS = frozenset(
+    {
+        "begin",
+        "commit",
+        "abort",
+        "end",
+        "query",
+        "update",
+        "til",
+        "tel",
+        "limit",
+        "read",
+        "write",
+        "output",
+    }
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position (1-based)."""
+
+    type: str
+    value: str
+    line: int
+    column: int
+
+    @property
+    def keyword(self) -> str:
+        """The lowercase keyword text (only meaningful for KEYWORD tokens)."""
+        return self.value.lower()
+
+    def __repr__(self) -> str:
+        return f"Token({self.type}, {self.value!r}, {self.line}:{self.column})"

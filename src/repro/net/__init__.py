@@ -1,0 +1,26 @@
+"""The networked prototype: a threaded TCP server and its client library."""
+
+from repro.net.client import RemoteConnection, RemoteTransaction
+from repro.net.clock import VirtualClock, synchronized_generator
+from repro.net.protocol import (
+    LineReader,
+    decode_message,
+    encode_message,
+    recv_message,
+    send_message,
+)
+from repro.net.server import TransactionServer, serve_forever
+
+__all__ = [
+    "RemoteConnection",
+    "RemoteTransaction",
+    "VirtualClock",
+    "synchronized_generator",
+    "LineReader",
+    "decode_message",
+    "encode_message",
+    "recv_message",
+    "send_message",
+    "TransactionServer",
+    "serve_forever",
+]

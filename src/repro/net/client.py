@@ -1,0 +1,245 @@
+"""Client library for the networked prototype.
+
+:class:`RemoteConnection` is one client site: it holds the TCP
+connection, synchronises its virtual clock against the server at connect
+time, and generates site-stamped timestamps.  :class:`RemoteTransaction`
+exposes blocking ``read``/``write`` — satisfying the
+:class:`~repro.lang.eval.Session` protocol, so parsed transaction
+programs run against a live server via :func:`repro.lang.eval.execute` —
+and raises :class:`~repro.errors.TransactionAborted` when the server
+rejects an operation.  :meth:`RemoteConnection.run_program` adds the
+paper's client loop: resubmit with a fresh timestamp until commit.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from typing import Any
+
+from repro.core.bounds import EpsilonLevel, TransactionBounds
+from repro.engine.timestamps import TimestampGenerator
+from repro.errors import ProtocolError, TransactionAborted
+from repro.lang.ast import Program
+from repro.lang.compiler import compile_program
+from repro.lang.eval import ExecutionResult, execute
+from repro.net.clock import VirtualClock
+from repro.net.protocol import LineReader, recv_message, send_message
+
+__all__ = ["RemoteConnection", "RemoteTransaction"]
+
+
+class RemoteTransaction:
+    """A live transaction on a remote server (a blocking Session)."""
+
+    def __init__(
+        self,
+        connection: "RemoteConnection",
+        txn_id: int,
+        kind: str,
+        limit: float = 0.0,
+    ):
+        self._connection = connection
+        self.txn_id = txn_id
+        self.kind = kind
+        self.limit = limit
+        self.finished = False
+        #: Inconsistency imported/exported so far, as reported per op.
+        self.inconsistency = 0.0
+        # Min/max viewed per object, for the section 5.3.2 aggregate check.
+        self._ranges: dict[int, tuple[float, float]] = {}
+
+    def read(self, object_id: int) -> float:
+        response = self._connection._request(
+            {"op": "read", "txn": self.txn_id, "object": object_id}
+        )
+        self._check(response)
+        self.inconsistency += float(response.get("inconsistency") or 0.0)
+        value = float(response["value"])
+        low, high = self._ranges.get(object_id, (value, value))
+        self._ranges[object_id] = (min(low, value), max(high, value))
+        return value
+
+    def aggregate_guard(self, name: str, object_ids: list[int]) -> None:
+        """Client-side section 5.3.2 check for non-sum aggregates."""
+        from repro.core.accounting import ValueRange
+        from repro.core.aggregates import aggregate_bounds
+
+        ranges = {}
+        for object_id in object_ids:
+            pair = self._ranges.get(object_id)
+            if pair is None:
+                continue
+            value_range = ValueRange(pair[0])
+            value_range.observe(pair[1])
+            ranges[object_id] = value_range
+        if not ranges:
+            return
+        envelope = aggregate_bounds(name, ranges)
+        if not envelope.within(self.limit):
+            self.abort()
+            raise TransactionAborted(
+                f"{name} result inconsistency {envelope.inconsistency:g} "
+                f"exceeds TIL {self.limit:g}",
+                transaction_id=self.txn_id,
+                reason="aggregate-bound-violation",
+            )
+
+    def write(self, object_id: int, value: float) -> None:
+        response = self._connection._request(
+            {"op": "write", "txn": self.txn_id, "object": object_id, "value": value}
+        )
+        self._check(response)
+        self.inconsistency += float(response.get("inconsistency") or 0.0)
+
+    def commit(self) -> None:
+        response = self._connection._request(
+            {"op": "commit", "txn": self.txn_id}
+        )
+        self._check(response)
+        self.finished = True
+
+    def abort(self) -> None:
+        if self.finished:
+            return
+        response = self._connection._request({"op": "abort", "txn": self.txn_id})
+        self._check(response)
+        self.finished = True
+
+    def _check(self, response: dict[str, Any]) -> None:
+        if response.get("ok"):
+            return
+        error = response.get("error")
+        if error == "aborted":
+            self.finished = True
+            raise TransactionAborted(
+                response.get("detail") or "transaction aborted by server",
+                transaction_id=self.txn_id,
+                reason=response.get("reason"),
+            )
+        raise ProtocolError(
+            f"server error {error!r}: {response.get('detail')!r}"
+        )
+
+    def __enter__(self) -> "RemoteTransaction":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if not self.finished:
+            if exc_type is None:
+                self.commit()
+            else:
+                try:
+                    self.abort()
+                except (ProtocolError, OSError):
+                    pass
+
+
+class RemoteConnection:
+    """One client site connected to a transaction server."""
+
+    def __init__(self, host: str, port: int, site: int = 1, timeout: float = 60.0):
+        self.site = site
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._reader = LineReader(self._sock)
+        self.clock = VirtualClock()
+        self._synchronize_clock()
+        self._timestamps = TimestampGenerator(site=site, clock=self.clock.now)
+
+    # -- plumbing -----------------------------------------------------------------
+
+    def _request(self, message: dict[str, Any]) -> dict[str, Any]:
+        send_message(self._sock, message)
+        response = recv_message(self._reader)
+        if response is None:
+            raise ProtocolError("server closed the connection")
+        return response
+
+    def _synchronize_clock(self) -> None:
+        sent = time.time()
+        response = self._request({"op": "time"})
+        received = time.time()
+        if not response.get("ok"):
+            raise ProtocolError("server refused the time request")
+        self.clock.synchronize(float(response["time"]), sent, received)
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "RemoteConnection":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- transactions ----------------------------------------------------------------
+
+    def begin(
+        self,
+        kind: str,
+        bounds: TransactionBounds | EpsilonLevel | float = 0.0,
+        group_limits: dict[str, float] | None = None,
+        object_limits: dict[int, float] | None = None,
+    ) -> RemoteTransaction:
+        """Begin a transaction; ``bounds`` may be a limit number, a
+        :class:`TransactionBounds`, or an :class:`EpsilonLevel`."""
+        if isinstance(bounds, EpsilonLevel):
+            bounds = bounds.transaction
+        if isinstance(bounds, TransactionBounds):
+            limit = bounds.import_limit if kind == "query" else bounds.export_limit
+        else:
+            limit = float(bounds)
+        timestamp = self._timestamps.next()
+        response = self._request(
+            {
+                "op": "begin",
+                "kind": kind,
+                "limit": limit,
+                "timestamp": list(timestamp),
+                "group_limits": group_limits or {},
+                "object_limits": {
+                    str(k): v for k, v in (object_limits or {}).items()
+                },
+            }
+        )
+        if not response.get("ok"):
+            raise ProtocolError(
+                f"begin failed: {response.get('error')!r} "
+                f"{response.get('detail')!r}"
+            )
+        return RemoteTransaction(self, int(response["txn"]), kind, limit=limit)
+
+    def run_program(
+        self, program: Program, max_attempts: int = 1000
+    ) -> tuple[ExecutionResult, int]:
+        """The paper's client loop: resubmit until the program commits.
+
+        Returns the final :class:`ExecutionResult` and the number of
+        aborted attempts that preceded the commit.
+        """
+        compiled = compile_program(program)
+        restarts = 0
+        for _ in range(max_attempts):
+            txn = self.begin(
+                compiled.kind,
+                compiled.bounds,
+                group_limits=compiled.group_limits,
+                object_limits=compiled.object_limits,
+            )
+            try:
+                result = execute(program, txn)
+            except TransactionAborted:
+                restarts += 1
+                continue
+            if result.aborted_by_program:
+                txn.abort()
+            else:
+                txn.commit()
+            return result, restarts
+        raise TransactionAborted(
+            f"program did not commit within {max_attempts} attempts",
+            reason="retry-exhausted",
+        )

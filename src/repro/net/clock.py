@@ -1,0 +1,61 @@
+"""Virtual clock synchronisation for client sites (paper section 6).
+
+"As there was a two minute range of variation between the local system
+clocks of the different client sites, to ensure that the timestamps from
+all the sites are given a fair treatment, a correction factor was applied
+to the local time to achieve virtual clock synchronization."
+
+:class:`VirtualClock` implements that correction: given the local clock
+and a reference reading obtained from the server (with the request's
+round-trip time), it estimates the local offset the same way a simple
+NTP exchange does — reference time minus the local midpoint of the
+exchange — and serves corrected readings thereafter.  Uniqueness across
+sites is still guaranteed by the site-id component of
+:class:`~repro.engine.timestamps.Timestamp`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from repro.engine.timestamps import TimestampGenerator
+
+__all__ = ["VirtualClock", "synchronized_generator"]
+
+
+class VirtualClock:
+    """A local clock corrected towards a reference clock."""
+
+    def __init__(self, local_clock: Callable[[], float] | None = None):
+        self._local = local_clock if local_clock is not None else time.time
+        self.offset = 0.0
+        self.synchronized = False
+
+    def synchronize(
+        self, reference_reading: float, request_sent_at: float, response_at: float
+    ) -> float:
+        """Apply one reference exchange; returns the estimated offset.
+
+        ``reference_reading`` is the server's clock value; the two local
+        readings bracket the exchange.  The server is assumed to have
+        read its clock at the local midpoint, so
+        ``offset = reference - midpoint``.
+        """
+        midpoint = (request_sent_at + response_at) / 2.0
+        self.offset = reference_reading - midpoint
+        self.synchronized = True
+        return self.offset
+
+    def now(self) -> float:
+        """The corrected local time."""
+        return self._local() + self.offset
+
+    def __repr__(self) -> str:
+        state = f"offset={self.offset:+.6f}" if self.synchronized else "unsynchronized"
+        return f"VirtualClock({state})"
+
+
+def synchronized_generator(site: int, clock: VirtualClock) -> TimestampGenerator:
+    """A timestamp generator driven by a (corrected) virtual clock."""
+    return TimestampGenerator(site=site, clock=clock.now)

@@ -1,0 +1,98 @@
+"""The wire protocol of the networked prototype.
+
+One JSON object per line over TCP (a faithful stand-in for the paper's
+synchronous RPC library): the client sends a request, the server answers
+with exactly one response before the client sends the next request.
+
+Requests (``op`` selects the operation — the prototype's five basic
+operations plus ``time`` for virtual clock synchronisation)::
+
+    {"op": "time"}
+    {"op": "begin", "kind": "query"|"update", "limit": <TIL or TEL>,
+     "timestamp": [ticks, site, seq],
+     "group_limits": {...}, "object_limits": {...}}
+    {"op": "read",  "txn": <id>, "object": <oid>}
+    {"op": "write", "txn": <id>, "object": <oid>, "value": <v>}
+    {"op": "commit", "txn": <id>}
+    {"op": "abort",  "txn": <id>}
+
+Responses always carry ``ok``; failures carry ``error`` (a short code)
+and ``detail``.  A rejected operation answers
+``{"ok": false, "error": "aborted", "reason": ...}`` — the transaction is
+already aborted server-side and the client should resubmit with a fresh
+timestamp.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any
+
+from repro.errors import ProtocolError
+
+__all__ = [
+    "encode_message",
+    "decode_message",
+    "send_message",
+    "recv_message",
+    "LineReader",
+]
+
+#: Protect the server from absurd lines (a sane request is < 1 KiB).
+MAX_LINE_BYTES = 1 << 20
+
+
+def encode_message(message: dict[str, Any]) -> bytes:
+    """Serialise one protocol message to a newline-terminated JSON line."""
+    try:
+        return (json.dumps(message, separators=(",", ":")) + "\n").encode("utf-8")
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(f"unencodable message {message!r}: {exc}") from exc
+
+
+def decode_message(line: bytes) -> dict[str, Any]:
+    """Parse one JSON line into a message dict."""
+    try:
+        message = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"malformed protocol line: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"protocol message must be a JSON object, got {type(message).__name__}"
+        )
+    return message
+
+
+def send_message(sock: socket.socket, message: dict[str, Any]) -> None:
+    sock.sendall(encode_message(message))
+
+
+class LineReader:
+    """Buffered newline-delimited reader over a socket."""
+
+    def __init__(self, sock: socket.socket):
+        self._sock = sock
+        self._buffer = b""
+
+    def read_line(self) -> bytes | None:
+        """The next complete line (without newline), or None at EOF."""
+        while b"\n" not in self._buffer:
+            if len(self._buffer) > MAX_LINE_BYTES:
+                raise ProtocolError("protocol line exceeds maximum length")
+            chunk = self._sock.recv(65536)
+            if not chunk:
+                if self._buffer:
+                    raise ProtocolError("connection closed mid-line")
+                return None
+            self._buffer += chunk
+        line, self._buffer = self._buffer.split(b"\n", 1)
+        return line
+
+
+def recv_message(reader: LineReader) -> dict[str, Any] | None:
+    """The next message from the reader, or None at a clean EOF."""
+    line = reader.read_line()
+    if line is None:
+        return None
+    return decode_message(line)

@@ -1,0 +1,271 @@
+"""The networked transaction server: a threaded TCP host for the engine.
+
+This is the "real" counterpart of the simulator — a multithreaded server
+(one thread per client connection, like the paper's thread-per-RPC
+prototype) fronting one :class:`~repro.engine.manager.TransactionManager`.
+
+Concurrency discipline: the engine is single-threaded by design, so every
+manager call happens under one mutex (the scheduler's critical section).
+Strict-ordering waits must *not* hold that mutex — a blocked operation
+registers a ``threading.Event`` with the wait registry, releases the
+mutex, sleeps on the event, and retries once the blocking transaction
+completes.  Because waiters only wait on older transactions, this cannot
+deadlock; a generous timeout guards against a client that dies while
+holding an uncommitted write.
+"""
+
+from __future__ import annotations
+
+import socketserver
+import threading
+import time
+from typing import Any
+
+from repro.engine.database import Database
+from repro.engine.manager import TransactionManager
+from repro.engine.results import Granted, MustWait, Rejected
+from repro.engine.timestamps import Timestamp
+from repro.engine.transactions import TransactionState
+from repro.errors import InvalidOperation, ProtocolError, UnknownObjectError
+from repro.net.protocol import LineReader, recv_message, send_message
+
+__all__ = ["TransactionServer", "serve_forever"]
+
+#: Upper bound on one strict-ordering wait; transactions normally finish
+#: in milliseconds, so hitting this means the blocker's client is gone.
+WAIT_TIMEOUT_SECONDS = 30.0
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    """One client connection: a request/response loop."""
+
+    server: "TransactionServer"
+
+    def handle(self) -> None:
+        reader = LineReader(self.connection)
+        # Transactions begun on this connection, so a dropped client's
+        # in-flight transaction can be aborted on disconnect.
+        sessions: dict[int, TransactionState] = {}
+        try:
+            while True:
+                try:
+                    message = recv_message(reader)
+                except ProtocolError as exc:
+                    send_message(
+                        self.connection,
+                        {"ok": False, "error": "protocol", "detail": str(exc)},
+                    )
+                    return
+                if message is None:
+                    return
+                response = self.server.dispatch(message, sessions)
+                send_message(self.connection, response)
+        except (ConnectionError, BrokenPipeError, OSError):
+            pass
+        finally:
+            self.server.abandon(sessions)
+
+
+class TransactionServer(socketserver.ThreadingTCPServer):
+    """A TCP transaction server around one database."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(
+        self,
+        database: Database,
+        address: tuple[str, int] = ("127.0.0.1", 0),
+        protocol: str = "esr",
+        export_policy: str = "max",
+        wait_timeout: float = WAIT_TIMEOUT_SECONDS,
+    ):
+        super().__init__(address, _Handler)
+        self.manager = TransactionManager(
+            database, protocol=protocol, export_policy=export_policy
+        )
+        #: Upper bound on one strict-ordering wait (see module constant).
+        self.wait_timeout = wait_timeout
+        self._mutex = threading.Lock()
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+    # -- request dispatch ------------------------------------------------------
+
+    def dispatch(
+        self, message: dict[str, Any], sessions: dict[int, TransactionState]
+    ) -> dict[str, Any]:
+        op = message.get("op")
+        try:
+            if op == "time":
+                return {"ok": True, "time": time.time()}
+            if op == "begin":
+                return self._do_begin(message, sessions)
+            if op in ("read", "write", "commit", "abort"):
+                txn = sessions.get(message.get("txn", -1))
+                if txn is None:
+                    return {
+                        "ok": False,
+                        "error": "unknown-transaction",
+                        "detail": f"no transaction {message.get('txn')!r} "
+                        "on this connection",
+                    }
+                if op == "read":
+                    return self._do_read(txn, message)
+                if op == "write":
+                    return self._do_write(txn, message)
+                if op == "commit":
+                    with self._mutex:
+                        self.manager.commit(txn)
+                    sessions.pop(txn.transaction_id, None)
+                    return {"ok": True}
+                with self._mutex:
+                    self.manager.abort(txn)
+                sessions.pop(txn.transaction_id, None)
+                return {"ok": True}
+            return {
+                "ok": False,
+                "error": "unknown-op",
+                "detail": f"unknown operation {op!r}",
+            }
+        except (InvalidOperation, UnknownObjectError) as exc:
+            return {"ok": False, "error": "invalid", "detail": str(exc)}
+        except (KeyError, TypeError, ValueError) as exc:
+            return {"ok": False, "error": "bad-request", "detail": str(exc)}
+
+    def _do_begin(
+        self, message: dict[str, Any], sessions: dict[int, TransactionState]
+    ) -> dict[str, Any]:
+        from repro.core.bounds import TransactionBounds
+
+        kind = message["kind"]
+        limit = float(message.get("limit", 0.0))
+        if kind == "query":
+            bounds = TransactionBounds(import_limit=limit)
+        else:
+            bounds = TransactionBounds(export_limit=limit)
+        raw_ts = message.get("timestamp")
+        timestamp = Timestamp(*raw_ts) if raw_ts is not None else None
+        group_limits = {
+            str(k): float(v)
+            for k, v in (message.get("group_limits") or {}).items()
+        }
+        object_limits = {
+            int(k): float(v)
+            for k, v in (message.get("object_limits") or {}).items()
+        }
+        with self._mutex:
+            txn = self.manager.begin(
+                kind,
+                bounds,
+                timestamp=timestamp,
+                group_limits=group_limits,
+                object_limits=object_limits,
+            )
+        sessions[txn.transaction_id] = txn
+        return {"ok": True, "txn": txn.transaction_id}
+
+    def _do_read(
+        self, txn: TransactionState, message: dict[str, Any]
+    ) -> dict[str, Any]:
+        object_id = int(message["object"])
+        while True:
+            with self._mutex:
+                outcome = self.manager.read(txn, object_id)
+                waiter = self._waiter_for(outcome, txn)
+            if waiter is not None:
+                if not waiter.wait(self.wait_timeout):
+                    with self._mutex:
+                        self.manager.abort(txn, "wait-timeout")
+                    return {
+                        "ok": False,
+                        "error": "aborted",
+                        "reason": "wait-timeout",
+                    }
+                continue
+            if isinstance(outcome, Granted):
+                return {
+                    "ok": True,
+                    "value": outcome.value,
+                    "inconsistency": outcome.inconsistency,
+                    "esr_case": outcome.esr_case,
+                }
+            assert isinstance(outcome, Rejected)
+            return {
+                "ok": False,
+                "error": "aborted",
+                "reason": outcome.reason,
+                "detail": outcome.detail,
+            }
+
+    def _do_write(
+        self, txn: TransactionState, message: dict[str, Any]
+    ) -> dict[str, Any]:
+        object_id = int(message["object"])
+        value = float(message["value"])
+        while True:
+            with self._mutex:
+                outcome = self.manager.write(txn, object_id, value)
+                waiter = self._waiter_for(outcome, txn)
+            if waiter is not None:
+                if not waiter.wait(self.wait_timeout):
+                    with self._mutex:
+                        self.manager.abort(txn, "wait-timeout")
+                    return {
+                        "ok": False,
+                        "error": "aborted",
+                        "reason": "wait-timeout",
+                    }
+                continue
+            if isinstance(outcome, Granted):
+                return {
+                    "ok": True,
+                    "inconsistency": outcome.inconsistency,
+                    "esr_case": outcome.esr_case,
+                }
+            assert isinstance(outcome, Rejected)
+            return {
+                "ok": False,
+                "error": "aborted",
+                "reason": outcome.reason,
+                "detail": outcome.detail,
+            }
+
+    def _waiter_for(
+        self, outcome: object, txn: TransactionState
+    ) -> threading.Event | None:
+        """Register a wait event while still holding the mutex."""
+        if not isinstance(outcome, MustWait):
+            return None
+        event = threading.Event()
+        self.manager.waits.subscribe(
+            outcome.blocking_transaction,
+            event.set,
+            waiter_transaction=txn.transaction_id,
+        )
+        return event
+
+    # -- connection cleanup --------------------------------------------------------
+
+    def abandon(self, sessions: dict[int, TransactionState]) -> None:
+        """Abort whatever a disconnected client left active."""
+        with self._mutex:
+            for txn in sessions.values():
+                if txn.is_active:
+                    self.manager.abort(txn, "client-disconnected")
+        sessions.clear()
+
+
+def serve_forever(
+    database: Database,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    protocol: str = "esr",
+) -> TransactionServer:
+    """Start a server on a background thread; returns it (bound and live)."""
+    server = TransactionServer(database, (host, port), protocol=protocol)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    return server

@@ -1,0 +1,20 @@
+"""Replicated ESR (the paper's future work, implemented).
+
+A simulated primary/replica system where replica lag is the imported
+inconsistency and ESR bounds govern both asynchronous propagation (the
+export side) and local-vs-primary reads (the import side).
+"""
+
+from repro.replication.store import ReplicatedStore
+from repro.replication.system import (
+    ReplicationConfig,
+    ReplicationResult,
+    run_replication,
+)
+
+__all__ = [
+    "ReplicatedStore",
+    "ReplicationConfig",
+    "ReplicationResult",
+    "run_replication",
+]

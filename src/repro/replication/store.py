@@ -1,0 +1,142 @@
+"""Replicated storage with bounded divergence.
+
+The paper's conclusion points at ESR's original motivation (Pu & Leff's
+asynchronous replica control): replicas may lag the primary, and the lag
+— measured with the same metric-space distance as everything else in
+ESR — is treated as importable inconsistency:
+
+* the **primary** holds the committed truth; every update commits there;
+* each **replica** holds a possibly-stale copy, refreshed by
+  asynchronous propagation;
+* the per-object, per-replica **divergence** is
+  ``distance(primary value, replica value)``;
+* a *replica epsilon* bounds how far any replica may drift on any
+  object: an update that would push a replica past it must first wait
+  for that replica to catch up (the synchronous fallback of
+  asynchronous replication);
+* a query at a replica may read locally when the object's divergence
+  fits its budget, otherwise it must fetch from the primary.
+
+:class:`ReplicatedStore` is the bookkeeping core, runtime-agnostic; the
+simulation around it lives in :mod:`repro.replication.system`.
+"""
+
+from __future__ import annotations
+
+from repro.core.metric import DistanceFunction, absolute_distance
+from repro.errors import SpecificationError, UnknownObjectError
+
+__all__ = ["ReplicatedStore"]
+
+
+class ReplicatedStore:
+    """One primary copy plus ``n_replicas`` lagging copies."""
+
+    def __init__(
+        self,
+        n_replicas: int,
+        distance: DistanceFunction = absolute_distance,
+    ):
+        if n_replicas < 1:
+            raise SpecificationError(
+                f"need at least one replica, got {n_replicas}"
+            )
+        self.n_replicas = n_replicas
+        self.distance = distance
+        self._primary: dict[int, float] = {}
+        self._replicas: list[dict[int, float]] = [
+            {} for _ in range(n_replicas)
+        ]
+
+    # -- population -----------------------------------------------------------
+
+    def create_object(self, object_id: int, value: float) -> None:
+        if object_id in self._primary:
+            raise SpecificationError(f"object {object_id} already exists")
+        self._primary[object_id] = float(value)
+        for replica in self._replicas:
+            replica[object_id] = float(value)
+
+    def __len__(self) -> int:
+        return len(self._primary)
+
+    def object_ids(self):
+        return iter(self._primary)
+
+    def _check(self, object_id: int, replica: int | None = None) -> None:
+        if object_id not in self._primary:
+            raise UnknownObjectError(f"no object with id {object_id}")
+        if replica is not None and not 0 <= replica < self.n_replicas:
+            raise SpecificationError(
+                f"replica index {replica} out of range 0..{self.n_replicas - 1}"
+            )
+
+    # -- reads ---------------------------------------------------------------------
+
+    def primary_value(self, object_id: int) -> float:
+        self._check(object_id)
+        return self._primary[object_id]
+
+    def replica_value(self, object_id: int, replica: int) -> float:
+        self._check(object_id, replica)
+        return self._replicas[replica][object_id]
+
+    def divergence(self, object_id: int, replica: int) -> float:
+        """How far ``replica`` lags the primary on ``object_id``."""
+        self._check(object_id, replica)
+        return self.distance(
+            self._primary[object_id], self._replicas[replica][object_id]
+        )
+
+    def max_divergence(self, object_id: int) -> float:
+        """Worst lag across replicas (the export view of an update)."""
+        self._check(object_id)
+        return max(
+            self.divergence(object_id, replica)
+            for replica in range(self.n_replicas)
+        )
+
+    def total_divergence(self, replica: int) -> float:
+        """Total staleness of one replica across all objects."""
+        self._check(next(iter(self._primary)), replica)
+        return sum(
+            self.divergence(object_id, replica)
+            for object_id in self._primary
+        )
+
+    # -- writes and propagation -----------------------------------------------------
+
+    def would_diverge_to(self, object_id: int, new_value: float) -> float:
+        """Worst replica divergence if the primary committed ``new_value``.
+
+        Used for admission: an update must wait for propagation when this
+        exceeds the replica epsilon.
+        """
+        self._check(object_id)
+        return max(
+            self.distance(new_value, replica[object_id])
+            for replica in self._replicas
+        )
+
+    def commit_primary(self, object_id: int, value: float) -> None:
+        """Apply a committed update at the primary only."""
+        self._check(object_id)
+        self._primary[object_id] = float(value)
+
+    def propagate(self, object_id: int, replica: int) -> float:
+        """Refresh one object at one replica; returns the value installed."""
+        self._check(object_id, replica)
+        value = self._primary[object_id]
+        self._replicas[replica][object_id] = value
+        return value
+
+    def propagate_all(self, replica: int) -> None:
+        """Bring a whole replica fully up to date (recovery / catch-up)."""
+        self._check(next(iter(self._primary)), replica)
+        self._replicas[replica].update(self._primary)
+
+    def __repr__(self) -> str:
+        return (
+            f"ReplicatedStore(objects={len(self._primary)}, "
+            f"replicas={self.n_replicas})"
+        )

@@ -1,0 +1,229 @@
+"""Simulated replicated ESR system (the paper's future-work section).
+
+One primary site accepts all updates; ``n_replicas`` read-only replica
+sites serve queries.  Propagation is asynchronous with a fixed delay —
+the source of inconsistency in this system — and ESR governs both sides:
+
+* **export side** — an update whose commit would push any replica's
+  divergence on the written object past ``replica_epsilon`` must first
+  synchronously refresh the lagging replicas (paying one remote round
+  trip each).  A large epsilon means cheap, fully asynchronous updates;
+  epsilon zero degenerates to synchronous (eager) replication.
+* **import side** — a query at a replica reads each object locally when
+  the object's current divergence fits within both its per-object limit
+  (OIL) and its remaining transaction budget (TIL); otherwise it fetches
+  the value from the primary at remote latency.  Queries never abort:
+  bounds trade *latency* for *freshness*.
+
+Measured per run: update/query throughput, forced synchronous
+propagations, the fraction of reads served locally, and the total
+staleness actually viewed — the throughput/accuracy trade-off the paper
+predicts for replicated ESR.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.bounds import UNBOUNDED
+from repro.errors import ExperimentError
+from repro.replication.store import ReplicatedStore
+from repro.sim.des import Engine, Timeout
+
+__all__ = ["ReplicationConfig", "ReplicationResult", "run_replication"]
+
+
+@dataclass(frozen=True)
+class ReplicationConfig:
+    """One replicated-system experiment configuration."""
+
+    n_replicas: int = 3
+    n_objects: int = 100
+    initial_value: float = 5_000.0
+    #: Concurrent update clients at the primary / query clients per replica.
+    update_clients: int = 2
+    query_clients_per_replica: int = 2
+    #: Reads per query transaction.
+    query_reads: int = 10
+    #: Mean absolute change per update (the workload's w).
+    mean_write_change: float = 2_000.0
+    #: The divergence bound per object per replica (export side).
+    replica_epsilon: float = UNBOUNDED
+    #: Per-query inconsistency budget and per-read cap (import side).
+    til: float = UNBOUNDED
+    oil: float = UNBOUNDED
+    #: Latencies (ms): local replica read, remote primary round trip,
+    #: asynchronous propagation delay, update service time.
+    local_latency: float = 1.0
+    remote_latency: float = 20.0
+    propagation_delay: float = 50.0
+    update_interval: float = 10.0
+    duration_ms: float = 20_000.0
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if self.n_replicas < 1 or self.n_objects < 1:
+            raise ExperimentError("need at least one replica and one object")
+        if self.duration_ms <= 0:
+            raise ExperimentError("duration_ms must be positive")
+
+
+@dataclass(frozen=True)
+class ReplicationResult:
+    config: ReplicationConfig
+    updates_committed: int
+    queries_completed: int
+    forced_syncs: int
+    local_reads: int
+    remote_reads: int
+    staleness_viewed: float
+
+    @property
+    def update_throughput(self) -> float:
+        return self.updates_committed * 1000.0 / self.config.duration_ms
+
+    @property
+    def query_throughput(self) -> float:
+        return self.queries_completed * 1000.0 / self.config.duration_ms
+
+    @property
+    def local_read_fraction(self) -> float:
+        total = self.local_reads + self.remote_reads
+        return self.local_reads / total if total else 0.0
+
+    @property
+    def mean_staleness_per_query(self) -> float:
+        if self.queries_completed == 0:
+            return 0.0
+        return self.staleness_viewed / self.queries_completed
+
+    def __repr__(self) -> str:
+        return (
+            f"ReplicationResult(updates/s={self.update_throughput:.1f}, "
+            f"queries/s={self.query_throughput:.1f}, "
+            f"local={self.local_read_fraction:.0%}, "
+            f"staleness/query={self.mean_staleness_per_query:.0f})"
+        )
+
+
+class _Tally:
+    """Mutable counters shared by the simulation processes."""
+
+    def __init__(self) -> None:
+        self.updates = 0
+        self.queries = 0
+        self.forced_syncs = 0
+        self.local_reads = 0
+        self.remote_reads = 0
+        self.staleness = 0.0
+
+
+def _update_client(
+    engine: Engine,
+    store: ReplicatedStore,
+    config: ReplicationConfig,
+    rng: random.Random,
+    tally: _Tally,
+):
+    """Posts updates at the primary, forcing syncs when epsilon binds."""
+    objects = list(store.object_ids())
+    while True:
+        yield Timeout(config.update_interval)
+        object_id = rng.choice(objects)
+        delta = rng.uniform(0.5, 1.5) * config.mean_write_change
+        if rng.random() < 0.5:
+            delta = -delta
+        new_value = store.primary_value(object_id) + delta
+        # Export control: any replica the commit would push past the
+        # divergence bound gets the new value written through
+        # synchronously (one remote round trip each) at commit time, so
+        # the bound holds at every instant.  Epsilon zero is therefore
+        # fully eager replication; epsilon infinity is fully asynchronous.
+        write_through = [
+            replica
+            for replica in range(store.n_replicas)
+            if store.distance(new_value, store.replica_value(object_id, replica))
+            > config.replica_epsilon
+        ]
+        for _ in write_through:
+            yield Timeout(config.remote_latency)
+        store.commit_primary(object_id, new_value)
+        for replica in write_through:
+            store.propagate(object_id, replica)
+            tally.forced_syncs += 1
+        tally.updates += 1
+        # Asynchronous propagation to the remaining replicas.
+        for replica in range(store.n_replicas):
+            if replica not in write_through:
+                engine.call_later(
+                    config.propagation_delay,
+                    lambda o=object_id, r=replica: store.propagate(o, r),
+                )
+
+
+def _query_client(
+    engine: Engine,
+    store: ReplicatedStore,
+    config: ReplicationConfig,
+    replica: int,
+    rng: random.Random,
+    tally: _Tally,
+):
+    """Runs read-only transactions against one replica."""
+    objects = list(store.object_ids())
+    while True:
+        budget = config.til
+        viewed = 0.0
+        targets = rng.sample(objects, min(config.query_reads, len(objects)))
+        for object_id in targets:
+            divergence = store.divergence(object_id, replica)
+            if divergence <= config.oil and divergence <= budget:
+                yield Timeout(config.local_latency)
+                tally.local_reads += 1
+                budget -= divergence
+                viewed += divergence
+            else:
+                # Too stale to import: fetch the truth from the primary.
+                yield Timeout(config.remote_latency)
+                tally.remote_reads += 1
+        tally.queries += 1
+        tally.staleness += viewed
+
+
+def run_replication(config: ReplicationConfig) -> ReplicationResult:
+    """Run one replicated-system configuration to completion."""
+    engine = Engine()
+    store = ReplicatedStore(config.n_replicas)
+    rng = random.Random(config.seed)
+    for index in range(config.n_objects):
+        store.create_object(index, config.initial_value)
+    tally = _Tally()
+    for worker in range(config.update_clients):
+        engine.spawn(
+            _update_client(
+                engine, store, config, random.Random(rng.random()), tally
+            )
+        )
+    for replica in range(config.n_replicas):
+        for worker in range(config.query_clients_per_replica):
+            engine.spawn(
+                _query_client(
+                    engine,
+                    store,
+                    config,
+                    replica,
+                    random.Random(rng.random()),
+                    tally,
+                )
+            )
+    engine.run(until=config.duration_ms)
+    return ReplicationResult(
+        config=config,
+        updates_committed=tally.updates,
+        queries_completed=tally.queries,
+        forced_syncs=tally.forced_syncs,
+        local_reads=tally.local_reads,
+        remote_reads=tally.remote_reads,
+        staleness_viewed=tally.staleness,
+    )

@@ -1,0 +1,207 @@
+"""In-process runtime: run transactions directly against an engine.
+
+The simulator and the networked prototype are full runtimes with their
+own notion of blocking.  For library users, tests, and examples that just
+want ESR semantics over an in-memory database *in the current thread*,
+:class:`LocalClient` provides the same surface as
+:class:`~repro.net.client.RemoteConnection` without any transport:
+
+* :meth:`LocalClient.begin` returns a :class:`LocalSession` whose
+  blocking ``read``/``write`` satisfy the :class:`~repro.lang.eval.
+  Session` protocol (so parsed programs run via :func:`repro.lang.eval.
+  execute`), raising :class:`~repro.errors.TransactionAborted` on
+  rejection;
+* a strict-ordering wait cannot be serviced on a single thread — the
+  blocking transaction is necessarily driven by *this same thread* — so
+  it raises :class:`WouldBlock` naming the blocker, and the caller
+  decides (typically: finish the blocker, then retry);
+* :meth:`LocalClient.run_program` implements the paper's client loop,
+  resubmitting with a fresh timestamp until the program commits.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.core.bounds import EpsilonLevel, TransactionBounds
+from repro.engine.database import Database
+from repro.engine.manager import TransactionManager
+from repro.engine.results import Granted, MustWait, Rejected
+from repro.engine.transactions import TransactionState
+from repro.errors import TransactionAborted, TransactionError
+from repro.lang.ast import Program
+from repro.lang.compiler import compile_program
+from repro.lang.eval import ExecutionResult, execute
+
+__all__ = ["WouldBlock", "LocalSession", "LocalClient"]
+
+
+class WouldBlock(TransactionError):
+    """Strict ordering demands a wait that one thread cannot perform.
+
+    ``blocking_transaction`` identifies the transaction whose completion
+    would unblock the operation; finish it and retry.
+    """
+
+    def __init__(self, message: str, transaction_id: int, blocking_transaction: int):
+        super().__init__(message, transaction_id)
+        self.blocking_transaction = blocking_transaction
+
+
+class LocalSession:
+    """One in-process transaction (a blocking Session for programs)."""
+
+    def __init__(self, manager: TransactionManager, txn: TransactionState):
+        self._manager = manager
+        self.txn = txn
+
+    @property
+    def transaction_id(self) -> int:
+        return self.txn.transaction_id
+
+    @property
+    def inconsistency(self) -> float:
+        """Total inconsistency this transaction has imported/exported."""
+        return self.txn.account.total
+
+    def read(self, object_id: int) -> float:
+        outcome = self._manager.read(self.txn, object_id)
+        if isinstance(outcome, Granted):
+            assert outcome.value is not None
+            return outcome.value
+        if isinstance(outcome, MustWait):
+            raise WouldBlock(
+                f"read of object {object_id} must wait for transaction "
+                f"{outcome.blocking_transaction}",
+                self.txn.transaction_id,
+                outcome.blocking_transaction,
+            )
+        assert isinstance(outcome, Rejected)
+        raise TransactionAborted(
+            outcome.detail or f"read of object {object_id} rejected",
+            self.txn.transaction_id,
+            reason=outcome.reason,
+        )
+
+    def write(self, object_id: int, value: float) -> None:
+        outcome = self._manager.write(self.txn, object_id, value)
+        if isinstance(outcome, Granted):
+            return
+        if isinstance(outcome, MustWait):
+            raise WouldBlock(
+                f"write of object {object_id} must wait for transaction "
+                f"{outcome.blocking_transaction}",
+                self.txn.transaction_id,
+                outcome.blocking_transaction,
+            )
+        assert isinstance(outcome, Rejected)
+        raise TransactionAborted(
+            outcome.detail or f"write of object {object_id} rejected",
+            self.txn.transaction_id,
+            reason=outcome.reason,
+        )
+
+    def aggregate_guard(self, name: str, object_ids: list[int]) -> None:
+        """The paper's section 5.3.2 check for non-sum aggregates.
+
+        Computes the aggregate's result inconsistency from the min/max
+        values this transaction viewed per object and aborts the
+        transaction if it exceeds the TIL.  Called automatically by the
+        program interpreter before producing ``avg``/``min``/``max``
+        results; usable directly by hand-written queries too.
+        """
+        from repro.core.aggregates import aggregate_bounds
+
+        ranges = {}
+        for object_id in object_ids:
+            value_range = self.txn.account.value_range(object_id)
+            if value_range is None:
+                continue
+            ranges[object_id] = value_range
+        if not ranges:
+            return
+        envelope = aggregate_bounds(name, ranges)
+        limit = self.txn.bounds.import_limit
+        if not envelope.within(limit):
+            self._manager.abort(self.txn, "aggregate-bound-violation")
+            raise TransactionAborted(
+                f"{name} result inconsistency {envelope.inconsistency:g} "
+                f"exceeds TIL {limit:g}",
+                self.txn.transaction_id,
+                reason="aggregate-bound-violation",
+            )
+
+    def commit(self) -> None:
+        self._manager.commit(self.txn)
+
+    def abort(self, reason: str = "client-abort") -> None:
+        self._manager.abort(self.txn, reason)
+
+    def __enter__(self) -> "LocalSession":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if not self.txn.is_active:
+            return
+        if exc_type is None:
+            self.commit()
+        else:
+            self.abort()
+
+
+class LocalClient:
+    """A convenience front-end over a manager for in-process use."""
+
+    def __init__(self, database: Database, protocol: str = "esr", **manager_kwargs):
+        self.manager = TransactionManager(database, protocol=protocol, **manager_kwargs)
+
+    @property
+    def database(self) -> Database:
+        return self.manager.database
+
+    def begin(
+        self,
+        kind: str,
+        bounds: TransactionBounds | EpsilonLevel | float = 0.0,
+        group_limits: Mapping[str, float] | None = None,
+        object_limits: Mapping[int, float] | None = None,
+    ) -> LocalSession:
+        """Begin a transaction; ``bounds`` may be a limit number, a
+        :class:`TransactionBounds`, or an :class:`EpsilonLevel`."""
+        if isinstance(bounds, (int, float)):
+            if kind == "query":
+                bounds = TransactionBounds(import_limit=float(bounds))
+            else:
+                bounds = TransactionBounds(export_limit=float(bounds))
+        txn = self.manager.begin(
+            kind, bounds, group_limits=group_limits, object_limits=object_limits
+        )
+        return LocalSession(self.manager, txn)
+
+    def run_program(
+        self, program: Program, max_attempts: int = 1000
+    ) -> tuple[ExecutionResult, int]:
+        """Resubmit ``program`` until it commits; returns (result, restarts)."""
+        compiled = compile_program(program)
+        restarts = 0
+        for _ in range(max_attempts):
+            session = self.begin(
+                compiled.kind,
+                compiled.bounds,
+                group_limits=compiled.group_limits,
+                object_limits=compiled.object_limits,
+            )
+            try:
+                result = execute(program, session)
+            except TransactionAborted:
+                restarts += 1
+                continue
+            if result.aborted_by_program:
+                session.abort()
+            else:
+                session.commit()
+            return result, restarts
+        raise TransactionAborted(
+            f"program did not commit within {max_attempts} attempts",
+            reason="retry-exhausted",
+        )

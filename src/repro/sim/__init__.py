@@ -1,0 +1,35 @@
+"""Discrete-event simulation of the client–server prototype."""
+
+from repro.sim.client import SimClient
+from repro.sim.des import Engine, Event, Process, Resource, Timeout
+from repro.sim.latency import PAPER_LATENCY, ZERO_LATENCY, LatencyModel
+from repro.sim.server import (
+    DEFAULT_SERVER_THREADS,
+    DEFAULT_SERVICE_TIME_MS,
+    SimServer,
+)
+from repro.sim.system import (
+    RunResult,
+    SimulationConfig,
+    build_simulation,
+    run_simulation,
+)
+
+__all__ = [
+    "SimClient",
+    "Engine",
+    "Event",
+    "Process",
+    "Resource",
+    "Timeout",
+    "PAPER_LATENCY",
+    "ZERO_LATENCY",
+    "LatencyModel",
+    "DEFAULT_SERVER_THREADS",
+    "DEFAULT_SERVICE_TIME_MS",
+    "SimServer",
+    "RunResult",
+    "SimulationConfig",
+    "build_simulation",
+    "run_simulation",
+]

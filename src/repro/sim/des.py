@@ -1,0 +1,286 @@
+"""A small process-based discrete-event simulation kernel.
+
+The performance study replaces the paper's LAN of DECstations with a
+deterministic simulator: client and server activities are generator-based
+*processes* that advance simulated time by yielding either a
+:class:`Timeout` (elapse simulated milliseconds) or an :class:`Event`
+(block until something triggers it).  The kernel is deliberately tiny —
+an event heap, processes, and one-shot events — because that is all the
+client/server model needs, and determinism matters more than features:
+given the same seeds, a simulation run is bit-for-bit reproducible, which
+a real threaded prototype under the GIL is not.
+
+Usage sketch::
+
+    engine = Engine()
+
+    def client():
+        yield Timeout(17.5)            # an RPC round trip
+        done = Event()
+        engine.call_later(5.0, done.trigger)
+        yield done                     # block on a wake-up
+
+    engine.spawn(client())
+    engine.run(until=1000.0)
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Generator, Iterable
+
+__all__ = ["Event", "Timeout", "Process", "Engine", "Resource"]
+
+
+class Event:
+    """A one-shot signal processes can wait on.
+
+    Triggering wakes every waiter (via the engine, at the current
+    simulated time).  Waiting on an already-triggered event resumes
+    immediately.  Events never un-trigger.
+    """
+
+    __slots__ = ("triggered", "_waiters")
+
+    def __init__(self) -> None:
+        self.triggered = False
+        self._waiters: list[Process] = []
+
+    def trigger(self) -> None:
+        if self.triggered:
+            return
+        self.triggered = True
+        waiters, self._waiters = self._waiters, []
+        for process in waiters:
+            process._engine._resume_soon(process)
+
+    def _add_waiter(self, process: "Process") -> bool:
+        """Register a waiter; returns False if already triggered."""
+        if self.triggered:
+            return False
+        self._waiters.append(process)
+        return True
+
+    def __repr__(self) -> str:
+        state = "triggered" if self.triggered else f"waiters={len(self._waiters)}"
+        return f"Event({state})"
+
+
+class Timeout:
+    """Yield value: elapse ``delay`` simulated milliseconds."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, delay: float):
+        if delay < 0:
+            raise ValueError(f"timeout delay must be >= 0, got {delay}")
+        self.delay = delay
+
+    def __repr__(self) -> str:
+        return f"Timeout({self.delay:g})"
+
+
+class Process:
+    """A running generator; yields Timeout/Event, finishes on return.
+
+    ``completed`` is an :class:`Event` triggered when the generator
+    returns, letting other processes join on it.
+    """
+
+    __slots__ = ("_engine", "_generator", "completed", "name")
+
+    def __init__(
+        self,
+        engine: "Engine",
+        generator: Generator[object, None, None],
+        name: str = "",
+    ):
+        self._engine = engine
+        self._generator = generator
+        self.completed = Event()
+        self.name = name
+
+    def _step(self) -> None:
+        try:
+            yielded = next(self._generator)
+        except StopIteration:
+            self.completed.trigger()
+            return
+        if isinstance(yielded, Timeout):
+            self._engine.call_later(yielded.delay, self._step)
+        elif isinstance(yielded, Event):
+            if not yielded._add_waiter(self):
+                self._engine._resume_soon(self)
+        else:
+            raise TypeError(
+                f"process {self.name or self._generator!r} yielded "
+                f"{yielded!r}; expected Timeout or Event"
+            )
+
+    def __repr__(self) -> str:
+        return f"Process({self.name or self._generator!r})"
+
+
+class Engine:
+    """The event loop: a time-ordered heap of callbacks."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._seq = 0
+
+    # -- scheduling -------------------------------------------------------------
+
+    def call_later(self, delay: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` after ``delay`` simulated milliseconds."""
+        if delay < 0:
+            raise ValueError(f"delay must be >= 0, got {delay}")
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, callback))
+
+    def _resume_soon(self, process: Process) -> None:
+        self.call_later(0.0, process._step)
+
+    def spawn(
+        self, generator: Generator[object, None, None], name: str = ""
+    ) -> Process:
+        """Create a process and schedule its first step at the current time."""
+        process = Process(self, generator, name)
+        self.call_later(0.0, process._step)
+        return process
+
+    def spawn_all(
+        self, generators: Iterable[Generator[object, None, None]]
+    ) -> list[Process]:
+        return [self.spawn(gen) for gen in generators]
+
+    # -- execution ----------------------------------------------------------------
+
+    def run(self, until: float | None = None) -> float:
+        """Drain the event heap; returns the final simulated time.
+
+        With ``until`` set, execution stops once the next event lies past
+        that time (and ``now`` is advanced exactly to ``until``).  Without
+        it, runs until no events remain.
+        """
+        while self._heap:
+            when, _, callback = self._heap[0]
+            if until is not None and when > until:
+                self.now = until
+                return self.now
+            heapq.heappop(self._heap)
+            self.now = when
+            callback()
+        if until is not None and until > self.now:
+            self.now = until
+        return self.now
+
+    def run_until_complete(self, processes: Iterable[Process]) -> float:
+        """Run until every listed process has finished."""
+        pending = list(processes)
+        while any(not p.completed.triggered for p in pending):
+            if not self._heap:
+                unfinished = [p for p in pending if not p.completed.triggered]
+                raise RuntimeError(
+                    f"simulation deadlock: {len(unfinished)} process(es) "
+                    f"blocked with no pending events: {unfinished[:5]}"
+                )
+            when, _, callback = heapq.heappop(self._heap)
+            self.now = when
+            callback()
+        return self.now
+
+    def pending_events(self) -> int:
+        return len(self._heap)
+
+    def __repr__(self) -> str:
+        return f"Engine(now={self.now:g}, pending={len(self._heap)})"
+
+
+class Resource:
+    """A counted resource with a FIFO queue (e.g. server CPU threads).
+
+    Models the paper's multithreaded server as ``capacity`` parallel
+    service units: a process acquires a unit, holds it for the service
+    time, and releases it; excess requests queue first-come first-served.
+    Usage::
+
+        grant = resource.acquire()
+        yield grant              # resumes once a unit is free
+        yield Timeout(service_time)
+        resource.release()
+
+    The resource also tracks busy time for utilisation reporting.
+    """
+
+    __slots__ = ("_engine", "capacity", "_in_use", "_queue", "_busy_since", "busy_time")
+
+    def __init__(self, engine: Engine, capacity: int = 1):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._engine = engine
+        self.capacity = capacity
+        self._in_use = 0
+        self._queue: list[Event] = []
+        self._busy_since: float | None = None
+        self.busy_time = 0.0
+
+    def acquire(self) -> Event:
+        """Return an event that triggers once a unit is granted.
+
+        The unit is considered held from the moment the returned event
+        triggers; the caller must eventually :meth:`release` it.
+        """
+        grant = Event()
+        if self._in_use < self.capacity:
+            self._take()
+            grant.trigger()
+        else:
+            self._queue.append(grant)
+        return grant
+
+    def release(self) -> None:
+        """Return a unit; hands it straight to the next queued waiter."""
+        if self._in_use <= 0:
+            raise RuntimeError("release() without a matching acquire()")
+        if self._queue:
+            # The unit passes directly to the next waiter: _in_use stays
+            # unchanged, so utilisation accounting keeps running.
+            grant = self._queue.pop(0)
+            grant.trigger()
+            return
+        self._in_use -= 1
+        if self._in_use == 0 and self._busy_since is not None:
+            self.busy_time += self._engine.now - self._busy_since
+            self._busy_since = None
+
+    def _take(self) -> None:
+        if self._in_use == 0:
+            self._busy_since = self._engine.now
+        self._in_use += 1
+
+    @property
+    def queued(self) -> int:
+        return len(self._queue)
+
+    def busy_snapshot(self) -> float:
+        """Cumulative busy time up to the current simulated instant."""
+        busy = self.busy_time
+        if self._busy_since is not None:
+            busy += self._engine.now - self._busy_since
+        return busy
+
+    def utilisation(self, elapsed: float, since_busy: float = 0.0) -> float:
+        """Fraction of ``elapsed`` time at least one unit was busy.
+
+        ``since_busy`` subtracts a :meth:`busy_snapshot` taken at the start
+        of the measurement window (e.g. the end of a warm-up phase).
+        """
+        busy = self.busy_snapshot() - since_busy
+        return busy / elapsed if elapsed > 0 else 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"Resource(capacity={self.capacity}, in_use={self._in_use}, "
+            f"queued={len(self._queue)})"
+        )

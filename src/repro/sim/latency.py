@@ -1,0 +1,56 @@
+"""RPC latency models matching the paper's measured prototype timings.
+
+Paper section 6: "A null RPC call takes about 11 milliseconds to return
+while the average RPC call takes somewhere between 17 and 20 milliseconds."
+The default model therefore draws each operation's round trip uniformly
+from [17, 20] ms; BEGIN is client-local (timestamps are generated at the
+client sites), and COMMIT/ABORT notifications are modelled as a null call.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import SpecificationError
+
+__all__ = ["LatencyModel", "PAPER_LATENCY", "ZERO_LATENCY"]
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """Round-trip times, in simulated milliseconds."""
+
+    #: Bounds of a data-carrying RPC (Read / Write).
+    rpc_min: float = 17.0
+    rpc_max: float = 20.0
+    #: A null RPC (Commit / Abort notification).
+    null_rpc: float = 11.0
+    #: Client-side pause before resubmitting an aborted transaction.
+    #: The paper does "aborts with immediate restarts", hence zero.
+    restart_delay: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.rpc_min < 0 or self.rpc_max < self.rpc_min:
+            raise SpecificationError(
+                f"invalid RPC range [{self.rpc_min}, {self.rpc_max}]"
+            )
+        if self.null_rpc < 0 or self.restart_delay < 0:
+            raise SpecificationError("latencies must be >= 0")
+
+    def operation_delay(self, rng: random.Random) -> float:
+        """One Read/Write round trip."""
+        if self.rpc_min == self.rpc_max:
+            return self.rpc_min
+        return rng.uniform(self.rpc_min, self.rpc_max)
+
+    def commit_delay(self, rng: random.Random) -> float:
+        """One Commit/Abort round trip."""
+        return self.null_rpc
+
+
+#: The paper's measured environment.
+PAPER_LATENCY = LatencyModel()
+
+#: Zero-cost transport, for unit tests that only care about ordering.
+ZERO_LATENCY = LatencyModel(rpc_min=0.0, rpc_max=0.0, null_rpc=0.0)

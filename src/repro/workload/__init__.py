@@ -1,0 +1,22 @@
+"""Synthetic workloads: specs, generators, and client trace files."""
+
+from repro.workload.generator import (
+    WorkloadGenerator,
+    build_database,
+    hot_set_for,
+    partition_for_site,
+)
+from repro.workload.spec import PAPER_WORKLOAD, WorkloadSpec
+from repro.workload.trace import read_trace, split_for_clients, write_trace
+
+__all__ = [
+    "WorkloadGenerator",
+    "build_database",
+    "hot_set_for",
+    "partition_for_site",
+    "PAPER_WORKLOAD",
+    "WorkloadSpec",
+    "read_trace",
+    "split_for_clients",
+    "write_trace",
+]

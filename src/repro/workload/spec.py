@@ -1,0 +1,118 @@
+"""Workload parameters, defaulting to the paper's prototype settings.
+
+Paper sections 6 and 7:
+
+* about **1000 objects** in the database, values in **1000–9999**;
+* most transactions touch a **hot set of about 20 objects**, chosen to
+  force a high conflict ratio so thrashing appears within MPL 10;
+* **query ETs** perform about **20 read operations**; **update ETs about
+  6 operations**; the overall average is ~10 operations per transaction,
+  which pins the query fraction at roughly 30 %;
+* updates change values by a typical magnitude ``w`` (the paper
+  parameterises Figure 12's OIL axis in units of ``w``); our updates are
+  read-modify-write pairs (``t = Read x`` … ``Write x, t ± delta``) with
+  ``delta`` drawn so that the mean absolute change is ``w``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import WorkloadError
+
+__all__ = ["WorkloadSpec", "PAPER_WORKLOAD"]
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Shape of the synthetic workload."""
+
+    #: Number of objects in the database.
+    n_objects: int = 1000
+    #: First object id (the paper's examples use ids like 1863).
+    first_object_id: int = 1000
+    #: Initial value range (inclusive).
+    value_min: int = 1000
+    value_max: int = 9999
+    #: Size of the high-conflict hot set.
+    hot_set_size: int = 20
+    #: Probability that any single access goes to the hot set.
+    hot_access_fraction: float = 0.9
+    #: Fraction of transactions that are queries.
+    query_fraction: float = 0.3
+    #: Query ETs read this many objects on average (+/- query_ops_spread).
+    query_ops_mean: int = 20
+    query_ops_spread: int = 4
+    #: Update ETs perform this many operations total (reads + writes).
+    update_ops_mean: int = 6
+    update_ops_spread: int = 2
+    #: Number of read-modify-write pairs per update ET.
+    writes_per_update: int = 2
+    #: Typical absolute change per write (the paper's ``w``).
+    mean_write_change: float = 2000.0
+    #: A fraction of writes are much larger "transfers": their magnitude
+    #: is drawn from [large_change_min_mult, large_change_max_mult] * w.
+    #: These produce the heavy tail of read divergences that makes the
+    #: object-level import limit (OIL) a meaningful filter — without them
+    #: every divergence is ~1-3 w and any OIL above that is equivalent to
+    #: no OIL at all.
+    large_change_fraction: float = 0.15
+    large_change_min_mult: float = 3.0
+    large_change_max_mult: float = 6.0
+    #: The hot set is divided into this many write partitions; each client
+    #: site updates only its own partition (tellers update their own
+    #: accounts) while queries read across the whole hot set.  This makes
+    #: the conflicts query-vs-update — the kind ESR relaxes and the kind
+    #: the paper studies ("query ETs run concurrently with consistent
+    #: update ETs") — rather than unrelaxable update-vs-update races.
+    n_partitions: int = 10
+
+    def __post_init__(self) -> None:
+        if self.n_objects <= 0:
+            raise WorkloadError("n_objects must be positive")
+        if not 0 < self.hot_set_size <= self.n_objects:
+            raise WorkloadError(
+                "hot_set_size must be in 1..n_objects "
+                f"(got {self.hot_set_size} of {self.n_objects})"
+            )
+        if not 0.0 <= self.hot_access_fraction <= 1.0:
+            raise WorkloadError("hot_access_fraction must be in [0, 1]")
+        if not 0.0 <= self.query_fraction <= 1.0:
+            raise WorkloadError("query_fraction must be in [0, 1]")
+        if self.value_min > self.value_max:
+            raise WorkloadError("value_min must not exceed value_max")
+        if self.query_ops_mean <= 0 or self.update_ops_mean <= 0:
+            raise WorkloadError("operation counts must be positive")
+        if self.writes_per_update < 0:
+            raise WorkloadError("writes_per_update must be >= 0")
+        if 2 * self.writes_per_update > self.update_ops_mean - self.update_ops_spread:
+            raise WorkloadError(
+                "update ETs are too short for the requested write count: "
+                "each write needs its paired read"
+            )
+        if self.mean_write_change <= 0:
+            raise WorkloadError("mean_write_change must be positive")
+        if self.n_partitions <= 0:
+            raise WorkloadError("n_partitions must be positive")
+        if not 0.0 <= self.large_change_fraction <= 1.0:
+            raise WorkloadError("large_change_fraction must be in [0, 1]")
+        if not 0 < self.large_change_min_mult <= self.large_change_max_mult:
+            raise WorkloadError(
+                "large-change multipliers must satisfy 0 < min <= max"
+            )
+
+    @property
+    def object_ids(self) -> range:
+        return range(self.first_object_id, self.first_object_id + self.n_objects)
+
+    @property
+    def mean_ops_per_transaction(self) -> float:
+        """The blended average the paper quotes as ~10 operations."""
+        return (
+            self.query_fraction * self.query_ops_mean
+            + (1.0 - self.query_fraction) * self.update_ops_mean
+        )
+
+
+#: The paper's configuration, importable by name.
+PAPER_WORKLOAD = WorkloadSpec()

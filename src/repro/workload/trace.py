@@ -1,0 +1,69 @@
+"""Trace files: the transaction data files supplied to clients (paper §6).
+
+"The clients are supplied with data files consisting of a number of
+transactions that are randomly generated, to serve as the load of
+transactions."  A trace file is plain text — transaction programs in the
+mini-language separated by blank lines, with ``#`` comment lines allowed
+anywhere (the writer records the generation parameters in a header
+comment).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.errors import WorkloadError
+from repro.lang.ast import Program
+from repro.lang.compiler import format_program
+from repro.lang.parser import parse_script
+
+__all__ = ["write_trace", "read_trace", "split_for_clients"]
+
+
+def write_trace(
+    path: str | Path,
+    programs: Iterable[Program],
+    header: str | None = None,
+) -> int:
+    """Write programs to a trace file; returns the number written."""
+    chunks: list[str] = []
+    if header:
+        chunks.append(
+            "\n".join(f"# {line}" for line in header.splitlines()) + "\n"
+        )
+    count = 0
+    for program in programs:
+        chunks.append(format_program(program))
+        count += 1
+    Path(path).write_text("\n".join(chunks), encoding="utf-8")
+    return count
+
+
+def read_trace(path: str | Path) -> list[Program]:
+    """Parse a trace file back into programs."""
+    source = Path(path).read_text(encoding="utf-8")
+    programs = parse_script(source)
+    if not programs:
+        raise WorkloadError(f"trace file {path} contains no transactions")
+    return programs
+
+
+def split_for_clients(
+    programs: Sequence[Program], clients: int
+) -> list[list[Program]]:
+    """Deal a transaction load out to ``clients`` round-robin.
+
+    Every client receives at least one transaction; it is an error to ask
+    for more clients than there are transactions.
+    """
+    if clients <= 0:
+        raise WorkloadError(f"client count must be positive, got {clients}")
+    if len(programs) < clients:
+        raise WorkloadError(
+            f"cannot split {len(programs)} transactions across {clients} clients"
+        )
+    shares: list[list[Program]] = [[] for _ in range(clients)]
+    for index, program in enumerate(programs):
+        shares[index % clients].append(program)
+    return shares

@@ -1,0 +1,55 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bounds import ObjectBounds
+from repro.core.hierarchy import GroupCatalog
+from repro.engine.database import Database
+from repro.engine.manager import TransactionManager
+
+
+@pytest.fixture
+def small_db() -> Database:
+    """Ten objects with ids 1..10 and value 1000*id, unbounded OIL/OEL."""
+    db = Database()
+    for object_id in range(1, 11):
+        db.create_object(object_id, 1000.0 * object_id)
+    return db
+
+
+@pytest.fixture
+def manager(small_db: Database) -> TransactionManager:
+    """An ESR manager over the small database."""
+    return TransactionManager(small_db)
+
+
+@pytest.fixture
+def sr_manager(small_db: Database) -> TransactionManager:
+    """A plain-SR manager over the small database."""
+    return TransactionManager(small_db, protocol="sr")
+
+
+@pytest.fixture
+def banking_db() -> Database:
+    """The paper's Figure 1 shape: company/preferred/personal groups."""
+    catalog = GroupCatalog()
+    catalog.add_group("company")
+    catalog.add_group("preferred")
+    catalog.add_group("personal")
+    catalog.add_group("com1", parent="company")
+    catalog.add_group("com2", parent="company")
+    db = Database(catalog=catalog)
+    # Two accounts per leaf-ish group, modest OIL/OEL.
+    bounds = ObjectBounds(import_limit=5_000.0, export_limit=5_000.0)
+    layout = {
+        "com1": (101, 102),
+        "com2": (103, 104),
+        "preferred": (201, 202),
+        "personal": (301, 302),
+    }
+    for group, ids in layout.items():
+        for object_id in ids:
+            db.create_object(object_id, 4_000.0, bounds, group=group)
+    return db

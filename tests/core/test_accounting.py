@@ -1,0 +1,118 @@
+"""Per-transaction inconsistency accounts."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.accounting import Direction, InconsistencyAccount, ValueRange
+from repro.core.hierarchy import GroupCatalog
+from repro.errors import SpecificationError
+
+
+@pytest.fixture
+def catalog() -> GroupCatalog:
+    catalog = GroupCatalog()
+    catalog.add_group("g")
+    catalog.assign(1, "g")
+    return catalog
+
+
+class TestValueRange:
+    def test_tracks_extremes(self):
+        r = ValueRange(10.0)
+        r.observe(4.0)
+        r.observe(25.0)
+        r.observe(7.0)
+        assert r.minimum == 4.0
+        assert r.maximum == 25.0
+        assert r.spread == 21.0
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=30))
+    def test_extremes_match_builtin(self, values):
+        r = ValueRange(values[0])
+        for value in values[1:]:
+            r.observe(value)
+        assert r.minimum == min(values)
+        assert r.maximum == max(values)
+
+
+class TestInconsistencyAccount:
+    def test_direction_validation(self, catalog):
+        with pytest.raises(SpecificationError):
+            InconsistencyAccount("sideways", catalog, 100.0)
+
+    def test_admission_charges_and_counts(self, catalog):
+        account = InconsistencyAccount(Direction.IMPORT, catalog, 100.0)
+        assert account.admit(1, 40.0).admitted
+        assert account.admit(1, 50.0).admitted
+        assert account.total == 90.0
+        assert account.inconsistent_operations == 2
+        assert account.object_inconsistency(1) == 90.0
+
+    def test_zero_amount_not_counted_as_inconsistent(self, catalog):
+        account = InconsistencyAccount(Direction.IMPORT, catalog, 100.0)
+        assert account.admit(1, 0.0).admitted
+        assert account.inconsistent_operations == 0
+        assert account.total == 0.0
+
+    def test_rejection_changes_nothing(self, catalog):
+        account = InconsistencyAccount(Direction.IMPORT, catalog, 100.0)
+        account.admit(1, 90.0)
+        outcome = account.admit(1, 20.0)
+        assert not outcome.admitted
+        assert account.total == 90.0
+        assert account.inconsistent_operations == 1
+
+    def test_object_limit_enforced(self, catalog):
+        account = InconsistencyAccount(Direction.IMPORT, catalog, 1_000.0)
+        outcome = account.admit(1, 60.0, object_limit=50.0)
+        assert not outcome.admitted
+        assert outcome.violated_level == "object"
+
+    def test_group_limit_enforced(self, catalog):
+        account = InconsistencyAccount(
+            Direction.IMPORT, catalog, 1_000.0, group_limits={"g": 100.0}
+        )
+        assert account.admit(1, 80.0).admitted
+        outcome = account.admit(1, 30.0)
+        assert not outcome.admitted
+        assert outcome.violated_level == "g"
+
+    def test_would_admit_preview(self, catalog):
+        account = InconsistencyAccount(Direction.EXPORT, catalog, 50.0)
+        assert account.would_admit(1, 50.0)
+        assert not account.would_admit(1, 51.0)
+        assert account.total == 0.0
+
+    def test_headroom(self, catalog):
+        account = InconsistencyAccount(Direction.EXPORT, catalog, 100.0)
+        account.admit(1, 25.0)
+        assert account.headroom() == 75.0
+
+    def test_value_observation(self, catalog):
+        account = InconsistencyAccount(Direction.IMPORT, catalog, 100.0)
+        account.observe_value(1, 10.0)
+        account.observe_value(1, 30.0)
+        account.observe_value(2, 5.0)
+        assert account.value_range(1).spread == 20.0
+        assert set(account.observed_objects()) == {1, 2}
+        assert account.value_range(99) is None
+
+    def test_level_snapshot(self, catalog):
+        account = InconsistencyAccount(
+            Direction.IMPORT, catalog, 100.0, group_limits={"g": 40.0}
+        )
+        account.admit(1, 10.0)
+        snapshot = account.level_snapshot()
+        assert snapshot["g"] == (10.0, 40.0)
+
+    @given(st.lists(st.floats(min_value=0, max_value=50), max_size=30))
+    def test_total_bounded_by_limit(self, amounts):
+        catalog = GroupCatalog()
+        catalog.add_group("g")
+        catalog.assign(1, "g")
+        account = InconsistencyAccount(Direction.IMPORT, catalog, 200.0)
+        for amount in amounts:
+            account.admit(1, amount)
+        assert account.total <= 200.0 + 1e-9

@@ -1,0 +1,108 @@
+"""Result inconsistency for aggregate queries (paper section 5.3.2)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.accounting import ValueRange
+from repro.core.aggregates import (
+    AggregateResult,
+    aggregate_bounds,
+    result_inconsistency,
+)
+from repro.errors import EvaluationError, SpecificationError
+
+
+def ranges(*pairs: tuple[float, float]) -> list[ValueRange]:
+    out = []
+    for low, high in pairs:
+        r = ValueRange(low)
+        r.observe(high)
+        out.append(r)
+    return out
+
+
+class TestAggregateResult:
+    def test_midpoint_and_inconsistency(self):
+        result = AggregateResult("sum", 90.0, 110.0)
+        assert result.midpoint == 100.0
+        assert result.inconsistency == 10.0
+
+    def test_within(self):
+        result = AggregateResult("avg", 10.0, 14.0)
+        assert result.within(2.0)
+        assert not result.within(1.9)
+
+    def test_inverted_envelope_rejected(self):
+        with pytest.raises(EvaluationError):
+            AggregateResult("sum", 10.0, 5.0)
+
+
+class TestAggregateBounds:
+    def test_sum_envelope(self):
+        result = aggregate_bounds("sum", ranges((1, 3), (10, 10)))
+        assert (result.low, result.high) == (11.0, 13.0)
+
+    def test_avg_is_the_papers_example(self):
+        # min_result = sum of minima / n; max_result = sum of maxima / n;
+        # result inconsistency is half the spread.
+        result = aggregate_bounds("avg", ranges((100, 140), (200, 220)))
+        assert result.low == 150.0
+        assert result.high == 180.0
+        assert result.inconsistency == 15.0
+
+    def test_min_envelope(self):
+        result = aggregate_bounds("min", ranges((1, 9), (4, 5)))
+        assert (result.low, result.high) == (1.0, 5.0)
+
+    def test_max_envelope(self):
+        result = aggregate_bounds("max", ranges((1, 9), (4, 12)))
+        assert (result.low, result.high) == (4.0, 12.0)
+
+    def test_accepts_mapping(self):
+        result = aggregate_bounds("sum", {7: ranges((2, 4))[0]})
+        assert (result.low, result.high) == (2.0, 4.0)
+
+    def test_case_insensitive_name(self):
+        assert aggregate_bounds("SUM", ranges((0, 1))).name == "sum"
+
+    def test_unknown_aggregate(self):
+        with pytest.raises(SpecificationError):
+            aggregate_bounds("median", ranges((0, 1)))
+
+    def test_empty_observation_set(self):
+        with pytest.raises(EvaluationError):
+            aggregate_bounds("sum", [])
+
+    def test_result_inconsistency_shorthand(self):
+        assert result_inconsistency("sum", ranges((0, 10))) == 5.0
+
+
+bounds_pairs = st.tuples(
+    st.floats(-1e6, 1e6), st.floats(min_value=0, max_value=1e4)
+).map(lambda t: (t[0], t[0] + t[1]))
+
+
+@given(st.lists(bounds_pairs, min_size=1, max_size=12))
+def test_property_true_value_always_inside_envelope(pairs):
+    """Any per-object choice within its range yields an aggregate inside
+    the envelope (the soundness property behind section 5.3.2)."""
+    observed = ranges(*pairs)
+    chosen = [(low + high) / 2.0 for low, high in pairs]
+    for name, fn in (
+        ("sum", sum),
+        ("avg", lambda v: sum(v) / len(v)),
+        ("min", min),
+        ("max", max),
+    ):
+        envelope = aggregate_bounds(name, observed)
+        value = fn(chosen)
+        assert envelope.low - 1e-6 <= value <= envelope.high + 1e-6
+
+
+@given(st.lists(bounds_pairs, min_size=1, max_size=12))
+def test_property_zero_spread_means_zero_inconsistency(pairs):
+    exact = ranges(*[(low, low) for low, _ in pairs])
+    for name in ("sum", "avg", "min", "max"):
+        assert result_inconsistency(name, exact) == 0.0

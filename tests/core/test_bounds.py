@@ -1,0 +1,111 @@
+"""TIL/TEL/OIL/OEL specifications and the standard epsilon levels."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.bounds import (
+    HIGH_EPSILON,
+    LOW_EPSILON,
+    MEDIUM_EPSILON,
+    STANDARD_LEVELS,
+    UNBOUNDED,
+    ZERO_EPSILON,
+    ObjectBounds,
+    TransactionBounds,
+    level_by_name,
+)
+from repro.errors import SpecificationError
+
+
+class TestTransactionBounds:
+    def test_defaults_are_serializable(self):
+        bounds = TransactionBounds()
+        assert bounds.import_limit == 0.0
+        assert bounds.export_limit == 0.0
+        assert bounds.is_serializable
+
+    def test_nonzero_bounds_are_not_serializable(self):
+        assert not TransactionBounds(import_limit=1.0).is_serializable
+        assert not TransactionBounds(export_limit=1.0).is_serializable
+
+    @pytest.mark.parametrize("til,tel", [(-1, 0), (0, -1), (float("nan"), 0)])
+    def test_invalid_limits_rejected(self, til, tel):
+        with pytest.raises(SpecificationError):
+            TransactionBounds(import_limit=til, export_limit=tel)
+
+    def test_scaled(self):
+        bounds = TransactionBounds(100.0, 10.0).scaled(2.5)
+        assert bounds.import_limit == 250.0
+        assert bounds.export_limit == 25.0
+
+    def test_scaled_rejects_negative_factor(self):
+        with pytest.raises(SpecificationError):
+            TransactionBounds(1.0, 1.0).scaled(-1.0)
+
+    def test_frozen(self):
+        bounds = TransactionBounds(1.0, 1.0)
+        with pytest.raises(AttributeError):
+            bounds.import_limit = 5.0  # type: ignore[misc]
+
+    @given(st.floats(min_value=0, max_value=1e12))
+    def test_any_nonnegative_limit_accepted(self, limit):
+        bounds = TransactionBounds(import_limit=limit)
+        assert bounds.import_limit == limit
+
+
+class TestObjectBounds:
+    def test_defaults_unbounded(self):
+        bounds = ObjectBounds()
+        assert bounds.import_limit == UNBOUNDED
+        assert bounds.export_limit == UNBOUNDED
+
+    def test_explicit_limits(self):
+        bounds = ObjectBounds(import_limit=100.0, export_limit=50.0)
+        assert bounds.import_limit == 100.0
+        assert bounds.export_limit == 50.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(SpecificationError):
+            ObjectBounds(import_limit=-5.0)
+
+
+class TestStandardLevels:
+    def test_paper_table_values(self):
+        assert HIGH_EPSILON.til == 100_000 and HIGH_EPSILON.tel == 10_000
+        assert MEDIUM_EPSILON.til == 50_000 and MEDIUM_EPSILON.tel == 5_000
+        assert LOW_EPSILON.til == 10_000 and LOW_EPSILON.tel == 1_000
+        assert ZERO_EPSILON.til == 0 and ZERO_EPSILON.tel == 0
+
+    def test_levels_ordered_from_sr_to_loosest(self):
+        tils = [level.til for level in STANDARD_LEVELS]
+        assert tils == sorted(tils)
+        assert STANDARD_LEVELS[0] is ZERO_EPSILON
+        assert STANDARD_LEVELS[-1] is HIGH_EPSILON
+
+    def test_zero_level_is_serializable(self):
+        assert ZERO_EPSILON.transaction.is_serializable
+
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("high-epsilon", HIGH_EPSILON),
+            ("high", HIGH_EPSILON),
+            ("HIGH", HIGH_EPSILON),
+            ("zero", ZERO_EPSILON),
+            ("medium", MEDIUM_EPSILON),
+            ("low-epsilon", LOW_EPSILON),
+        ],
+    )
+    def test_lookup_by_name(self, name, expected):
+        assert level_by_name(name) is expected
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(SpecificationError, match="unknown epsilon level"):
+            level_by_name("giant")
+
+    def test_unbounded_sentinel_is_infinite(self):
+        assert math.isinf(UNBOUNDED)

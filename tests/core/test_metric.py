@@ -1,0 +1,134 @@
+"""Metric-space distance functions and the axiom validator."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.metric import (
+    ScaledDistance,
+    absolute_distance,
+    check_metric_axioms,
+    discrete_distance,
+    euclidean_distance,
+)
+from repro.errors import MetricSpaceError
+
+finite_floats = st.floats(
+    min_value=-1e9, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+
+
+class TestAbsoluteDistance:
+    def test_basic_difference(self):
+        assert absolute_distance(450_500_000, 450_400_000) == 100_000
+
+    def test_zero_for_identical_states(self):
+        assert absolute_distance(1234.5, 1234.5) == 0.0
+
+    @given(finite_floats, finite_floats)
+    def test_symmetry(self, u, v):
+        assert absolute_distance(u, v) == absolute_distance(v, u)
+
+    @given(finite_floats, finite_floats, finite_floats)
+    def test_triangle_inequality(self, u, v, w):
+        assert absolute_distance(u, w) <= (
+            absolute_distance(u, v) + absolute_distance(v, w) + 1e-6
+        )
+
+    @given(finite_floats, finite_floats)
+    def test_non_negative(self, u, v):
+        assert absolute_distance(u, v) >= 0.0
+
+
+class TestScaledDistance:
+    def test_scales_by_weight(self):
+        d = ScaledDistance(2.5)
+        assert d(10, 4) == pytest.approx(15.0)
+
+    def test_rejects_non_positive_weight(self):
+        with pytest.raises(MetricSpaceError):
+            ScaledDistance(0.0)
+        with pytest.raises(MetricSpaceError):
+            ScaledDistance(-1.0)
+
+    def test_rejects_non_finite_weight(self):
+        with pytest.raises(MetricSpaceError):
+            ScaledDistance(math.inf)
+
+    @given(st.floats(min_value=1e-3, max_value=1e3), finite_floats, finite_floats)
+    def test_remains_a_metric(self, weight, u, v):
+        d = ScaledDistance(weight)
+        assert d(u, v) == d(v, u)
+        assert d(u, u) == 0.0
+
+    def test_repr_mentions_weight(self):
+        assert "2.0" in repr(ScaledDistance(2.0))
+
+
+class TestDiscreteDistance:
+    def test_zero_iff_equal(self):
+        assert discrete_distance(5, 5) == 0.0
+        assert discrete_distance(5, 6) == 1.0
+
+    @given(finite_floats, finite_floats, finite_floats)
+    def test_triangle_inequality(self, u, v, w):
+        assert discrete_distance(u, w) <= (
+            discrete_distance(u, v) + discrete_distance(v, w)
+        )
+
+
+class TestEuclideanDistance:
+    def test_pythagoras(self):
+        assert euclidean_distance((0, 0), (3, 4)) == pytest.approx(5.0)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(MetricSpaceError):
+            euclidean_distance((1, 2), (1, 2, 3))
+
+    @given(
+        st.lists(finite_floats, min_size=1, max_size=5),
+        st.lists(finite_floats, min_size=1, max_size=5),
+    )
+    def test_symmetry(self, u, v):
+        n = min(len(u), len(v))
+        u, v = u[:n], v[:n]
+        assert euclidean_distance(u, v) == pytest.approx(euclidean_distance(v, u))
+
+
+class TestCheckMetricAxioms:
+    def test_accepts_real_metrics(self):
+        samples = [-10.0, -1.0, 0.0, 3.5, 100.0]
+        check_metric_axioms(absolute_distance, samples)
+        check_metric_axioms(discrete_distance, samples)
+        check_metric_axioms(ScaledDistance(3.0), samples)
+
+    def test_rejects_asymmetric_function(self):
+        with pytest.raises(MetricSpaceError, match="symmetry"):
+            check_metric_axioms(lambda u, v: max(u - v, 0.0), [0.0, 1.0, 2.0])
+
+    def test_rejects_nonzero_self_distance(self):
+        with pytest.raises(MetricSpaceError, match="identity"):
+            check_metric_axioms(lambda u, v: 1.0, [0.0, 1.0])
+
+    def test_rejects_triangle_violation(self):
+        # Squared difference violates the triangle inequality.
+        with pytest.raises(MetricSpaceError, match="triangle"):
+            check_metric_axioms(
+                lambda u, v: (u - v) ** 2, [0.0, 1.0, 2.0]
+            )
+
+    def test_rejects_negative_distance(self):
+        def negative(u, v):
+            if u == v:
+                return 0.0
+            return -1.0
+
+        with pytest.raises(MetricSpaceError):
+            check_metric_axioms(negative, [0.0, 1.0])
+
+    @given(st.lists(finite_floats, min_size=2, max_size=6, unique=True))
+    def test_absolute_distance_always_validates(self, samples):
+        check_metric_axioms(absolute_distance, samples, tolerance=1e-6)

@@ -1,0 +1,62 @@
+"""Pluggable distance functions at the engine level."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bounds import TransactionBounds
+from repro.core.metric import ScaledDistance, discrete_distance
+from repro.engine.database import Database
+from repro.engine.manager import TransactionManager
+from repro.engine.results import Granted, Rejected
+
+
+@pytest.fixture
+def db() -> Database:
+    db = Database()
+    db.create_many((i, 1_000.0) for i in range(1, 6))
+    return db
+
+
+class TestScaledDistanceManager:
+    def test_import_charged_in_scaled_units(self, db):
+        # Inconsistency measured in cents while values are in dollars.
+        manager = TransactionManager(db, distance=ScaledDistance(100.0))
+        update = manager.begin("update", TransactionBounds(export_limit=1e12))
+        manager.write(update, 1, 1_003.0)  # +3 dollars, staged
+        query = manager.begin(
+            "query", TransactionBounds(import_limit=500.0)
+        )
+        outcome = manager.read(query, 1)
+        assert isinstance(outcome, Granted)
+        assert outcome.inconsistency == 300.0  # 3 dollars = 300 cents
+        assert query.imported == 300.0
+
+    def test_scaled_bound_rejection(self, db):
+        manager = TransactionManager(db, distance=ScaledDistance(100.0))
+        update = manager.begin("update", TransactionBounds(export_limit=1e12))
+        manager.write(update, 1, 1_010.0)  # 10 dollars = 1000 cents
+        query = manager.begin(
+            "query", TransactionBounds(import_limit=500.0)
+        )
+        outcome = manager.read(query, 1)
+        # 1000 cents > TIL 500: cannot admit; the query is younger than
+        # the writer so strict ordering says wait.
+        assert not isinstance(outcome, Granted)
+
+
+class TestDiscreteDistanceManager:
+    def test_counts_divergent_views(self, db):
+        # Under the discrete metric, the TIL reads as "at most k reads may
+        # view any divergence at all".
+        manager = TransactionManager(db, distance=discrete_distance)
+        update = manager.begin("update", TransactionBounds(export_limit=1e12))
+        manager.write(update, 1, 2_000.0)
+        manager.write(update, 2, 2_000.0)
+        manager.write(update, 3, 2_000.0)
+        query = manager.begin("query", TransactionBounds(import_limit=2.0))
+        assert isinstance(manager.read(query, 1), Granted)
+        assert isinstance(manager.read(query, 2), Granted)
+        assert query.imported == 2.0
+        third = manager.read(query, 3)
+        assert not isinstance(third, Granted)  # the third stale view is over budget

@@ -1,0 +1,93 @@
+"""The in-memory database and its startup file format."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.bounds import ObjectBounds
+from repro.engine.database import Database
+from repro.errors import SpecificationError, UnknownObjectError
+
+
+class TestPopulation:
+    def test_create_and_get(self):
+        db = Database()
+        db.create_object(1, 100.0)
+        assert db.get(1).committed_value == 100.0
+        assert 1 in db
+        assert len(db) == 1
+
+    def test_duplicate_id_rejected(self):
+        db = Database()
+        db.create_object(1, 100.0)
+        with pytest.raises(SpecificationError):
+            db.create_object(1, 200.0)
+
+    def test_unknown_object(self):
+        with pytest.raises(UnknownObjectError):
+            Database().get(404)
+
+    def test_create_many(self):
+        db = Database()
+        db.create_many(((i, float(i)) for i in range(5)))
+        assert len(db) == 5
+        assert sorted(db.object_ids()) == [0, 1, 2, 3, 4]
+
+    def test_create_with_group(self):
+        db = Database()
+        db.catalog.add_group("hot")
+        db.create_object(1, 0.0, group="hot")
+        assert db.catalog.group_of(1) == "hot"
+
+    def test_snapshot_and_total(self):
+        db = Database()
+        db.create_many([(1, 10.0), (2, 20.0)])
+        assert db.committed_snapshot() == {1: 10.0, 2: 20.0}
+        assert db.total_committed_value() == 30.0
+
+
+class TestStartupFile:
+    def test_round_trip(self, tmp_path):
+        db = Database()
+        db.catalog.add_group("company")
+        db.catalog.add_group("com1", parent="company")
+        db.create_object(1, 5_000.0, ObjectBounds(100.0, 50.0), group="com1")
+        db.create_object(2, 6_000.0)
+        path = tmp_path / "startup.db"
+        db.write_startup_file(path)
+
+        loaded = Database.from_startup_file(path)
+        assert loaded.committed_snapshot() == db.committed_snapshot()
+        assert loaded.get(1).bounds == ObjectBounds(100.0, 50.0)
+        assert math.isinf(loaded.get(2).bounds.import_limit)
+        assert loaded.catalog.path(1) == ("com1", "company", "<transaction>")
+
+    def test_comments_and_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "s.db"
+        path.write_text("# header\n\n1 100\n2 200 inf inf\n", encoding="utf-8")
+        db = Database.from_startup_file(path)
+        assert len(db) == 2
+
+    def test_group_lines(self, tmp_path):
+        path = tmp_path / "s.db"
+        path.write_text(
+            "group company\ngroup com1 company\n1 100 inf inf com1\n",
+            encoding="utf-8",
+        )
+        db = Database.from_startup_file(path)
+        assert db.catalog.parent_of("com1") == "company"
+        assert db.catalog.group_of(1) == "com1"
+
+    def test_bad_line_reports_position(self, tmp_path):
+        path = tmp_path / "s.db"
+        path.write_text("1 abc\n", encoding="utf-8")
+        with pytest.raises(SpecificationError, match="s.db:1"):
+            Database.from_startup_file(path)
+
+    def test_bad_group_line(self, tmp_path):
+        path = tmp_path / "s.db"
+        path.write_text("group a b c d\n", encoding="utf-8")
+        with pytest.raises(SpecificationError):
+            Database.from_startup_file(path)

@@ -1,0 +1,242 @@
+"""The ESR-enhanced decisions: the paper's three relaxation cases."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bounds import TransactionBounds
+from repro.core.hierarchy import GroupCatalog
+from repro.engine.esr import esr_read_decision, esr_write_decision
+from repro.engine.objects import DataObject
+from repro.engine.results import (
+    CASE_LATE_READ,
+    CASE_LATE_WRITE,
+    CASE_READ_UNCOMMITTED,
+    Granted,
+    MustWait,
+    Rejected,
+)
+from repro.engine.timestamps import Timestamp
+from repro.engine.transactions import TransactionKind, TransactionState
+
+
+def ts(t: float) -> Timestamp:
+    return Timestamp(t, 0, 0)
+
+
+def make_txn(
+    kind: str, when: float, til: float = 0.0, tel: float = 0.0, txn_id: int = 1
+) -> TransactionState:
+    return TransactionState(
+        transaction_id=txn_id,
+        kind=TransactionKind(kind),
+        timestamp=ts(when),
+        bounds=TransactionBounds(import_limit=til, export_limit=tel),
+        catalog=GroupCatalog(),
+    )
+
+
+def committed_write(obj: DataObject, writer: int, when: float, value: float):
+    obj.stage_write(writer, ts(when), value)
+    obj.commit_write()
+
+
+class TestCase1LateRead:
+    """A query read older than the last committed write."""
+
+    def test_admitted_within_bounds(self):
+        obj = DataObject(1, 5_000.0)
+        committed_write(obj, 9, 20, 5_400.0)
+        query = make_txn("query", 10, til=1_000.0)
+        outcome = esr_read_decision(obj, query)
+        # proper value for ts=10 is the initial 5000, present is 5400.
+        assert outcome == Granted(
+            value=5_400.0, inconsistency=400.0, esr_case=CASE_LATE_READ
+        )
+        assert query.account.total == 400.0
+
+    def test_rejected_past_til(self):
+        obj = DataObject(1, 5_000.0)
+        committed_write(obj, 9, 20, 5_400.0)
+        query = make_txn("query", 10, til=300.0)
+        outcome = esr_read_decision(obj, query)
+        assert isinstance(outcome, Rejected)
+        assert outcome.reason == "bound-violation"
+        assert query.account.total == 0.0
+
+    def test_rejected_past_oil(self):
+        from repro.core.bounds import ObjectBounds
+
+        obj = DataObject(1, 5_000.0, ObjectBounds(import_limit=100.0))
+        committed_write(obj, 9, 20, 5_400.0)
+        query = make_txn("query", 10, til=1_000_000.0)
+        outcome = esr_read_decision(obj, query)
+        assert isinstance(outcome, Rejected)
+        assert outcome.violated_level == "object"
+
+    def test_per_transaction_oil_override(self):
+        from repro.core.bounds import ObjectBounds
+
+        obj = DataObject(1, 5_000.0, ObjectBounds(import_limit=100.0))
+        committed_write(obj, 9, 20, 5_400.0)
+        query = make_txn("query", 10, til=1_000_000.0)
+        query.object_limits[1] = 500.0  # override the server-side OIL
+        outcome = esr_read_decision(obj, query)
+        assert isinstance(outcome, Granted)
+
+    def test_zero_divergence_is_not_inconsistent(self):
+        obj = DataObject(1, 5_000.0)
+        committed_write(obj, 9, 20, 5_000.0)  # same value rewritten
+        query = make_txn("query", 10, til=0.0)
+        outcome = esr_read_decision(obj, query)
+        assert isinstance(outcome, Granted)
+        assert outcome.esr_case is None
+        assert outcome.inconsistency == 0.0
+
+    def test_proper_value_uses_version_list(self):
+        obj = DataObject(1, 1_000.0)
+        committed_write(obj, 2, 5, 2_000.0)
+        committed_write(obj, 3, 20, 9_000.0)
+        query = make_txn("query", 10, til=100_000.0)
+        outcome = esr_read_decision(obj, query)
+        # proper for ts=10 is the write at ts=5 (2000), present is 9000.
+        assert outcome.inconsistency == 7_000.0
+
+
+class TestCase2ReadUncommitted:
+    """A query read of a pending uncommitted write."""
+
+    def test_admitted_within_bounds(self):
+        obj = DataObject(1, 5_000.0)
+        obj.stage_write(9, ts(5), 5_300.0)
+        query = make_txn("query", 10, til=1_000.0)
+        outcome = esr_read_decision(obj, query)
+        assert outcome == Granted(
+            value=5_300.0, inconsistency=300.0, esr_case=CASE_READ_UNCOMMITTED
+        )
+
+    def test_bound_violation_falls_back_to_wait(self):
+        obj = DataObject(1, 5_000.0)
+        obj.stage_write(9, ts(5), 9_999.0)
+        query = make_txn("query", 10, til=10.0)
+        outcome = esr_read_decision(obj, query)
+        assert outcome == MustWait(blocking_transaction=9)
+
+    def test_bound_violation_on_late_read_rejects(self):
+        obj = DataObject(1, 5_000.0)
+        obj.stage_write(9, ts(20), 9_999.0)
+        query = make_txn("query", 10, til=10.0)
+        outcome = esr_read_decision(obj, query)
+        assert isinstance(outcome, Rejected)
+
+    def test_proper_value_excludes_the_pending_write(self):
+        obj = DataObject(1, 5_000.0)
+        committed_write(obj, 2, 5, 6_000.0)
+        obj.stage_write(9, ts(8), 8_000.0)
+        query = make_txn("query", 10, til=100_000.0)
+        outcome = esr_read_decision(obj, query)
+        # proper = committed 6000 (ts 5 < 10); present = staged 8000.
+        assert outcome.inconsistency == 2_000.0
+
+    def test_update_reads_are_never_relaxed(self):
+        obj = DataObject(1, 5_000.0)
+        obj.stage_write(9, ts(5), 5_300.0)
+        update = make_txn("update", 10, tel=1_000_000.0, txn_id=2)
+        outcome = esr_read_decision(obj, update)
+        assert outcome == MustWait(blocking_transaction=9)
+
+    def test_reading_own_write(self):
+        obj = DataObject(1, 5_000.0)
+        obj.stage_write(3, ts(10), 7_777.0)
+        update = make_txn("update", 10, txn_id=3)
+        assert esr_read_decision(obj, update) == Granted(value=7_777.0)
+
+
+class TestCase3LateWrite:
+    """An update write older than a query read's timestamp."""
+
+    def _setup(self, til_reader_proper: float = 5_000.0) -> DataObject:
+        obj = DataObject(1, til_reader_proper)
+        # A query with a newer timestamp has read the object.
+        obj.record_read(50, ts(20), True, til_reader_proper)
+        return obj
+
+    def test_admitted_within_bounds(self):
+        obj = self._setup()
+        update = make_txn("update", 10, tel=1_000.0, txn_id=2)
+        outcome = esr_write_decision(obj, update, 5_400.0)
+        assert outcome == Granted(inconsistency=400.0, esr_case=CASE_LATE_WRITE)
+        assert update.account.total == 400.0
+
+    def test_export_is_max_over_readers(self):
+        obj = DataObject(1, 5_000.0)
+        obj.record_read(50, ts(20), True, 5_000.0)
+        obj.record_read(51, ts(21), True, 4_000.0)
+        update = make_txn("update", 10, tel=10_000.0, txn_id=2)
+        outcome = esr_write_decision(obj, update, 5_500.0)
+        assert outcome.inconsistency == 1_500.0  # max(500, 1500)
+
+    def test_sum_policy(self):
+        obj = DataObject(1, 5_000.0)
+        obj.record_read(50, ts(20), True, 5_000.0)
+        obj.record_read(51, ts(21), True, 4_000.0)
+        update = make_txn("update", 10, tel=10_000.0, txn_id=2)
+        outcome = esr_write_decision(obj, update, 5_500.0, export_policy="sum")
+        assert outcome.inconsistency == 2_000.0
+
+    def test_rejected_past_tel(self):
+        obj = self._setup()
+        update = make_txn("update", 10, tel=100.0, txn_id=2)
+        outcome = esr_write_decision(obj, update, 5_400.0)
+        assert isinstance(outcome, Rejected)
+        assert outcome.reason == "bound-violation"
+
+    def test_rejected_past_oel(self):
+        from repro.core.bounds import ObjectBounds
+
+        obj = DataObject(1, 5_000.0, ObjectBounds(export_limit=100.0))
+        obj.record_read(50, ts(20), True, 5_000.0)
+        update = make_txn("update", 10, tel=1_000_000.0, txn_id=2)
+        outcome = esr_write_decision(obj, update, 5_400.0)
+        assert isinstance(outcome, Rejected)
+        assert outcome.violated_level == "object"
+
+    def test_not_relaxed_when_last_reader_was_update(self):
+        obj = DataObject(1, 5_000.0)
+        obj.record_read(50, ts(20), False, 5_000.0)
+        update = make_txn("update", 10, tel=1_000_000.0, txn_id=2)
+        outcome = esr_write_decision(obj, update, 5_400.0)
+        assert isinstance(outcome, Rejected)
+        assert outcome.reason == "late-write"
+
+    def test_committed_readers_export_nothing(self):
+        # rts is newer but the reader registry is empty (query committed):
+        # per the paper, export is measured against *uncommitted* readers.
+        obj = DataObject(1, 5_000.0)
+        obj.record_read(50, ts(20), True, 5_000.0)
+        obj.forget_reader(50)
+        update = make_txn("update", 10, tel=0.0, txn_id=2)
+        outcome = esr_write_decision(obj, update, 9_999.0)
+        assert isinstance(outcome, Granted)
+        assert outcome.inconsistency == 0.0
+
+    def test_write_write_conflicts_never_relaxed(self):
+        obj = DataObject(1, 5_000.0)
+        obj.stage_write(9, ts(5), 6_000.0)
+        update = make_txn("update", 10, tel=1_000_000.0, txn_id=2)
+        assert esr_write_decision(obj, update, 7_000.0) == MustWait(9)
+        late = make_txn("update", 2, tel=1_000_000.0, txn_id=3)
+        assert isinstance(esr_write_decision(obj, late, 7_000.0), Rejected)
+
+    def test_write_late_wrt_committed_write_rejected(self):
+        obj = DataObject(1, 5_000.0)
+        committed_write(obj, 9, 20, 6_000.0)
+        update = make_txn("update", 10, tel=1_000_000.0, txn_id=2)
+        assert isinstance(esr_write_decision(obj, update, 7_000.0), Rejected)
+
+    def test_in_order_write_granted_without_charge(self):
+        obj = DataObject(1, 5_000.0)
+        obj.record_read(50, ts(5), True, 5_000.0)
+        update = make_txn("update", 10, tel=0.0, txn_id=2)
+        outcome = esr_write_decision(obj, update, 9_999.0)
+        assert outcome == Granted()

@@ -1,0 +1,134 @@
+"""The importing-updates extension (beyond the paper).
+
+The paper studies consistent update ETs only, noting that "update ETs
+can view inconsistent data the same way query ETs do".  An update begun
+with ``allow_inconsistent_reads=True`` and a non-zero import limit reads
+through conflicts like a query; everything else about it (export
+accounting, write conflicts) is unchanged.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bounds import TransactionBounds
+from repro.engine.database import Database
+from repro.engine.manager import TransactionManager
+from repro.engine.results import Granted, MustWait, Rejected
+
+
+@pytest.fixture
+def manager() -> TransactionManager:
+    db = Database()
+    db.create_many((i, 1_000.0) for i in range(1, 6))
+    return TransactionManager(db)
+
+
+BOTH = TransactionBounds(import_limit=10_000.0, export_limit=10_000.0)
+
+
+class TestOptIn:
+    def test_default_updates_stay_consistent(self, manager):
+        writer = manager.begin("update", BOTH)
+        manager.write(writer, 1, 1_500.0)
+        plain = manager.begin("update", BOTH)
+        outcome = manager.read(plain, 1)
+        assert outcome == MustWait(writer.transaction_id)
+        assert plain.import_account is None
+
+    def test_opted_in_update_reads_uncommitted(self, manager):
+        writer = manager.begin("update", BOTH)
+        manager.write(writer, 1, 1_500.0)
+        relaxed = manager.begin(
+            "update", BOTH, allow_inconsistent_reads=True
+        )
+        outcome = manager.read(relaxed, 1)
+        assert isinstance(outcome, Granted)
+        assert outcome.value == 1_500.0
+        assert outcome.inconsistency == 500.0
+        assert relaxed.imported == 500.0
+
+    def test_opted_in_update_late_read(self, manager):
+        relaxed = manager.begin(
+            "update", BOTH, allow_inconsistent_reads=True
+        )
+        writer = manager.begin("update", BOTH)
+        manager.write(writer, 1, 1_200.0)
+        manager.commit(writer)
+        outcome = manager.read(relaxed, 1)  # late: newer committed write
+        assert isinstance(outcome, Granted)
+        assert outcome.inconsistency == 200.0
+
+    def test_import_limit_still_enforced(self, manager):
+        writer = manager.begin("update", BOTH)
+        manager.write(writer, 1, 9_999.0)
+        tight = manager.begin(
+            "update",
+            TransactionBounds(import_limit=100.0, export_limit=10_000.0),
+            allow_inconsistent_reads=True,
+        )
+        outcome = manager.read(tight, 1)
+        # 8,999 of divergence exceeds the 100 import limit: SR fallback.
+        assert isinstance(outcome, (MustWait, Rejected))
+
+    def test_flag_without_import_limit_is_inert(self, manager):
+        writer = manager.begin("update", BOTH)
+        manager.write(writer, 1, 1_500.0)
+        txn = manager.begin(
+            "update",
+            TransactionBounds(export_limit=10_000.0),
+            allow_inconsistent_reads=True,
+        )
+        assert txn.import_account is None
+        assert isinstance(manager.read(txn, 1), MustWait)
+
+    def test_queries_unaffected_by_flag(self, manager):
+        query = manager.begin(
+            "query",
+            TransactionBounds(import_limit=1_000.0),
+            allow_inconsistent_reads=True,
+        )
+        assert query.import_account is query.account
+
+
+class TestSeparateAccounts:
+    def test_import_and_export_tracked_independently(self, manager):
+        # The relaxed update imports on its read and exports on a late
+        # write; the two totals live in separate accounts.
+        staged = manager.begin("update", BOTH)
+        manager.write(staged, 1, 1_400.0)
+
+        relaxed = manager.begin(
+            "update", BOTH, allow_inconsistent_reads=True
+        )
+        manager.read(relaxed, 1)  # imports 400
+        assert relaxed.imported == 400.0
+        assert relaxed.exported == 0.0
+
+        # A newer query reads object 2, then the relaxed update (older
+        # than that read) writes it: a case-3 export.
+        query = manager.begin("query", TransactionBounds(import_limit=1e9))
+        manager.read(query, 2)
+        outcome = manager.write(relaxed, 2, 1_250.0)
+        assert isinstance(outcome, Granted)
+        assert relaxed.exported == 250.0
+        assert relaxed.imported == 400.0  # unchanged by the write
+
+        manager.abort(staged)
+        manager.abort(query)
+
+    def test_propagation_is_authorised_but_visible(self, manager):
+        # The imported error can flow into written values: read a staged
+        # 1_500 (divergence 500) and write it elsewhere.  The system's
+        # job is accounting, not prevention — by design.
+        staged = manager.begin("update", BOTH)
+        manager.write(staged, 1, 1_500.0)
+        relaxed = manager.begin(
+            "update", BOTH, allow_inconsistent_reads=True
+        )
+        value = manager.read(relaxed, 1).value
+        manager.write(relaxed, 3, value)
+        manager.commit(relaxed)
+        manager.abort(staged)  # the source value never commits!
+        assert manager.database.get(3).committed_value == 1_500.0
+        assert manager.database.get(1).committed_value == 1_000.0

@@ -1,0 +1,171 @@
+"""Transaction-manager lifecycles: effects, recovery, metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bounds import TransactionBounds
+from repro.engine.manager import TransactionManager
+from repro.engine.results import Granted, MustWait, Rejected
+from repro.engine.transactions import TransactionStatus
+from repro.errors import InvalidOperation, SpecificationError, UnknownObjectError
+
+
+class TestLifecycle:
+    def test_read_write_commit(self, manager):
+        txn = manager.begin("update", TransactionBounds(0, 0))
+        read = manager.read(txn, 3)
+        assert read == Granted(value=3_000.0)
+        assert isinstance(manager.write(txn, 3, 3_500.0), Granted)
+        manager.commit(txn)
+        assert txn.status is TransactionStatus.COMMITTED
+        assert manager.database.get(3).committed_value == 3_500.0
+
+    def test_abort_restores_values(self, manager):
+        txn = manager.begin("update")
+        manager.write(txn, 3, 9_999.0)
+        assert manager.database.get(3).present_value == 9_999.0
+        manager.abort(txn)
+        assert manager.database.get(3).present_value == 3_000.0
+        assert txn.status is TransactionStatus.ABORTED
+
+    def test_query_cannot_write(self, manager):
+        query = manager.begin("query")
+        with pytest.raises(InvalidOperation):
+            manager.write(query, 3, 1.0)
+
+    def test_operations_on_finished_transaction_rejected(self, manager):
+        txn = manager.begin("update")
+        manager.commit(txn)
+        with pytest.raises(InvalidOperation):
+            manager.read(txn, 3)
+
+    def test_abort_is_idempotent_after_rejection(self, manager):
+        # A rejection auto-aborts; a client abort afterwards is a no-op.
+        writer = manager.begin("update")
+        manager.write(writer, 3, 1.0)
+        manager.commit(writer)
+        late = manager.begin("update")
+        object.__setattr__(late, "timestamp", writer.timestamp._replace(seq=0))
+        outcome = manager.write(late, 3, 2.0)
+        assert isinstance(outcome, Rejected)
+        assert late.status is TransactionStatus.ABORTED
+        manager.abort(late)  # no error
+        assert manager.metrics.aborts == 1
+
+    def test_cannot_abort_committed(self, manager):
+        txn = manager.begin("update")
+        manager.commit(txn)
+        with pytest.raises(InvalidOperation):
+            manager.abort(txn)
+
+    def test_unknown_object(self, manager):
+        txn = manager.begin("query")
+        with pytest.raises(UnknownObjectError):
+            manager.read(txn, 404)
+
+    def test_unknown_protocol_rejected(self, small_db):
+        with pytest.raises(SpecificationError):
+            TransactionManager(small_db, protocol="mvcc")
+
+    def test_begin_accepts_epsilon_level(self, manager):
+        from repro.core.bounds import HIGH_EPSILON
+
+        query = manager.begin("query", HIGH_EPSILON)
+        assert query.bounds.import_limit == 100_000.0
+
+
+class TestConcurrentBehaviour:
+    def test_query_imports_from_concurrent_update(self, manager):
+        query = manager.begin("query", TransactionBounds(import_limit=1_000.0))
+        update = manager.begin("update")
+        manager.write(update, 5, 5_200.0)  # uncommitted
+        outcome = manager.read(query, 5)
+        assert isinstance(outcome, Granted)
+        assert outcome.value == 5_200.0
+        assert outcome.inconsistency == 200.0
+        assert query.imported == 200.0
+        assert manager.metrics.inconsistent_operations == 1
+
+    def test_sr_protocol_waits_instead(self, sr_manager):
+        update = sr_manager.begin("update")
+        sr_manager.write(update, 5, 5_200.0)
+        query = sr_manager.begin("query")  # younger than the writer
+        outcome = sr_manager.read(query, 5)
+        assert outcome == MustWait(update.transaction_id)
+        assert sr_manager.metrics.waits == 1
+
+    def test_wait_registry_fires_on_commit(self, manager):
+        update = manager.begin("update")
+        manager.write(update, 5, 9_999.0)
+        query = manager.begin("query", TransactionBounds(import_limit=0.0))
+        outcome = manager.read(query, 5)
+        assert isinstance(outcome, MustWait)
+        woken = []
+        manager.waits.subscribe(
+            outcome.blocking_transaction, lambda: woken.append(True)
+        )
+        manager.commit(update)
+        assert woken == [True]
+
+    def test_export_charged_to_update(self, manager):
+        query = manager.begin("query", TransactionBounds(import_limit=1e6))
+        manager.read(query, 5)  # registers the query as a reader
+        update = manager.begin("update", TransactionBounds(export_limit=1e6))
+        # Force the update to be older than the query's read timestamp.
+        object.__setattr__(
+            update, "timestamp", query.timestamp._replace(seq=0)
+        )
+        outcome = manager.write(update, 5, 5_700.0)
+        assert isinstance(outcome, Granted)
+        assert update.exported == 700.0
+
+    def test_query_commit_clears_reader_registry(self, manager):
+        query = manager.begin("query", TransactionBounds(import_limit=1e6))
+        manager.read(query, 5)
+        assert manager.database.get(5).query_readers
+        manager.commit(query)
+        assert not manager.database.get(5).query_readers
+
+    def test_query_abort_clears_reader_registry(self, manager):
+        query = manager.begin("query", TransactionBounds(import_limit=1e6))
+        manager.read(query, 5)
+        manager.abort(query)
+        assert not manager.database.get(5).query_readers
+
+    def test_active_transactions_tracking(self, manager):
+        a = manager.begin("query")
+        b = manager.begin("update")
+        assert set(manager.active_transactions()) == {a, b}
+        manager.commit(a)
+        manager.abort(b)
+        assert manager.active_transactions() == ()
+
+
+class TestMetricsIntegration:
+    def test_commit_counters(self, manager):
+        q = manager.begin("query")
+        manager.read(q, 1)
+        manager.commit(q)
+        u = manager.begin("update")
+        manager.write(u, 1, 1.0)
+        manager.commit(u)
+        snapshot = manager.metrics.snapshot()
+        assert snapshot.commits == 2
+        assert snapshot.commits_query == 1
+        assert snapshot.commits_update == 1
+        assert snapshot.reads == 1
+        assert snapshot.writes == 1
+
+    def test_abort_reason_recorded(self, manager):
+        txn = manager.begin("update")
+        manager.abort(txn, "testing")
+        assert manager.metrics.aborts_by_reason["testing"] == 1
+
+    def test_operations_per_commit(self, manager):
+        u = manager.begin("update")
+        manager.read(u, 1)
+        manager.read(u, 2)
+        manager.write(u, 1, 5.0)
+        manager.commit(u)
+        assert manager.metrics.snapshot().operations_per_commit == 3.0

@@ -1,0 +1,82 @@
+"""The metrics collector and its snapshots."""
+
+from __future__ import annotations
+
+from repro.engine.metrics import MetricsCollector
+from repro.engine.results import CASE_LATE_READ, CASE_READ_UNCOMMITTED
+
+
+class TestMetricsCollector:
+    def test_reads_and_cases(self):
+        metrics = MetricsCollector()
+        metrics.record_read(None)
+        metrics.record_read(CASE_LATE_READ)
+        metrics.record_read(CASE_READ_UNCOMMITTED)
+        assert metrics.reads == 3
+        assert metrics.inconsistent_operations == 2
+        assert metrics.inconsistent_by_case[CASE_LATE_READ] == 1
+
+    def test_total_operations(self):
+        metrics = MetricsCollector()
+        metrics.record_read(None)
+        metrics.record_write(None)
+        metrics.record_write(None)
+        assert metrics.total_operations == 3
+
+    def test_commit_bookkeeping(self):
+        metrics = MetricsCollector()
+        metrics.record_commit(True, imported=120.0, exported=0.0)
+        metrics.record_commit(False, imported=0.0, exported=30.0)
+        snapshot = metrics.snapshot()
+        assert snapshot.commits == 2
+        assert snapshot.commits_query == 1
+        assert snapshot.commits_update == 1
+        assert snapshot.total_imported == 120.0
+        assert snapshot.total_exported == 30.0
+
+    def test_abort_reasons(self):
+        metrics = MetricsCollector()
+        metrics.record_abort("late-read")
+        metrics.record_abort("late-read")
+        metrics.record_abort("bound-violation")
+        snapshot = metrics.snapshot()
+        assert snapshot.aborts == 3
+        assert snapshot.aborts_by_reason == {
+            "late-read": 2,
+            "bound-violation": 1,
+        }
+
+    def test_snapshot_is_detached(self):
+        metrics = MetricsCollector()
+        metrics.record_read(None)
+        snapshot = metrics.snapshot()
+        metrics.record_read(None)
+        assert snapshot.reads == 1
+        assert metrics.reads == 2
+
+    def test_derived_ratios(self):
+        metrics = MetricsCollector()
+        for _ in range(4):
+            metrics.record_read(None)
+        metrics.record_commit(True, 0, 0)
+        metrics.record_commit(True, 0, 0)
+        metrics.record_abort("x")
+        snapshot = metrics.snapshot()
+        assert snapshot.operations_per_commit == 2.0
+        assert snapshot.abort_rate == 0.5
+
+    def test_ratios_with_zero_commits(self):
+        snapshot = MetricsCollector().snapshot()
+        assert snapshot.operations_per_commit == 0.0
+        assert snapshot.abort_rate == 0.0
+
+    def test_reset(self):
+        metrics = MetricsCollector()
+        metrics.record_read(None)
+        metrics.record_wait()
+        metrics.record_rejection()
+        metrics.reset()
+        snapshot = metrics.snapshot()
+        assert snapshot.reads == 0
+        assert snapshot.waits == 0
+        assert snapshot.rejected_operations == 0

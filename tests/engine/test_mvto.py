@@ -1,0 +1,150 @@
+"""Multi-version timestamp ordering (the section 5.1 contrast)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bounds import HIGH_EPSILON, TransactionBounds
+from repro.engine.database import Database
+from repro.engine.manager import TransactionManager
+from repro.engine.mvto import MVTOManager
+from repro.engine.results import Granted, MustWait, Rejected
+from repro.errors import InvalidOperation
+
+
+@pytest.fixture
+def manager() -> MVTOManager:
+    db = Database()
+    db.create_many((i, 1_000.0 * i) for i in range(1, 6))
+    return MVTOManager(db)
+
+
+class TestVersionedReads:
+    def test_plain_read_write_commit(self, manager):
+        txn = manager.begin("update")
+        assert manager.read(txn, 2) == Granted(value=2_000.0)
+        manager.write(txn, 2, 2_100.0)
+        manager.commit(txn)
+        assert manager.database.get(2).committed_value == 2_100.0
+
+    def test_old_reader_gets_old_version(self, manager):
+        # This is the defining MVTO behaviour the paper contrasts with:
+        # a late read is served the *old* value rather than aborting.
+        query = manager.begin("query")
+        update = manager.begin("update")
+        manager.write(update, 3, 3_700.0)
+        manager.commit(update)
+        outcome = manager.read(query, 3)
+        assert outcome == Granted(value=3_000.0)  # pre-update version
+
+    def test_new_reader_gets_new_version(self, manager):
+        update = manager.begin("update")
+        manager.write(update, 3, 3_700.0)
+        manager.commit(update)
+        query = manager.begin("query")
+        assert manager.read(query, 3) == Granted(value=3_700.0)
+
+    def test_query_reads_never_wait_on_uncommitted(self, manager):
+        update = manager.begin("update")
+        manager.write(update, 3, 3_700.0)  # staged, uncommitted
+        query = manager.begin("query")
+        outcome = manager.read(query, 3)
+        assert outcome == Granted(value=3_000.0)  # committed version
+        manager.commit(update)
+
+    def test_update_reads_own_staged_write(self, manager):
+        update = manager.begin("update")
+        manager.write(update, 3, 3_700.0)
+        assert manager.read(update, 3) == Granted(value=3_700.0)
+
+    def test_query_result_is_exact_as_of_start(self, manager):
+        query = manager.begin("query")
+        expected = sum(1_000.0 * i for i in range(1, 6))
+        total = 0.0
+        for object_id in range(1, 6):
+            update = manager.begin("update")
+            manager.write(update, object_id, 1.0)
+            manager.commit(update)
+            total += manager.read(query, object_id).value
+        manager.commit(query)
+        assert total == expected  # untouched by the interleaved updates
+
+
+class TestWriteRules:
+    def test_write_invalidating_newer_read_rejected(self, manager):
+        stale = manager.begin("update")
+        query = manager.begin("query")
+        manager.read(query, 4)  # newer reader observed the old version
+        outcome = manager.write(stale, 4, 4_100.0)
+        assert isinstance(outcome, Rejected)
+        assert not stale.is_active
+
+    def test_write_write_waits(self, manager):
+        a = manager.begin("update")
+        manager.write(a, 4, 4_100.0)
+        b = manager.begin("update")
+        assert manager.write(b, 4, 4_200.0) == MustWait(a.transaction_id)
+
+    def test_older_write_against_staged_rejected(self, manager):
+        a = manager.begin("update")
+        b = manager.begin("update")
+        manager.write(b, 4, 4_200.0)
+        outcome = manager.write(a, 4, 4_100.0)
+        assert isinstance(outcome, Rejected)
+
+    def test_query_cannot_write(self, manager):
+        query = manager.begin("query")
+        with pytest.raises(InvalidOperation):
+            manager.write(query, 1, 1.0)
+
+    def test_abort_discards_staged_version(self, manager):
+        update = manager.begin("update")
+        manager.write(update, 4, 9_999.0)
+        manager.abort(update)
+        query = manager.begin("query")
+        assert manager.read(query, 4) == Granted(value=4_000.0)
+
+
+class TestFreshnessContrast:
+    def test_mvto_returns_old_data_where_esr_returns_bounded_new(self):
+        """The paper's point in one test: same schedule, different trade."""
+
+        def build(manager_cls, **kwargs):
+            db = Database()
+            db.create_object(1, 5_000.0)
+            return manager_cls(db, **kwargs)
+
+        mvto = build(MVTOManager)
+        esr = build(TransactionManager)
+
+        for manager, bounds in ((mvto, None), (esr, HIGH_EPSILON)):
+            query = manager.begin("query", bounds or TransactionBounds())
+            update = manager.begin("update", HIGH_EPSILON)
+            manager.write(update, 1, 5_400.0)
+            manager.commit(update)
+            outcome = manager.read(query, 1)
+            if manager is mvto:
+                assert outcome.value == 5_000.0  # exact but old
+                assert outcome.inconsistency == 0.0
+            else:
+                assert outcome.value == 5_400.0  # current, error <= TIL
+                assert outcome.inconsistency == 400.0
+
+
+class TestVersionTrimming:
+    def test_chain_capped(self):
+        db = Database()
+        db.create_object(1, 0.0)
+        manager = MVTOManager(db)
+        for i in range(200):
+            update = manager.begin("update")
+            manager.write(update, 1, float(i))
+            manager.commit(update)
+        chain = manager._store[1].versions
+        assert len(chain) <= 64
+        # Readers older than the retained window get the oldest version.
+        ancient = manager.begin("query")
+        object.__setattr__(
+            ancient, "timestamp", chain[0].wts._replace(seq=0)
+        )
+        assert isinstance(manager.read(ancient, 1), Granted)

@@ -1,0 +1,66 @@
+"""The wait registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.scheduler import WaitRegistry
+
+
+class TestWaitRegistry:
+    def test_fire_invokes_and_drains(self):
+        registry = WaitRegistry()
+        calls = []
+        registry.subscribe(7, lambda: calls.append("a"))
+        registry.subscribe(7, lambda: calls.append("b"))
+        assert registry.fire(7) == 2
+        assert calls == ["a", "b"]
+        assert registry.fire(7) == 0  # drained
+
+    def test_fire_unknown_is_noop(self):
+        assert WaitRegistry().fire(99) == 0
+
+    def test_waiting_on_introspection(self):
+        registry = WaitRegistry()
+        registry.subscribe(7, lambda: None, waiter_transaction=3)
+        assert registry.waiting_on(3) == 7
+        registry.fire(7)
+        assert registry.waiting_on(3) is None
+
+    def test_pending_waiters_count(self):
+        registry = WaitRegistry()
+        registry.subscribe(1, lambda: None)
+        registry.subscribe(2, lambda: None)
+        registry.subscribe(2, lambda: None)
+        assert registry.pending_waiters() == 3
+
+    def test_callback_may_resubscribe(self):
+        registry = WaitRegistry()
+        calls = []
+
+        def chain():
+            calls.append("first")
+            registry.subscribe(8, lambda: calls.append("second"))
+
+        registry.subscribe(7, chain)
+        registry.fire(7)
+        registry.fire(8)
+        assert calls == ["first", "second"]
+
+    def test_acyclic_wait_chain_passes(self):
+        registry = WaitRegistry()
+        registry.subscribe(2, lambda: None, waiter_transaction=3)
+        registry.subscribe(1, lambda: None, waiter_transaction=2)
+        registry.assert_no_cycle()
+
+    def test_cycle_detection(self):
+        registry = WaitRegistry()
+        registry.subscribe(2, lambda: None, waiter_transaction=1)
+        registry.subscribe(1, lambda: None, waiter_transaction=2)
+        with pytest.raises(AssertionError, match="cycle"):
+            registry.assert_no_cycle()
+
+    def test_repr(self):
+        registry = WaitRegistry()
+        registry.subscribe(1, lambda: None)
+        assert "pending=1" in repr(registry)

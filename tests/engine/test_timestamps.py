@@ -1,0 +1,68 @@
+"""Timestamp ordering and generation."""
+
+from __future__ import annotations
+
+from hypothesis import given, strategies as st
+
+from repro.engine.timestamps import GENESIS, Timestamp, TimestampGenerator
+
+
+class TestTimestamp:
+    def test_total_order_by_ticks_first(self):
+        assert Timestamp(1, 9, 9) < Timestamp(2, 0, 0)
+
+    def test_site_breaks_ties(self):
+        assert Timestamp(5, 1, 0) < Timestamp(5, 2, 0)
+
+    def test_seq_breaks_remaining_ties(self):
+        assert Timestamp(5, 1, 1) < Timestamp(5, 1, 2)
+
+    def test_genesis_older_than_everything(self):
+        assert GENESIS < Timestamp(-1e30, -1, 0)
+
+    def test_str_is_compact(self):
+        assert str(Timestamp(5.0, 2, 3)) == "5@2.3"
+
+    @given(
+        st.tuples(st.floats(-1e9, 1e9, allow_nan=False), st.integers(0, 99), st.integers(0, 99)),
+        st.tuples(st.floats(-1e9, 1e9, allow_nan=False), st.integers(0, 99), st.integers(0, 99)),
+    )
+    def test_trichotomy(self, a, b):
+        ta, tb = Timestamp(*a), Timestamp(*b)
+        assert (ta < tb) + (ta == tb) + (ta > tb) == 1
+
+
+class TestTimestampGenerator:
+    def test_strictly_increasing_without_clock(self):
+        gen = TimestampGenerator(site=1)
+        stamps = [gen.next() for _ in range(100)]
+        assert stamps == sorted(stamps)
+        assert len(set(stamps)) == 100
+
+    def test_unique_under_stalled_clock(self):
+        gen = TimestampGenerator(site=1, clock=lambda: 42.0)
+        stamps = [gen.next() for _ in range(10)]
+        assert len(set(stamps)) == 10
+        assert stamps == sorted(stamps)
+
+    def test_clock_stepping_backwards_is_clamped(self):
+        readings = iter([100.0, 50.0, 120.0])
+        gen = TimestampGenerator(site=1, clock=lambda: next(readings))
+        t1 = gen.next()
+        t2 = gen.next()
+        t3 = gen.next()
+        assert t1 < t2 < t3
+        assert t2.ticks == 100.0  # clamped, not 50
+
+    def test_distinct_sites_never_collide(self):
+        gen_a = TimestampGenerator(site=1, clock=lambda: 7.0)
+        gen_b = TimestampGenerator(site=2, clock=lambda: 7.0)
+        stamps = {gen_a.next() for _ in range(5)} | {
+            gen_b.next() for _ in range(5)
+        }
+        assert len(stamps) == 10
+
+    def test_repr(self):
+        gen = TimestampGenerator(site=3)
+        gen.next()
+        assert "site=3" in repr(gen)

@@ -1,0 +1,107 @@
+"""The strict-TSO (SR baseline) decision matrix."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bounds import TransactionBounds
+from repro.core.hierarchy import GroupCatalog
+from repro.engine.objects import DataObject
+from repro.engine.results import Granted, MustWait, Rejected
+from repro.engine.timestamps import Timestamp
+from repro.engine.transactions import TransactionKind, TransactionState
+from repro.engine.tso import sr_read_decision, sr_write_decision
+
+
+def ts(t: float) -> Timestamp:
+    return Timestamp(t, 0, 0)
+
+
+def make_txn(kind: str, when: float, txn_id: int = 1) -> TransactionState:
+    return TransactionState(
+        transaction_id=txn_id,
+        kind=TransactionKind(kind),
+        timestamp=ts(when),
+        bounds=TransactionBounds(),
+        catalog=GroupCatalog(),
+    )
+
+
+class TestReadDecision:
+    def test_plain_read_granted(self):
+        obj = DataObject(1, 500.0)
+        outcome = sr_read_decision(obj, make_txn("query", 10))
+        assert outcome == Granted(value=500.0)
+
+    def test_late_read_rejected(self):
+        obj = DataObject(1, 500.0)
+        obj.stage_write(9, ts(20), 600.0)
+        obj.commit_write()
+        outcome = sr_read_decision(obj, make_txn("query", 10))
+        assert isinstance(outcome, Rejected)
+        assert outcome.reason == "late-read"
+
+    def test_read_of_uncommitted_write_waits(self):
+        obj = DataObject(1, 500.0)
+        obj.stage_write(9, ts(5), 600.0)
+        outcome = sr_read_decision(obj, make_txn("query", 10))
+        assert outcome == MustWait(blocking_transaction=9)
+
+    def test_read_older_than_uncommitted_write_rejected(self):
+        obj = DataObject(1, 500.0)
+        obj.stage_write(9, ts(20), 600.0)
+        outcome = sr_read_decision(obj, make_txn("query", 10))
+        assert isinstance(outcome, Rejected)
+
+    def test_reading_own_staged_write(self):
+        obj = DataObject(1, 500.0)
+        obj.stage_write(1, ts(10), 700.0)
+        outcome = sr_read_decision(obj, make_txn("update", 10, txn_id=1))
+        assert outcome == Granted(value=700.0)
+
+
+class TestWriteDecision:
+    def test_plain_write_granted(self):
+        obj = DataObject(1, 500.0)
+        assert sr_write_decision(obj, make_txn("update", 10)) == Granted()
+
+    def test_write_late_wrt_committed_write_rejected(self):
+        obj = DataObject(1, 500.0)
+        obj.stage_write(9, ts(20), 600.0)
+        obj.commit_write()
+        outcome = sr_write_decision(obj, make_txn("update", 10))
+        assert isinstance(outcome, Rejected)
+        assert outcome.reason == "late-write"
+
+    def test_write_late_wrt_read_rejected(self):
+        obj = DataObject(1, 500.0)
+        obj.record_read(5, ts(20), True, 500.0)
+        outcome = sr_write_decision(obj, make_txn("update", 10))
+        assert isinstance(outcome, Rejected)
+        assert outcome.reason == "late-write"
+
+    def test_write_over_uncommitted_write_waits(self):
+        obj = DataObject(1, 500.0)
+        obj.stage_write(9, ts(5), 600.0)
+        outcome = sr_write_decision(obj, make_txn("update", 10))
+        assert outcome == MustWait(blocking_transaction=9)
+
+    def test_write_older_than_uncommitted_write_rejected(self):
+        obj = DataObject(1, 500.0)
+        obj.stage_write(9, ts(20), 600.0)
+        outcome = sr_write_decision(obj, make_txn("update", 10))
+        assert isinstance(outcome, Rejected)
+
+
+class TestNoDeadlockInvariant:
+    @pytest.mark.parametrize("decision", [sr_read_decision])
+    def test_waits_only_point_at_older_transactions(self, decision):
+        """A MustWait is only ever issued when the waiter is younger."""
+        obj = DataObject(1, 500.0)
+        obj.stage_write(9, ts(5), 600.0)
+        younger = make_txn("query", 10)
+        outcome = decision(obj, younger)
+        assert isinstance(outcome, MustWait)
+        # The same conflict from an older transaction must NOT wait.
+        older = make_txn("query", 2)
+        assert not isinstance(decision(obj, older), MustWait)

@@ -1,0 +1,182 @@
+"""Two-phase-locking divergence control (the Wu et al. alternative)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bounds import TransactionBounds
+from repro.engine.database import Database
+from repro.engine.results import Granted, MustWait, Rejected
+from repro.engine.twopl import REASON_DEADLOCK, TwoPhaseManager
+from repro.errors import InvalidOperation
+
+HIGH = TransactionBounds(import_limit=100_000.0, export_limit=10_000.0)
+ZERO = TransactionBounds()
+
+
+@pytest.fixture
+def manager() -> TwoPhaseManager:
+    db = Database()
+    db.create_many((i, 1_000.0 * i) for i in range(1, 6))
+    return TwoPhaseManager(db)
+
+
+@pytest.fixture
+def strict() -> TwoPhaseManager:
+    db = Database()
+    db.create_many((i, 1_000.0 * i) for i in range(1, 6))
+    return TwoPhaseManager(db, relaxed=False)
+
+
+class TestPlainLocking:
+    def test_read_write_commit(self, manager):
+        txn = manager.begin("update", HIGH)
+        assert manager.read(txn, 2) == Granted(value=2_000.0)
+        assert isinstance(manager.write(txn, 2, 2_100.0), Granted)
+        manager.commit(txn)
+        assert manager.database.get(2).committed_value == 2_100.0
+
+    def test_abort_restores_and_releases(self, manager):
+        txn = manager.begin("update", HIGH)
+        manager.write(txn, 2, 9_999.0)
+        manager.abort(txn)
+        assert manager.database.get(2).committed_value == 2_000.0
+        other = manager.begin("update", HIGH)
+        assert isinstance(manager.write(other, 2, 2_050.0), Granted)
+
+    def test_query_cannot_write(self, manager):
+        query = manager.begin("query", HIGH)
+        with pytest.raises(InvalidOperation):
+            manager.write(query, 1, 1.0)
+
+    def test_write_write_conflicts_wait(self, manager):
+        a = manager.begin("update", HIGH)
+        manager.write(a, 3, 3_100.0)
+        b = manager.begin("update", HIGH)
+        outcome = manager.write(b, 3, 3_200.0)
+        assert outcome == MustWait(a.transaction_id)
+
+    def test_update_reads_never_relaxed(self, manager):
+        writer = manager.begin("update", HIGH)
+        manager.write(writer, 3, 3_100.0)
+        reader = manager.begin("update", HIGH)
+        assert manager.read(reader, 3) == MustWait(writer.transaction_id)
+
+
+class TestImportRelaxation:
+    def test_query_reads_through_x_lock(self, manager):
+        writer = manager.begin("update", HIGH)
+        manager.write(writer, 3, 3_400.0)
+        query = manager.begin("query", HIGH)
+        outcome = manager.read(query, 3)
+        assert isinstance(outcome, Granted)
+        assert outcome.value == 3_400.0
+        assert outcome.inconsistency == 400.0
+        assert query.imported == 400.0
+
+    def test_zero_bounds_wait_instead(self, manager):
+        writer = manager.begin("update", HIGH)
+        manager.write(writer, 3, 3_400.0)
+        query = manager.begin("query", ZERO)
+        assert manager.read(query, 3) == MustWait(writer.transaction_id)
+
+    def test_strict_manager_never_relaxes(self, strict):
+        writer = strict.begin("update", HIGH)
+        strict.write(writer, 3, 3_400.0)
+        query = strict.begin("query", HIGH)
+        assert strict.read(query, 3) == MustWait(writer.transaction_id)
+
+    def test_oil_binds_read_through(self, manager):
+        from repro.core.bounds import ObjectBounds
+
+        db = manager.database
+        db.get(3).bounds = ObjectBounds(import_limit=100.0)
+        writer = manager.begin("update", HIGH)
+        manager.write(writer, 3, 3_400.0)
+        query = manager.begin("query", HIGH)
+        assert manager.read(query, 3) == MustWait(writer.transaction_id)
+
+
+class TestExportRelaxation:
+    def test_update_writes_past_query_readers(self, manager):
+        query = manager.begin("query", HIGH)
+        manager.read(query, 4)
+        update = manager.begin("update", HIGH)
+        outcome = manager.write(update, 4, 4_300.0)
+        assert isinstance(outcome, Granted)
+        assert outcome.inconsistency == 300.0
+        assert update.exported == 300.0
+
+    def test_tel_exhausted_waits(self, manager):
+        query = manager.begin("query", HIGH)
+        manager.read(query, 4)
+        update = manager.begin(
+            "update", TransactionBounds(export_limit=100.0)
+        )
+        assert manager.write(update, 4, 4_300.0) == MustWait(
+            query.transaction_id
+        )
+
+    def test_never_past_update_readers(self, manager):
+        reader = manager.begin("update", HIGH)
+        manager.read(reader, 4)
+        update = manager.begin("update", HIGH)
+        assert manager.write(update, 4, 4_300.0) == MustWait(
+            reader.transaction_id
+        )
+
+
+class TestDeadlockHandling:
+    def _park(self, manager, txn, blocker) -> None:
+        """Simulate the runtime registering the wait edge."""
+        manager.waits.subscribe(
+            blocker.transaction_id,
+            lambda: None,
+            waiter_transaction=txn.transaction_id,
+        )
+
+    def test_two_cycle_detected(self, strict):
+        a = strict.begin("update", HIGH)
+        b = strict.begin("update", HIGH)
+        strict.write(a, 1, 1.0)
+        strict.write(b, 2, 2.0)
+        outcome = strict.write(a, 2, 3.0)
+        assert outcome == MustWait(b.transaction_id)
+        self._park(strict, a, b)
+        outcome = strict.write(b, 1, 4.0)
+        assert isinstance(outcome, Rejected)
+        assert outcome.reason == REASON_DEADLOCK
+        assert not b.is_active  # the victim was aborted
+
+    def test_victim_release_unblocks_survivor(self, strict):
+        a = strict.begin("update", HIGH)
+        b = strict.begin("update", HIGH)
+        strict.write(a, 1, 1.0)
+        strict.write(b, 2, 2.0)
+        strict.write(a, 2, 3.0)
+        self._park(strict, a, b)
+        strict.write(b, 1, 4.0)  # deadlock: b aborted, locks released
+        assert isinstance(strict.write(a, 2, 3.0), Granted)
+        strict.commit(a)
+
+    def test_chain_without_cycle_waits(self, strict):
+        a = strict.begin("update", HIGH)
+        b = strict.begin("update", HIGH)
+        c = strict.begin("update", HIGH)
+        strict.write(a, 1, 1.0)
+        strict.write(b, 2, 2.0)
+        outcome = strict.write(c, 2, 5.0)
+        assert outcome == MustWait(b.transaction_id)
+        self._park(strict, c, b)
+        outcome = strict.write(b, 1, 6.0)
+        assert outcome == MustWait(a.transaction_id)  # b->a, no cycle
+
+
+class TestMetricsParity:
+    def test_same_counters_as_tso_manager(self, manager):
+        query = manager.begin("query", HIGH)
+        manager.read(query, 1)
+        manager.commit(query)
+        snapshot = manager.metrics.snapshot()
+        assert snapshot.commits_query == 1
+        assert snapshot.reads == 1

@@ -1,0 +1,75 @@
+"""The wait-vs-abort strict-ordering policy (paper section 4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bounds import TransactionBounds
+from repro.engine.database import Database
+from repro.engine.manager import TransactionManager
+from repro.engine.results import MustWait, Rejected
+from repro.errors import SpecificationError
+
+
+def build(wait_policy: str) -> TransactionManager:
+    db = Database()
+    db.create_many((i, 1_000.0) for i in range(1, 4))
+    return TransactionManager(db, wait_policy=wait_policy)
+
+
+class TestWaitPolicy:
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(SpecificationError, match="wait policy"):
+            build("retry")
+
+    def test_wait_policy_parks_the_reader(self):
+        manager = build("wait")
+        writer = manager.begin("update")
+        manager.write(writer, 1, 1_500.0)
+        reader = manager.begin("query", TransactionBounds())
+        outcome = manager.read(reader, 1)
+        assert outcome == MustWait(writer.transaction_id)
+        assert reader.is_active
+        assert manager.metrics.waits == 1
+
+    def test_abort_policy_rejects_the_reader(self):
+        manager = build("abort")
+        writer = manager.begin("update")
+        manager.write(writer, 1, 1_500.0)
+        reader = manager.begin("query", TransactionBounds())
+        outcome = manager.read(reader, 1)
+        assert isinstance(outcome, Rejected)
+        assert outcome.reason == "conflict-abort"
+        assert not reader.is_active  # auto-aborted for resubmission
+        assert manager.metrics.waits == 0
+        assert manager.metrics.aborts_by_reason["conflict-abort"] == 1
+
+    def test_abort_policy_applies_to_writes_too(self):
+        manager = build("abort")
+        first = manager.begin("update")
+        manager.write(first, 2, 2_000.0)
+        second = manager.begin("update")
+        outcome = manager.write(second, 2, 2_100.0)
+        assert isinstance(outcome, Rejected)
+        assert outcome.reason == "conflict-abort"
+
+    def test_abort_policy_leaves_grants_untouched(self):
+        manager = build("abort")
+        txn = manager.begin("update")
+        assert manager.read(txn, 1).value == 1_000.0
+        manager.write(txn, 1, 1_100.0)
+        manager.commit(txn)
+        assert manager.database.get(1).committed_value == 1_100.0
+
+    def test_esr_admission_bypasses_the_policy(self):
+        # With bounds, the conflicting read is admitted rather than
+        # waited on, so the policy never engages.
+        manager = build("abort")
+        writer = manager.begin("update")
+        manager.write(writer, 1, 1_500.0)
+        reader = manager.begin(
+            "query", TransactionBounds(import_limit=1_000.0)
+        )
+        outcome = manager.read(reader, 1)
+        assert outcome.value == 1_500.0
+        assert reader.is_active

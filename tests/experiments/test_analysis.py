@@ -1,0 +1,87 @@
+"""Shape-analysis helpers, exercised on synthetic curves."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.analysis import (
+    dominates,
+    peak_x,
+    thrashing_point,
+)
+from repro.experiments.figures import FigureResult, Series
+from repro.experiments.runner import Estimate
+
+
+def series(label: str, xs, ys) -> Series:
+    return Series(
+        label=label,
+        x=tuple(float(x) for x in xs),
+        y=tuple(Estimate.from_samples([y]) for y in ys),
+    )
+
+
+class TestThrashingPoint:
+    def test_clean_peak(self):
+        s = series("s", range(1, 8), [2, 4, 6, 8, 7, 6, 5])
+        assert thrashing_point(s) == 4.0
+
+    def test_plateau_means_no_thrashing(self):
+        s = series("s", range(1, 8), [2, 4, 6, 8, 8, 8, 8])
+        assert thrashing_point(s) is None
+
+    def test_knee_within_tolerance_counts(self):
+        s = series("s", range(1, 6), [2, 4, 7.8, 8, 7])
+        assert thrashing_point(s, tolerance=0.05) == 3.0
+
+    def test_monotone_curve_never_thrashes(self):
+        s = series("s", range(1, 6), [1, 2, 3, 4, 5])
+        assert thrashing_point(s, tolerance=0.0) is None
+
+    def test_small_dip_within_tolerance_is_not_thrashing(self):
+        s = series("s", range(1, 6), [2, 6, 10, 9.8, 9.9])
+        assert thrashing_point(s, tolerance=0.05) is None
+
+
+class TestPeakX:
+    def test_interior_peak(self):
+        s = series("s", [0, 1, 2, 4, 8], [3, 5, 9, 7, 6])
+        assert peak_x(s) == 2.0
+
+    def test_first_of_ties(self):
+        s = series("s", [0, 1, 2], [5, 9, 9])
+        assert peak_x(s) == 1.0
+
+
+class TestDominates:
+    def test_strict_domination(self):
+        upper = series("u", [1, 2, 3], [10, 12, 14])
+        lower = series("l", [1, 2, 3], [5, 6, 7])
+        assert dominates(upper, lower)
+        assert not dominates(lower, upper)
+
+    def test_slack_allows_small_dips(self):
+        upper = series("u", [1, 2, 3], [10, 9.7, 10])
+        lower = series("l", [1, 2, 3], [10, 10, 10])
+        assert dominates(upper, lower, slack=0.05)
+        assert not dominates(upper, lower, slack=0.01)
+
+    def test_from_x_ignores_warmup_region(self):
+        upper = series("u", [1, 2, 3], [1, 12, 14])
+        lower = series("l", [1, 2, 3], [5, 6, 7])
+        assert not dominates(upper, lower)
+        assert dominates(upper, lower, from_x=2.0)
+
+
+class TestFigureResult:
+    def test_series_lookup(self):
+        figure = FigureResult(
+            figure_id="figX",
+            title="t",
+            x_label="x",
+            y_label="y",
+            series=(series("a", [1], [1]), series("b", [1], [2])),
+        )
+        assert figure.series_by_label("b").means() == (2.0,)
+        with pytest.raises(KeyError):
+            figure.series_by_label("c")

@@ -1,0 +1,50 @@
+"""The hierarchical-bounds extension study (tiny plans)."""
+
+from __future__ import annotations
+
+from repro.experiments.config import MeasurementPlan
+from repro.experiments.extensions import (
+    ext_hierarchy,
+    hierarchy_settings,
+    hierarchy_study,
+)
+from repro.workload.generator import HOT_GROUP
+from repro.workload.spec import WorkloadSpec
+
+TINY_PLAN = MeasurementPlan(
+    duration_ms=2_500.0,
+    warmup_ms=0.0,
+    repetitions=1,
+    workload=WorkloadSpec(n_objects=40, hot_set_size=8, n_partitions=4),
+)
+
+
+class TestHierarchySettings:
+    def test_settings_shape(self):
+        settings = hierarchy_settings(TINY_PLAN.workload)
+        assert settings["flat (no groups)"] is None
+        loose = dict(settings["loose groups"])
+        assert HOT_GROUP in loose
+        # One limit per partition subgroup plus the hot group itself.
+        assert len(loose) == TINY_PLAN.workload.n_partitions + 1
+
+
+class TestHierarchyStudy:
+    def test_study_and_figure(self):
+        study = hierarchy_study(TINY_PLAN, mpl=3)
+        assert set(study) == set(hierarchy_settings(TINY_PLAN.workload))
+        for measurement in study.values():
+            assert measurement.throughput.mean > 0
+        figure = ext_hierarchy(TINY_PLAN, study=study)
+        assert figure.figure_id == "ext_hierarchy"
+        assert [s.label for s in figure.series] == [
+            "throughput (tx/s)",
+            "aborts",
+        ]
+        assert len(figure.series[0].x) == len(study)
+
+    def test_tight_limits_admit_less_inconsistency(self):
+        study = hierarchy_study(TINY_PLAN, mpl=4)
+        flat = study["flat (no groups)"].inconsistent_operations.mean
+        tight = study["tight groups"].inconsistent_operations.mean
+        assert tight <= flat

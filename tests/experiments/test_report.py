@@ -1,0 +1,92 @@
+"""Rendering of tables, charts, and markdown sections."""
+
+from __future__ import annotations
+
+import math
+
+from repro.experiments.figures import FigureResult, Series
+from repro.experiments.report import (
+    ascii_chart,
+    figure_markdown,
+    figure_table,
+    format_table,
+)
+from repro.experiments.runner import Estimate
+
+
+def toy_figure() -> FigureResult:
+    def est(*samples):
+        return Estimate.from_samples(list(samples))
+
+    return FigureResult(
+        figure_id="fig7",
+        title="Throughput vs Multiprogramming Level",
+        x_label="multiprogramming level",
+        y_label="throughput",
+        series=(
+            Series("zero-epsilon", (1.0, 2.0, 3.0), (est(2), est(3, 4), est(3))),
+            Series("low-epsilon", (1.0, 2.0, 3.0), (est(2), est(5), est(6))),
+            Series("medium-epsilon", (1.0, 2.0, 3.0), (est(2), est(5.5), est(7))),
+            Series("high-epsilon", (1.0, 2.0, 3.0), (est(2), est(6), est(8))),
+        ),
+        notes="toy data",
+    )
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["a", "bbb"], [[1, 2], [333, 4]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+        assert all(len(line) == len(lines[0]) for line in lines[1:])
+
+
+class TestFigureTable:
+    def test_contains_all_series_and_points(self):
+        text = figure_table(toy_figure())
+        assert "zero-epsilon" in text
+        assert "high-epsilon" in text
+        # CI half-width shown only where repetitions disagreed.
+        assert "3.50±" in text
+
+    def test_handles_infinite_x(self):
+        figure = FigureResult(
+            "fig12",
+            "t",
+            "oil",
+            "tput",
+            series=(
+                Series(
+                    "TIL=10000",
+                    (0.0, 1.0, math.inf),
+                    tuple(Estimate.from_samples([v]) for v in (1, 2, 3)),
+                ),
+            ),
+        )
+        assert "inf" in figure_table(figure)
+
+
+class TestAsciiChart:
+    def test_contains_marks_and_legend(self):
+        chart = ascii_chart(toy_figure())
+        assert "o zero-epsilon" in chart
+        assert "* high-epsilon" in chart
+        assert "Throughput vs Multiprogramming Level" in chart
+
+    def test_dimensions_respected(self):
+        chart = ascii_chart(toy_figure(), width=30, height=8)
+        # Line 0 is the title; the next `height` lines are the plot body.
+        body = chart.splitlines()[1 : 1 + 8]
+        assert len(body) == 8
+        assert body[0].lstrip().startswith("8")  # y-max label
+        assert all("|" in line or "+" in line for line in body)
+
+
+class TestFigureMarkdown:
+    def test_structure(self):
+        text = figure_markdown(toy_figure(), "paper expects X")
+        assert text.startswith("### fig7")
+        assert "**Paper:** paper expects X" in text
+        assert "```" in text
+        assert "Shape checks" in text

@@ -1,0 +1,49 @@
+"""The EXPERIMENTS.md generator, on a micro measurement plan."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import MeasurementPlan
+from repro.experiments.reportgen import (
+    PAPER_EXPECTATIONS,
+    generate_experiments_markdown,
+)
+from repro.workload.spec import WorkloadSpec
+
+MICRO_PLAN = MeasurementPlan(
+    duration_ms=1_200.0,
+    warmup_ms=0.0,
+    repetitions=1,
+    workload=WorkloadSpec(n_objects=30, hot_set_size=6, n_partitions=3),
+)
+
+
+class TestExpectations:
+    def test_every_figure_has_an_expectation(self):
+        assert set(PAPER_EXPECTATIONS) == {
+            f"fig{n}" for n in range(7, 14)
+        }
+
+    def test_expectations_quote_the_claims(self):
+        assert "thrashing point" in PAPER_EXPECTATIONS["fig7"]
+        assert "intermediate OIL" in PAPER_EXPECTATIONS["fig12"]
+
+
+@pytest.mark.slow
+class TestGeneration:
+    def test_full_document_structure(self):
+        progress: list[str] = []
+        text = generate_experiments_markdown(MICRO_PLAN, progress=progress.append)
+        # Every section present.
+        assert "# EXPERIMENTS — paper vs. measured" in text
+        assert "## Table 1" in text
+        for figure_id in PAPER_EXPECTATIONS:
+            assert f"### {figure_id}" in text
+        assert "### ext_hierarchy" in text
+        assert "Engine comparison" in text
+        assert "MVTO" in text
+        # Progress callbacks fired for the long phases.
+        assert any("MPL study" in line for line in progress)
+        # No placeholder markers leaked.
+        assert "None" not in text.split("## Figures")[0]

@@ -1,0 +1,99 @@
+"""Estimates, confidence intervals, and the measurement runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.config import MeasurementPlan
+from repro.experiments.runner import Estimate, measure, student_t_90
+from repro.sim.system import SimulationConfig
+from repro.workload.spec import WorkloadSpec
+
+TINY = WorkloadSpec(n_objects=40, hot_set_size=8, n_partitions=4)
+
+
+class TestStudentT:
+    def test_known_values(self):
+        assert student_t_90(1) == pytest.approx(6.314)
+        assert student_t_90(10) == pytest.approx(1.812)
+        assert student_t_90(29) == pytest.approx(1.699)
+
+    def test_large_sample_asymptote(self):
+        assert student_t_90(500) == pytest.approx(1.645)
+
+    def test_degenerate(self):
+        import math
+
+        assert math.isnan(student_t_90(0))
+
+
+class TestEstimate:
+    def test_single_sample_has_zero_width(self):
+        estimate = Estimate.from_samples([42.0])
+        assert estimate.mean == 42.0
+        assert estimate.half_width == 0.0
+
+    def test_identical_samples_have_zero_width(self):
+        estimate = Estimate.from_samples([5.0, 5.0, 5.0])
+        assert estimate.half_width == 0.0
+
+    def test_known_interval(self):
+        # n=3, mean=10, sample variance=1 -> hw = 2.920 * sqrt(1/3).
+        estimate = Estimate.from_samples([9.0, 10.0, 11.0])
+        assert estimate.mean == 10.0
+        assert estimate.half_width == pytest.approx(2.920 / (3**0.5))
+
+    def test_relative_half_width(self):
+        estimate = Estimate.from_samples([9.0, 11.0])
+        assert estimate.relative_half_width == estimate.half_width / 10.0
+
+    def test_format(self):
+        estimate = Estimate.from_samples([1.0, 2.0])
+        assert "±" in f"{estimate:.1f}"
+
+
+class TestMeasurementPlan:
+    def test_seed_sequence(self):
+        plan = MeasurementPlan(repetitions=3, base_seed=10)
+        assert plan.seeds() == (10, 11, 12)
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            MeasurementPlan(repetitions=0)
+        with pytest.raises(ExperimentError):
+            MeasurementPlan(duration_ms=1_000.0, warmup_ms=2_000.0)
+
+
+class TestMeasure:
+    def test_aggregates_repetitions(self):
+        plan = MeasurementPlan(
+            duration_ms=3_000.0,
+            warmup_ms=300.0,
+            repetitions=2,
+            workload=TINY,
+        )
+        config = SimulationConfig(mpl=2, til=100_000.0, tel=10_000.0)
+        measurement = measure(config, plan)
+        assert len(measurement.runs) == 2
+        assert measurement.throughput.mean > 0
+        assert len(measurement.throughput.samples) == 2
+        # The plan's workload overrode the config's default.
+        assert measurement.config.workload is TINY
+
+    def test_metric_lookup(self):
+        plan = MeasurementPlan(
+            duration_ms=2_000.0, warmup_ms=0.0, repetitions=1, workload=TINY
+        )
+        measurement = measure(SimulationConfig(mpl=1), plan)
+        assert measurement.metric("throughput") is measurement.throughput
+        with pytest.raises(AttributeError):
+            measurement.metric("config")
+
+    def test_progress_callback(self):
+        plan = MeasurementPlan(
+            duration_ms=2_000.0, warmup_ms=0.0, repetitions=2, workload=TINY
+        )
+        seen = []
+        measure(SimulationConfig(mpl=1), plan, progress=seen.append)
+        assert len(seen) == 2

@@ -1,0 +1,112 @@
+"""Hierarchical bounds end-to-end: language → runtime → engine.
+
+A hierarchical program (LIMIT lines) must carry its group limits through
+compilation into the engine's ledger, on both the in-process runtime and
+the TCP prototype — and a group violation must abort the transaction
+even when the TIL has headroom.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bounds import HIGH_EPSILON, ObjectBounds
+from repro.core.hierarchy import GroupCatalog
+from repro.engine.database import Database
+from repro.errors import TransactionAborted
+from repro.lang.parser import parse_program
+from repro.net.client import RemoteConnection
+from repro.net.server import serve_forever
+from repro.runtime import LocalClient
+
+PROGRAM = parse_program(
+    "BEGIN Query TIL 10000\n"
+    "LIMIT company 4000\n"
+    "LIMIT com1 200\n"
+    "t1 = Read 101\n"
+    "t2 = Read 201\n"
+    'output("Sum is: ", t1+t2)\n'
+    "COMMIT\n"
+)
+
+
+def build_db() -> Database:
+    catalog = GroupCatalog()
+    catalog.add_group("company")
+    catalog.add_group("com1", parent="company")
+    db = Database(catalog=catalog)
+    db.create_object(101, 4_000.0, group="com1")
+    db.create_object(201, 6_000.0, group="company")
+    return db
+
+
+class TestLocalRuntime:
+    def test_clean_run_reports_sum(self):
+        client = LocalClient(build_db())
+        result, restarts = client.run_program(PROGRAM)
+        assert result.outputs == ["Sum is: 10000"]
+        assert restarts == 0
+
+    def test_group_violation_aborts_despite_til_headroom(self):
+        from repro.engine.results import Rejected
+
+        client = LocalClient(build_db())
+        # The query begins first (older timestamp); a teller then commits
+        # +500 on the com1 account, so the query's read of it arrives
+        # late, importing 500 through com1 (limit 200) although the TIL
+        # (100,000) easily covers it.
+        hier = client.manager.begin(
+            "query",
+            HIGH_EPSILON.transaction,
+            group_limits={"company": 4_000.0, "com1": 200.0},
+        )
+        with client.begin("update", HIGH_EPSILON) as teller:
+            teller.write(101, teller.read(101) + 500.0)
+        outcome = client.manager.read(hier, 101)
+        assert isinstance(outcome, Rejected)
+        assert outcome.violated_level == "com1"
+
+    def test_object_limit_override_from_program(self):
+        source = (
+            "BEGIN Query TIL 10000\n"
+            "LIMIT object 101 50\n"
+            "t1 = Read 101\n"
+            "COMMIT\n"
+        )
+        client = LocalClient(build_db())
+        program = parse_program(source)
+        from repro.lang.compiler import compile_program
+
+        compiled = compile_program(program)
+        assert compiled.object_limits == {101: 50.0}
+        result, _ = client.run_program(program)
+        assert result.reads == 1
+
+
+class TestNetworkedRuntime:
+    @pytest.fixture
+    def server(self):
+        srv = serve_forever(build_db())
+        yield srv
+        srv.shutdown()
+        srv.server_close()
+
+    def test_hierarchical_program_over_tcp(self, server):
+        with RemoteConnection("127.0.0.1", server.port) as connection:
+            result, restarts = connection.run_program(PROGRAM)
+        assert result.outputs == ["Sum is: 10000"]
+
+    def test_group_limits_transmitted_and_enforced(self, server):
+        with RemoteConnection("127.0.0.1", server.port) as connection:
+            # Pin an old timestamp for the hierarchical query, then let a
+            # teller commit +500 on the com1 account; the query's late
+            # read must be rejected at the com1 level despite TIL room.
+            query = connection.begin(
+                "query", 10_000.0, group_limits={"com1": 200.0}
+            )
+            with connection.begin("update", HIGH_EPSILON) as teller:
+                teller.write(101, teller.read(101) + 500.0)
+            with pytest.raises(TransactionAborted) as info:
+                query.read(101)
+            assert info.value.reason == "bound-violation"
+            assert "com1" in str(info.value)

@@ -1,0 +1,137 @@
+"""The program interpreter."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.lang.ast import (
+    AggregateCall,
+    BinaryOp,
+    Number,
+    Variable,
+)
+from repro.lang.eval import evaluate_expr, execute
+from repro.lang.parser import parse_program
+
+
+class RecordingSession:
+    """A fake session: reads return object_id * 10, writes are recorded."""
+
+    def __init__(self):
+        self.writes: list[tuple[int, float]] = []
+
+    def read(self, object_id: int) -> float:
+        return float(object_id) * 10.0
+
+    def write(self, object_id: int, value: float) -> None:
+        self.writes.append((object_id, value))
+
+
+class TestEvaluateExpr:
+    def test_arithmetic(self):
+        env = {"a": 10.0, "b": 4.0}
+        assert evaluate_expr(BinaryOp("+", Variable("a"), Variable("b")), env) == 14.0
+        assert evaluate_expr(BinaryOp("-", Variable("a"), Variable("b")), env) == 6.0
+        assert evaluate_expr(BinaryOp("*", Variable("a"), Variable("b")), env) == 40.0
+        assert evaluate_expr(BinaryOp("/", Variable("a"), Variable("b")), env) == 2.5
+
+    def test_division_by_zero(self):
+        with pytest.raises(EvaluationError, match="division by zero"):
+            evaluate_expr(BinaryOp("/", Number(1.0), Number(0.0)), {})
+
+    def test_unbound_variable(self):
+        with pytest.raises(EvaluationError, match="before being read"):
+            evaluate_expr(Variable("ghost"), {})
+
+    def test_aggregates(self):
+        env = {"a": 2.0, "b": 4.0, "c": 9.0}
+        args = (Variable("a"), Variable("b"), Variable("c"))
+        assert evaluate_expr(AggregateCall("sum", args), env) == 15.0
+        assert evaluate_expr(AggregateCall("avg", args), env) == 5.0
+        assert evaluate_expr(AggregateCall("min", args), env) == 2.0
+        assert evaluate_expr(AggregateCall("max", args), env) == 9.0
+
+
+class TestExecute:
+    def test_paper_update_flow(self):
+        program = parse_program(
+            "BEGIN Update TEL = 10000\n"
+            "t1 = Read 1923\n"
+            "t2 = Read 1644\n"
+            "Write 1078 , t2+3000\n"
+            "COMMIT\n"
+        )
+        session = RecordingSession()
+        result = execute(program, session)
+        assert result.reads == 2
+        assert result.writes == 1
+        assert session.writes == [(1078, 1644 * 10.0 + 3000)]
+        assert result.environment == {"t1": 19230.0, "t2": 16440.0}
+
+    def test_output_formatting(self):
+        program = parse_program(
+            'BEGIN Query TIL 1\nt1 = Read 5\noutput("Sum is: ", t1)\nCOMMIT\n'
+        )
+        result = execute(program, RecordingSession())
+        assert result.outputs == ["Sum is: 50"]
+
+    def test_output_callback(self):
+        program = parse_program(
+            'BEGIN Query TIL 1\nt1 = Read 5\noutput(t1)\nCOMMIT\n'
+        )
+        seen = []
+        execute(program, RecordingSession(), on_output=seen.append)
+        assert seen == ["50"]
+
+    def test_abort_terminator_flagged(self):
+        program = parse_program("BEGIN Query TIL 1\nt1 = Read 1\nABORT\n")
+        result = execute(program, RecordingSession())
+        assert result.aborted_by_program
+
+    def test_bare_read_discards_value(self):
+        program = parse_program("BEGIN Query TIL 1\nRead 7\nCOMMIT\n")
+        result = execute(program, RecordingSession())
+        assert result.reads == 1
+        assert result.environment == {}
+
+    def test_aggregate_guard_called_for_avg(self):
+        program = parse_program(
+            "BEGIN Query TIL 1\nt1 = Read 1\nt2 = Read 2\n"
+            "output(avg(t1, t2))\nCOMMIT\n"
+        )
+
+        class GuardedSession(RecordingSession):
+            def __init__(self):
+                super().__init__()
+                self.guarded = []
+
+            def aggregate_guard(self, name, object_ids):
+                self.guarded.append((name, tuple(object_ids)))
+
+        session = GuardedSession()
+        execute(program, session)
+        assert session.guarded == [("avg", (1, 2))]
+
+    def test_aggregate_guard_not_called_for_sum(self):
+        program = parse_program(
+            "BEGIN Query TIL 1\nt1 = Read 1\noutput(sum(t1))\nCOMMIT\n"
+        )
+
+        class GuardedSession(RecordingSession):
+            def aggregate_guard(self, name, object_ids):  # pragma: no cover
+                raise AssertionError("sum must not be guarded")
+
+        execute(program, GuardedSession())
+
+    def test_guard_rejection_propagates(self):
+        program = parse_program(
+            "BEGIN Query TIL 1\nt1 = Read 1\noutput(avg(t1))\nCOMMIT\n"
+        )
+
+        class RejectingSession(RecordingSession):
+            def aggregate_guard(self, name, object_ids):
+                raise EvaluationError("result inconsistency exceeds TIL")
+
+        with pytest.raises(EvaluationError, match="result inconsistency"):
+            execute(program, RejectingSession())

@@ -1,0 +1,86 @@
+"""The tokenizer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import LexError
+from repro.lang.lexer import tokenize
+from repro.lang.tokens import TokenType
+
+
+def kinds(source: str) -> list[str]:
+    return [t.type for t in tokenize(source)]
+
+
+class TestTokenize:
+    def test_begin_line(self):
+        tokens = tokenize("BEGIN Query TIL = 100000")
+        assert [t.type for t in tokens] == [
+            TokenType.KEYWORD,
+            TokenType.KEYWORD,
+            TokenType.KEYWORD,
+            TokenType.EQUALS,
+            TokenType.NUMBER,
+            TokenType.NEWLINE,
+            TokenType.EOF,
+        ]
+
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("begin QUERY til")
+        assert all(t.type == TokenType.KEYWORD for t in tokens[:3])
+
+    def test_identifiers_vs_keywords(self):
+        tokens = tokenize("t1 = Read 1863")
+        assert tokens[0].type == TokenType.IDENT
+        assert tokens[2].type == TokenType.KEYWORD
+        assert tokens[2].keyword == "read"
+
+    def test_operators(self):
+        assert kinds("a+b-c*d/e")[:9] == [
+            TokenType.IDENT,
+            TokenType.PLUS,
+            TokenType.IDENT,
+            TokenType.MINUS,
+            TokenType.IDENT,
+            TokenType.STAR,
+            TokenType.IDENT,
+            TokenType.SLASH,
+            TokenType.IDENT,
+        ]
+
+    def test_string_literal(self):
+        tokens = tokenize('output("Sum is: ", t1)')
+        strings = [t for t in tokens if t.type == TokenType.STRING]
+        assert strings[0].value == "Sum is: "
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError, match="unterminated"):
+            tokenize('output("oops')
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexError, match="unexpected character"):
+            tokenize("t1 = Read @99")
+
+    def test_error_carries_position(self):
+        with pytest.raises(LexError) as info:
+            tokenize("ok line\nbad @")
+        assert info.value.line == 2
+
+    def test_comments_skipped(self):
+        tokens = tokenize("t1 = Read 1 # trailing comment\n# full line\nt2 = Read 2")
+        assert sum(1 for t in tokens if t.type == TokenType.IDENT) == 2
+
+    def test_float_numbers(self):
+        tokens = tokenize("Write 1 , 2.5")
+        numbers = [t.value for t in tokens if t.type == TokenType.NUMBER]
+        assert numbers == ["1", "2.5"]
+
+    def test_consecutive_newlines_collapse(self):
+        tokens = tokenize("a\n\n\nb")
+        newline_count = sum(1 for t in tokens if t.type == TokenType.NEWLINE)
+        assert newline_count == 2  # one between, one trailing
+
+    def test_empty_source(self):
+        tokens = tokenize("")
+        assert [t.type for t in tokens] == [TokenType.EOF]

@@ -1,0 +1,175 @@
+"""The parser, exercised on the paper's own example programs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ParseError
+from repro.lang.ast import (
+    AggregateCall,
+    BinaryOp,
+    Number,
+    OutputStmt,
+    ReadStmt,
+    Variable,
+    WriteStmt,
+)
+from repro.lang.parser import parse_program, parse_script
+
+PAPER_QUERY = """\
+BEGIN Query TIL = 100000
+t1 = Read 1863
+t2 = Read 1427
+t3 = Read 1912
+t4 = Read 1543
+t5 = Read 1657
+t6 = Read 1138
+t7 = Read 1729
+t8 = Read 1336
+output("Sum is: ", t1+t2+t3+t4+t5+t6+t7+t8)
+COMMIT
+"""
+
+PAPER_UPDATE = """\
+BEGIN Update TEL = 10000
+t1 = Read 1923
+t2 = Read 1644
+Write 1078 , t2+3000
+t3 = Read 1066
+t4 = Read 1213
+Write 1727 , t3-t4+4230
+Write 1501 , t1+t4+7935
+COMMIT
+"""
+
+PAPER_HIERARCHICAL = """\
+BEGIN Query TIL 10000
+LIMIT company 4000
+LIMIT preferred 3000
+LIMIT personal 3000
+LIMIT com1 200
+t1 = Read 2745
+t2 = Read 4639
+COMMIT
+"""
+
+
+class TestPaperPrograms:
+    def test_query_example(self):
+        program = parse_program(PAPER_QUERY)
+        assert program.kind == "query"
+        assert program.transaction_limit == 100_000
+        assert program.read_count() == 8
+        assert program.write_count() == 0
+        output = program.body[-1]
+        assert isinstance(output, OutputStmt)
+        assert output.parts[0] == "Sum is: "
+
+    def test_update_example(self):
+        program = parse_program(PAPER_UPDATE)
+        assert program.kind == "update"
+        assert program.transaction_limit == 10_000
+        assert program.read_count() == 4
+        assert program.write_count() == 3
+        write = program.body[2]
+        assert isinstance(write, WriteStmt)
+        assert write.object_id == 1078
+        assert write.value == BinaryOp("+", Variable("t2"), Number(3000.0))
+
+    def test_hierarchical_example(self):
+        program = parse_program(PAPER_HIERARCHICAL)
+        assert program.group_limits == {
+            "company": 4_000.0,
+            "preferred": 3_000.0,
+            "personal": 3_000.0,
+            "com1": 200.0,
+        }
+
+    def test_equals_sign_optional(self):
+        with_eq = parse_program("BEGIN Query TIL = 5\nt1 = Read 1\nCOMMIT\n")
+        without = parse_program("BEGIN Query TIL 5\nt1 = Read 1\nCOMMIT\n")
+        assert with_eq.transaction_limit == without.transaction_limit
+
+
+class TestGrammarDetails:
+    def test_bare_read(self):
+        program = parse_program("BEGIN Query TIL 1\nRead 7\nCOMMIT\n")
+        assert program.body[0] == ReadStmt(object_id=7, target=None)
+
+    def test_object_limit_declaration(self):
+        program = parse_program(
+            "BEGIN Query TIL 1\nLIMIT object 42 99\nt1 = Read 42\nCOMMIT\n"
+        )
+        assert program.object_limits == {42: 99.0}
+
+    def test_end_is_commit(self):
+        program = parse_program("BEGIN Query TIL 1\nt1 = Read 1\nEND\n")
+        assert program.terminator == "commit"
+
+    def test_abort_terminator(self):
+        program = parse_program("BEGIN Update TEL 1\nWrite 1 , 5\nABORT\n")
+        assert program.terminator == "abort"
+
+    def test_precedence(self):
+        program = parse_program(
+            "BEGIN Update TEL 1\nWrite 1 , 2+3*4\nCOMMIT\n"
+        )
+        expr = program.body[0].value
+        assert expr == BinaryOp(
+            "+", Number(2.0), BinaryOp("*", Number(3.0), Number(4.0))
+        )
+
+    def test_parentheses(self):
+        program = parse_program(
+            "BEGIN Update TEL 1\nWrite 1 , (2+3)*4\nCOMMIT\n"
+        )
+        expr = program.body[0].value
+        assert expr == BinaryOp(
+            "*", BinaryOp("+", Number(2.0), Number(3.0)), Number(4.0)
+        )
+
+    def test_unary_minus(self):
+        program = parse_program("BEGIN Update TEL 1\nWrite 1 , -5\nCOMMIT\n")
+        assert program.body[0].value == BinaryOp("-", Number(0.0), Number(5.0))
+
+    def test_aggregate_call(self):
+        program = parse_program(
+            "BEGIN Query TIL 1\nt1 = Read 1\nt2 = Read 2\n"
+            "output(avg(t1, t2))\nCOMMIT\n"
+        )
+        call = program.body[-1].parts[0]
+        assert call == AggregateCall(
+            "avg", (Variable("t1"), Variable("t2"))
+        )
+
+    def test_kind_limit_mismatch_rejected(self):
+        with pytest.raises(ParseError, match="declares TIL"):
+            parse_program("BEGIN Query TEL 5\nt1 = Read 1\nCOMMIT\n")
+        with pytest.raises(ParseError, match="declares TEL"):
+            parse_program("BEGIN Update TIL 5\nWrite 1 , 2\nCOMMIT\n")
+
+    def test_missing_commit_rejected(self):
+        with pytest.raises(ParseError, match="missing COMMIT"):
+            parse_program("BEGIN Query TIL 5\nt1 = Read 1\n")
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ParseError, match="Query or Update"):
+            parse_program("BEGIN Batch TIL 5\nCOMMIT\n")
+
+    def test_garbage_statement_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("BEGIN Query TIL 5\n+ + +\nCOMMIT\n")
+
+    def test_trailing_input_rejected(self):
+        with pytest.raises(ParseError, match="trailing input"):
+            parse_program("BEGIN Query TIL 5\nt1 = Read 1\nCOMMIT\nextra\n")
+
+
+class TestParseScript:
+    def test_multiple_programs(self):
+        script = PAPER_QUERY + "\n" + PAPER_UPDATE
+        programs = parse_script(script)
+        assert [p.kind for p in programs] == ["query", "update"]
+
+    def test_empty_script(self):
+        assert parse_script("\n\n# just comments\n") == []

@@ -1,0 +1,115 @@
+"""Property test: format_program and parse_program are inverses."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.lang.ast import (
+    AggregateCall,
+    BinaryOp,
+    LimitDecl,
+    Number,
+    OutputStmt,
+    Program,
+    ReadStmt,
+    Variable,
+    WriteStmt,
+)
+from repro.lang.compiler import format_program
+from repro.lang.parser import parse_program
+from repro.lang.tokens import KEYWORDS
+
+_RESERVED = set(KEYWORDS) | {"object"}
+
+identifiers = st.from_regex(r"[a-z_][a-z0-9_]{0,6}", fullmatch=True).filter(
+    lambda name: name not in _RESERVED
+)
+
+numbers = st.integers(min_value=0, max_value=1_000_000).map(
+    lambda n: Number(float(n))
+)
+
+object_ids = st.integers(min_value=0, max_value=9_999)
+
+
+def expressions() -> st.SearchStrategy:
+    leaves = st.one_of(numbers, identifiers.map(Variable))
+    return st.recursive(
+        leaves,
+        lambda children: st.one_of(
+            st.builds(
+                BinaryOp,
+                st.sampled_from(["+", "-", "*", "/"]),
+                children,
+                children,
+            ),
+            st.builds(
+                AggregateCall,
+                st.sampled_from(["sum", "avg", "min", "max"]),
+                st.lists(children, min_size=1, max_size=3).map(tuple),
+            ),
+        ),
+        max_leaves=8,
+    )
+
+
+read_stmts = st.builds(
+    ReadStmt, object_id=object_ids, target=st.one_of(st.none(), identifiers)
+)
+write_stmts = st.builds(WriteStmt, object_id=object_ids, value=expressions())
+output_parts = st.one_of(
+    st.text(
+        alphabet=st.characters(
+            codec="ascii", exclude_characters='"\n\r', exclude_categories=("Cc",)
+        ),
+        max_size=20,
+    ),
+    expressions(),
+)
+output_stmts = st.builds(
+    OutputStmt, parts=st.lists(output_parts, min_size=1, max_size=3).map(tuple)
+)
+
+group_limits = st.builds(
+    LimitDecl,
+    name=identifiers,
+    value=st.integers(min_value=0, max_value=100_000).map(float),
+)
+object_limits = st.builds(
+    LimitDecl,
+    name=st.just("object"),
+    value=st.integers(min_value=0, max_value=100_000).map(float),
+    object_id=object_ids,
+)
+
+
+@st.composite
+def programs(draw) -> Program:
+    kind = draw(st.sampled_from(["query", "update"]))
+    statements = st.one_of(read_stmts, output_stmts)
+    if kind == "update":
+        statements = st.one_of(read_stmts, write_stmts, output_stmts)
+    return Program(
+        kind=kind,
+        transaction_limit=float(draw(st.integers(0, 1_000_000))),
+        limits=tuple(
+            draw(st.lists(st.one_of(group_limits, object_limits), max_size=4))
+        ),
+        body=tuple(draw(st.lists(statements, max_size=8))),
+        terminator=draw(st.sampled_from(["commit", "abort"])),
+    )
+
+
+@settings(max_examples=200)
+@given(programs())
+def test_format_then_parse_is_identity(program: Program):
+    source = format_program(program)
+    assert parse_program(source) == program
+
+
+@settings(max_examples=50)
+@given(programs())
+def test_formatting_is_stable(program: Program):
+    once = format_program(program)
+    twice = format_program(parse_program(once))
+    assert once == twice

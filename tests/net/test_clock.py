@@ -1,0 +1,58 @@
+"""Virtual clock synchronisation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.clock import VirtualClock, synchronized_generator
+
+
+class TestVirtualClock:
+    def test_unsynchronized_passthrough(self):
+        clock = VirtualClock(local_clock=lambda: 100.0)
+        assert clock.now() == 100.0
+        assert not clock.synchronized
+
+    def test_correction_factor_applied(self):
+        # Local clock is 120 s ahead of the server (the paper's two-minute
+        # skew): local reads 1120/1122 around a server reading of 1001.
+        clock = VirtualClock(local_clock=lambda: 1130.0)
+        offset = clock.synchronize(1001.0, request_sent_at=1120.0, response_at=1122.0)
+        assert offset == pytest.approx(-120.0)
+        assert clock.now() == pytest.approx(1010.0)
+        assert clock.synchronized
+
+    def test_symmetric_latency_cancels(self):
+        clock = VirtualClock(local_clock=lambda: 50.0)
+        # Request took 10 units round trip; server read halfway through.
+        clock.synchronize(45.0, 40.0, 50.0)
+        assert clock.offset == pytest.approx(0.0)
+
+    def test_repr(self):
+        clock = VirtualClock(local_clock=lambda: 0.0)
+        assert "unsynchronized" in repr(clock)
+        clock.synchronize(1.0, 0.0, 0.0)
+        assert "offset" in repr(clock)
+
+
+class TestSynchronizedGenerator:
+    def test_generator_uses_corrected_time(self):
+        clock = VirtualClock(local_clock=lambda: 11.0)
+        clock.synchronize(110.0, 10.0, 10.0)  # offset +100
+        gen = synchronized_generator(site=4, clock=clock)
+        stamp = gen.next()
+        assert stamp.site == 4
+        assert stamp.ticks == pytest.approx(111.0)
+
+    def test_two_skewed_sites_order_correctly(self):
+        # Site A's clock is 120 s ahead, site B's is exact.  After
+        # synchronisation their corrected stamps interleave properly.
+        clock_a = VirtualClock(local_clock=lambda: 1120.0)
+        clock_a.synchronize(1000.0, 1120.0, 1120.0)
+        clock_b = VirtualClock(local_clock=lambda: 1005.0)
+        clock_b.synchronize(1005.0, 1005.0, 1005.0)
+        gen_a = synchronized_generator(1, clock_a)
+        gen_b = synchronized_generator(2, clock_b)
+        stamp_a = gen_a.next()  # corrected to ~1000
+        stamp_b = gen_b.next()  # ~1005
+        assert stamp_a < stamp_b

@@ -1,0 +1,99 @@
+"""Fuzzing the wire protocol and the server dispatcher.
+
+Whatever bytes arrive, the protocol layer must either produce a message
+or raise :class:`ProtocolError` — never anything else — and the server
+dispatcher must answer every conceivable request object with a response
+dict instead of crashing the connection thread.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.engine.database import Database
+from repro.errors import ProtocolError
+from repro.net.protocol import decode_message, encode_message
+from repro.net.server import TransactionServer
+
+
+class TestDecodeFuzz:
+    @given(st.binary(max_size=200))
+    def test_arbitrary_bytes_never_crash(self, payload):
+        try:
+            message = decode_message(payload)
+        except ProtocolError:
+            return
+        assert isinstance(message, dict)
+
+    @given(
+        st.dictionaries(
+            st.text(max_size=10),
+            st.one_of(
+                st.integers(min_value=-(10**9), max_value=10**9),
+                st.floats(allow_nan=False, allow_infinity=False),
+                st.text(max_size=20),
+                st.booleans(),
+                st.none(),
+            ),
+            max_size=6,
+        )
+    )
+    def test_json_dicts_round_trip(self, message):
+        assert decode_message(encode_message(message).strip()) == message
+
+
+@pytest.fixture(scope="module")
+def server():
+    db = Database()
+    db.create_many((i, 100.0) for i in range(1, 4))
+    srv = TransactionServer(db)
+    yield srv
+    srv.server_close()
+
+
+message_values = st.one_of(
+    st.integers(min_value=-(10**6), max_value=10**6),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=10),
+    st.booleans(),
+    st.none(),
+    st.lists(st.integers(0, 100), max_size=3),
+)
+
+
+class TestDispatchFuzz:
+    @settings(max_examples=150, deadline=None)
+    @given(
+        st.dictionaries(
+            st.sampled_from(
+                ["op", "kind", "limit", "txn", "object", "value", "timestamp"]
+            ),
+            message_values,
+            max_size=5,
+        )
+    )
+    def test_dispatch_always_answers(self, server, message):
+        response = server.dispatch(message, sessions={})
+        assert isinstance(response, dict)
+        assert "ok" in response
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.sampled_from(["read", "write", "commit", "abort"]), message_values)
+    def test_operations_without_begin_are_refused(self, server, op, txn_id):
+        message = {"op": op, "txn": txn_id, "object": 1, "value": 1.0}
+        response = server.dispatch(message, sessions={})
+        assert response["ok"] is False
+
+    def test_well_formed_begin_still_works_after_fuzzing(self, server):
+        sessions = {}
+        response = server.dispatch(
+            {"op": "begin", "kind": "query", "limit": 10.0}, sessions
+        )
+        assert response["ok"] is True
+        txn_id = response["txn"]
+        read = server.dispatch(
+            {"op": "read", "txn": txn_id, "object": 1}, sessions
+        )
+        assert read["ok"] is True and read["value"] == 100.0
+        assert server.dispatch({"op": "commit", "txn": txn_id}, sessions)["ok"]

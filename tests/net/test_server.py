@@ -1,0 +1,162 @@
+"""Integration tests for the networked prototype over localhost."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core.bounds import HIGH_EPSILON, TransactionBounds
+from repro.engine.database import Database
+from repro.errors import ProtocolError, TransactionAborted
+from repro.lang.parser import parse_program
+from repro.net.client import RemoteConnection
+from repro.net.server import serve_forever
+
+
+@pytest.fixture
+def server():
+    db = Database()
+    db.create_many((i, float(i) * 100.0) for i in range(1, 21))
+    srv = serve_forever(db)
+    yield srv
+    srv.shutdown()
+    srv.server_close()
+
+
+@pytest.fixture
+def connection(server):
+    with RemoteConnection("127.0.0.1", server.port, site=1) as conn:
+        yield conn
+
+
+class TestBasicOperations:
+    def test_read_write_commit(self, server, connection):
+        with connection.begin("update", HIGH_EPSILON) as txn:
+            value = txn.read(5)
+            assert value == 500.0
+            txn.write(5, 555.0)
+        assert server.manager.database.get(5).committed_value == 555.0
+
+    def test_context_manager_aborts_on_error(self, server, connection):
+        with pytest.raises(RuntimeError):
+            with connection.begin("update", HIGH_EPSILON) as txn:
+                txn.write(5, 1.0)
+                raise RuntimeError("client bug")
+        assert server.manager.database.get(5).committed_value == 500.0
+
+    def test_query_sees_committed_data(self, connection):
+        with connection.begin("query", HIGH_EPSILON) as query:
+            assert query.read(7) == 700.0
+
+    def test_rejection_raises_transaction_aborted(self, server, connection):
+        # A second connection's query (still uncommitted) has read the
+        # object with a newer timestamp, so the stale write is a case-3
+        # conflict, and with TEL=0 its export cannot be admitted.
+        with RemoteConnection("127.0.0.1", server.port, site=2) as other:
+            stale = connection.begin("update", TransactionBounds(0, 0))
+            query = other.begin("query", 0.0)
+            query.read(3)
+            with pytest.raises(TransactionAborted):
+                stale.write(3, 1.0)
+            query.commit()
+
+    def test_unknown_transaction_id(self, server, connection):
+        from repro.net.protocol import recv_message, send_message
+
+        send_message(connection._sock, {"op": "read", "txn": 999, "object": 1})
+        response = recv_message(connection._reader)
+        assert not response["ok"]
+        assert response["error"] == "unknown-transaction"
+
+    def test_unknown_op(self, connection):
+        response = connection._request({"op": "frobnicate"})
+        assert response["error"] == "unknown-op"
+
+    def test_clock_synchronised_at_connect(self, connection):
+        assert connection.clock.synchronized
+
+
+class TestProgramExecution:
+    def test_run_program(self, connection):
+        program = parse_program(
+            "BEGIN Query TIL = 100000\n"
+            "t1 = Read 1\n"
+            "t2 = Read 2\n"
+            'output("Sum is: ", t1+t2)\n'
+            "COMMIT\n"
+        )
+        result, restarts = connection.run_program(program)
+        assert result.outputs == ["Sum is: 300"]
+        assert restarts == 0
+
+    def test_program_with_abort_terminator(self, server, connection):
+        program = parse_program(
+            "BEGIN Update TEL = 1000\nWrite 4 , 9\nABORT\n"
+        )
+        connection.run_program(program)
+        assert server.manager.database.get(4).committed_value == 400.0
+
+
+class TestConcurrentClients:
+    def test_esr_query_reads_uncommitted(self, server):
+        with RemoteConnection("127.0.0.1", server.port, site=1) as writer_conn:
+            writer = writer_conn.begin("update", HIGH_EPSILON)
+            writer.write(9, 950.0)  # uncommitted
+            with RemoteConnection("127.0.0.1", server.port, site=2) as reader_conn:
+                with reader_conn.begin("query", HIGH_EPSILON) as query:
+                    # ESR case 2: sees the uncommitted 950 immediately.
+                    assert query.read(9) == 950.0
+                    assert query.inconsistency == 50.0
+            writer.commit()
+
+    def test_sr_reader_waits_for_writer(self, server):
+        with RemoteConnection("127.0.0.1", server.port, site=1) as writer_conn:
+            writer = writer_conn.begin("update", TransactionBounds(0, 0))
+            writer.write(9, 950.0)
+            results = []
+
+            def read_with_zero_bounds():
+                with RemoteConnection(
+                    "127.0.0.1", server.port, site=2
+                ) as reader_conn:
+                    with reader_conn.begin("query", 0.0) as query:
+                        results.append(query.read(9))
+
+            thread = threading.Thread(target=read_with_zero_bounds)
+            thread.start()
+            thread.join(timeout=0.5)
+            assert thread.is_alive(), "reader should be blocked on the writer"
+            writer.commit()
+            thread.join(timeout=5.0)
+            assert results == [950.0]
+
+    def test_many_parallel_clients(self, server):
+        errors = []
+
+        def hammer(site):
+            try:
+                with RemoteConnection("127.0.0.1", server.port, site=site) as conn:
+                    for _ in range(5):
+                        program = parse_program(
+                            "BEGIN Update TEL = 10000\n"
+                            f"t1 = Read {site}\n"
+                            f"Write {site} , t1+1\n"
+                            "COMMIT\n"
+                        )
+                        conn.run_program(program)
+            except Exception as exc:  # pragma: no cover - failure reporting
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer, args=(s,)) for s in range(1, 7)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30.0)
+        assert not errors
+        # Each site incremented its own object five times.
+        for site in range(1, 7):
+            assert (
+                server.manager.database.get(site).committed_value
+                == site * 100.0 + 5
+            )

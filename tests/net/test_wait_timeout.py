@@ -1,0 +1,57 @@
+"""The server's guard against vanished lock/wait holders."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bounds import TransactionBounds
+from repro.engine.database import Database
+from repro.errors import TransactionAborted
+from repro.net.client import RemoteConnection
+from repro.net.server import TransactionServer, serve_forever
+import threading
+
+
+@pytest.fixture
+def server():
+    db = Database()
+    db.create_many((i, 100.0) for i in range(1, 4))
+    srv = TransactionServer(db, wait_timeout=0.1)
+    thread = threading.Thread(target=srv.serve_forever, daemon=True)
+    thread.start()
+    yield srv
+    srv.shutdown()
+    srv.server_close()
+
+
+class TestWaitTimeout:
+    def test_waiter_aborted_when_blocker_never_finishes(self, server):
+        with RemoteConnection("127.0.0.1", server.port, site=1) as writer_conn:
+            writer = writer_conn.begin("update", TransactionBounds(0, 0))
+            writer.write(1, 150.0)  # staged, never committed
+            with RemoteConnection("127.0.0.1", server.port, site=2) as reader_conn:
+                reader = reader_conn.begin("query", 0.0)
+                with pytest.raises(TransactionAborted) as info:
+                    reader.read(1)
+                assert info.value.reason == "wait-timeout"
+            writer.abort()
+
+    def test_wait_resolved_before_timeout_succeeds(self, server):
+        import time
+
+        with RemoteConnection("127.0.0.1", server.port, site=1) as writer_conn:
+            writer = writer_conn.begin("update", TransactionBounds(0, 0))
+            writer.write(1, 150.0)
+            results = []
+
+            def delayed_commit():
+                time.sleep(0.03)  # well inside the 0.1 s timeout
+                writer.commit()
+
+            thread = threading.Thread(target=delayed_commit)
+            thread.start()
+            with RemoteConnection("127.0.0.1", server.port, site=2) as reader_conn:
+                with reader_conn.begin("query", 0.0) as reader:
+                    results.append(reader.read(1))
+            thread.join()
+        assert results == [150.0]

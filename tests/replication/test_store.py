@@ -1,0 +1,67 @@
+"""The replicated store's bookkeeping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SpecificationError, UnknownObjectError
+from repro.replication.store import ReplicatedStore
+
+
+@pytest.fixture
+def store() -> ReplicatedStore:
+    s = ReplicatedStore(n_replicas=2)
+    s.create_object(1, 100.0)
+    s.create_object(2, 200.0)
+    return s
+
+
+class TestBasics:
+    def test_replicas_start_in_sync(self, store):
+        for replica in (0, 1):
+            assert store.replica_value(1, replica) == 100.0
+            assert store.divergence(1, replica) == 0.0
+
+    def test_validation(self, store):
+        with pytest.raises(SpecificationError):
+            ReplicatedStore(0)
+        with pytest.raises(SpecificationError):
+            store.create_object(1, 5.0)
+        with pytest.raises(UnknownObjectError):
+            store.primary_value(404)
+        with pytest.raises(SpecificationError):
+            store.replica_value(1, 9)
+
+    def test_len_and_ids(self, store):
+        assert len(store) == 2
+        assert sorted(store.object_ids()) == [1, 2]
+
+
+class TestDivergence:
+    def test_commit_creates_divergence(self, store):
+        store.commit_primary(1, 150.0)
+        assert store.primary_value(1) == 150.0
+        assert store.replica_value(1, 0) == 100.0
+        assert store.divergence(1, 0) == 50.0
+        assert store.max_divergence(1) == 50.0
+
+    def test_propagate_clears_divergence(self, store):
+        store.commit_primary(1, 150.0)
+        installed = store.propagate(1, 0)
+        assert installed == 150.0
+        assert store.divergence(1, 0) == 0.0
+        assert store.divergence(1, 1) == 50.0  # other replica still lags
+
+    def test_propagate_all(self, store):
+        store.commit_primary(1, 150.0)
+        store.commit_primary(2, 260.0)
+        store.propagate_all(1)
+        assert store.total_divergence(1) == 0.0
+        assert store.total_divergence(0) == 110.0
+
+    def test_would_diverge_to(self, store):
+        store.propagate(1, 0)
+        assert store.would_diverge_to(1, 130.0) == 30.0
+        store.commit_primary(1, 150.0)
+        store.propagate(1, 0)  # replica 0 at 150, replica 1 at 100
+        assert store.would_diverge_to(1, 160.0) == 60.0  # vs replica 1

@@ -1,0 +1,86 @@
+"""The replicated-system simulation and its ESR trade-offs."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.replication.system import ReplicationConfig, run_replication
+
+W = 2_000.0
+
+
+def run(**overrides):
+    defaults = dict(
+        duration_ms=8_000.0, seed=2, propagation_delay=200.0, n_objects=50
+    )
+    defaults.update(overrides)
+    return run_replication(ReplicationConfig(**defaults))
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            ReplicationConfig(n_replicas=0)
+        with pytest.raises(ExperimentError):
+            ReplicationConfig(duration_ms=0)
+
+
+class TestExportSide:
+    def test_zero_epsilon_is_eager_and_exact(self):
+        result = run(replica_epsilon=0.0)
+        # Every update writes through; queries never see staleness.
+        assert result.forced_syncs >= result.updates_committed
+        assert result.mean_staleness_per_query == 0.0
+
+    def test_unbounded_epsilon_is_fully_asynchronous(self):
+        result = run(replica_epsilon=math.inf)
+        assert result.forced_syncs == 0
+
+    def test_update_throughput_monotone_in_epsilon(self):
+        tight = run(replica_epsilon=0.0)
+        medium = run(replica_epsilon=2 * W)
+        loose = run(replica_epsilon=math.inf)
+        assert tight.update_throughput <= medium.update_throughput * 1.05
+        assert medium.update_throughput <= loose.update_throughput * 1.05
+
+    def test_staleness_grows_with_epsilon(self):
+        tight = run(replica_epsilon=0.0)
+        loose = run(replica_epsilon=math.inf)
+        assert loose.mean_staleness_per_query > tight.mean_staleness_per_query
+
+
+class TestImportSide:
+    def test_zero_oil_reads_are_fresh(self):
+        result = run(oil=0.0, til=math.inf)
+        assert result.mean_staleness_per_query == 0.0
+        assert result.remote_reads > 0
+
+    def test_unbounded_oil_reads_locally(self):
+        result = run(oil=math.inf, til=math.inf)
+        assert result.local_read_fraction == 1.0
+
+    def test_query_throughput_monotone_in_oil(self):
+        tight = run(oil=0.0, til=math.inf)
+        loose = run(oil=math.inf, til=math.inf)
+        assert loose.query_throughput > tight.query_throughput
+
+    def test_til_caps_total_viewed_staleness(self):
+        budget = 3 * W
+        result = run(oil=math.inf, til=budget)
+        # The per-query average cannot exceed the per-query budget.
+        assert result.mean_staleness_per_query <= budget + 1e-9
+
+
+class TestDeterminism:
+    def test_same_seed_same_result(self):
+        a = run(replica_epsilon=2 * W)
+        b = run(replica_epsilon=2 * W)
+        assert a == b
+
+    def test_different_seed_differs(self):
+        a = run(seed=2)
+        b = run(seed=3)
+        assert a != b

@@ -1,0 +1,104 @@
+"""The simulated client: program execution, restarts, outputs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.database import Database
+from repro.engine.manager import TransactionManager
+from repro.lang.parser import parse_program
+from repro.sim.client import SimClient
+from repro.sim.des import Engine
+from repro.sim.latency import PAPER_LATENCY, ZERO_LATENCY, LatencyModel
+from repro.sim.server import SimServer
+
+
+def make_system(latency=ZERO_LATENCY):
+    db = Database()
+    db.create_many((i, 100.0 * i) for i in range(1, 11))
+    engine = Engine()
+    manager = TransactionManager(db)
+    server = SimServer(manager, engine, service_time=0.0)
+    return engine, server
+
+
+def run_client(programs, latency=ZERO_LATENCY):
+    engine, server = make_system(latency)
+    client = SimClient(1, server, programs, latency=latency, seed=1)
+    process = engine.spawn(client.process())
+    engine.run_until_complete([process])
+    return engine, server, client
+
+
+class TestProgramExecution:
+    def test_query_commits_and_outputs(self):
+        program = parse_program(
+            'BEGIN Query TIL 0\nt1 = Read 1\noutput("Sum is: ", t1)\nCOMMIT\n'
+        )
+        _, server, client = run_client([program])
+        assert client.committed == 1
+        assert client.restarts == 0
+        assert client.outputs == ["Sum is: 100"]
+        assert server.manager.metrics.commits == 1
+
+    def test_update_applies_writes(self):
+        program = parse_program(
+            "BEGIN Update TEL 0\nt1 = Read 2\nWrite 2 , t1+5\nCOMMIT\n"
+        )
+        _, server, _ = run_client([program])
+        assert server.manager.database.get(2).committed_value == 205.0
+
+    def test_abort_terminator_discards_writes(self):
+        program = parse_program("BEGIN Update TEL 0\nWrite 2 , 999\nABORT\n")
+        _, server, client = run_client([program])
+        assert client.committed == 1  # the program "completed"
+        assert client.outputs == []
+        assert server.manager.database.get(2).committed_value == 200.0
+        assert server.manager.metrics.aborts == 1
+
+    def test_simulated_time_advances_with_latency(self):
+        program = parse_program(
+            "BEGIN Query TIL 0\nt1 = Read 1\nt2 = Read 2\nCOMMIT\n"
+        )
+        latency = LatencyModel(rpc_min=20.0, rpc_max=20.0, null_rpc=10.0)
+        engine, _, _ = run_client([program], latency=latency)
+        # 2 reads at 20ms + 1 commit at 10ms (+ zero service time).
+        assert engine.now == pytest.approx(50.0)
+
+    def test_multiple_programs_sequential(self):
+        programs = [
+            parse_program("BEGIN Query TIL 0\nt1 = Read 1\nCOMMIT\n"),
+            parse_program("BEGIN Query TIL 0\nt1 = Read 2\nCOMMIT\n"),
+        ]
+        _, server, client = run_client(programs)
+        assert client.committed == 2
+        assert server.manager.metrics.commits == 2
+
+
+class TestRestarts:
+    def test_client_resubmits_until_commit(self):
+        # Two clients race on the same object; strict ordering plus late
+        # operations force at least one restart under zero bounds.
+        db = Database()
+        db.create_many((i, 100.0) for i in range(1, 4))
+        engine = Engine()
+        manager = TransactionManager(db)
+        server = SimServer(manager, engine, service_time=1.0)
+        latency = LatencyModel(rpc_min=5.0, rpc_max=5.0, null_rpc=2.0)
+        update = parse_program(
+            "BEGIN Update TEL 0\nt1 = Read 1\nWrite 1 , t1+1\nCOMMIT\n"
+        )
+        query = parse_program(
+            "BEGIN Query TIL 0\nt1 = Read 2\nt2 = Read 1\nt3 = Read 3\nCOMMIT\n"
+        )
+        clients = [
+            SimClient(1, server, [query] * 10, latency=latency, seed=1),
+            SimClient(2, server, [update] * 10, latency=latency, seed=2),
+        ]
+        processes = [engine.spawn(c.process()) for c in clients]
+        engine.run_until_complete(processes)
+        assert clients[0].committed == 10
+        assert clients[1].committed == 10
+        # Everything eventually committed despite conflicts.
+        assert manager.metrics.commits == 20
+        assert db.get(1).committed_value == 110.0

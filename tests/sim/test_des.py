@@ -1,0 +1,213 @@
+"""The discrete-event simulation kernel."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.des import Engine, Event, Resource, Timeout
+
+
+class TestEngineBasics:
+    def test_timeouts_advance_time(self):
+        engine = Engine()
+        log = []
+
+        def process():
+            yield Timeout(5.0)
+            log.append(engine.now)
+            yield Timeout(2.5)
+            log.append(engine.now)
+
+        engine.spawn(process())
+        engine.run()
+        assert log == [5.0, 7.5]
+
+    def test_events_block_until_triggered(self):
+        engine = Engine()
+        gate = Event()
+        log = []
+
+        def waiter():
+            yield gate
+            log.append(("woke", engine.now))
+
+        def trigger():
+            yield Timeout(10.0)
+            gate.trigger()
+
+        engine.spawn(waiter())
+        engine.spawn(trigger())
+        engine.run()
+        assert log == [("woke", 10.0)]
+
+    def test_pretriggered_event_resumes_immediately(self):
+        engine = Engine()
+        gate = Event()
+        gate.trigger()
+        log = []
+
+        def waiter():
+            yield gate
+            log.append(engine.now)
+
+        engine.spawn(waiter())
+        engine.run()
+        assert log == [0.0]
+
+    def test_event_trigger_is_idempotent(self):
+        gate = Event()
+        gate.trigger()
+        gate.trigger()
+        assert gate.triggered
+
+    def test_run_until_stops_clock(self):
+        engine = Engine()
+
+        def process():
+            while True:
+                yield Timeout(10.0)
+
+        engine.spawn(process())
+        assert engine.run(until=35.0) == 35.0
+        assert engine.now == 35.0
+        assert engine.pending_events() == 1
+
+    def test_run_until_complete_detects_deadlock(self):
+        engine = Engine()
+        never = Event()
+
+        def stuck():
+            yield never
+
+        process = engine.spawn(stuck())
+        with pytest.raises(RuntimeError, match="deadlock"):
+            engine.run_until_complete([process])
+
+    def test_completion_event(self):
+        engine = Engine()
+
+        def quick():
+            yield Timeout(1.0)
+
+        def joiner(target):
+            yield target.completed
+            log.append(engine.now)
+
+        log = []
+        target = engine.spawn(quick())
+        engine.spawn(joiner(target))
+        engine.run()
+        assert log == [1.0]
+
+    def test_deterministic_ordering_at_same_instant(self):
+        engine = Engine()
+        log = []
+
+        def make(name):
+            def process():
+                yield Timeout(5.0)
+                log.append(name)
+
+            return process()
+
+        for name in ("a", "b", "c"):
+            engine.spawn(make(name))
+        engine.run()
+        assert log == ["a", "b", "c"]  # FIFO among simultaneous events
+
+    def test_bad_yield_type_raises(self):
+        engine = Engine()
+
+        def bad():
+            yield 42
+
+        engine.spawn(bad())
+        with pytest.raises(TypeError, match="expected Timeout or Event"):
+            engine.run()
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Timeout(-1.0)
+        with pytest.raises(ValueError):
+            Engine().call_later(-1.0, lambda: None)
+
+
+class TestResource:
+    def test_serialises_access(self):
+        engine = Engine()
+        resource = Resource(engine, capacity=1)
+        log = []
+
+        def worker(name):
+            yield resource.acquire()
+            log.append((name, "start", engine.now))
+            yield Timeout(10.0)
+            resource.release()
+            log.append((name, "end", engine.now))
+
+        engine.spawn(worker("a"))
+        engine.spawn(worker("b"))
+        engine.run()
+        assert log == [
+            ("a", "start", 0.0),
+            ("a", "end", 10.0),
+            ("b", "start", 10.0),
+            ("b", "end", 20.0),
+        ]
+
+    def test_capacity_two_overlaps(self):
+        engine = Engine()
+        resource = Resource(engine, capacity=2)
+        starts = []
+
+        def worker():
+            yield resource.acquire()
+            starts.append(engine.now)
+            yield Timeout(10.0)
+            resource.release()
+
+        for _ in range(3):
+            engine.spawn(worker())
+        engine.run()
+        assert starts == [0.0, 0.0, 10.0]
+
+    def test_fifo_queueing(self):
+        engine = Engine()
+        resource = Resource(engine, capacity=1)
+        order = []
+
+        def worker(name, arrival):
+            yield Timeout(arrival)
+            yield resource.acquire()
+            order.append(name)
+            yield Timeout(5.0)
+            resource.release()
+
+        engine.spawn(worker("late", 2.0))
+        engine.spawn(worker("later", 3.0))
+        engine.spawn(worker("first", 0.0))
+        engine.run()
+        assert order == ["first", "late", "later"]
+
+    def test_release_without_acquire(self):
+        engine = Engine()
+        resource = Resource(engine, capacity=1)
+        with pytest.raises(RuntimeError):
+            resource.release()
+
+    def test_utilisation_tracking(self):
+        engine = Engine()
+        resource = Resource(engine, capacity=1)
+
+        def worker():
+            yield resource.acquire()
+            yield Timeout(30.0)
+            resource.release()
+
+        engine.spawn(worker())
+        engine.run(until=100.0)
+        assert resource.utilisation(100.0) == pytest.approx(0.3)
+
+    def test_bad_capacity(self):
+        with pytest.raises(ValueError):
+            Resource(Engine(), capacity=0)

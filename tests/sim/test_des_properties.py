@@ -1,0 +1,110 @@
+"""Property tests for the discrete-event kernel."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.des import Engine, Event, Resource, Timeout
+
+delays = st.floats(min_value=0.0, max_value=100.0, allow_nan=False)
+
+
+class TestTimeOrdering:
+    @settings(max_examples=100)
+    @given(st.lists(delays, min_size=1, max_size=20))
+    def test_callbacks_fire_in_time_order(self, schedule):
+        engine = Engine()
+        fired: list[float] = []
+        for delay in schedule:
+            engine.call_later(delay, lambda d=delay: fired.append(d))
+        engine.run()
+        assert fired == sorted(fired)
+        assert engine.now == max(schedule)
+
+    @settings(max_examples=100)
+    @given(st.lists(delays, min_size=1, max_size=15))
+    def test_process_finishes_at_sum_of_timeouts(self, waits):
+        engine = Engine()
+
+        def process():
+            for wait in waits:
+                yield Timeout(wait)
+
+        proc = engine.spawn(process())
+        engine.run()
+        assert proc.completed.triggered
+        assert engine.now == pytest.approx(sum(waits))
+
+    @settings(max_examples=60)
+    @given(st.lists(delays, min_size=1, max_size=10), delays)
+    def test_run_until_never_overshoots(self, schedule, horizon):
+        engine = Engine()
+        for delay in schedule:
+            engine.call_later(delay, lambda: None)
+        engine.run(until=horizon)
+        assert engine.now == pytest.approx(
+            max(horizon, min(horizon, max(schedule)))
+        )
+        assert engine.now <= max(horizon, max(schedule))
+
+
+class TestResourceProperties:
+    @settings(max_examples=60)
+    @given(
+        st.integers(min_value=1, max_value=4),
+        st.lists(
+            st.floats(min_value=0.1, max_value=10.0), min_size=1, max_size=12
+        ),
+    )
+    def test_total_service_conserved(self, capacity, service_times):
+        """With c servers, makespan >= total work / c and >= max job."""
+        engine = Engine()
+        resource = Resource(engine, capacity=capacity)
+
+        def job(duration):
+            yield resource.acquire()
+            yield Timeout(duration)
+            resource.release()
+
+        procs = [engine.spawn(job(d)) for d in service_times]
+        engine.run_until_complete(procs)
+        total = sum(service_times)
+        assert engine.now >= max(service_times) - 1e-9
+        assert engine.now >= total / capacity - 1e-9
+        # No server can be idle while work waits: makespan <= total work.
+        assert engine.now <= total + 1e-9
+
+    @settings(max_examples=60)
+    @given(st.lists(st.floats(min_value=0.1, max_value=5.0), min_size=2, max_size=10))
+    def test_unit_capacity_serialises_exactly(self, service_times):
+        engine = Engine()
+        resource = Resource(engine, capacity=1)
+
+        def job(duration):
+            yield resource.acquire()
+            yield Timeout(duration)
+            resource.release()
+
+        procs = [engine.spawn(job(d)) for d in service_times]
+        engine.run_until_complete(procs)
+        assert engine.now == pytest.approx(sum(service_times))
+
+
+class TestEventProperties:
+    @settings(max_examples=50)
+    @given(st.integers(min_value=1, max_value=10))
+    def test_trigger_wakes_every_waiter_once(self, n_waiters):
+        engine = Engine()
+        gate = Event()
+        woken = []
+
+        def waiter(index):
+            yield gate
+            woken.append(index)
+
+        for index in range(n_waiters):
+            engine.spawn(waiter(index))
+        engine.call_later(5.0, gate.trigger)
+        engine.run()
+        assert sorted(woken) == list(range(n_waiters))

@@ -1,0 +1,52 @@
+"""RPC latency models."""
+
+from __future__ import annotations
+
+import random
+import statistics
+
+import pytest
+
+from repro.errors import SpecificationError
+from repro.sim.latency import PAPER_LATENCY, ZERO_LATENCY, LatencyModel
+
+
+class TestPaperLatency:
+    def test_paper_timings(self):
+        assert PAPER_LATENCY.rpc_min == 17.0
+        assert PAPER_LATENCY.rpc_max == 20.0
+        assert PAPER_LATENCY.null_rpc == 11.0
+        assert PAPER_LATENCY.restart_delay == 0.0  # immediate restarts
+
+    def test_operation_delay_in_range(self):
+        rng = random.Random(1)
+        delays = [PAPER_LATENCY.operation_delay(rng) for _ in range(500)]
+        assert all(17.0 <= d <= 20.0 for d in delays)
+        assert statistics.mean(delays) == pytest.approx(18.5, abs=0.3)
+
+    def test_commit_delay_is_null_rpc(self):
+        rng = random.Random(1)
+        assert PAPER_LATENCY.commit_delay(rng) == 11.0
+
+
+class TestValidation:
+    def test_zero_latency(self):
+        rng = random.Random(1)
+        assert ZERO_LATENCY.operation_delay(rng) == 0.0
+        assert ZERO_LATENCY.commit_delay(rng) == 0.0
+
+    def test_degenerate_range_is_constant(self):
+        model = LatencyModel(rpc_min=5.0, rpc_max=5.0)
+        assert model.operation_delay(random.Random(1)) == 5.0
+
+    def test_inverted_range_rejected(self):
+        with pytest.raises(SpecificationError):
+            LatencyModel(rpc_min=20.0, rpc_max=17.0)
+
+    def test_negative_latencies_rejected(self):
+        with pytest.raises(SpecificationError):
+            LatencyModel(rpc_min=-1.0, rpc_max=5.0)
+        with pytest.raises(SpecificationError):
+            LatencyModel(null_rpc=-1.0)
+        with pytest.raises(SpecificationError):
+            LatencyModel(restart_delay=-1.0)

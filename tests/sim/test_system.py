@@ -1,0 +1,143 @@
+"""Whole-system simulation: determinism, invariants, small behaviours."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.sim.latency import ZERO_LATENCY, LatencyModel
+from repro.sim.system import SimulationConfig, run_simulation
+from repro.workload.spec import WorkloadSpec
+
+#: Small workload so each test run takes a fraction of a second.
+SMALL = WorkloadSpec(n_objects=60, hot_set_size=10, n_partitions=5)
+
+
+def small_config(**overrides) -> SimulationConfig:
+    defaults = dict(
+        mpl=3,
+        til=100_000.0,
+        tel=10_000.0,
+        workload=SMALL,
+        duration_ms=5_000.0,
+        warmup_ms=500.0,
+        seed=5,
+    )
+    defaults.update(overrides)
+    return SimulationConfig(**defaults)
+
+
+class TestConfigValidation:
+    def test_bad_mpl(self):
+        with pytest.raises(ExperimentError):
+            small_config(mpl=0)
+
+    def test_bad_warmup(self):
+        with pytest.raises(ExperimentError):
+            small_config(warmup_ms=6_000.0)
+
+    def test_with_level(self):
+        config = small_config().with_level(1.0, 2.0)
+        assert config.til == 1.0 and config.tel == 2.0
+
+
+class TestDeterminism:
+    def test_same_seed_same_result(self):
+        a = run_simulation(small_config())
+        b = run_simulation(small_config())
+        assert a.commits == b.commits
+        assert a.aborts == b.aborts
+        assert a.metrics.reads == b.metrics.reads
+        assert a.client_commits == b.client_commits
+
+    def test_different_seeds_differ(self):
+        a = run_simulation(small_config(seed=5))
+        b = run_simulation(small_config(seed=6))
+        assert (a.commits, a.metrics.reads) != (b.commits, b.metrics.reads)
+
+
+class TestBasicBehaviour:
+    def test_single_client_commits_everything(self):
+        result = run_simulation(
+            small_config(mpl=1, transactions_per_client=20, warmup_ms=0.0)
+        )
+        assert result.commits == 20
+        assert result.aborts == 0
+        assert result.client_commits == (20,)
+
+    def test_throughput_positive(self):
+        result = run_simulation(small_config())
+        assert result.throughput > 0
+        assert result.measured_ms == 4_500.0
+
+    def test_zero_epsilon_admits_no_inconsistency(self):
+        result = run_simulation(small_config(til=0.0, tel=0.0))
+        # Only zero-divergence relaxations can be admitted; none of them
+        # count as inconsistent operations.
+        assert result.inconsistent_operations == 0
+
+    def test_sr_protocol_admits_no_inconsistency(self):
+        result = run_simulation(small_config(protocol="sr"))
+        assert result.inconsistent_operations == 0
+
+    def test_esr_beats_sr_under_contention(self):
+        high = run_simulation(small_config(mpl=5))
+        sr = run_simulation(small_config(mpl=5, til=0.0, tel=0.0))
+        assert high.throughput > sr.throughput
+        assert high.aborts <= sr.aborts
+
+    def test_oil_zero_blocks_all_inconsistent_reads(self):
+        # OIL gates the import side only; case-3 writes are gated by OEL.
+        bounded = run_simulation(small_config(mpl=4, oil=0.0))
+        by_case = bounded.metrics.inconsistent_by_case
+        assert by_case.get("late-read-committed", 0) == 0
+        assert by_case.get("read-uncommitted", 0) == 0
+
+    def test_oil_and_oel_zero_admit_no_inconsistency(self):
+        bounded = run_simulation(small_config(mpl=4, oil=0.0, oel=0.0))
+        assert bounded.inconsistent_operations == 0
+
+    def test_utilisation_in_unit_range(self):
+        result = run_simulation(small_config())
+        assert 0.0 <= result.server_utilisation <= 1.0
+
+    def test_zero_latency_supported(self):
+        result = run_simulation(
+            small_config(latency=ZERO_LATENCY, duration_ms=1_000.0, warmup_ms=0.0)
+        )
+        assert result.commits > 0
+
+    def test_custom_latency_slows_throughput(self):
+        fast = run_simulation(small_config(mpl=1))
+        slow = run_simulation(
+            small_config(
+                mpl=1,
+                latency=LatencyModel(rpc_min=50.0, rpc_max=60.0, null_rpc=40.0),
+            )
+        )
+        assert slow.throughput < fast.throughput
+
+
+class TestMetricsConsistency:
+    def test_commit_split_sums(self):
+        result = run_simulation(small_config())
+        m = result.metrics
+        assert m.commits == m.commits_query + m.commits_update
+        assert result.commits == m.commits
+
+    def test_total_operations_is_reads_plus_writes(self):
+        result = run_simulation(small_config())
+        m = result.metrics
+        assert m.total_operations == m.reads + m.writes
+
+    def test_inconsistent_cases_sum(self):
+        result = run_simulation(small_config(mpl=4))
+        m = result.metrics
+        assert m.inconsistent_operations == sum(m.inconsistent_by_case.values())
+
+    def test_client_commits_sum_close_to_total(self):
+        # Client counters are reset at warm-up together with the metrics.
+        result = run_simulation(small_config())
+        assert sum(result.client_commits) == result.commits

@@ -1,0 +1,73 @@
+"""The 2PL engines under the full simulated system."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.system import SimulationConfig, run_simulation
+from repro.workload.spec import WorkloadSpec
+
+SMALL = WorkloadSpec(n_objects=60, hot_set_size=10, n_partitions=5)
+
+
+def run(protocol: str, til: float = 0.0, tel: float = 0.0, mpl: int = 5):
+    return run_simulation(
+        SimulationConfig(
+            mpl=mpl,
+            til=til,
+            tel=tel,
+            protocol=protocol,
+            workload=SMALL,
+            duration_ms=8_000.0,
+            warmup_ms=1_000.0,
+            seed=4,
+        )
+    )
+
+
+class TestTwoPhaseUnderLoad:
+    def test_strict_2pl_commits_without_inconsistency(self):
+        result = run("2pl-sr")
+        assert result.commits > 0
+        assert result.inconsistent_operations == 0
+
+    def test_relaxed_zero_bounds_matches_strict(self):
+        zero = run("2pl", til=0.0, tel=0.0)
+        strict = run("2pl-sr")
+        assert zero.inconsistent_operations == 0
+        assert zero.commits == strict.commits
+        assert zero.aborts == strict.aborts
+
+    def test_bounds_raise_throughput(self):
+        high = run("2pl", til=100_000.0, tel=10_000.0)
+        strict = run("2pl-sr")
+        assert high.throughput > strict.throughput
+        assert high.inconsistent_operations > 0
+
+    def test_only_deadlocks_abort_under_locking(self):
+        result = run("2pl-sr", mpl=8)
+        reasons = set(result.metrics.aborts_by_reason)
+        assert reasons <= {"deadlock"}
+
+    def test_high_bounds_suppress_deadlocks(self):
+        strict = run("2pl-sr", mpl=8)
+        high = run("2pl", til=100_000.0, tel=10_000.0, mpl=8)
+        assert high.metrics.aborts_by_reason.get(
+            "deadlock", 0
+        ) <= strict.metrics.aborts_by_reason.get("deadlock", 0)
+
+    def test_deterministic(self):
+        a = run("2pl", til=50_000.0, tel=5_000.0)
+        b = run("2pl", til=50_000.0, tel=5_000.0)
+        assert (a.commits, a.aborts, a.metrics.reads) == (
+            b.commits,
+            b.aborts,
+            b.metrics.reads,
+        )
+
+    def test_comparable_to_tso_at_high_bounds(self):
+        lock_based = run("2pl", til=100_000.0, tel=10_000.0)
+        tso_based = run("esr", til=100_000.0, tel=10_000.0)
+        assert lock_based.throughput == pytest.approx(
+            tso_based.throughput, rel=0.35
+        )

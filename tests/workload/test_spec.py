@@ -1,0 +1,66 @@
+"""Workload specifications."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload.spec import PAPER_WORKLOAD, WorkloadSpec
+
+
+class TestPaperDefaults:
+    def test_paper_parameters(self):
+        spec = PAPER_WORKLOAD
+        assert spec.n_objects == 1000
+        assert spec.value_min == 1000 and spec.value_max == 9999
+        assert spec.hot_set_size == 20
+        assert spec.query_ops_mean == 20
+        assert spec.update_ops_mean == 6
+
+    def test_mean_ops_close_to_ten(self):
+        # Paper section 6: "each transaction having an average of 10
+        # operations".
+        assert 9.0 <= PAPER_WORKLOAD.mean_ops_per_transaction <= 11.0
+
+    def test_object_ids_range(self):
+        ids = PAPER_WORKLOAD.object_ids
+        assert ids[0] == 1000
+        assert len(ids) == 1000
+
+
+class TestValidation:
+    def test_bad_object_count(self):
+        with pytest.raises(WorkloadError):
+            WorkloadSpec(n_objects=0)
+
+    def test_hot_set_larger_than_db(self):
+        with pytest.raises(WorkloadError):
+            WorkloadSpec(n_objects=10, hot_set_size=11)
+
+    def test_bad_fractions(self):
+        with pytest.raises(WorkloadError):
+            WorkloadSpec(hot_access_fraction=1.5)
+        with pytest.raises(WorkloadError):
+            WorkloadSpec(query_fraction=-0.1)
+
+    def test_bad_value_range(self):
+        with pytest.raises(WorkloadError):
+            WorkloadSpec(value_min=100, value_max=50)
+
+    def test_update_too_short_for_writes(self):
+        with pytest.raises(WorkloadError):
+            WorkloadSpec(update_ops_mean=3, update_ops_spread=0, writes_per_update=2)
+
+    def test_bad_write_change(self):
+        with pytest.raises(WorkloadError):
+            WorkloadSpec(mean_write_change=0)
+
+    def test_bad_partitions(self):
+        with pytest.raises(WorkloadError):
+            WorkloadSpec(n_partitions=0)
+
+    def test_bad_large_change(self):
+        with pytest.raises(WorkloadError):
+            WorkloadSpec(large_change_fraction=2.0)
+        with pytest.raises(WorkloadError):
+            WorkloadSpec(large_change_min_mult=5.0, large_change_max_mult=2.0)

@@ -1,0 +1,58 @@
+"""Trace files: writing and replaying client transaction loads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload.generator import WorkloadGenerator
+from repro.workload.spec import WorkloadSpec
+from repro.workload.trace import read_trace, split_for_clients, write_trace
+
+SPEC = WorkloadSpec(n_objects=40, hot_set_size=8, n_partitions=4)
+
+
+@pytest.fixture
+def programs():
+    return WorkloadGenerator(SPEC, seed=3).generate_mix(12, 50_000.0, 5_000.0)
+
+
+class TestTraceFiles:
+    def test_round_trip(self, tmp_path, programs):
+        path = tmp_path / "load.trace"
+        written = write_trace(path, programs, header="test workload")
+        assert written == 12
+        loaded = read_trace(path)
+        assert loaded == programs
+
+    def test_header_is_commented(self, tmp_path, programs):
+        path = tmp_path / "load.trace"
+        write_trace(path, programs, header="line one\nline two")
+        text = path.read_text(encoding="utf-8")
+        assert text.startswith("# line one\n# line two\n")
+
+    def test_empty_trace_rejected_on_read(self, tmp_path):
+        path = tmp_path / "empty.trace"
+        path.write_text("# nothing here\n", encoding="utf-8")
+        with pytest.raises(WorkloadError, match="no transactions"):
+            read_trace(path)
+
+
+class TestSplitForClients:
+    def test_round_robin(self, programs):
+        shares = split_for_clients(programs, 3)
+        assert [len(s) for s in shares] == [4, 4, 4]
+        assert shares[0][0] is programs[0]
+        assert shares[1][0] is programs[1]
+
+    def test_uneven_split(self, programs):
+        shares = split_for_clients(programs[:5], 2)
+        assert [len(s) for s in shares] == [3, 2]
+
+    def test_too_many_clients_rejected(self, programs):
+        with pytest.raises(WorkloadError):
+            split_for_clients(programs[:2], 3)
+
+    def test_zero_clients_rejected(self, programs):
+        with pytest.raises(WorkloadError):
+            split_for_clients(programs, 0)
