@@ -19,9 +19,9 @@ from repro.experiments.report import format_table
 from repro.sim.system import SimulationConfig, run_simulation
 
 
-def test_hierarchy_strictness_tradeoff(benchmark, capsys=None):
-    study = hierarchy_study(BENCH_PLAN)
-    limits = hierarchy_settings(BENCH_PLAN.workload)["medium groups"]
+def test_hierarchy_strictness_tradeoff(benchmark, bench_plan, capsys=None):
+    study = hierarchy_study(bench_plan)
+    limits = hierarchy_settings(bench_plan.workload)["medium groups"]
     config = SimulationConfig(
         mpl=4,
         til=100_000.0,

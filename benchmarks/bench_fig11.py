@@ -7,14 +7,14 @@ with TIL, steepest at small-to-medium values.
 
 from __future__ import annotations
 
-from conftest import BENCH_PLAN, report_figure
+from conftest import report_figure
 
 from repro.experiments.figures import fig11
 
 
-def test_fig11_throughput_vs_til(benchmark):
+def test_fig11_throughput_vs_til(benchmark, bench_plan):
     figure = benchmark.pedantic(
-        fig11, args=(BENCH_PLAN,), rounds=1, iterations=1
+        fig11, args=(bench_plan,), rounds=1, iterations=1
     )
     report_figure(figure)
     # The SR end of every curve is the floor.

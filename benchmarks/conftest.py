@@ -8,10 +8,18 @@ the per-figure benchmark files.  Each ``bench_figNN`` file then:
 * regenerates its figure from the shared study;
 * asserts the paper's shape checks and prints the measured table.
 
+The shared studies fan their repetition cells out over the parallel
+experiment runner; pass ``--workers N`` / ``--cell-timeout S`` to
+control the pool (defaults: all cores, no timeout).  Estimates are
+bit-identical regardless of the worker count.
+
 Run with ``pytest benchmarks/ --benchmark-only``.
 """
 
 from __future__ import annotations
+
+import os
+from dataclasses import replace
 
 import pytest
 
@@ -27,16 +35,50 @@ BENCH_PLAN = MeasurementPlan(
 )
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for repetition cells (default: all cores)",
+    )
+    parser.addoption(
+        "--cell-timeout",
+        type=float,
+        default=None,
+        help="per-cell wall-clock timeout in seconds (default: none)",
+    )
+
+
+def _pool_options(config) -> tuple[int, float | None]:
+    # ``benchmarks/conftest.py`` is only an *initial* conftest when the
+    # suite is invoked as ``pytest benchmarks/...``; fall back to the
+    # defaults when the options were never registered.
+    try:
+        workers = config.getoption("--workers")
+        timeout = config.getoption("--cell-timeout")
+    except ValueError:
+        return os.cpu_count() or 1, None
+    return workers if workers is not None else (os.cpu_count() or 1), timeout
+
+
 @pytest.fixture(scope="session")
-def shared_mpl_study():
+def bench_plan(pytestconfig) -> MeasurementPlan:
+    """BENCH_PLAN with the session's worker-pool options applied."""
+    workers, timeout = _pool_options(pytestconfig)
+    return replace(BENCH_PLAN, max_workers=workers, cell_timeout_s=timeout)
+
+
+@pytest.fixture(scope="session")
+def shared_mpl_study(bench_plan):
     """The MPL sweep behind Figures 7-10 (computed once per session)."""
-    return mpl_study(BENCH_PLAN)
+    return mpl_study(bench_plan)
 
 
 @pytest.fixture(scope="session")
-def shared_oil_study():
+def shared_oil_study(bench_plan):
     """The OIL sweep behind Figures 12-13 (computed once per session)."""
-    return oil_study(BENCH_PLAN)
+    return oil_study(bench_plan)
 
 
 def report_figure(figure: FigureResult) -> None:

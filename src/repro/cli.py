@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import argparse
 import math
+import os
 import sys
 import time
 from pathlib import Path
@@ -40,11 +41,35 @@ def _plan_from_args(args: argparse.Namespace) -> MeasurementPlan:
             overrides["warmup_ms"] = args.duration / 10.0
     if args.reps is not None:
         overrides["repetitions"] = args.reps
+    if getattr(args, "workers", None) is not None:
+        overrides["max_workers"] = args.workers
+    if getattr(args, "cell_timeout", None) is not None:
+        overrides["cell_timeout_s"] = args.cell_timeout
     if overrides:
         from dataclasses import replace
 
         plan = replace(plan, **overrides)
     return plan
+
+
+def _cell_progress_printer():
+    """A per-cell progress callback printing one line as each cell lands."""
+
+    def show(cell_result, done: int, total: int) -> None:
+        config = cell_result.cell.config
+        if cell_result.ok:
+            status = f"{cell_result.wall_s:6.2f}s"
+        else:
+            status = f"FAILED ({cell_result.error})"
+        retried = "  (retried)" if cell_result.retried else ""
+        print(
+            f"  [{done}/{total}] mpl={config.mpl} til={config.til:g} "
+            f"tel={config.tel:g} seed={cell_result.cell.seed}  "
+            f"{status}{retried}",
+            flush=True,
+        )
+
+    return show
 
 
 def _cmd_table1(args: argparse.Namespace) -> int:
@@ -63,9 +88,10 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         return 2
     plan = _plan_from_args(args)
     started = time.time()
-    figure = ALL_FIGURES[args.name](plan)
+    progress = None if args.quiet else _cell_progress_printer()
+    figure = ALL_FIGURES[args.name](plan, progress=progress)
     print(render_figure(figure, chart=not args.no_chart))
-    print(f"\n({time.time() - started:.1f}s wall)")
+    print(f"\n({time.time() - started:.1f}s wall, {plan.max_workers} worker(s))")
     return 0
 
 
@@ -73,7 +99,10 @@ def _cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.reportgen import generate_experiments_markdown
 
     plan = _plan_from_args(args)
-    text = generate_experiments_markdown(plan, progress=print)
+    cell_progress = None if args.quiet else _cell_progress_printer()
+    text = generate_experiments_markdown(
+        plan, progress=print, cell_progress=cell_progress
+    )
     Path(args.out).write_text(text, encoding="utf-8")
     print(f"wrote {args.out}")
     return 0
@@ -185,12 +214,40 @@ def build_parser() -> argparse.ArgumentParser:
     fig.add_argument("--duration", type=float, help="simulated ms per run")
     fig.add_argument("--reps", type=int, help="repetitions per point")
     fig.add_argument("--no-chart", action="store_true", help="table only")
+    fig.add_argument(
+        "--workers",
+        type=int,
+        default=os.cpu_count(),
+        help="worker processes for repetition cells (default: all cores)",
+    )
+    fig.add_argument(
+        "--cell-timeout",
+        type=float,
+        help="per-cell wall-clock timeout in seconds (default: none)",
+    )
+    fig.add_argument(
+        "--quiet", action="store_true", help="suppress per-cell progress lines"
+    )
 
     rep = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
     rep.add_argument("--out", default="EXPERIMENTS.md")
     rep.add_argument("--fast", action="store_true")
     rep.add_argument("--duration", type=float)
     rep.add_argument("--reps", type=int)
+    rep.add_argument(
+        "--workers",
+        type=int,
+        default=os.cpu_count(),
+        help="worker processes for repetition cells (default: all cores)",
+    )
+    rep.add_argument(
+        "--cell-timeout",
+        type=float,
+        help="per-cell wall-clock timeout in seconds (default: none)",
+    )
+    rep.add_argument(
+        "--quiet", action="store_true", help="suppress per-cell progress lines"
+    )
 
     sweep = sub.add_parser("sweep", help="run one simulation configuration")
     sweep.add_argument("--mpl", type=int, default=4)

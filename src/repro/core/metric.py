@@ -33,6 +33,7 @@ __all__ = [
     "ScaledDistance",
     "discrete_distance",
     "euclidean_distance",
+    "distance_by_name",
     "check_metric_axioms",
 ]
 
@@ -106,6 +107,38 @@ def euclidean_distance(u: Sequence[float], v: Sequence[float]) -> float:
             f"vector states must have equal length, got {len(u)} and {len(v)}"
         )
     return math.sqrt(sum((a - b) ** 2 for a, b in zip(u, v)))
+
+
+#: Scalar distances addressable by spec string (see :func:`distance_by_name`).
+_NAMED_DISTANCES: dict[str, DistanceFunction] = {
+    "absolute": absolute_distance,
+    "discrete": discrete_distance,
+}
+
+
+def distance_by_name(spec: str) -> DistanceFunction:
+    """Resolve a distance *spec string* to a callable.
+
+    Configuration objects that cross process boundaries (the parallel
+    experiment runner pickles :class:`~repro.sim.system.SimulationConfig`
+    into worker processes) carry the distance as a plain string instead
+    of a callable; workers resolve it here.  Accepted specs: the names in
+    ``_NAMED_DISTANCES`` (``"absolute"``, ``"discrete"``) and
+    ``"scaled:<weight>"`` for a :class:`ScaledDistance`.
+    """
+    if spec.startswith("scaled:"):
+        try:
+            weight = float(spec.split(":", 1)[1])
+        except ValueError:
+            raise MetricSpaceError(f"bad scaled-distance spec {spec!r}") from None
+        return ScaledDistance(weight)
+    try:
+        return _NAMED_DISTANCES[spec]
+    except KeyError:
+        raise MetricSpaceError(
+            f"unknown distance spec {spec!r}; choose from "
+            f"{sorted(_NAMED_DISTANCES)} or 'scaled:<weight>'"
+        ) from None
 
 
 def check_metric_axioms(

@@ -109,15 +109,22 @@ def esr_read_decision(
         if charge.admitted:
             case = CASE_LATE_READ if d > 0 else None
             return Granted(value=present, inconsistency=d, esr_case=case)
+        if charge.violated_level is not None:
+            return Rejected(
+                REASON_BOUND_VIOLATION,
+                detail=(
+                    f"late read of object {obj.object_id} carries "
+                    f"inconsistency {d:g} past the "
+                    f"{charge.violated_level} limit"
+                ),
+                violated_level=charge.violated_level,
+            )
         return Rejected(
-            REASON_BOUND_VIOLATION
-            if charge.violated_level is not None
-            else REASON_LATE_READ,
+            REASON_LATE_READ,
             detail=(
-                f"late read of object {obj.object_id} carries inconsistency "
-                f"{d:g} past the {charge.violated_level} limit"
+                f"read ts {txn.timestamp} is older than committed write "
+                f"ts {obj.committed_write_ts} on object {obj.object_id}"
             ),
-            violated_level=charge.violated_level,
         )
 
     # In-order read of committed data: consistent, nothing to charge.

@@ -51,6 +51,10 @@ class WaitRegistry:
         (a retried operation blocking on a different transaction) is safe.
         """
         callbacks = self._waiters.pop(completed_transaction, [])
+        # The completed transaction may itself have been registered as a
+        # waiter (a blocked operation whose transaction was then aborted,
+        # e.g. on wait-timeout); drop its own entry too or it leaks.
+        self._waiting_on.pop(completed_transaction, None)
         stale = [
             waiter
             for waiter, blocker in self._waiting_on.items()

@@ -52,7 +52,15 @@ def bounds_table(levels: tuple[EpsilonLevel, ...] = STANDARD_LEVELS) -> list[dic
 
 @dataclass(frozen=True)
 class MeasurementPlan:
-    """How long and how often to measure each configuration."""
+    """How long and how often to measure each configuration.
+
+    ``max_workers`` and ``cell_timeout_s`` control the execution backend
+    of :func:`~repro.experiments.runner.run_cells`: every ``(config,
+    seed)`` repetition cell may run in a separate worker process.  Each
+    cell is keyed by its explicit seed from :meth:`seeds` and results are
+    reassembled in plan order, so the aggregated estimates are
+    bit-identical regardless of the worker count.
+    """
 
     duration_ms: float = 30_000.0
     warmup_ms: float = 3_000.0
@@ -60,12 +68,20 @@ class MeasurementPlan:
     base_seed: int = 1
     workload: WorkloadSpec = PAPER_WORKLOAD
     service_time_ms: float | None = None  # None = simulator default
+    #: Worker processes for the cell executor; 1 = run in-process.
+    max_workers: int = 1
+    #: Upper bound on one cell's wall-clock time; None = no limit.
+    cell_timeout_s: float | None = None
 
     def __post_init__(self) -> None:
         if self.repetitions < 1:
             raise ExperimentError("repetitions must be >= 1")
         if self.duration_ms <= self.warmup_ms:
             raise ExperimentError("duration_ms must exceed warmup_ms")
+        if self.max_workers < 1:
+            raise ExperimentError("max_workers must be >= 1")
+        if self.cell_timeout_s is not None and self.cell_timeout_s <= 0:
+            raise ExperimentError("cell_timeout_s must be positive")
 
     def seeds(self) -> tuple[int, ...]:
         return tuple(self.base_seed + i for i in range(self.repetitions))

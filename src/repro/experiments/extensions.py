@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from repro.experiments.config import BOUND_STUDY_MPL, PAPER_PLAN, MeasurementPlan
 from repro.experiments.figures import FigureResult, Series
-from repro.experiments.runner import Measurement, measure
+from repro.experiments.runner import CellProgress, Measurement, measure_many
 from repro.sim.system import SimulationConfig
 from repro.workload.generator import HOT_GROUP, partition_group
 
@@ -46,24 +46,36 @@ HIERARCHY_SETTINGS = hierarchy_settings
 
 
 def hierarchy_study(
-    plan: MeasurementPlan = PAPER_PLAN, mpl: int = BOUND_STUDY_MPL
+    plan: MeasurementPlan = PAPER_PLAN,
+    mpl: int = BOUND_STUDY_MPL,
+    progress: CellProgress | None = None,
 ) -> dict[str, Measurement]:
-    """Measure each strictness setting at high transaction bounds."""
-    study: dict[str, Measurement] = {}
-    for name, limits in hierarchy_settings(plan.workload).items():
-        config = SimulationConfig(
-            mpl=mpl,
-            til=100_000.0,
-            tel=10_000.0,
-            query_group_limits=limits,
-        )
-        study[name] = measure(config, plan)
-    return study
+    """Measure each strictness setting at high transaction bounds.
+
+    All settings' repetition cells are submitted to the shared worker
+    pool in one batch.
+    """
+    settings = hierarchy_settings(plan.workload)
+    measurements = measure_many(
+        [
+            SimulationConfig(
+                mpl=mpl,
+                til=100_000.0,
+                tel=10_000.0,
+                query_group_limits=limits,
+            )
+            for limits in settings.values()
+        ],
+        plan,
+        progress=progress,
+    )
+    return dict(zip(settings, measurements))
 
 
 def ext_hierarchy(
     plan: MeasurementPlan = PAPER_PLAN,
     study: dict[str, Measurement] | None = None,
+    progress: CellProgress | None = None,
 ) -> FigureResult:
     """Extension figure: throughput and aborts vs group-limit strictness.
 
@@ -73,7 +85,7 @@ def ext_hierarchy(
     per-group accuracy, exactly as OIL does at the object level.
     """
     if study is None:
-        study = hierarchy_study(plan)
+        study = hierarchy_study(plan, progress=progress)
     names = list(study)
     xs = tuple(float(i) for i in range(len(names)))
     throughput = Series(

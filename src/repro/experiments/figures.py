@@ -42,13 +42,19 @@ from repro.experiments.config import (
     MeasurementPlan,
     bounds_table,
 )
-from repro.experiments.runner import Estimate, Measurement, measure
+from repro.experiments.runner import (
+    CellProgress,
+    Estimate,
+    Measurement,
+    measure_many,
+)
 from repro.sim.system import SimulationConfig
 
 __all__ = [
     "Series",
     "FigureResult",
     "mpl_study",
+    "til_study",
     "oil_study",
     "fig7",
     "fig8",
@@ -99,19 +105,46 @@ def mpl_study(
     plan: MeasurementPlan = PAPER_PLAN,
     levels: tuple[EpsilonLevel, ...] = STANDARD_LEVELS,
     mpls: tuple[int, ...] = MPL_RANGE,
+    progress: CellProgress | None = None,
 ) -> dict[str, dict[int, Measurement]]:
     """The MPL sweep behind Figures 7–10.
 
     OIL and OEL stay unbounded (the paper holds them "constant at high
-    values so that they do not affect the results").
+    values so that they do not affect the results").  Every (level, MPL,
+    seed) cell of the sweep goes into one shared worker pool.
     """
+    points = [(level, mpl) for level in levels for mpl in mpls]
+    measurements = measure_many(
+        [
+            SimulationConfig(mpl=mpl, til=level.til, tel=level.tel)
+            for level, mpl in points
+        ],
+        plan,
+        progress=progress,
+    )
     study: dict[str, dict[int, Measurement]] = {}
-    for level in levels:
-        per_mpl: dict[int, Measurement] = {}
-        for mpl in mpls:
-            config = SimulationConfig(mpl=mpl, til=level.til, tel=level.tel)
-            per_mpl[mpl] = measure(config, plan)
-        study[level.name] = per_mpl
+    for (level, mpl), measurement in zip(points, measurements):
+        study.setdefault(level.name, {})[mpl] = measurement
+    return study
+
+
+def til_study(
+    plan: MeasurementPlan = PAPER_PLAN,
+    til_sweep: tuple[float, ...] = TIL_SWEEP,
+    tels: tuple[float, ...] = (1_000.0, 5_000.0, 10_000.0),
+    mpl: int = BOUND_STUDY_MPL,
+    progress: CellProgress | None = None,
+) -> dict[float, dict[float, Measurement]]:
+    """The TIL × TEL sweep behind Figure 11 (one pooled batch)."""
+    points = [(tel, til) for tel in tels for til in til_sweep]
+    measurements = measure_many(
+        [SimulationConfig(mpl=mpl, til=til, tel=tel) for tel, til in points],
+        plan,
+        progress=progress,
+    )
+    study: dict[float, dict[float, Measurement]] = {}
+    for (tel, til), measurement in zip(points, measurements):
+        study.setdefault(tel, {})[til] = measurement
     return study
 
 
@@ -120,19 +153,27 @@ def oil_study(
     levels: tuple[EpsilonLevel, ...] = (LOW_EPSILON, MEDIUM_EPSILON, HIGH_EPSILON),
     oil_sweep_w: tuple[float, ...] = OIL_SWEEP_W,
     mpl: int = BOUND_STUDY_MPL,
+    progress: CellProgress | None = None,
 ) -> dict[str, dict[float, Measurement]]:
     """The OIL sweep behind Figures 12–13 (OIL in units of w)."""
     w = plan.workload.mean_write_change
-    study: dict[str, dict[float, Measurement]] = {}
-    for level in levels:
-        per_oil: dict[float, Measurement] = {}
-        for oil_w in oil_sweep_w:
-            oil = math.inf if math.isinf(oil_w) else oil_w * w
-            config = SimulationConfig(
-                mpl=mpl, til=level.til, tel=level.tel, oil=oil
+    points = [(level, oil_w) for level in levels for oil_w in oil_sweep_w]
+    measurements = measure_many(
+        [
+            SimulationConfig(
+                mpl=mpl,
+                til=level.til,
+                tel=level.tel,
+                oil=math.inf if math.isinf(oil_w) else oil_w * w,
             )
-            per_oil[oil_w] = measure(config, plan)
-        study[level.name] = per_oil
+            for level, oil_w in points
+        ],
+        plan,
+        progress=progress,
+    )
+    study: dict[str, dict[float, Measurement]] = {}
+    for (level, oil_w), measurement in zip(points, measurements):
+        study.setdefault(level.name, {})[oil_w] = measurement
     return study
 
 
@@ -145,9 +186,10 @@ def _mpl_figure(
     study: dict[str, dict[int, Measurement]] | None,
     levels: tuple[EpsilonLevel, ...],
     notes: str = "",
+    progress: CellProgress | None = None,
 ) -> FigureResult:
     if study is None:
-        study = mpl_study(plan, levels=levels)
+        study = mpl_study(plan, levels=levels, progress=progress)
     series = []
     for level in levels:
         if level.name not in study:
@@ -172,6 +214,7 @@ def _mpl_figure(
 def fig7(
     plan: MeasurementPlan = PAPER_PLAN,
     study: dict[str, dict[int, Measurement]] | None = None,
+    progress: CellProgress | None = None,
 ) -> FigureResult:
     """Figure 7 — Throughput vs multiprogramming level."""
     return _mpl_figure(
@@ -187,12 +230,14 @@ def fig7(
             "bound level; thrashing point shifts to higher MPL as bounds "
             "increase."
         ),
+        progress=progress,
     )
 
 
 def fig8(
     plan: MeasurementPlan = PAPER_PLAN,
     study: dict[str, dict[int, Measurement]] | None = None,
+    progress: CellProgress | None = None,
 ) -> FigureResult:
     """Figure 8 — Successful inconsistent operations vs MPL.
 
@@ -208,12 +253,14 @@ def fig8(
         study,
         (LOW_EPSILON, MEDIUM_EPSILON, HIGH_EPSILON),
         notes="Increases with both MPL and the inconsistency bounds.",
+        progress=progress,
     )
 
 
 def fig9(
     plan: MeasurementPlan = PAPER_PLAN,
     study: dict[str, dict[int, Measurement]] | None = None,
+    progress: CellProgress | None = None,
 ) -> FigureResult:
     """Figure 9 — Number of aborts (retries) vs MPL."""
     return _mpl_figure(
@@ -228,12 +275,14 @@ def fig9(
             "Aborts are nearly zero at high bounds, shoot up as bounds "
             "shrink, and are highest for zero-epsilon (SR)."
         ),
+        progress=progress,
     )
 
 
 def fig10(
     plan: MeasurementPlan = PAPER_PLAN,
     study: dict[str, dict[int, Measurement]] | None = None,
+    progress: CellProgress | None = None,
 ) -> FigureResult:
     """Figure 10 — Total operations (reads + writes) vs MPL."""
     return _mpl_figure(
@@ -249,6 +298,7 @@ def fig10(
             "operations above the same commit count elsewhere measure "
             "wasted (aborted) work."
         ),
+        progress=progress,
     )
 
 
@@ -257,16 +307,22 @@ def fig11(
     til_sweep: tuple[float, ...] = TIL_SWEEP,
     tels: tuple[float, ...] = (1_000.0, 5_000.0, 10_000.0),
     mpl: int = BOUND_STUDY_MPL,
+    study: dict[float, dict[float, Measurement]] | None = None,
+    progress: CellProgress | None = None,
 ) -> FigureResult:
     """Figure 11 — Throughput vs TIL, with TEL held at constant levels."""
+    if study is None:
+        study = til_study(plan, til_sweep, tels, mpl, progress=progress)
     series = []
     for tel in tels:
-        estimates = []
-        for til in til_sweep:
-            config = SimulationConfig(mpl=mpl, til=til, tel=tel)
-            estimates.append(measure(config, plan).throughput)
+        per_til = study[tel]
+        xs = tuple(sorted(per_til))
         series.append(
-            Series(label=f"TEL={tel:g}", x=til_sweep, y=tuple(estimates))
+            Series(
+                label=f"TEL={tel:g}",
+                x=xs,
+                y=tuple(per_til[til].throughput for til in xs),
+            )
         )
     return FigureResult(
         figure_id="fig11",
@@ -289,9 +345,10 @@ def _oil_figure(
     plan: MeasurementPlan,
     study: dict[str, dict[float, Measurement]] | None,
     notes: str,
+    progress: CellProgress | None = None,
 ) -> FigureResult:
     if study is None:
-        study = oil_study(plan)
+        study = oil_study(plan, progress=progress)
     series = []
     for level_name, per_oil in study.items():
         xs = tuple(sorted(per_oil))
@@ -311,6 +368,7 @@ def _oil_figure(
 def fig12(
     plan: MeasurementPlan = PAPER_PLAN,
     study: dict[str, dict[float, Measurement]] | None = None,
+    progress: CellProgress | None = None,
 ) -> FigureResult:
     """Figure 12 — Throughput vs OIL (TIL varies), MPL constant."""
     return _oil_figure(
@@ -325,12 +383,14 @@ def fig12(
             "low OIL rejects too much, high OIL admits doomed operations "
             "whose transactions abort later after wasting work."
         ),
+        progress=progress,
     )
 
 
 def fig13(
     plan: MeasurementPlan = PAPER_PLAN,
     study: dict[str, dict[float, Measurement]] | None = None,
+    progress: CellProgress | None = None,
 ) -> FigureResult:
     """Figure 13 — Average operations per transaction vs OIL."""
     return _oil_figure(
@@ -345,6 +405,7 @@ def fig13(
             "with OIL at high TIL; for low TIL it falls then rises again "
             "at large OIL (late aborts waste more operations)."
         ),
+        progress=progress,
     )
 
 
@@ -353,11 +414,14 @@ def table1() -> list[dict]:
     return bounds_table()
 
 
-def _ext_hierarchy(plan: MeasurementPlan = PAPER_PLAN) -> FigureResult:
+def _ext_hierarchy(
+    plan: MeasurementPlan = PAPER_PLAN,
+    progress: CellProgress | None = None,
+) -> FigureResult:
     # Imported lazily to avoid a circular import at module load.
     from repro.experiments.extensions import ext_hierarchy
 
-    return ext_hierarchy(plan)
+    return ext_hierarchy(plan, progress=progress)
 
 
 #: Registry used by the CLI and the report generator.

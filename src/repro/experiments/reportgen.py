@@ -4,6 +4,12 @@ Running :func:`generate_experiments_markdown` regenerates every figure
 from scratch under a measurement plan, renders the measured data next to
 the paper's stated expectation, and evaluates the shape checks.  The CLI
 command ``repro report`` writes the result to ``EXPERIMENTS.md``.
+
+Every study routes its ``(config, seed)`` repetition cells through the
+shared worker pool of :mod:`repro.experiments.runner` (the plan's
+``max_workers`` knob), and the report closes with a runtime section:
+per-study cell counts and wall times, plus any cells that timed out,
+crashed, or needed a retry.
 """
 
 from __future__ import annotations
@@ -22,8 +28,15 @@ from repro.experiments.figures import (
     fig13,
     mpl_study,
     oil_study,
+    til_study,
 )
 from repro.experiments.report import figure_markdown, format_table
+from repro.experiments.runner import (
+    CellProgress,
+    CellResult,
+    Measurement,
+    measure_many,
+)
 
 __all__ = ["PAPER_EXPECTATIONS", "generate_experiments_markdown"]
 
@@ -64,9 +77,12 @@ PAPER_EXPECTATIONS = {
 }
 
 
-def _engine_comparison_markdown(plan: MeasurementPlan, mpl: int = 8) -> str:
+def _engine_comparison_markdown(
+    plan: MeasurementPlan,
+    mpl: int = 8,
+    progress: CellProgress | None = None,
+) -> tuple[str, list[Measurement]]:
     """Four concurrency controls on the identical workload at one MPL."""
-    from repro.experiments.runner import measure
     from repro.sim.system import SimulationConfig
 
     settings = (
@@ -76,12 +92,16 @@ def _engine_comparison_markdown(plan: MeasurementPlan, mpl: int = 8) -> str:
         ("2PL divergence control, high bounds", "2pl", 100_000.0, 10_000.0),
         ("MVTO", "mvto", 0.0, 0.0),
     )
+    measurements = measure_many(
+        [
+            SimulationConfig(mpl=mpl, til=til, tel=tel, protocol=protocol)
+            for _, protocol, til, tel in settings
+        ],
+        plan,
+        progress=progress,
+    )
     rows = []
-    for label, protocol, til, tel in settings:
-        measurement = measure(
-            SimulationConfig(mpl=mpl, til=til, tel=tel, protocol=protocol),
-            plan,
-        )
+    for (label, *_), measurement in zip(settings, measurements):
         deadlocks = sum(
             run.metrics.aborts_by_reason.get("deadlock", 0)
             for run in measurement.runs
@@ -95,7 +115,7 @@ def _engine_comparison_markdown(plan: MeasurementPlan, mpl: int = 8) -> str:
                 f"{measurement.inconsistent_operations.mean:.0f}",
             )
         )
-    return "\n".join(
+    markdown = "\n".join(
         [
             "### Engine comparison — same workload, four concurrency controls",
             "",
@@ -114,13 +134,84 @@ def _engine_comparison_markdown(plan: MeasurementPlan, mpl: int = 8) -> str:
             "",
         ]
     )
+    return markdown, measurements
+
+
+def _study_cells(measurements: list[Measurement]) -> list[CellResult]:
+    return [cell for m in measurements for cell in m.cells]
+
+
+def _runtime_markdown(
+    plan: MeasurementPlan,
+    study_cells: dict[str, list[CellResult]],
+    total_wall_s: float,
+) -> str:
+    """The report's runtime section: per-study timings, failures, retries."""
+    rows = []
+    for study, cells in study_cells.items():
+        walls = [c.wall_s for c in cells if c.ok]
+        rows.append(
+            (
+                study,
+                str(len(cells)),
+                f"{sum(walls):.2f}",
+                f"{max(walls, default=0.0):.2f}",
+                str(sum(1 for c in cells if c.retried)),
+                str(sum(1 for c in cells if not c.ok)),
+            )
+        )
+    lines = [
+        "## Runtime",
+        "",
+        f"Cells ran on {plan.max_workers} worker(s) "
+        "(one cell = one (config, seed) repetition; results are "
+        "reassembled in plan order, so estimates do not depend on the "
+        "worker count).",
+        "",
+        "```",
+        format_table(
+            ["study", "cells", "cell s (sum)", "max cell s", "retried", "failed"],
+            rows,
+        ),
+        "```",
+        "",
+    ]
+    problems = [
+        (study, cell)
+        for study, cells in study_cells.items()
+        for cell in cells
+        if not cell.ok or cell.retried
+    ]
+    if problems:
+        lines.append("Cells that failed or needed a retry:")
+        lines.append("")
+        for study, cell in problems:
+            config = cell.cell.config
+            status = (
+                f"failed: {cell.error}" if not cell.ok else "ok after retry"
+            )
+            lines.append(
+                f"- {study}: mpl={config.mpl} til={config.til:g} "
+                f"tel={config.tel:g} seed={cell.cell.seed} — {status} "
+                f"(attempts={cell.attempts})"
+            )
+        lines.append("")
+    lines.append(f"_Total regeneration time: {total_wall_s:.1f}s wall._")
+    lines.append("")
+    return "\n".join(lines)
 
 
 def generate_experiments_markdown(
     plan: MeasurementPlan = PAPER_PLAN,
     progress: Callable[[str], None] | None = None,
+    cell_progress: CellProgress | None = None,
 ) -> str:
-    """Regenerate every experiment and render the full markdown report."""
+    """Regenerate every experiment and render the full markdown report.
+
+    ``progress`` receives one message per study; ``cell_progress``
+    receives one call per completed repetition cell (the CLI uses it for
+    per-cell progress lines).
+    """
 
     def note(message: str) -> None:
         if progress is not None:
@@ -138,7 +229,8 @@ def generate_experiments_markdown(
         f"{plan.duration_ms:g} ms simulated ({plan.warmup_ms:g} ms warm-up "
         "excluded), paper workload "
         f"({plan.workload.n_objects} objects, hot set "
-        f"{plan.workload.hot_set_size}, w={plan.workload.mean_write_change:g}).",
+        f"{plan.workload.hot_set_size}, w={plan.workload.mean_write_change:g}), "
+        f"{plan.max_workers} worker(s).",
         "",
         "## Table 1 — inconsistency bound levels (paper section 7)",
         "",
@@ -157,29 +249,42 @@ def generate_experiments_markdown(
         "## Figures",
         "",
     ]
+    study_cells: dict[str, list[CellResult]] = {}
     note("running MPL study (figures 7-10)...")
-    shared_mpl = mpl_study(plan)
+    shared_mpl = mpl_study(plan, progress=cell_progress)
+    study_cells["MPL sweep (figs 7-10)"] = _study_cells(
+        [m for per_mpl in shared_mpl.values() for m in per_mpl.values()]
+    )
     for builder in (fig7, fig8, fig9, fig10):
         figure = builder(plan, study=shared_mpl)
         note(f"rendered {figure.figure_id}")
         lines.append(figure_markdown(figure, PAPER_EXPECTATIONS[figure.figure_id]))
     note("running TIL study (figure 11)...")
-    figure = fig11(plan)
+    shared_til = til_study(plan, progress=cell_progress)
+    study_cells["TIL sweep (fig 11)"] = _study_cells(
+        [m for per_til in shared_til.values() for m in per_til.values()]
+    )
+    figure = fig11(plan, study=shared_til)
     lines.append(figure_markdown(figure, PAPER_EXPECTATIONS["fig11"]))
     note("running OIL study (figures 12-13)...")
-    shared_oil = oil_study(plan)
+    shared_oil = oil_study(plan, progress=cell_progress)
+    study_cells["OIL sweep (figs 12-13)"] = _study_cells(
+        [m for per_oil in shared_oil.values() for m in per_oil.values()]
+    )
     for builder in (fig12, fig13):
         figure = builder(plan, study=shared_oil)
         note(f"rendered {figure.figure_id}")
         lines.append(figure_markdown(figure, PAPER_EXPECTATIONS[figure.figure_id]))
     note("running hierarchy extension study...")
-    from repro.experiments.extensions import ext_hierarchy
+    from repro.experiments.extensions import ext_hierarchy, hierarchy_study
 
+    hierarchy = hierarchy_study(plan, progress=cell_progress)
+    study_cells["hierarchy extension"] = _study_cells(list(hierarchy.values()))
     lines.append("## Extensions (beyond the paper)")
     lines.append("")
     lines.append(
         figure_markdown(
-            ext_hierarchy(plan),
+            ext_hierarchy(plan, study=hierarchy),
             "Not in the paper — section 5.3.1 only notes that multi-level "
             "control carries 'a small price'.  Expectation: loose group "
             "limits behave identically to the flat two-level system; "
@@ -187,9 +292,10 @@ def generate_experiments_markdown(
         )
     )
     note("running engine comparison (TSO / 2PL / MVTO)...")
-    lines.append(_engine_comparison_markdown(plan))
-    lines.append(
-        f"_Total regeneration time: {time.time() - started:.1f}s wall._"
+    comparison, engine_measurements = _engine_comparison_markdown(
+        plan, progress=cell_progress
     )
-    lines.append("")
+    study_cells["engine comparison"] = _study_cells(engine_measurements)
+    lines.append(comparison)
+    lines.append(_runtime_markdown(plan, study_cells, time.time() - started))
     return "\n".join(lines)

@@ -6,18 +6,49 @@ and reports that 90 % confidence intervals lie within ±3 % of the mean.
 ``repetitions`` different seeds and aggregates each metric into a
 :class:`Estimate` (mean, half-width of the 90 % confidence interval,
 per-repetition values).
+
+Execution backend
+-----------------
+
+Every repetition is a *cell* — one fully resolved ``(config, seed)``
+pair.  :func:`run_cells` fans cells out across a shared
+``ProcessPoolExecutor`` (reused across calls, so a whole figure sweep or
+report runs in one pool) and reassembles the results in submission
+order.  Because a cell's outcome depends only on its configuration —
+the seed is explicit, nothing is shared between cells — the aggregated
+estimates are bit-identical regardless of worker count.  Each cell
+records its own wall-clock time; a crashed worker gets one retry before
+the cell is recorded as failed, and a per-cell timeout guards against
+runaway configurations.  :func:`measure_many` batches several
+configurations' cells into a single ``run_cells`` call so sweeps submit
+every point to the pool at once instead of nesting serial loops.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, replace
+import os
+import time
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as CellTimeout
+from dataclasses import dataclass, field, replace
 from typing import Callable, Sequence
 
+from repro.errors import ExperimentError
 from repro.experiments.config import MeasurementPlan
 from repro.sim.system import RunResult, SimulationConfig, run_simulation
 
-__all__ = ["Estimate", "Measurement", "measure", "student_t_90"]
+__all__ = [
+    "Cell",
+    "CellResult",
+    "Estimate",
+    "Measurement",
+    "measure",
+    "measure_many",
+    "run_cells",
+    "shutdown_pool",
+    "student_t_90",
+]
 
 # Two-sided 90 % Student-t critical values by degrees of freedom (1..30).
 _T90 = (
@@ -68,6 +99,187 @@ class Estimate:
         return f"{self.mean:{spec}} ± {self.half_width:{spec}}"
 
 
+# -- cells: the unit of parallel execution ------------------------------------------
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One repetition: a fully resolved configuration and its explicit seed."""
+
+    config: SimulationConfig
+    seed: int
+    #: Caller-defined label carried through to results (e.g. sweep point).
+    key: tuple = ()
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """Outcome of one cell: the run (or an error) plus execution metadata."""
+
+    cell: Cell
+    result: RunResult | None
+    #: Wall-clock seconds the simulation took inside its worker.
+    wall_s: float
+    error: str | None = None
+    #: Executor attempts consumed (2 = the cell was retried after a crash).
+    attempts: int = 1
+
+    @property
+    def ok(self) -> bool:
+        return self.result is not None
+
+    @property
+    def retried(self) -> bool:
+        return self.attempts > 1
+
+
+#: Signature of the per-cell progress callback: (result, done, total).
+CellProgress = Callable[[CellResult, int, int], None]
+
+
+def _execute_cell(config: SimulationConfig) -> tuple[RunResult, float]:
+    """Worker entry point: run one cell, timing it inside the worker."""
+    started = time.perf_counter()
+    result = run_simulation(config)
+    return result, time.perf_counter() - started
+
+
+# The pool is module-level and reused across run_cells() calls, so one
+# report's successive studies share a single set of warm workers.
+_POOL: ProcessPoolExecutor | None = None
+_POOL_WORKERS = 0
+
+
+def _shared_pool(max_workers: int) -> ProcessPoolExecutor:
+    global _POOL, _POOL_WORKERS
+    if _POOL is None or _POOL_WORKERS != max_workers:
+        shutdown_pool()
+        _POOL = ProcessPoolExecutor(max_workers=max_workers)
+        _POOL_WORKERS = max_workers
+    return _POOL
+
+
+def shutdown_pool() -> None:
+    """Tear down the shared worker pool (tests; crash recovery)."""
+    global _POOL
+    if _POOL is not None:
+        _POOL.shutdown(wait=False, cancel_futures=True)
+        _POOL = None
+
+
+def run_cells(
+    cells: Sequence[Cell],
+    max_workers: int | None = None,
+    timeout_s: float | None = None,
+    progress: CellProgress | None = None,
+    retries: int = 1,
+) -> list[CellResult]:
+    """Execute cells, possibly in parallel; results come back in cell order.
+
+    ``max_workers`` of ``None`` uses every core; ``1`` runs in-process
+    (no pool, no pickling).  ``timeout_s`` bounds how long the collector
+    blocks on any one cell once its predecessors have been collected —
+    a timed-out cell is recorded as failed, not retried.  A cell whose
+    worker *crashes* (``BrokenExecutor``) is retried ``retries`` times in
+    a fresh pool before being recorded as failed.  Deterministic worker
+    exceptions are recorded as failures immediately: rerunning the same
+    configuration would fail the same way.
+    """
+    cells = list(cells)
+    total = len(cells)
+    results: list[CellResult | None] = [None] * total
+    completed = 0
+
+    def record(index: int, cell_result: CellResult) -> None:
+        nonlocal completed
+        results[index] = cell_result
+        completed += 1
+        if progress is not None:
+            progress(cell_result, completed, total)
+
+    workers = max_workers if max_workers is not None else (os.cpu_count() or 1)
+    if workers <= 1 or total <= 1:
+        for index, cell in enumerate(cells):
+            started = time.perf_counter()
+            try:
+                run, wall = _execute_cell(cell.config)
+                record(index, CellResult(cell, run, wall))
+            except Exception as exc:  # noqa: BLE001 — cell failures are data
+                record(
+                    index,
+                    CellResult(
+                        cell,
+                        None,
+                        time.perf_counter() - started,
+                        error=f"{type(exc).__name__}: {exc}",
+                    ),
+                )
+        return [r for r in results if r is not None]
+
+    attempts = dict.fromkeys(range(total), 0)
+    pending = list(range(total))
+    while pending:
+        pool = _shared_pool(workers)
+        submitted = []
+        for index in pending:
+            attempts[index] += 1
+            submitted.append(
+                (index, pool.submit(_execute_cell, cells[index].config))
+            )
+        crashed: list[int] = []
+        pool_broken = False
+        for index, future in submitted:
+            cell = cells[index]
+            try:
+                run, wall = future.result(timeout=timeout_s)
+                record(index, CellResult(cell, run, wall, attempts=attempts[index]))
+            except CellTimeout:
+                future.cancel()
+                record(
+                    index,
+                    CellResult(
+                        cell,
+                        None,
+                        timeout_s or 0.0,
+                        error=f"timeout after {timeout_s:g}s",
+                        attempts=attempts[index],
+                    ),
+                )
+            except BrokenExecutor:
+                pool_broken = True
+                if attempts[index] <= retries:
+                    crashed.append(index)
+                else:
+                    record(
+                        index,
+                        CellResult(
+                            cell,
+                            None,
+                            0.0,
+                            error="worker crashed",
+                            attempts=attempts[index],
+                        ),
+                    )
+            except Exception as exc:  # noqa: BLE001 — cell failures are data
+                record(
+                    index,
+                    CellResult(
+                        cell,
+                        None,
+                        0.0,
+                        error=f"{type(exc).__name__}: {exc}",
+                        attempts=attempts[index],
+                    ),
+                )
+        if pool_broken:
+            shutdown_pool()
+        pending = crashed
+    return [r for r in results if r is not None]
+
+
+# -- aggregation ---------------------------------------------------------------------
+
+
 @dataclass(frozen=True)
 class Measurement:
     """Aggregated metrics for one simulation configuration."""
@@ -80,6 +292,8 @@ class Measurement:
     operations_per_commit: Estimate
     commits: Estimate
     runs: tuple[RunResult, ...]
+    #: Per-cell execution record (timings, retries, failures), plan order.
+    cells: tuple[CellResult, ...] = field(default=(), compare=False)
 
     def metric(self, name: str) -> Estimate:
         """Look up an aggregated metric by its attribute name."""
@@ -87,6 +301,14 @@ class Measurement:
         if not isinstance(value, Estimate):
             raise AttributeError(f"{name!r} is not an aggregated metric")
         return value
+
+    @property
+    def failed_cells(self) -> tuple[CellResult, ...]:
+        return tuple(c for c in self.cells if not c.ok)
+
+    @property
+    def retried_cells(self) -> tuple[CellResult, ...]:
+        return tuple(c for c in self.cells if c.retried)
 
 
 def _apply_plan(config: SimulationConfig, plan: MeasurementPlan) -> SimulationConfig:
@@ -100,19 +322,25 @@ def _apply_plan(config: SimulationConfig, plan: MeasurementPlan) -> SimulationCo
     return replace(config, **overrides)
 
 
-def measure(
-    config: SimulationConfig,
-    plan: MeasurementPlan,
-    progress: Callable[[RunResult], None] | None = None,
+def _plan_cells(
+    config: SimulationConfig, plan: MeasurementPlan, key: tuple = ()
+) -> list[Cell]:
+    return [
+        Cell(config=replace(config, seed=seed), seed=seed, key=key + (seed,))
+        for seed in plan.seeds()
+    ]
+
+
+def _aggregate(
+    config: SimulationConfig, cell_results: Sequence[CellResult]
 ) -> Measurement:
-    """Run ``config`` once per plan seed and aggregate the metrics."""
-    config = _apply_plan(config, plan)
-    runs: list[RunResult] = []
-    for seed in plan.seeds():
-        result = run_simulation(replace(config, seed=seed))
-        runs.append(result)
-        if progress is not None:
-            progress(result)
+    runs = [cr.result for cr in cell_results if cr.ok]
+    if not runs:
+        errors = "; ".join(cr.error or "unknown" for cr in cell_results)
+        raise ExperimentError(
+            f"all {len(cell_results)} cells failed for mpl={config.mpl} "
+            f"til={config.til:g} tel={config.tel:g}: {errors}"
+        )
     return Measurement(
         config=config,
         throughput=Estimate.from_samples([r.throughput for r in runs]),
@@ -128,4 +356,64 @@ def measure(
         ),
         commits=Estimate.from_samples([r.commits for r in runs]),
         runs=tuple(runs),
+        cells=tuple(cell_results),
     )
+
+
+def measure(
+    config: SimulationConfig,
+    plan: MeasurementPlan,
+    progress: Callable[[RunResult], None] | None = None,
+    max_workers: int | None = None,
+    timeout_s: float | None = None,
+) -> Measurement:
+    """Run ``config`` once per plan seed and aggregate the metrics.
+
+    ``max_workers``/``timeout_s`` override the plan's knobs; the default
+    honours ``plan.max_workers`` (1 = the historical serial behaviour).
+    """
+    config = _apply_plan(config, plan)
+    cell_results = run_cells(
+        _plan_cells(config, plan),
+        max_workers=max_workers if max_workers is not None else plan.max_workers,
+        timeout_s=timeout_s if timeout_s is not None else plan.cell_timeout_s,
+    )
+    if progress is not None:
+        for cell_result in cell_results:
+            if cell_result.ok:
+                progress(cell_result.result)
+    return _aggregate(config, cell_results)
+
+
+def measure_many(
+    configs: Sequence[SimulationConfig],
+    plan: MeasurementPlan,
+    max_workers: int | None = None,
+    timeout_s: float | None = None,
+    progress: CellProgress | None = None,
+) -> list[Measurement]:
+    """Measure several configurations through one shared cell pool.
+
+    All ``len(configs) × plan.repetitions`` cells are submitted in a
+    single :func:`run_cells` batch — a whole sweep keeps every worker
+    busy instead of parallelising only within one sweep point — and the
+    measurements come back in ``configs`` order, each aggregated from
+    its cells in plan-seed order.
+    """
+    applied = [_apply_plan(config, plan) for config in configs]
+    cells: list[Cell] = []
+    spans: list[tuple[int, int]] = []
+    for index, config in enumerate(applied):
+        start = len(cells)
+        cells.extend(_plan_cells(config, plan, key=(index,)))
+        spans.append((start, len(cells)))
+    cell_results = run_cells(
+        cells,
+        max_workers=max_workers if max_workers is not None else plan.max_workers,
+        timeout_s=timeout_s if timeout_s is not None else plan.cell_timeout_s,
+        progress=progress,
+    )
+    return [
+        _aggregate(applied[index], cell_results[start:stop])
+        for index, (start, stop) in enumerate(spans)
+    ]

@@ -18,7 +18,7 @@ import time
 from typing import Any
 
 from repro.core.bounds import EpsilonLevel, TransactionBounds
-from repro.engine.timestamps import TimestampGenerator
+from repro.engine.timestamps import Timestamp, TimestampGenerator
 from repro.errors import ProtocolError, TransactionAborted
 from repro.lang.ast import Program
 from repro.lang.compiler import compile_program
@@ -183,16 +183,23 @@ class RemoteConnection:
         bounds: TransactionBounds | EpsilonLevel | float = 0.0,
         group_limits: dict[str, float] | None = None,
         object_limits: dict[int, float] | None = None,
+        timestamp: Timestamp | None = None,
     ) -> RemoteTransaction:
         """Begin a transaction; ``bounds`` may be a limit number, a
-        :class:`TransactionBounds`, or an :class:`EpsilonLevel`."""
+        :class:`TransactionBounds`, or an :class:`EpsilonLevel`.
+
+        ``timestamp`` overrides the synchronized-clock timestamp — tests
+        use it to pin the ordering between transactions from different
+        connections, whose clocks may disagree by a few milliseconds.
+        """
         if isinstance(bounds, EpsilonLevel):
             bounds = bounds.transaction
         if isinstance(bounds, TransactionBounds):
             limit = bounds.import_limit if kind == "query" else bounds.export_limit
         else:
             limit = float(bounds)
-        timestamp = self._timestamps.next()
+        if timestamp is None:
+            timestamp = self._timestamps.next()
         response = self._request(
             {
                 "op": "begin",

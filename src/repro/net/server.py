@@ -79,10 +79,14 @@ class TransactionServer(socketserver.ThreadingTCPServer):
         protocol: str = "esr",
         export_policy: str = "max",
         wait_timeout: float = WAIT_TIMEOUT_SECONDS,
+        wait_policy: str = "wait",
     ):
         super().__init__(address, _Handler)
         self.manager = TransactionManager(
-            database, protocol=protocol, export_policy=export_policy
+            database,
+            protocol=protocol,
+            export_policy=export_policy,
+            wait_policy=wait_policy,
         )
         #: Upper bound on one strict-ordering wait (see module constant).
         self.wait_timeout = wait_timeout
@@ -263,9 +267,19 @@ def serve_forever(
     host: str = "127.0.0.1",
     port: int = 0,
     protocol: str = "esr",
+    export_policy: str = "max",
+    wait_timeout: float = WAIT_TIMEOUT_SECONDS,
+    wait_policy: str = "wait",
 ) -> TransactionServer:
     """Start a server on a background thread; returns it (bound and live)."""
-    server = TransactionServer(database, (host, port), protocol=protocol)
+    server = TransactionServer(
+        database,
+        (host, port),
+        protocol=protocol,
+        export_policy=export_policy,
+        wait_timeout=wait_timeout,
+        wait_policy=wait_policy,
+    )
     thread = threading.Thread(target=server.serve_forever, daemon=True)
     thread.start()
     return server

@@ -14,6 +14,7 @@ import math
 from dataclasses import dataclass, replace
 
 from repro.core.bounds import ObjectBounds
+from repro.core.metric import distance_by_name
 from repro.engine.database import Database
 from repro.engine.manager import TransactionManager
 from repro.engine.metrics import MetricsSnapshot
@@ -39,7 +40,15 @@ __all__ = ["SimulationConfig", "RunResult", "run_simulation"]
 
 @dataclass(frozen=True)
 class SimulationConfig:
-    """Everything that defines one simulation run."""
+    """Everything that defines one simulation run.
+
+    The config is pure data — strings, numbers and frozen dataclasses,
+    never callables or closures — so it pickles cleanly into the worker
+    processes of the parallel experiment runner.  Anything behavioural
+    (the distance function, the protocol, the wait policy) is named by a
+    spec string and resolved inside :func:`build_simulation`, i.e. in
+    whichever process actually runs the cell.
+    """
 
     #: Multiprogramming level — the number of concurrent clients.
     mpl: int = 4
@@ -57,6 +66,10 @@ class SimulationConfig:
     #: (``"mvto"``, the serializable baseline section 5.1 contrasts).
     protocol: str = "esr"
     export_policy: str = "max"
+    #: Distance-function spec string (see
+    #: :func:`repro.core.metric.distance_by_name`), resolved in the
+    #: worker so the config itself stays picklable.
+    distance: str = "absolute"
     #: Strict-ordering conflicts: ``"wait"`` (the paper's choice) or
     #: ``"abort"`` (abort-with-restart instead).  TSO engines only.
     wait_policy: str = "wait"
@@ -85,6 +98,7 @@ class SimulationConfig:
             raise ExperimentError("duration_ms must be positive")
         if not 0 <= self.warmup_ms < self.duration_ms:
             raise ExperimentError("warmup_ms must be in [0, duration_ms)")
+        distance_by_name(self.distance)  # fail fast on a bad spec
 
     def with_level(self, til: float, tel: float) -> "SimulationConfig":
         return replace(self, til=til, tel=tel)
@@ -149,12 +163,14 @@ def build_simulation(
         with_groups=group_limits is not None,
     )
     engine = Engine()
+    distance = distance_by_name(config.distance)
     if config.protocol in ("2pl", "2pl-sr"):
         from repro.engine.twopl import TwoPhaseManager
 
         manager = TwoPhaseManager(
             database,
             relaxed=config.protocol == "2pl",
+            distance=distance,
             export_policy=config.export_policy,
         )
     elif config.protocol == "mvto":
@@ -165,6 +181,7 @@ def build_simulation(
         manager = TransactionManager(
             database,
             protocol=config.protocol,
+            distance=distance,
             export_policy=config.export_policy,
             wait_policy=config.wait_policy,
         )

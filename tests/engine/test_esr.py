@@ -103,6 +103,48 @@ class TestCase1LateRead:
         assert outcome.inconsistency == 7_000.0
 
 
+class TestCase1RejectionDetail:
+    """Regression: the Case-1 rejection detail must never mention None.
+
+    A rejected admit normally names the violated level, but an account
+    that rejects without attributing a level (``violated_level is None``)
+    used to produce the detail "past the None limit".  That path must
+    instead report a plain late read with the timestamps involved.
+    """
+
+    def _late_read_setup(self):
+        obj = DataObject(1, 5_000.0)
+        committed_write(obj, 9, 20, 5_400.0)
+        query = make_txn("query", 10, til=300.0)
+        return obj, query
+
+    def test_bound_violation_detail_names_the_level(self):
+        obj, query = self._late_read_setup()
+        outcome = esr_read_decision(obj, query)
+        assert isinstance(outcome, Rejected)
+        assert outcome.reason == "bound-violation"
+        assert outcome.violated_level is not None
+        assert f"past the {outcome.violated_level} limit" in outcome.detail
+        assert "None" not in outcome.detail
+
+    def test_unattributed_rejection_reports_late_read(self, monkeypatch):
+        from repro.core.hierarchy import ChargeOutcome
+
+        obj, query = self._late_read_setup()
+        monkeypatch.setattr(
+            query.account,
+            "admit",
+            lambda *args, **kwargs: ChargeOutcome(admitted=False),
+        )
+        outcome = esr_read_decision(obj, query)
+        assert isinstance(outcome, Rejected)
+        assert outcome.reason == "late-read"
+        assert outcome.violated_level is None
+        assert "read ts" in outcome.detail
+        assert "object 1" in outcome.detail
+        assert "None" not in outcome.detail
+
+
 class TestCase2ReadUncommitted:
     """A query read of a pending uncommitted write."""
 

@@ -27,6 +27,18 @@ class TestWaitRegistry:
         registry.fire(7)
         assert registry.waiting_on(3) is None
 
+    def test_fire_clears_the_completed_waiters_own_entry(self):
+        # Regression: a blocked transaction that itself completes (e.g.
+        # aborted on wait-timeout) used to leave its _waiting_on entry
+        # behind forever.
+        registry = WaitRegistry()
+        registry.subscribe(7, lambda: None, waiter_transaction=3)
+        registry.fire(3)  # the *waiter* completes, not the blocker
+        assert registry.waiting_on(3) is None
+        # The blocker's completion still works and finds nothing stale.
+        registry.fire(7)
+        assert registry.waiting_on(3) is None
+
     def test_pending_waiters_count(self):
         registry = WaitRegistry()
         registry.subscribe(1, lambda: None)

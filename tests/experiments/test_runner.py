@@ -2,15 +2,35 @@
 
 from __future__ import annotations
 
+import pickle
+
 import pytest
 
 from repro.errors import ExperimentError
 from repro.experiments.config import MeasurementPlan
-from repro.experiments.runner import Estimate, measure, student_t_90
-from repro.sim.system import SimulationConfig
+from repro.experiments.runner import (
+    Cell,
+    Estimate,
+    measure,
+    measure_many,
+    run_cells,
+    shutdown_pool,
+    student_t_90,
+)
+from repro.sim.system import RunResult, SimulationConfig, run_simulation
 from repro.workload.spec import WorkloadSpec
 
 TINY = WorkloadSpec(n_objects=40, hot_set_size=8, n_partitions=4)
+
+TINY_PLAN = MeasurementPlan(
+    duration_ms=2_000.0, warmup_ms=0.0, repetitions=3, workload=TINY
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_pool():
+    yield
+    shutdown_pool()
 
 
 class TestStudentT:
@@ -97,3 +117,127 @@ class TestMeasure:
         seen = []
         measure(SimulationConfig(mpl=1), plan, progress=seen.append)
         assert len(seen) == 2
+
+
+class TestParallelExecution:
+    """The process-pool backend: determinism, ordering, failure handling."""
+
+    def test_estimates_identical_across_worker_counts(self):
+        config = SimulationConfig(mpl=2, til=100_000.0, tel=10_000.0)
+        serial = measure(config, TINY_PLAN, max_workers=1)
+        parallel = measure(config, TINY_PLAN, max_workers=4)
+        for name in (
+            "throughput",
+            "aborts",
+            "inconsistent_operations",
+            "total_operations",
+            "operations_per_commit",
+            "commits",
+        ):
+            assert serial.metric(name) == parallel.metric(name)
+
+    def test_measure_many_identical_across_worker_counts(self):
+        configs = [
+            SimulationConfig(mpl=1, til=100_000.0, tel=10_000.0),
+            SimulationConfig(mpl=2),
+        ]
+        serial = measure_many(configs, TINY_PLAN, max_workers=1)
+        parallel = measure_many(configs, TINY_PLAN, max_workers=4)
+        for s, p in zip(serial, parallel):
+            assert s.config == p.config
+            assert s.throughput == p.throughput
+            assert s.aborts == p.aborts
+
+    def test_run_cells_preserves_cell_order(self):
+        cells = [
+            Cell(config=SimulationConfig(
+                mpl=1, workload=TINY, duration_ms=1_000.0, warmup_ms=0.0,
+                seed=seed,
+            ), seed=seed)
+            for seed in (5, 3, 9, 1)
+        ]
+        results = run_cells(cells, max_workers=2)
+        assert [r.cell.seed for r in results] == [5, 3, 9, 1]
+        assert all(r.ok and r.wall_s > 0 for r in results)
+
+    def test_progress_reports_every_cell(self):
+        config = SimulationConfig(mpl=1, til=100_000.0, tel=10_000.0)
+        seen = []
+        measure_many(
+            [config],
+            TINY_PLAN,
+            max_workers=2,
+            progress=lambda cr, done, total: seen.append((done, total)),
+        )
+        assert seen == [(1, 3), (2, 3), (3, 3)]
+
+    def test_all_cells_failing_raises(self, monkeypatch):
+        def boom(config):
+            raise RuntimeError("kaput")
+
+        monkeypatch.setattr(
+            "repro.experiments.runner.run_simulation", boom
+        )
+        with pytest.raises(ExperimentError, match="kaput"):
+            measure(SimulationConfig(mpl=1), TINY_PLAN, max_workers=1)
+
+    def test_partial_failure_drops_samples(self, monkeypatch):
+        real = run_simulation
+
+        def flaky(config):
+            if config.seed == 1:
+                raise RuntimeError("seed 1 refuses")
+            return real(config)
+
+        monkeypatch.setattr("repro.experiments.runner.run_simulation", flaky)
+        measurement = measure(
+            SimulationConfig(mpl=1), TINY_PLAN, max_workers=1
+        )
+        assert len(measurement.runs) == 2
+        assert len(measurement.failed_cells) == 1
+        assert measurement.failed_cells[0].cell.seed == 1
+        assert "seed 1 refuses" in measurement.failed_cells[0].error
+
+    def test_timeout_records_failed_cells(self):
+        config = SimulationConfig(
+            mpl=4, til=100_000.0, tel=10_000.0, duration_ms=120_000.0,
+            warmup_ms=0.0,
+        )
+        cells = [Cell(config=config, seed=0), Cell(config=config, seed=0)]
+        results = run_cells(cells, max_workers=2, timeout_s=0.001)
+        assert all(not r.ok for r in results)
+        assert all("timeout" in r.error for r in results)
+
+    def test_config_and_result_pickle_roundtrip(self):
+        config = SimulationConfig(
+            mpl=2,
+            til=100_000.0,
+            tel=10_000.0,
+            distance="scaled:2.0",
+            workload=TINY,
+            duration_ms=1_000.0,
+            warmup_ms=0.0,
+        )
+        assert pickle.loads(pickle.dumps(config)) == config
+        result = run_simulation(config)
+        restored = pickle.loads(pickle.dumps(result))
+        assert isinstance(restored, RunResult)
+        assert restored.commits == result.commits
+        assert restored.config == config
+
+    def test_shutdown_pool_is_idempotent(self):
+        from repro.experiments import runner
+
+        run_cells(
+            [
+                Cell(config=SimulationConfig(
+                    mpl=1, workload=TINY, duration_ms=500.0, warmup_ms=0.0,
+                ), seed=0)
+                for _ in range(2)
+            ],
+            max_workers=2,
+        )
+        assert runner._POOL is not None
+        shutdown_pool()
+        assert runner._POOL is None
+        shutdown_pool()  # second call is a no-op

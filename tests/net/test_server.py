@@ -52,10 +52,17 @@ class TestBasicOperations:
     def test_rejection_raises_transaction_aborted(self, server, connection):
         # A second connection's query (still uncommitted) has read the
         # object with a newer timestamp, so the stale write is a case-3
-        # conflict, and with TEL=0 its export cannot be admitted.
+        # conflict, and with TEL=0 its export cannot be admitted.  The
+        # timestamps are pinned explicitly: the two connections' clocks
+        # are synchronized independently, and millisecond skew between
+        # them must not be allowed to invert the conflict order.
+        from repro.engine.timestamps import Timestamp
+
         with RemoteConnection("127.0.0.1", server.port, site=2) as other:
-            stale = connection.begin("update", TransactionBounds(0, 0))
-            query = other.begin("query", 0.0)
+            stale = connection.begin(
+                "update", TransactionBounds(0, 0), timestamp=Timestamp(1.0, 1, 0)
+            )
+            query = other.begin("query", 0.0, timestamp=Timestamp(2.0, 2, 0))
             query.read(3)
             with pytest.raises(TransactionAborted):
                 stale.write(3, 1.0)

@@ -36,6 +36,31 @@ class TestWaitTimeout:
                 assert info.value.reason == "wait-timeout"
             writer.abort()
 
+    def test_raw_abort_response_and_clean_registry(self, server):
+        """The wire response on a timed-out wait, and no registry leak."""
+        sessions = {}
+        writer_id = server.dispatch(
+            {"op": "begin", "kind": "update", "limit": 0.0}, sessions
+        )["txn"]
+        assert server.dispatch(
+            {"op": "write", "txn": writer_id, "object": 1, "value": 150.0},
+            sessions,
+        )["ok"]
+        reader_id = server.dispatch(
+            {"op": "begin", "kind": "query", "limit": 0.0}, sessions
+        )["txn"]
+        response = server.dispatch(
+            {"op": "read", "txn": reader_id, "object": 1}, sessions
+        )
+        assert response == {
+            "ok": False,
+            "error": "aborted",
+            "reason": "wait-timeout",
+        }
+        # The aborted waiter must not linger in the wait-for relation.
+        assert server.manager.waits.waiting_on(reader_id) is None
+        server.manager.waits.assert_no_cycle()
+
     def test_wait_resolved_before_timeout_succeeds(self, server):
         import time
 
@@ -55,3 +80,52 @@ class TestWaitTimeout:
                     results.append(reader.read(1))
             thread.join()
         assert results == [150.0]
+
+
+class TestServeForeverForwarding:
+    """Regression: serve_forever used to drop every policy knob."""
+
+    def _database(self) -> Database:
+        db = Database()
+        db.create_many((i, 100.0) for i in range(1, 4))
+        return db
+
+    def test_policies_reach_the_server_and_manager(self):
+        srv = serve_forever(
+            self._database(),
+            export_policy="sum",
+            wait_timeout=0.05,
+            wait_policy="abort",
+        )
+        try:
+            assert srv.wait_timeout == 0.05
+            assert srv.manager.export_policy == "sum"
+            assert srv.manager.wait_policy == "abort"
+        finally:
+            srv.shutdown()
+            srv.server_close()
+
+    def test_abort_wait_policy_is_honoured_end_to_end(self):
+        srv = serve_forever(self._database(), wait_policy="abort")
+        try:
+            sessions = {}
+            writer_id = srv.dispatch(
+                {"op": "begin", "kind": "update", "limit": 0.0}, sessions
+            )["txn"]
+            srv.dispatch(
+                {"op": "write", "txn": writer_id, "object": 1, "value": 150.0},
+                sessions,
+            )
+            reader_id = srv.dispatch(
+                {"op": "begin", "kind": "query", "limit": 0.0}, sessions
+            )["txn"]
+            # Under wait_policy="abort" the conflicting read aborts at
+            # once rather than blocking until the wait timeout.
+            response = srv.dispatch(
+                {"op": "read", "txn": reader_id, "object": 1}, sessions
+            )
+            assert response["ok"] is False
+            assert response["reason"] == "conflict-abort"
+        finally:
+            srv.shutdown()
+            srv.server_close()
