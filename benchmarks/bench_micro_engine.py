@@ -1,9 +1,15 @@
 """Micro-benchmarks of the engine's hot paths.
 
 These are throughput numbers for the building blocks every simulated
-operation passes through: the TSO/ESR decision + bookkeeping in the
-transaction manager, hierarchy charging, proper-value lookup, timestamp
-generation, and the transaction-language pipeline.
+operation passes through: the DES kernel's dispatch loops (zero-delay
+fast path, heap path, resource queue), the TSO/ESR decision +
+bookkeeping in the transaction manager, hierarchy charging, proper-value
+lookup, timestamp generation, and the transaction-language pipeline.
+
+The kernel/ledger workloads are the same callables ``repro bench-hotpath``
+times for ``BENCH_hotpath.json``; here pytest-benchmark wraps them, so
+``--benchmark-disable`` turns this file into an execution smoke test
+(CI runs it that way to keep the perf harness from rotting).
 """
 
 from __future__ import annotations
@@ -14,10 +20,42 @@ from repro.engine.database import Database
 from repro.engine.manager import TransactionManager
 from repro.engine.objects import DataObject
 from repro.engine.timestamps import Timestamp, TimestampGenerator
+from repro.experiments.hotpath import (
+    catalog_members_workload,
+    engine_dispatch_workload,
+    ledger_charge_workload,
+    resource_churn_workload,
+    timeout_dispatch_workload,
+)
 from repro.lang.compiler import format_program
 from repro.lang.parser import parse_program
 from repro.workload.generator import WorkloadGenerator
 from repro.workload.spec import WorkloadSpec
+
+
+def test_kernel_zero_delay_dispatch(benchmark):
+    """Event-triggered resumes through the ready-queue fast path."""
+    benchmark(engine_dispatch_workload(processes=20, steps=500))
+
+
+def test_kernel_timeout_dispatch(benchmark):
+    """Positive-delay timeouts through the heap path."""
+    benchmark(timeout_dispatch_workload(processes=20, steps=500))
+
+
+def test_kernel_resource_churn(benchmark):
+    """Contended acquire/release on a deque-backed FIFO resource."""
+    benchmark(resource_churn_workload(workers=20, cycles=100))
+
+
+def test_ledger_limited_path_charge(benchmark):
+    """Admission walks over the shared limited-path cache."""
+    benchmark(ledger_charge_workload(ledgers=50, objects=100))
+
+
+def test_catalog_members_reverse_index(benchmark):
+    """Member listing via the per-group reverse index."""
+    benchmark(catalog_members_workload(calls=500, objects=2000))
 
 
 def _database(n: int = 200) -> Database:

@@ -6,6 +6,8 @@ Subcommands::
     repro figure fig7 [--fast] [...]      regenerate one paper figure
     repro report [--out EXPERIMENTS.md]   regenerate all figures to markdown
     repro sweep --mpl 4 --til 1e5 ...     one simulation run, metrics printed
+    repro sweep ... --profile             same, under cProfile + perf counters
+    repro bench-hotpath [--update]        hot-path micro suite vs. baseline
     repro gen-workload out.trace ...      write a client trace file
     repro serve [--port N] [...]          start the networked prototype
     repro run-trace out.trace --port N    replay a trace against a server
@@ -127,7 +129,19 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         warmup_ms=warmup,
         seed=args.seed,
     )
-    result = run_simulation(config)
+    if args.profile:
+        from repro.perf import counters, profile_call
+
+        counters.reset()
+        result, report = profile_call(
+            lambda: run_simulation(config), top_n=args.profile_top
+        )
+        print(report)
+        print("perf counters:")
+        print(counters.format_table())
+        print()
+    else:
+        result = run_simulation(config)
     m = result.metrics
     rows = [
         ("throughput (tx/s)", f"{result.throughput:.2f}"),
@@ -142,6 +156,30 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         ("server utilisation", f"{result.server_utilisation:.2f}"),
     ]
     print(format_table(["metric", "value"], rows))
+    return 0
+
+
+def _cmd_bench_hotpath(args: argparse.Namespace) -> int:
+    from repro.experiments import hotpath
+
+    repeats = 1 if args.quick else args.repeats
+    smoke_repeats = 1 if args.quick else 3
+    print(f"running hot-path suite (best of {repeats})...")
+    report = hotpath.run_suite(
+        repeats=repeats, smoke_repeats=smoke_repeats, progress=print
+    )
+    baseline = hotpath.load_baseline(args.baseline)
+    print()
+    if baseline is not None:
+        print(f"vs. baseline {args.baseline}:")
+        print(hotpath.format_comparison(baseline, report))
+    else:
+        print(hotpath.format_report(report))
+    if args.quick:
+        return 0
+    if args.update or baseline is None:
+        hotpath.write_baseline(report, args.baseline)
+        print(f"\nwrote baseline {args.baseline}")
     return 0
 
 
@@ -264,6 +302,45 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--duration", type=float)
     sweep.add_argument("--warmup", type=float, default=3_000.0)
     sweep.add_argument("--seed", type=int, default=1)
+    sweep.add_argument(
+        "--profile",
+        action="store_true",
+        help="run under cProfile; print top entries and perf counters",
+    )
+    sweep.add_argument(
+        "--profile-top",
+        type=int,
+        default=25,
+        help="cumulative-time entries to print with --profile (default 25)",
+    )
+
+    bench = sub.add_parser(
+        "bench-hotpath",
+        help="run the hot-path micro suite and compare against the baseline",
+    )
+    bench.add_argument(
+        "--baseline",
+        default="BENCH_hotpath.json",
+        help="baseline file to compare with and/or update (default: "
+        "BENCH_hotpath.json)",
+    )
+    bench.add_argument(
+        "--update",
+        action="store_true",
+        help="write the measured numbers back as the new baseline",
+    )
+    bench.add_argument(
+        "--repeats",
+        type=int,
+        default=5,
+        help="best-of-N repetitions per micro workload (default 5)",
+    )
+    bench.add_argument(
+        "--quick",
+        action="store_true",
+        help="single repetition of everything — execution smoke test only, "
+        "timings meaningless; never writes the baseline",
+    )
 
     gen = sub.add_parser("gen-workload", help="write a client trace file")
     gen.add_argument("out")
@@ -293,6 +370,7 @@ _COMMANDS = {
     "figure": _cmd_figure,
     "report": _cmd_report,
     "sweep": _cmd_sweep,
+    "bench-hotpath": _cmd_bench_hotpath,
     "gen-workload": _cmd_gen_workload,
     "serve": _cmd_serve,
     "run-trace": _cmd_run_trace,

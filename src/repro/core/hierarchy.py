@@ -26,6 +26,20 @@ Two classes implement this:
     plus the inconsistency accumulated so far at every level.  This is the
     object the concurrency control consults on every read (import side) or
     write (export side).
+
+The ledger walk is the per-operation hot path of the whole simulator, so
+admission runs over a *limited path* — the object's root path filtered
+down to the levels that actually carry a limit.  Every transaction in a
+run typically declares the same set of bounded levels (the workload's
+``LIMIT`` lines come from one config), so the filtered paths are cached
+on the *catalog*, keyed by that level set, and shared by every ledger
+that bounds those levels: the first transaction to touch an object pays
+the filter, all later transactions walk a precomputed tuple.  The
+catalog invalidates an object's entries when it is re-assigned.  Both
+:meth:`HierarchyLedger.try_charge` and :meth:`HierarchyLedger.
+would_admit` evaluate the same :meth:`~HierarchyLedger._first_violation`
+predicate over that path, so the admission decision and the charging
+logic can never drift apart.
 """
 
 from __future__ import annotations
@@ -36,6 +50,7 @@ from typing import Iterator, Mapping
 
 from repro.core.bounds import UNBOUNDED
 from repro.errors import SpecificationError
+from repro.perf import counters as _perf
 
 __all__ = [
     "ROOT_GROUP",
@@ -61,9 +76,18 @@ class GroupCatalog:
         self._parent: dict[str, str] = {}
         self._children: dict[str, list[str]] = {ROOT_GROUP: []}
         self._membership: dict[int, str] = {}
+        # Reverse index: group -> ordered set of directly assigned objects
+        # (insertion-ordered dict used as a set), so members() is O(group)
+        # instead of a scan over every assigned object.
+        self._members: dict[str, dict[int, None]] = {ROOT_GROUP: {}}
         # Paths are derived data; cache them because the concurrency control
         # asks for a path on every single operation.
         self._path_cache: dict[int, tuple[str, ...]] = {}
+        # Limited-path caches shared by every ledger bounding the same set
+        # of levels: {frozenset(levels): {object_id: filtered path}}.  The
+        # inner dicts are handed to ledgers by reference and only ever
+        # emptied in place, never replaced, so they can't go stale.
+        self._limited_cache: dict[frozenset[str], dict[int, tuple[str, ...]]] = {}
 
     # -- construction ----------------------------------------------------
 
@@ -81,6 +105,7 @@ class GroupCatalog:
         self._parent[name] = parent
         self._children[name] = []
         self._children[parent].append(name)
+        self._members[name] = {}
 
     def assign(self, object_id: int, group: str) -> None:
         """Place ``object_id`` in ``group``.
@@ -93,8 +118,14 @@ class GroupCatalog:
             raise SpecificationError(
                 f"cannot assign object {object_id}: unknown group {group!r}"
             )
+        previous = self._membership.get(object_id)
+        if previous is not None:
+            del self._members[previous][object_id]
         self._membership[object_id] = group
+        self._members[group][object_id] = None
         self._path_cache.pop(object_id, None)
+        for limited in self._limited_cache.values():
+            limited.pop(object_id, None)
 
     def assign_many(self, object_ids: Mapping[int, str] | dict[int, str]) -> None:
         """Assign several objects at once from an ``{id: group}`` mapping."""
@@ -150,14 +181,24 @@ class GroupCatalog:
         return path
 
     def members(self, group: str) -> tuple[int, ...]:
-        """Object ids assigned directly to ``group``."""
-        if group not in self._children:
-            raise SpecificationError(f"unknown group {group!r}")
-        return tuple(
-            object_id
-            for object_id, holder in self._membership.items()
-            if holder == group
-        )
+        """Object ids assigned directly to ``group``, in assignment order."""
+        try:
+            return tuple(self._members[group])
+        except KeyError:
+            raise SpecificationError(f"unknown group {group!r}") from None
+
+    def limited_paths(self, levels: frozenset[str]) -> dict[int, tuple[str, ...]]:
+        """The shared per-object filtered-path cache for one level set.
+
+        Ledgers bounding exactly ``levels`` hold the returned dict by
+        reference and fill it lazily via :meth:`HierarchyLedger.
+        _first_violation`; the catalog evicts an object's entry when the
+        object moves groups.
+        """
+        cache = self._limited_cache.get(levels)
+        if cache is None:
+            cache = self._limited_cache[levels] = {}
+        return cache
 
     def __len__(self) -> int:
         return len(self._parent)
@@ -186,7 +227,12 @@ class ChargeOutcome:
 
     @classmethod
     def ok(cls) -> "ChargeOutcome":
-        return cls(admitted=True)
+        return _ADMITTED
+
+
+#: Shared success outcome — frozen, so every admission can return the
+#: same instance instead of allocating one per operation.
+_ADMITTED = ChargeOutcome(admitted=True)
 
 
 class HierarchyLedger:
@@ -228,6 +274,9 @@ class HierarchyLedger:
                 )
             self._limits[group] = float(limit)
         self._usage: dict[str, float] = {name: 0.0 for name in self._limits}
+        # Filtered paths shared catalog-wide among ledgers bounding the
+        # same level set (see GroupCatalog.limited_paths).
+        self._limited = catalog.limited_paths(frozenset(self._limits))
 
     # -- introspection ----------------------------------------------------
 
@@ -254,36 +303,66 @@ class HierarchyLedger:
 
     # -- the control mechanism --------------------------------------------
 
+    def _limited_path(self, object_id: int) -> tuple[str, ...]:
+        """The object's bounded levels, bottom-up (cached catalog-wide)."""
+        levels = self._limited.get(object_id)
+        if levels is None:
+            limits = self._limits
+            levels = tuple(
+                level
+                for level in self._catalog.path(object_id)
+                if level in limits
+            )
+            self._limited[object_id] = levels
+        return levels
+
+    def _first_violation(
+        self, object_id: int, amount: float
+    ) -> ChargeOutcome | None:
+        """The bottom-most violated level, or None if every level admits.
+
+        This is *the* admission predicate: :meth:`try_charge` charges only
+        when it returns None, and :meth:`would_admit` is exactly that test,
+        so the two can never disagree.
+        """
+        usage = self._usage
+        limits = self._limits
+        for level in self._limited_path(object_id):
+            attempted = usage[level] + amount
+            if attempted > limits[level]:
+                return ChargeOutcome(
+                    admitted=False,
+                    violated_level=level,
+                    attempted=attempted,
+                    limit=limits[level],
+                )
+        return None
+
     def try_charge(self, object_id: int, amount: float) -> ChargeOutcome:
         """Charge ``amount`` along the object's path, bottom-up.
 
         Implements the paper's control stage: walk the path from the
         object's group to the root; at every level with a declared limit,
-        admit only if ``usage + amount <= limit``.  The walk is two-pass —
-        check everything first, then charge — so a rejection leaves all
-        usage untouched (the transaction is about to abort, but a clean
-        ledger keeps the accounting exact for diagnostics and tests).
+        admit only if ``usage + amount <= limit``.  The walk is fused over
+        the precomputed limited path — one checking pass, then a tight
+        charging pass that runs only when every level admitted — so a
+        rejection leaves all usage untouched, with no rollback needed (the
+        transaction is about to abort, but a clean ledger keeps the
+        accounting exact for diagnostics and tests).
         """
         if amount < 0:
             raise SpecificationError(
                 f"inconsistency charge must be >= 0, got {amount!r}"
             )
-        path = self._catalog.path(object_id)
-        for level in path:
-            limit = self._limits.get(level)
-            if limit is None:
-                continue
-            if self._usage[level] + amount > limit:
-                return ChargeOutcome(
-                    admitted=False,
-                    violated_level=level,
-                    attempted=self._usage[level] + amount,
-                    limit=limit,
-                )
-        for level in path:
-            if level in self._usage:
-                self._usage[level] += amount
-        return ChargeOutcome.ok()
+        _perf.ledger_walks += 1
+        violation = self._first_violation(object_id, amount)
+        if violation is not None:
+            _perf.ledger_rejections += 1
+            return violation
+        usage = self._usage
+        for level in self._limited_path(object_id):
+            usage[level] += amount
+        return _ADMITTED
 
     def check_and_charge(
         self, object_id: int, amount: float, object_limit: float = UNBOUNDED
@@ -307,11 +386,7 @@ class HierarchyLedger:
 
     def would_admit(self, object_id: int, amount: float) -> bool:
         """True if :meth:`try_charge` would succeed, without charging."""
-        for level in self._catalog.path(object_id):
-            limit = self._limits.get(level)
-            if limit is not None and self._usage[level] + amount > limit:
-                return False
-        return True
+        return self._first_violation(object_id, amount) is None
 
     def snapshot(self) -> dict[str, tuple[float, float]]:
         """``{level: (usage, limit)}`` for every level with a limit."""

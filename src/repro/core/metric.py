@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import itertools
 import math
+from functools import lru_cache
 from typing import Callable, Iterable, Protocol, Sequence, runtime_checkable
 
 from repro.errors import MetricSpaceError
@@ -116,6 +117,7 @@ _NAMED_DISTANCES: dict[str, DistanceFunction] = {
 }
 
 
+@lru_cache(maxsize=128)
 def distance_by_name(spec: str) -> DistanceFunction:
     """Resolve a distance *spec string* to a callable.
 
@@ -125,6 +127,10 @@ def distance_by_name(spec: str) -> DistanceFunction:
     of a callable; workers resolve it here.  Accepted specs: the names in
     ``_NAMED_DISTANCES`` (``"absolute"``, ``"discrete"``) and
     ``"scaled:<weight>"`` for a :class:`ScaledDistance`.
+
+    Resolution is memoised per process (specs are immutable and the
+    returned callables stateless), so each worker resolves any given
+    spec once no matter how many configs it validates and builds.
     """
     if spec.startswith("scaled:"):
         try:

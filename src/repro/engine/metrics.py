@@ -22,6 +22,8 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass
 
+from repro.perf import counters as _perf
+
 __all__ = ["MetricsCollector", "MetricsSnapshot"]
 
 
@@ -91,11 +93,13 @@ class MetricsCollector:
         self.reads += 1
         if esr_case is not None:
             self.inconsistent_by_case[esr_case] += 1
+            _perf.record_conflict_case(esr_case)
 
     def record_write(self, esr_case: str | None) -> None:
         self.writes += 1
         if esr_case is not None:
             self.inconsistent_by_case[esr_case] += 1
+            _perf.record_conflict_case(esr_case)
 
     def record_wait(self) -> None:
         self.waits += 1

@@ -1,0 +1,285 @@
+"""The hot-path benchmark suite behind ``repro bench-hotpath``.
+
+A handful of micro-workloads exercise exactly the code every simulated
+operation passes through — zero-delay event dispatch, heap-scheduled
+timeouts, FIFO resource churn, the hierarchy ledger walk, and the group
+member index — plus one *smoke figure*: a single representative
+:func:`~repro.sim.system.run_simulation` call timed wall-clock.  The
+suite writes/compares ``BENCH_hotpath.json`` so every future change to
+the kernel or the admission path has a perf trajectory to answer to.
+
+The same workload callables are wrapped by ``benchmarks/
+bench_micro_engine.py`` under pytest-benchmark; this module keeps them
+dependency-free so the CLI can time them with plain ``perf_counter``
+(best-of-N, to shed scheduler noise) without pytest in the loop.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+from repro.core.hierarchy import GroupCatalog, HierarchyLedger
+from repro.sim.des import Engine, Event, Resource, Timeout
+from repro.sim.system import SimulationConfig, run_simulation
+
+__all__ = [
+    "MicroBench",
+    "MICRO_BENCHES",
+    "smoke_config",
+    "run_suite",
+    "write_baseline",
+    "load_baseline",
+    "format_report",
+    "format_comparison",
+]
+
+#: Schema marker for BENCH_hotpath.json, bumped on incompatible changes.
+SCHEMA_VERSION = 1
+
+
+# -- micro workloads -----------------------------------------------------------
+#
+# Each builder returns a zero-argument callable performing `ops` units of
+# hot-path work; calling it repeatedly is safe (fresh state per call).
+
+
+def engine_dispatch_workload(processes: int = 50, steps: int = 2000) -> Callable[[], None]:
+    """Chains of zero-delay resumes — the ready-queue fast path."""
+
+    def run() -> None:
+        engine = Engine()
+
+        def proc():
+            for _ in range(steps):
+                event = Event()
+                engine.call_later(0.0, event.trigger)
+                yield event
+
+        engine.spawn_all(proc() for _ in range(processes))
+        engine.run()
+
+    return run
+
+
+def timeout_dispatch_workload(processes: int = 50, steps: int = 2000) -> Callable[[], None]:
+    """Positive-delay timeouts — the heap slow path."""
+
+    def run() -> None:
+        engine = Engine()
+
+        def proc(i: int):
+            for _ in range(steps):
+                yield Timeout(0.5 + (i % 7) * 0.25)
+
+        engine.spawn_all(proc(i) for i in range(processes))
+        engine.run()
+
+    return run
+
+
+def resource_churn_workload(workers: int = 40, cycles: int = 500) -> Callable[[], None]:
+    """Contended acquire/hold/release on a capacity-2 FIFO resource."""
+
+    def run() -> None:
+        engine = Engine()
+        resource = Resource(engine, capacity=2)
+
+        def proc():
+            for _ in range(cycles):
+                yield resource.acquire()
+                yield Timeout(1.0)
+                resource.release()
+
+        engine.spawn_all(proc() for _ in range(workers))
+        engine.run()
+
+    return run
+
+
+def ledger_charge_workload(ledgers: int = 200, objects: int = 100) -> Callable[[], None]:
+    """Bottom-up admission walks over a three-level hierarchy."""
+    catalog = GroupCatalog()
+    catalog.add_group("a")
+    catalog.add_group("b", parent="a")
+    catalog.add_group("c", parent="b")
+    for object_id in range(objects):
+        catalog.assign(object_id, "c")
+    limits = {"a": 1e12, "b": 1e12, "c": 1e12}
+
+    def run() -> None:
+        for _ in range(ledgers):
+            ledger = HierarchyLedger(catalog, 1e12, limits)
+            for object_id in range(objects):
+                ledger.check_and_charge(object_id, 1.0, object_limit=10.0)
+
+    return run
+
+
+def catalog_members_workload(calls: int = 2000, objects: int = 2000) -> Callable[[], None]:
+    """Group member listing against the reverse index."""
+    catalog = GroupCatalog()
+    for group in range(10):
+        catalog.add_group(f"g{group}")
+    for object_id in range(objects):
+        catalog.assign(object_id, f"g{object_id % 10}")
+
+    def run() -> None:
+        for _ in range(calls):
+            catalog.members("g3")
+
+    return run
+
+
+@dataclass(frozen=True)
+class MicroBench:
+    """One micro-workload: a builder plus its operation count per call."""
+
+    name: str
+    build: Callable[[], Callable[[], None]]
+    ops: int
+    unit: str
+
+
+MICRO_BENCHES: tuple[MicroBench, ...] = (
+    MicroBench("engine_dispatch", engine_dispatch_workload, 50 * 2000, "resumes"),
+    MicroBench("timeout_dispatch", timeout_dispatch_workload, 50 * 2000, "timeouts"),
+    MicroBench("resource_churn", resource_churn_workload, 40 * 500, "acquire-release"),
+    MicroBench("ledger_charge", ledger_charge_workload, 200 * 100, "charges"),
+    MicroBench("catalog_members", catalog_members_workload, 2000, "calls"),
+)
+
+
+def smoke_config() -> SimulationConfig:
+    """The fixed single-cell simulation the suite times wall-clock."""
+    return SimulationConfig(
+        mpl=16,
+        til=100_000.0,
+        tel=10_000.0,
+        protocol="esr",
+        duration_ms=60_000.0,
+        warmup_ms=5_000.0,
+        seed=3,
+    )
+
+
+# -- running -------------------------------------------------------------------
+
+
+def _best_of(fn: Callable[[], None], repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - started
+        if elapsed < best:
+            best = elapsed
+    return best
+
+
+def run_suite(
+    repeats: int = 5,
+    smoke_repeats: int = 3,
+    progress: Callable[[str], None] | None = None,
+) -> dict:
+    """Run every micro-bench and the smoke figure; return the report dict.
+
+    ``repeats`` is best-of-N per workload (N=1 is the CI quick mode:
+    asserts the suite still *executes*, timings meaningless).
+    """
+    micro: dict[str, dict[str, float]] = {}
+    for bench in MICRO_BENCHES:
+        workload = bench.build()
+        best = _best_of(workload, repeats)
+        micro[bench.name] = {
+            "best_s": round(best, 6),
+            "ops_per_s": round(bench.ops / best, 1) if best > 0 else 0.0,
+        }
+        if progress is not None:
+            progress(
+                f"  {bench.name}: {best:.4f}s "
+                f"({bench.ops / best:,.0f} {bench.unit}/s)"
+            )
+    config = smoke_config()
+    smoke_best = _best_of(lambda: run_simulation(config), smoke_repeats)
+    if progress is not None:
+        progress(f"  smoke_figure: {smoke_best:.4f}s wall")
+    return {
+        "schema": SCHEMA_VERSION,
+        "recorded": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "repeats": repeats,
+        },
+        "micro": micro,
+        "smoke": {
+            "wall_s": round(smoke_best, 6),
+            "config": {
+                "mpl": config.mpl,
+                "protocol": config.protocol,
+                "duration_ms": config.duration_ms,
+                "seed": config.seed,
+            },
+        },
+    }
+
+
+# -- the baseline file ---------------------------------------------------------
+
+
+def write_baseline(report: dict, path: str | Path) -> None:
+    Path(path).write_text(
+        json.dumps(report, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+def load_baseline(path: str | Path) -> dict | None:
+    """The parsed baseline, or None when missing/unreadable/incompatible."""
+    target = Path(path)
+    if not target.is_file():
+        return None
+    try:
+        report = json.loads(target.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError):
+        return None
+    if report.get("schema") != SCHEMA_VERSION:
+        return None
+    return report
+
+
+def format_report(report: dict) -> str:
+    lines = ["hot-path suite (best-of runs):"]
+    for name, entry in report["micro"].items():
+        lines.append(
+            f"  {name:<18} {entry['best_s']:.4f}s  ({entry['ops_per_s']:,.0f} ops/s)"
+        )
+    lines.append(f"  {'smoke_figure':<18} {report['smoke']['wall_s']:.4f}s wall")
+    return "\n".join(lines)
+
+
+def format_comparison(baseline: dict, current: dict) -> str:
+    """Side-by-side ops/s (micro) and wall time (smoke) vs. the baseline."""
+    lines = [
+        f"{'benchmark':<18} {'baseline':>14} {'current':>14} {'speedup':>9}"
+    ]
+    for name, entry in current["micro"].items():
+        base = baseline["micro"].get(name)
+        if base is None:
+            lines.append(f"{name:<18} {'—':>14} {entry['ops_per_s']:>14,.0f} {'new':>9}")
+            continue
+        ratio = entry["ops_per_s"] / base["ops_per_s"] if base["ops_per_s"] else 0.0
+        lines.append(
+            f"{name:<18} {base['ops_per_s']:>14,.0f} "
+            f"{entry['ops_per_s']:>14,.0f} {ratio:>8.2f}x"
+        )
+    base_wall = baseline["smoke"]["wall_s"]
+    cur_wall = current["smoke"]["wall_s"]
+    ratio = base_wall / cur_wall if cur_wall else 0.0
+    lines.append(
+        f"{'smoke_figure (s)':<18} {base_wall:>14.4f} {cur_wall:>14.4f} {ratio:>8.2f}x"
+    )
+    return "\n".join(lines)

@@ -10,6 +10,21 @@ client/server model needs, and determinism matters more than features:
 given the same seeds, a simulation run is bit-for-bit reproducible, which
 a real threaded prototype under the GIL is not.
 
+Scheduling internals (the hot path)
+-----------------------------------
+
+Most scheduled work is *zero-delay*: every event trigger, resource grant
+and process spawn resumes "now".  Those bypass the ``heapq`` entirely and
+go through ``_ready``, a plain FIFO deque of callbacks due at the current
+instant; only positive delays pay for a heap push/pop.  Dispatch order is
+identical to a single ``(time, seq)`` heap because of an invariant the
+two-queue split maintains: a heap entry due *now* was necessarily pushed
+before the clock reached ``now`` (a zero delay never enters the heap), so
+it precedes every ready-queue entry, and the ready queue itself preserves
+FIFO order.  The clock never advances while ready callbacks are pending.
+``RunResult`` metrics are bit-identical to the single-heap kernel for
+identical configs and seeds — the golden determinism tests pin this.
+
 Usage sketch::
 
     engine = Engine()
@@ -26,8 +41,11 @@ Usage sketch::
 
 from __future__ import annotations
 
-import heapq
+from collections import deque
+from heapq import heappop, heappush
 from typing import Callable, Generator, Iterable
+
+from repro.perf import counters as _perf
 
 __all__ = ["Event", "Timeout", "Process", "Engine", "Resource"]
 
@@ -52,7 +70,7 @@ class Event:
         self.triggered = True
         waiters, self._waiters = self._waiters, []
         for process in waiters:
-            process._engine._resume_soon(process)
+            process._engine._ready.append(process._step)
 
     def _add_waiter(self, process: "Process") -> bool:
         """Register a waiter; returns False if already triggered."""
@@ -106,11 +124,20 @@ class Process:
         except StopIteration:
             self.completed.trigger()
             return
+        engine = self._engine
         if isinstance(yielded, Timeout):
-            self._engine.call_later(yielded.delay, self._step)
+            # Inlined call_later: Timeout already validated delay >= 0.
+            delay = yielded.delay
+            if delay == 0.0:
+                engine._ready.append(self._step)
+            else:
+                engine._seq = seq = engine._seq + 1
+                heappush(engine._heap, (engine.now + delay, seq, self._step))
         elif isinstance(yielded, Event):
-            if not yielded._add_waiter(self):
-                self._engine._resume_soon(self)
+            if yielded.triggered:
+                engine._ready.append(self._step)
+            else:
+                yielded._waiters.append(self)
         else:
             raise TypeError(
                 f"process {self.name or self._generator!r} yielded "
@@ -122,31 +149,46 @@ class Process:
 
 
 class Engine:
-    """The event loop: a time-ordered heap of callbacks."""
+    """The event loop: a FIFO ready queue plus a time-ordered heap.
+
+    ``events_dispatched`` / ``fastpath_dispatched`` count, cumulatively,
+    the callbacks this engine has run and how many of them skipped the
+    heap; both also feed :data:`repro.perf.counters`.
+    """
+
+    __slots__ = ("now", "_heap", "_seq", "_ready", "events_dispatched",
+                 "fastpath_dispatched")
 
     def __init__(self) -> None:
         self.now = 0.0
         self._heap: list[tuple[float, int, Callable[[], None]]] = []
         self._seq = 0
+        #: Callbacks due at the current instant, in FIFO order.
+        self._ready: deque[Callable[[], None]] = deque()
+        self.events_dispatched = 0
+        self.fastpath_dispatched = 0
 
     # -- scheduling -------------------------------------------------------------
 
     def call_later(self, delay: float, callback: Callable[[], None]) -> None:
         """Run ``callback`` after ``delay`` simulated milliseconds."""
-        if delay < 0:
+        if delay == 0.0:
+            self._ready.append(callback)
+        elif delay > 0:
+            self._seq = seq = self._seq + 1
+            heappush(self._heap, (self.now + delay, seq, callback))
+        else:
             raise ValueError(f"delay must be >= 0, got {delay}")
-        self._seq += 1
-        heapq.heappush(self._heap, (self.now + delay, self._seq, callback))
 
     def _resume_soon(self, process: Process) -> None:
-        self.call_later(0.0, process._step)
+        self._ready.append(process._step)
 
     def spawn(
         self, generator: Generator[object, None, None], name: str = ""
     ) -> Process:
         """Create a process and schedule its first step at the current time."""
         process = Process(self, generator, name)
-        self.call_later(0.0, process._step)
+        self._ready.append(process._step)
         return process
 
     def spawn_all(
@@ -157,44 +199,82 @@ class Engine:
     # -- execution ----------------------------------------------------------------
 
     def run(self, until: float | None = None) -> float:
-        """Drain the event heap; returns the final simulated time.
+        """Drain the event queues; returns the final simulated time.
 
         With ``until`` set, execution stops once the next event lies past
         that time (and ``now`` is advanced exactly to ``until``).  Without
-        it, runs until no events remain.
+        it, runs until no events remain.  The clock never moves backwards:
+        an ``until`` earlier than ``now`` leaves the clock where it is.
         """
-        while self._heap:
-            when, _, callback = self._heap[0]
-            if until is not None and when > until:
-                self.now = until
-                return self.now
-            heapq.heappop(self._heap)
-            self.now = when
-            callback()
-        if until is not None and until > self.now:
+        heap = self._heap
+        ready = self._ready
+        popleft = ready.popleft
+        now = self.now
+        dispatched = 0
+        fast = 0
+        try:
+            while True:
+                # Heap entries due now predate (and so precede) every
+                # ready entry; otherwise ready work runs before the clock
+                # may advance.
+                if heap and (not ready or heap[0][0] <= now):
+                    when = heap[0][0]
+                    if until is not None and when > until:
+                        break
+                    _, _, callback = heappop(heap)
+                    if when != now:
+                        now = when
+                        self.now = when
+                elif ready:
+                    if until is not None and now > until:
+                        break
+                    callback = popleft()
+                    fast += 1
+                else:
+                    break
+                dispatched += 1
+                callback()
+        finally:
+            self.events_dispatched += dispatched
+            self.fastpath_dispatched += fast
+            _perf.events_dispatched += dispatched
+            _perf.heap_pushes += dispatched - fast
+            _perf.heap_pushes_avoided += fast
+        if until is not None and until > now:
+            now = until
             self.now = until
-        return self.now
+        return now
 
     def run_until_complete(self, processes: Iterable[Process]) -> float:
         """Run until every listed process has finished."""
         pending = list(processes)
+        heap = self._heap
+        ready = self._ready
         while any(not p.completed.triggered for p in pending):
-            if not self._heap:
+            if heap and (not ready or heap[0][0] <= self.now):
+                when, _, callback = heappop(heap)
+                self.now = when
+                _perf.heap_pushes += 1
+            elif ready:
+                callback = ready.popleft()
+                self.fastpath_dispatched += 1
+                _perf.heap_pushes_avoided += 1
+            else:
                 unfinished = [p for p in pending if not p.completed.triggered]
                 raise RuntimeError(
                     f"simulation deadlock: {len(unfinished)} process(es) "
                     f"blocked with no pending events: {unfinished[:5]}"
                 )
-            when, _, callback = heapq.heappop(self._heap)
-            self.now = when
+            self.events_dispatched += 1
+            _perf.events_dispatched += 1
             callback()
         return self.now
 
     def pending_events(self) -> int:
-        return len(self._heap)
+        return len(self._heap) + len(self._ready)
 
     def __repr__(self) -> str:
-        return f"Engine(now={self.now:g}, pending={len(self._heap)})"
+        return f"Engine(now={self.now:g}, pending={self.pending_events()})"
 
 
 class Resource:
@@ -202,8 +282,9 @@ class Resource:
 
     Models the paper's multithreaded server as ``capacity`` parallel
     service units: a process acquires a unit, holds it for the service
-    time, and releases it; excess requests queue first-come first-served.
-    Usage::
+    time, and releases it; excess requests queue first-come first-served
+    (a :class:`collections.deque`, so handing a unit to the next waiter
+    is O(1) no matter how deep the queue gets).  Usage::
 
         grant = resource.acquire()
         yield grant              # resumes once a unit is free
@@ -221,7 +302,7 @@ class Resource:
         self._engine = engine
         self.capacity = capacity
         self._in_use = 0
-        self._queue: list[Event] = []
+        self._queue: deque[Event] = deque()
         self._busy_since: float | None = None
         self.busy_time = 0.0
 
@@ -246,7 +327,7 @@ class Resource:
         if self._queue:
             # The unit passes directly to the next waiter: _in_use stays
             # unchanged, so utilisation accounting keeps running.
-            grant = self._queue.pop(0)
+            grant = self._queue.popleft()
             grant.trigger()
             return
         self._in_use -= 1

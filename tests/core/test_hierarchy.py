@@ -65,6 +65,29 @@ class TestGroupCatalog:
         catalog.assign(1, "personal")
         assert catalog.path(1) == ("personal", ROOT_GROUP)
 
+    def test_reassign_moves_object_between_member_sets(self):
+        """The reverse member index follows re-assignments exactly."""
+        catalog = banking_catalog()
+        assert catalog.members("div1") == (1,)
+        assert catalog.members("personal") == (4,)
+        catalog.assign(1, "personal")
+        assert catalog.members("div1") == ()
+        assert catalog.members("personal") == (4, 1)
+        # ...and a ledger built before the move charges the new path.
+        ledger = HierarchyLedger(
+            catalog, 1e9, {"personal": 100.0, "com1": 100.0}
+        )
+        catalog.assign(1, "div1")
+        assert catalog.members("personal") == (4,)
+        assert catalog.members("div1") == (1,)
+        assert ledger.try_charge(1, 60.0).admitted
+        assert ledger.usage_of("com1") == 60.0
+        assert ledger.usage_of("personal") == 0.0
+
+    def test_members_of_unknown_group_rejected(self):
+        with pytest.raises(SpecificationError):
+            banking_catalog().members("ghost")
+
     def test_members_and_children(self):
         catalog = banking_catalog()
         assert catalog.members("div1") == (1,)
@@ -228,3 +251,54 @@ def test_invariant_total_never_exceeds_transaction_limit(sequence, limit):
     for object_id, amount in sequence:
         ledger.check_and_charge(object_id, amount)
     assert ledger.total <= limit + 1e-9
+
+
+@st.composite
+def random_hierarchies(draw):
+    """A random group tree, object assignment, and per-group limits."""
+    n_groups = draw(st.integers(min_value=0, max_value=6))
+    catalog = GroupCatalog()
+    names = [f"g{i}" for i in range(n_groups)]
+    for index, name in enumerate(names):
+        # Parent is the root or any earlier group — always acyclic.
+        parent_index = draw(st.integers(min_value=-1, max_value=index - 1))
+        catalog.add_group(
+            name, None if parent_index < 0 else names[parent_index]
+        )
+    n_objects = draw(st.integers(min_value=1, max_value=8))
+    for object_id in range(n_objects):
+        target = draw(st.integers(min_value=-1, max_value=n_groups - 1))
+        if target >= 0:
+            catalog.assign(object_id, names[target])
+    limited = draw(st.lists(st.sampled_from(names), unique=True)) if names else []
+    limits = {
+        name: draw(st.floats(min_value=0, max_value=5_000)) for name in limited
+    }
+    transaction_limit = draw(st.floats(min_value=0, max_value=10_000))
+    return catalog, transaction_limit, limits, n_objects
+
+
+@settings(max_examples=80)
+@given(
+    random_hierarchies(),
+    st.data(),
+)
+def test_would_admit_iff_try_charge_succeeds(hierarchy, data):
+    """The admission predicate and the charging logic never drift.
+
+    For any hierarchy and any charge sequence, ``would_admit`` answers
+    exactly whether ``try_charge`` will admit — and a rejected charge
+    leaves every usage untouched.
+    """
+    catalog, transaction_limit, limits, n_objects = hierarchy
+    ledger = HierarchyLedger(catalog, transaction_limit, limits)
+    steps = data.draw(st.integers(min_value=0, max_value=25))
+    for _ in range(steps):
+        object_id = data.draw(st.integers(min_value=0, max_value=n_objects - 1))
+        amount = data.draw(st.floats(min_value=0, max_value=3_000))
+        predicted = ledger.would_admit(object_id, amount)
+        before = ledger.snapshot()
+        outcome = ledger.try_charge(object_id, amount)
+        assert outcome.admitted == predicted
+        if not outcome.admitted:
+            assert ledger.snapshot() == before, "rejected charge mutated usage"

@@ -115,6 +115,79 @@ class TestEngineBasics:
         engine.run()
         assert log == ["a", "b", "c"]  # FIFO among simultaneous events
 
+    def test_zero_delay_interleaves_with_due_heap_events(self):
+        """Heap events due *now* run before zero-delay work scheduled now.
+
+        The ready-queue fast path must reproduce the single-heap
+        ``(time, seq)`` order: an event scheduled earlier for time T
+        precedes a zero-delay callback scheduled while the clock already
+        sits at T.
+        """
+        engine = Engine()
+        log = []
+        engine.call_later(5.0, lambda: log.append("due"))
+        engine.call_later(
+            5.0,
+            lambda: engine.call_later(0.0, lambda: log.append("spawned")),
+        )
+
+        def process():
+            yield Timeout(5.0)
+            log.append("proc")
+
+        engine.spawn(process())
+        engine.run()
+        # "due" was heap-scheduled before "proc"'s resume; the zero-delay
+        # "spawned" callback was created at t=5 and so runs last.
+        assert log == ["due", "proc", "spawned"]
+
+    def test_fastpath_counters_track_dispatch(self):
+        engine = Engine()
+
+        def process():
+            yield Timeout(1.0)   # heap
+            yield Timeout(0.0)   # ready fast path
+
+        engine.spawn(process())  # spawn itself is a fast-path resume
+        engine.run()
+        assert engine.events_dispatched == 3
+        assert engine.fastpath_dispatched == 2
+
+    def test_pending_events_counts_ready_queue(self):
+        engine = Engine()
+        engine.call_later(0.0, lambda: None)
+        engine.call_later(3.0, lambda: None)
+        assert engine.pending_events() == 2
+        engine.run()
+        assert engine.pending_events() == 0
+
+    def test_run_until_leaves_ready_work_for_next_call(self):
+        """run(until) past all events still runs zero-delay follow-ups."""
+        engine = Engine()
+        log = []
+
+        def process():
+            yield Timeout(2.0)
+            yield Timeout(0.0)
+            log.append(engine.now)
+
+        engine.spawn(process())
+        engine.run(until=10.0)
+        assert log == [2.0]
+        assert engine.now == 10.0
+
+    def test_run_until_complete_drains_fast_path(self):
+        engine = Engine()
+
+        def chained():
+            for _ in range(3):
+                yield Timeout(0.0)
+
+        process = engine.spawn(chained())
+        engine.run_until_complete([process])
+        assert process.completed.triggered
+        assert engine.now == 0.0
+
     def test_bad_yield_type_raises(self):
         engine = Engine()
 
@@ -188,6 +261,40 @@ class TestResource:
         engine.spawn(worker("first", 0.0))
         engine.run()
         assert order == ["first", "late", "later"]
+
+    def test_fifo_grant_order_under_interleaved_acquire_release(self):
+        """Queued waiters are granted strictly first-come first-served.
+
+        Holders release at staggered times while new requesters keep
+        arriving, so grants and fresh acquires interleave; the deque-backed
+        queue must still hand units out in arrival order.
+        """
+        engine = Engine()
+        resource = Resource(engine, capacity=2)
+        granted = []
+
+        def worker(name, arrival, hold):
+            yield Timeout(arrival)
+            yield resource.acquire()
+            granted.append(name)
+            yield Timeout(hold)
+            resource.release()
+
+        # Arrival order: a, b (granted at once), then c..g queue up while
+        # releases at t=4, 6, 9, ... free units one at a time.
+        for name, arrival, hold in [
+            ("a", 0.0, 4.0),
+            ("b", 1.0, 5.0),
+            ("c", 2.0, 5.0),
+            ("d", 3.0, 2.0),
+            ("e", 3.5, 1.0),
+            ("f", 5.0, 1.0),
+            ("g", 8.0, 1.0),
+        ]:
+            engine.spawn(worker(name, arrival, hold))
+        engine.run()
+        assert granted == ["a", "b", "c", "d", "e", "f", "g"]
+        assert resource.queued == 0
 
     def test_release_without_acquire(self):
         engine = Engine()

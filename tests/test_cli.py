@@ -52,6 +52,52 @@ class TestSweep:
         assert main(["sweep", "--mpl", "1", "--duration", "3000"]) == 0
         assert "aborts" in capsys.readouterr().out
 
+    def test_profile_flag_prints_profile_and_counters(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "--mpl",
+                "1",
+                "--duration",
+                "2000",
+                "--warmup",
+                "200",
+                "--profile",
+                "--profile-top",
+                "5",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cumulative" in out
+        assert "perf counters:" in out
+        assert "events dispatched" in out
+        assert "throughput (tx/s)" in out
+
+
+class TestBenchHotpath:
+    def test_quick_mode_never_writes_baseline(self, tmp_path, capsys):
+        baseline = tmp_path / "BENCH_hotpath.json"
+        code = main(["bench-hotpath", "--quick", "--baseline", str(baseline)])
+        assert code == 0
+        assert not baseline.exists()
+        out = capsys.readouterr().out
+        assert "smoke_figure" in out
+
+    def test_writes_then_compares_baseline(self, tmp_path, capsys):
+        baseline = tmp_path / "BENCH_hotpath.json"
+        assert main(
+            ["bench-hotpath", "--repeats", "1", "--baseline", str(baseline)]
+        ) == 0
+        assert baseline.exists()
+        capsys.readouterr()
+        assert main(
+            ["bench-hotpath", "--repeats", "1", "--baseline", str(baseline)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "vs. baseline" in out
+        assert "speedup" in out
+
 
 class TestGenWorkload:
     def test_writes_trace(self, tmp_path, capsys):
