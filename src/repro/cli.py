@@ -8,8 +8,9 @@ Subcommands::
     repro sweep --mpl 4 --til 1e5 ...     one simulation run, metrics printed
     repro sweep ... --profile             same, under cProfile + perf counters
     repro bench-hotpath [--update]        hot-path micro suite vs. baseline
+    repro bench-net [--quick] [--update]  serving-layer load benchmark
     repro gen-workload out.trace ...      write a client trace file
-    repro serve [--port N] [...]          start the networked prototype
+    repro serve [--async] [--port N] ...  start the networked prototype
     repro run-trace out.trace --port N    replay a trace against a server
 """
 
@@ -183,6 +184,46 @@ def _cmd_bench_hotpath(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_net(args: argparse.Namespace) -> int:
+    from repro.experiments import netbench
+
+    if args.quick:
+        config = netbench.QUICK_CONFIG
+    else:
+        config = netbench.LoadConfig(
+            connections=args.connections,
+            depth=args.depth,
+            duration_s=args.duration,
+            objects=args.objects,
+            reads_per_txn=args.reads,
+            mode=args.mode,
+            rate=args.rate,
+        )
+    servers = (
+        tuple(args.server)
+        if args.server
+        else ("threaded", "threaded-pipelined", "async")
+    )
+    print(
+        f"running bench-net: {config.connections} connections × depth "
+        f"{config.depth}, {config.mode} loop, {config.duration_s:g}s per "
+        "server..."
+    )
+    report = netbench.run_suite(config, servers=servers, progress=print)
+    print()
+    print(netbench.format_report(report))
+    baseline = netbench.load_baseline(args.baseline)
+    if baseline is not None:
+        print(f"\nvs. baseline {args.baseline}:")
+        print(netbench.format_comparison(baseline, report))
+    if args.quick:
+        return 0
+    if args.update or baseline is None:
+        netbench.write_baseline(report, args.baseline)
+        print(f"\nwrote baseline {args.baseline}")
+    return 0
+
+
 def _cmd_gen_workload(args: argparse.Namespace) -> int:
     generator = WorkloadGenerator(PAPER_WORKLOAD, seed=args.seed)
     programs = generator.generate_mix(args.count, args.til, args.tel)
@@ -197,14 +238,44 @@ def _cmd_gen_workload(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.engine.database import Database
-    from repro.net.server import TransactionServer
+    from repro.net.server import WAIT_TIMEOUT_SECONDS, TransactionServer
 
     if args.startup:
         database = Database.from_startup_file(args.startup)
     else:
         database = build_database(PAPER_WORKLOAD, seed=args.seed)
+    wait_timeout = (
+        args.wait_timeout if args.wait_timeout is not None else WAIT_TIMEOUT_SECONDS
+    )
+    if args.use_async:
+        import asyncio
+
+        from repro.net.aioserver import AsyncTransactionServer
+
+        async def serve_async() -> None:
+            server = AsyncTransactionServer(
+                database, protocol=args.protocol, wait_timeout=wait_timeout
+            )
+            await server.start(args.host, args.port)
+            print(
+                f"serving {len(database)} objects on "
+                f"{args.host}:{server.port} (asyncio)"
+            )
+            try:
+                await asyncio.Event().wait()  # until interrupted
+            finally:
+                await server.aclose()
+
+        try:
+            asyncio.run(serve_async())
+        except KeyboardInterrupt:
+            print("\nshutting down")
+        return 0
     server = TransactionServer(
-        database, (args.host, args.port), protocol=args.protocol
+        database,
+        (args.host, args.port),
+        protocol=args.protocol,
+        wait_timeout=wait_timeout,
     )
     print(f"serving {len(database)} objects on {args.host}:{server.port}")
     try:
@@ -355,6 +426,63 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--protocol", choices=("esr", "sr"), default="esr")
     serve.add_argument("--startup", help="database startup file")
     serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--async",
+        dest="use_async",
+        action="store_true",
+        help="serve with the asyncio pipelined server instead of the "
+        "thread-per-connection server",
+    )
+    serve.add_argument(
+        "--wait-timeout",
+        type=float,
+        default=None,
+        help="seconds a strict-ordering wait may park before the server "
+        "aborts the transaction (default 30)",
+    )
+
+    bench_net = sub.add_parser(
+        "bench-net",
+        help="benchmark the serving layer (threaded vs. async) over localhost",
+    )
+    bench_net.add_argument("--connections", type=int, default=32)
+    bench_net.add_argument(
+        "--depth", type=int, default=8, help="pipelined sessions per connection"
+    )
+    bench_net.add_argument(
+        "--duration", type=float, default=5.0, help="seconds per server"
+    )
+    bench_net.add_argument("--objects", type=int, default=256)
+    bench_net.add_argument(
+        "--reads", type=int, default=1, help="reads per benchmark transaction"
+    )
+    bench_net.add_argument("--mode", choices=("closed", "open"), default="closed")
+    bench_net.add_argument(
+        "--rate", type=float, default=None, help="open-loop transactions/s"
+    )
+    bench_net.add_argument(
+        "--server",
+        action="append",
+        choices=("threaded", "threaded-pipelined", "async"),
+        help="suite row(s) to run (default: all three)",
+    )
+    bench_net.add_argument(
+        "--baseline",
+        default="BENCH_net.json",
+        help="baseline file to compare with and/or update (default: "
+        "BENCH_net.json)",
+    )
+    bench_net.add_argument(
+        "--update",
+        action="store_true",
+        help="write the measured numbers back as the new baseline",
+    )
+    bench_net.add_argument(
+        "--quick",
+        action="store_true",
+        help="tiny config — execution smoke test only, timings meaningless; "
+        "never writes the baseline",
+    )
 
     run = sub.add_parser("run-trace", help="replay a trace against a server")
     run.add_argument("trace")
@@ -371,6 +499,7 @@ _COMMANDS = {
     "report": _cmd_report,
     "sweep": _cmd_sweep,
     "bench-hotpath": _cmd_bench_hotpath,
+    "bench-net": _cmd_bench_net,
     "gen-workload": _cmd_gen_workload,
     "serve": _cmd_serve,
     "run-trace": _cmd_run_trace,

@@ -43,6 +43,31 @@ class WaitRegistry:
         if waiter_transaction is not None:
             self._waiting_on[waiter_transaction] = blocking_transaction
 
+    def wait_event(
+        self,
+        blocking_transaction: int,
+        waiter_transaction: int | None = None,
+        factory: Callable[[], object] | None = None,
+    ):
+        """Create an event set when ``blocking_transaction`` completes.
+
+        ``factory`` builds the event — anything with ``set()``; the
+        threaded server passes ``threading.Event`` (the default) and the
+        asyncio server passes ``asyncio.Event``, whose ``set`` is safe
+        here because the engine only ever runs on the loop thread.
+        """
+        if factory is None:
+            import threading
+
+            factory = threading.Event
+        event = factory()
+        self.subscribe(
+            blocking_transaction,
+            event.set,
+            waiter_transaction=waiter_transaction,
+        )
+        return event
+
     def fire(self, completed_transaction: int) -> int:
         """Wake everything waiting on ``completed_transaction``.
 

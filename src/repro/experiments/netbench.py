@@ -1,0 +1,721 @@
+"""The serving-layer load generator behind ``repro bench-net``.
+
+Measures what the serving stack — not the engine — can sustain: N
+connections × a pipeline depth of concurrent sessions per connection,
+each session looping tiny query transactions (begin, K reads, commit)
+against a live server over localhost TCP.  Both servers are driven by
+the same pipelined asyncio client (:mod:`repro.net.aioclient`), so the
+comparison isolates the serving architecture: thread-per-connection with
+a global engine mutex versus the asyncio batched-dispatch loop.
+
+The suite benchmarks three rows, decomposing where the speedup comes
+from:
+
+* ``threaded`` — the threaded server under its own wire discipline:
+  strictly one request in flight per connection, exactly how the
+  synchronous :class:`~repro.net.client.RemoteConnection` drives it (the
+  paper's RPC library).  This is the faithful pre-pipelining baseline.
+* ``threaded-pipelined`` — the threaded server driven by the new
+  pipelined client: the new wire protocol on the old architecture, so
+  the difference to ``threaded`` is what pipelining alone buys.
+* ``async`` — the asyncio server driven pipelined; the difference to
+  ``threaded-pipelined`` is what the serving architecture (batched
+  dispatch, write coalescing, no mutex/thread switches) buys.
+
+The headline ``speedup_requests_per_s`` is ``async`` versus the
+``threaded`` baseline.
+
+Two load modes for the pipelined rows:
+
+* ``closed`` (default) — every pipeline slot issues its next transaction
+  the moment the previous one commits; the offered load adapts to the
+  server.  Throughput is the headline number.  This mode uses a raw
+  slot-state-machine driver (one coroutine per connection, no
+  per-request futures) so the generator itself stays out of the
+  measurement as far as possible — like ``wrk``, the client must be
+  cheaper than the server it is loading.
+* ``open`` — transactions start on a fixed schedule derived from
+  ``--rate`` regardless of completions, and latency is measured from the
+  *scheduled* start (coordinated-omission-corrected), so a server that
+  falls behind shows honestly inflated tail latencies.  This mode drives
+  the general-purpose pipelining client
+  (:class:`~repro.net.aioclient.AsyncRemoteConnection`).
+
+The serial baseline row always runs closed-loop (a strictly alternating
+connection has no pipeline to schedule into).
+
+Results are written to/compared against ``BENCH_net.json`` the same way
+the hot-path suite uses ``BENCH_hotpath.json``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import platform
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+from repro import perf
+from repro.engine.database import Database
+
+__all__ = [
+    "LoadConfig",
+    "QUICK_CONFIG",
+    "DEFAULT_CONFIG",
+    "run_load",
+    "run_suite",
+    "write_baseline",
+    "load_baseline",
+    "format_report",
+    "format_comparison",
+]
+
+#: Schema marker for BENCH_net.json, bumped on incompatible changes.
+SCHEMA_VERSION = 1
+
+#: TIL high enough that the benchmark queries never hit a bound.
+_BENCH_TIL = 1e12
+
+
+@dataclass(frozen=True)
+class LoadConfig:
+    """One load-generation run."""
+
+    connections: int = 32
+    depth: int = 8  # concurrent sessions (pipeline depth) per connection
+    duration_s: float = 5.0
+    objects: int = 256
+    reads_per_txn: int = 1
+    mode: str = "closed"  # "closed" | "open"
+    rate: float | None = None  # open-loop target, transactions/s overall
+    discipline: str = "pipelined"  # "pipelined" | "serial" (pre-PR wire)
+
+    @property
+    def sessions(self) -> int:
+        return self.connections * self.depth
+
+
+DEFAULT_CONFIG = LoadConfig()
+QUICK_CONFIG = LoadConfig(connections=4, depth=2, duration_s=0.5, objects=32)
+
+
+@dataclass
+class _Tally:
+    """Mutable counters shared by every session task of one run."""
+
+    requests: int = 0
+    transactions: int = 0
+    errors: int = 0
+    latencies_ms: list[float] = field(default_factory=list)
+
+
+def build_bench_database(objects: int) -> Database:
+    database = Database()
+    database.create_many((i, float(i)) for i in range(1, objects + 1))
+    return database
+
+
+# -- the raw closed-loop driver ------------------------------------------------
+
+
+class _Slot:
+    """One pipeline slot: a begin→reads→commit state machine."""
+
+    __slots__ = ("outstanding", "failed", "started", "object_id")
+
+    def __init__(self, object_id: int):
+        self.outstanding = 0
+        self.failed = False
+        self.started = 0.0
+        self.object_id = object_id
+
+
+async def _drive_connection_raw(
+    host: str,
+    port: int,
+    config: LoadConfig,
+    conn_index: int,
+    deadline: float,
+    tally: _Tally,
+) -> None:
+    """One connection of the closed-loop load: ``depth`` slots pipelined.
+
+    Each slot runs whole transactions: its ``begin`` is issued, and once
+    the transaction id arrives, all reads *and* the commit are pipelined
+    in one burst (same-connection requests dispatch in order on both
+    servers, and this workload never parks on a wait).  Requests from all
+    slots coalesce into shared writes; responses are parsed out of bulk
+    ``read()`` chunks.  No futures, no per-request tasks.
+    """
+    import json as _json
+
+    from repro.net.protocol import MAX_LINE_BYTES
+
+    reader, writer = await asyncio.open_connection(
+        host, port, limit=MAX_LINE_BYTES + 1
+    )
+    pending: dict[int, _Slot] = {}  # correlation id -> slot
+    next_id = 0
+    out: list[bytes] = []
+    active = 0
+
+    # Requests are pre-formatted bytes (still plain protocol JSON): a
+    # load generator must cost less than the server it measures, and
+    # json.dumps per tiny request is a measurable share of that cost.
+    begin_template = (
+        f'{{"op":"begin","kind":"query","limit":{_BENCH_TIL!r},"id":%d}}\n'
+    ).encode()
+    read_template = b'{"op":"read","txn":%d,"object":%d,"id":%d}\n'
+    commit_template = b'{"op":"commit","txn":%d,"id":%d}\n'
+
+    def start_txn(slot: _Slot) -> None:
+        nonlocal next_id, active
+        slot.started = time.perf_counter()
+        slot.failed = False
+        active += 1
+        next_id += 1
+        pending[next_id] = slot
+        slot.outstanding += 1
+        out.append(begin_template % next_id)
+
+    for d in range(config.depth):
+        index = conn_index * config.depth + d
+        start_txn(_Slot((index * 7) % config.objects))
+    writer.write(b"".join(out))
+    out.clear()
+
+    buffer = b""
+    while active > 0:
+        chunk = await reader.read(1 << 16)
+        if not chunk:
+            tally.errors += active
+            break
+        buffer += chunk
+        if b"\n" not in chunk:
+            continue
+        lines = buffer.split(b"\n")
+        buffer = lines.pop()
+        now = time.perf_counter()
+        for line in lines:
+            # Hand-parse the response: the generator tags every request,
+            # so ``id`` is the response's last key, and ``begin`` answers
+            # are the only ok-responses carrying ``txn``.  A wrk-style
+            # generator must stay cheaper than the server it measures;
+            # anything surprising falls back to the JSON parser.
+            txn = None
+            if line.startswith(b'{"ok":true'):
+                ok = True
+                try:
+                    rid = int(line[line.rindex(b'"id":') + 5 : -1])
+                except ValueError:
+                    response = _json.loads(line)
+                    rid = response.get("id")
+                    txn = response.get("txn")
+                else:
+                    if line.startswith(b'{"ok":true,"txn":'):
+                        txn = int(line[17 : line.index(b",", 17)])
+            else:
+                ok = False
+                rid = _json.loads(line).get("id")
+            slot = pending.pop(rid, None)
+            if slot is None:
+                continue
+            slot.outstanding -= 1
+            tally.requests += 1
+            if not ok:
+                slot.failed = True
+            elif txn is not None:
+                # The begin answered: burst the reads and the commit.
+                for k in range(config.reads_per_txn):
+                    next_id += 1
+                    pending[next_id] = slot
+                    slot.outstanding += 1
+                    out.append(
+                        read_template
+                        % (
+                            txn,
+                            (slot.object_id + k) % config.objects + 1,
+                            next_id,
+                        )
+                    )
+                next_id += 1
+                pending[next_id] = slot
+                slot.outstanding += 1
+                out.append(commit_template % (txn, next_id))
+                slot.object_id = (slot.object_id + 1) % config.objects
+            if slot.outstanding == 0:
+                # Transaction attempt finished (commit answered, or the
+                # begin/ops failed and every response has landed).
+                active -= 1
+                if slot.failed:
+                    tally.errors += 1
+                else:
+                    tally.transactions += 1
+                    tally.latencies_ms.append((now - slot.started) * 1e3)
+                if now < deadline:
+                    start_txn(slot)
+        if out:
+            writer.write(b"".join(out))
+            out.clear()
+    writer.close()
+    try:
+        await writer.wait_closed()
+    except (ConnectionError, OSError):
+        pass
+
+
+async def _drive_connection_serial(
+    host: str,
+    port: int,
+    config: LoadConfig,
+    conn_index: int,
+    deadline: float,
+    tally: _Tally,
+) -> None:
+    """One connection of the *serial* baseline discipline.
+
+    Strictly one request in flight, untagged, exactly how the
+    synchronous client drives the threaded server: send a request, wait
+    for its response, send the next.  ``depth`` does not apply — a
+    strictly alternating connection has no pipeline.
+    """
+    import json as _json
+
+    from repro.net.protocol import MAX_LINE_BYTES
+
+    reader, writer = await asyncio.open_connection(
+        host, port, limit=MAX_LINE_BYTES + 1
+    )
+    begin_line = (
+        f'{{"op":"begin","kind":"query","limit":{_BENCH_TIL!r}}}\n'
+    ).encode()
+    object_id = (conn_index * 7) % config.objects
+    try:
+        while True:
+            now = time.perf_counter()
+            if now >= deadline:
+                break
+            started = now
+            writer.write(begin_line)
+            response = _json.loads(await reader.readuntil(b"\n"))
+            tally.requests += 1
+            if not response.get("ok"):
+                tally.errors += 1
+                continue
+            txn = response["txn"]
+            failed = False
+            for k in range(config.reads_per_txn):
+                writer.write(
+                    b'{"op":"read","txn":%d,"object":%d}\n'
+                    % (txn, (object_id + k) % config.objects + 1)
+                )
+                response = _json.loads(await reader.readuntil(b"\n"))
+                tally.requests += 1
+                if not response.get("ok"):
+                    failed = True
+                    break
+            if not failed:
+                writer.write(b'{"op":"commit","txn":%d}\n' % txn)
+                response = _json.loads(await reader.readuntil(b"\n"))
+                tally.requests += 1
+                failed = not response.get("ok")
+            if failed:
+                tally.errors += 1
+            else:
+                tally.transactions += 1
+                tally.latencies_ms.append((time.perf_counter() - started) * 1e3)
+            object_id = (object_id + 1) % config.objects
+    except (asyncio.IncompleteReadError, ConnectionError, OSError):
+        tally.errors += 1
+    writer.close()
+    try:
+        await writer.wait_closed()
+    except (ConnectionError, OSError):
+        pass
+
+
+# -- the session-based open-loop driver ----------------------------------------
+
+
+async def _session(
+    connection,
+    config: LoadConfig,
+    session_index: int,
+    deadline: float,
+    tally: _Tally,
+    schedule: tuple[float, float] | None,
+) -> None:
+    """One closed-loop session, or one open-loop arrival schedule slice.
+
+    ``schedule`` is ``(first_start, period)`` in ``perf_counter`` time for
+    open-loop mode, None for closed-loop.
+    """
+    from repro.errors import ProtocolError, TransactionAborted
+
+    object_id = (session_index * 7) % config.objects + 1
+    arrival = schedule[0] if schedule else None
+    while True:
+        now = time.perf_counter()
+        if now >= deadline:
+            return
+        if schedule is not None:
+            if arrival > now:
+                await asyncio.sleep(arrival - now)
+                if time.perf_counter() >= deadline:
+                    return
+            started = arrival  # latency from the *scheduled* start
+            arrival += schedule[1]
+        else:
+            started = now
+        try:
+            txn = await connection.begin("query", _BENCH_TIL)
+            for k in range(config.reads_per_txn):
+                await txn.read((object_id + k - 1) % config.objects + 1)
+            await txn.commit()
+        except (TransactionAborted, ProtocolError, OSError):
+            tally.errors += 1
+            continue
+        tally.requests += 2 + config.reads_per_txn
+        tally.transactions += 1
+        tally.latencies_ms.append((time.perf_counter() - started) * 1e3)
+        object_id = object_id % config.objects + 1
+
+
+async def _drive(host: str, port: int, config: LoadConfig) -> _Tally:
+    tally = _Tally()
+    start = time.perf_counter()
+    deadline = start + config.duration_s
+    if config.discipline == "serial":
+        await asyncio.gather(
+            *(
+                _drive_connection_serial(host, port, config, c, deadline, tally)
+                for c in range(config.connections)
+            )
+        )
+        return tally
+    if config.mode == "closed":
+        await asyncio.gather(
+            *(
+                _drive_connection_raw(host, port, config, c, deadline, tally)
+                for c in range(config.connections)
+            )
+        )
+        return tally
+
+    from repro.net import aioclient
+
+    connections = await asyncio.gather(
+        *(
+            aioclient.connect(host, port, site=i + 1)
+            for i in range(config.connections)
+        )
+    )
+    rate = config.rate or 1000.0
+    period = config.sessions / rate
+    tasks = []
+    for c, connection in enumerate(connections):
+        for d in range(config.depth):
+            index = c * config.depth + d
+            # Stagger session start offsets across one period.
+            schedule = (start + (index / config.sessions) * period, period)
+            tasks.append(
+                _session(connection, config, index, deadline, tally, schedule)
+            )
+    await asyncio.gather(*tasks)
+    await asyncio.gather(*(conn.close() for conn in connections))
+    return tally
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, int(q * (len(sorted_values) - 1) + 0.5))
+    return sorted_values[index]
+
+
+def run_load(host: str, port: int, config: LoadConfig) -> dict:
+    """Drive one live server; returns the metrics dict for the run."""
+    started = time.perf_counter()
+    tally = asyncio.run(_drive(host, port, config))
+    elapsed = time.perf_counter() - started
+    latencies = sorted(tally.latencies_ms)
+    return _metrics(tally, elapsed, latencies)
+
+
+def _metrics(tally: _Tally, elapsed: float, latencies: list[float]) -> dict:
+    return {
+        "requests": tally.requests,
+        "transactions": tally.transactions,
+        "errors": tally.errors,
+        "elapsed_s": round(elapsed, 4),
+        "requests_per_s": round(tally.requests / elapsed, 1),
+        "transactions_per_s": round(tally.transactions / elapsed, 1),
+        "latency_ms": {
+            "p50": round(_percentile(latencies, 0.50), 3),
+            "p90": round(_percentile(latencies, 0.90), 3),
+            "p99": round(_percentile(latencies, 0.99), 3),
+            "max": round(latencies[-1], 3) if latencies else 0.0,
+        },
+    }
+
+
+def run_load_isolated(host: str, port: int, config: LoadConfig) -> dict:
+    """Run the load generator in its own process.
+
+    The generator must not share the server's interpreter: on one core a
+    same-process client thread contends for the server's GIL and the
+    scheduler noise lands in the measurement.  The child re-invokes this
+    module (``python -m repro.experiments.netbench``) and reports its
+    metrics as JSON on stdout.
+    """
+    import os
+    import subprocess
+    import sys
+
+    src_dir = str(Path(__file__).resolve().parents[2])
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+    payload = json.dumps(
+        {
+            "connections": config.connections,
+            "depth": config.depth,
+            "duration_s": config.duration_s,
+            "objects": config.objects,
+            "reads_per_txn": config.reads_per_txn,
+            "mode": config.mode,
+            "rate": config.rate,
+            "discipline": config.discipline,
+        }
+    )
+    child = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "repro.experiments.netbench",
+            host,
+            str(port),
+            payload,
+        ],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=max(60.0, config.duration_s * 10),
+    )
+    if child.returncode != 0:
+        raise RuntimeError(
+            f"load generator child failed:\n{child.stderr.strip()}"
+        )
+    return json.loads(child.stdout)
+
+
+# -- the server side -----------------------------------------------------------
+
+
+def _start_server(kind: str, database: Database):
+    """Start one server of ``kind``; returns (port, shutdown_callable)."""
+    if kind == "threaded":
+        from repro.net.server import serve_forever
+
+        server = serve_forever(database, wait_timeout=5.0)
+
+        def stop() -> None:
+            server.shutdown()
+            server.server_close()
+
+        return server.port, stop
+    if kind == "async":
+        from repro.net.aioserver import serve_in_thread
+
+        handle = serve_in_thread(database, wait_timeout=5.0)
+        return handle.port, handle.shutdown
+    raise ValueError(f"unknown server kind {kind!r}")
+
+
+#: Suite row name -> (server kind, wire discipline).
+SUITE_ROWS = {
+    "threaded": ("threaded", "serial"),
+    "threaded-pipelined": ("threaded", "pipelined"),
+    "async": ("async", "pipelined"),
+}
+
+
+def run_suite(
+    config: LoadConfig = DEFAULT_CONFIG,
+    servers: tuple[str, ...] = ("threaded", "threaded-pipelined", "async"),
+    progress: Callable[[str], None] | None = None,
+    isolate_client: bool = True,
+) -> dict:
+    """Benchmark each suite row on a fresh database; return the report.
+
+    Rows are named in :data:`SUITE_ROWS`: ``threaded`` is the pre-PR
+    baseline (serial wire discipline), ``threaded-pipelined`` the old
+    architecture under the new pipelined wire, ``async`` the new server.
+
+    ``isolate_client=True`` (the default) runs the load generator in a
+    separate process so it never contends for the server's GIL; tests
+    pass False to avoid subprocess startup per case.
+    """
+    from dataclasses import replace
+
+    drive = run_load_isolated if isolate_client else run_load
+    results: dict[str, dict] = {}
+    for kind in servers:
+        server_kind, discipline = SUITE_ROWS[kind]
+        case_config = replace(config, discipline=discipline)
+        database = build_bench_database(config.objects)
+        counters_before = perf.counters.snapshot()
+        port, stop = _start_server(server_kind, database)
+        try:
+            results[kind] = drive("127.0.0.1", port, case_config)
+        finally:
+            stop()
+        counters_after = perf.counters.snapshot()
+        results[kind]["perf"] = {
+            key: counters_after[key] - counters_before[key]
+            for key in (
+                "net_requests_batched",
+                "net_batches_drained",
+                "net_flushes_coalesced",
+                "net_backpressure_stalls",
+            )
+        }
+        if progress is not None:
+            entry = results[kind]
+            progress(
+                f"  {kind:<18} {entry['requests_per_s']:>12,.0f} req/s  "
+                f"{entry['transactions_per_s']:>10,.0f} txn/s  "
+                f"p50 {entry['latency_ms']['p50']:.2f} ms  "
+                f"p99 {entry['latency_ms']['p99']:.2f} ms"
+            )
+    report = {
+        "schema": SCHEMA_VERSION,
+        "recorded": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
+        "config": {
+            "connections": config.connections,
+            "depth": config.depth,
+            "duration_s": config.duration_s,
+            "objects": config.objects,
+            "reads_per_txn": config.reads_per_txn,
+            "mode": config.mode,
+            "rate": config.rate,
+        },
+        "servers": results,
+    }
+    if "threaded" in results and "async" in results:
+        base = results["threaded"]["requests_per_s"]
+        report["speedup_requests_per_s"] = (
+            round(results["async"]["requests_per_s"] / base, 2) if base else 0.0
+        )
+    if "threaded-pipelined" in results and "async" in results:
+        base = results["threaded-pipelined"]["requests_per_s"]
+        report["speedup_vs_threaded_pipelined"] = (
+            round(results["async"]["requests_per_s"] / base, 2) if base else 0.0
+        )
+    return report
+
+
+# -- the baseline file ---------------------------------------------------------
+
+
+def write_baseline(report: dict, path: str | Path) -> None:
+    Path(path).write_text(
+        json.dumps(report, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+def load_baseline(path: str | Path) -> dict | None:
+    """The parsed baseline, or None when missing/unreadable/incompatible."""
+    target = Path(path)
+    if not target.is_file():
+        return None
+    try:
+        report = json.loads(target.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError):
+        return None
+    if report.get("schema") != SCHEMA_VERSION:
+        return None
+    return report
+
+
+def format_report(report: dict) -> str:
+    config = report["config"]
+    lines = [
+        f"bench-net: {config['connections']} connections × depth "
+        f"{config['depth']}, {config['mode']} loop, "
+        f"{config['duration_s']:g}s",
+        f"{'server':<18} {'req/s':>12} {'txn/s':>10} "
+        f"{'p50 ms':>8} {'p90 ms':>8} {'p99 ms':>8}",
+    ]
+    for kind, entry in report["servers"].items():
+        lat = entry["latency_ms"]
+        lines.append(
+            f"{kind:<18} {entry['requests_per_s']:>12,.0f} "
+            f"{entry['transactions_per_s']:>10,.0f} "
+            f"{lat['p50']:>8.2f} {lat['p90']:>8.2f} {lat['p99']:>8.2f}"
+        )
+    if "speedup_requests_per_s" in report:
+        lines.append(
+            "async vs threaded baseline: "
+            f"{report['speedup_requests_per_s']:.2f}x"
+        )
+    if "speedup_vs_threaded_pipelined" in report:
+        lines.append(
+            "async vs threaded-pipelined: "
+            f"{report['speedup_vs_threaded_pipelined']:.2f}x"
+        )
+    return "\n".join(lines)
+
+
+def format_comparison(baseline: dict, current: dict) -> str:
+    """Side-by-side requests/s per server kind vs. the baseline."""
+    lines = [
+        f"{'server':<18} {'baseline req/s':>15} {'current req/s':>15} {'ratio':>7}"
+    ]
+    for kind, entry in current["servers"].items():
+        base = baseline.get("servers", {}).get(kind)
+        if base is None:
+            lines.append(
+                f"{kind:<18} {'—':>15} "
+                f"{entry['requests_per_s']:>15,.0f} {'new':>7}"
+            )
+            continue
+        ratio = (
+            entry["requests_per_s"] / base["requests_per_s"]
+            if base["requests_per_s"]
+            else 0.0
+        )
+        lines.append(
+            f"{kind:<18} {base['requests_per_s']:>15,.0f} "
+            f"{entry['requests_per_s']:>15,.0f} {ratio:>6.2f}x"
+        )
+    return "\n".join(lines)
+
+
+def _child_main(argv: list[str]) -> int:
+    """Entry point for :func:`run_load_isolated` children."""
+    host, port, payload = argv
+    spec = json.loads(payload)
+    config = LoadConfig(
+        connections=int(spec["connections"]),
+        depth=int(spec["depth"]),
+        duration_s=float(spec["duration_s"]),
+        objects=int(spec["objects"]),
+        reads_per_txn=int(spec["reads_per_txn"]),
+        mode=spec["mode"],
+        rate=spec["rate"],
+        discipline=spec.get("discipline", "pipelined"),
+    )
+    print(json.dumps(run_load(host, int(port), config)))
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(_child_main(sys.argv[1:]))

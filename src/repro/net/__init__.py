@@ -1,5 +1,14 @@
-"""The networked prototype: a threaded TCP server and its client library."""
+"""The networked prototype: threaded and asyncio TCP servers + clients.
 
+Two servers, one wire protocol: :class:`TransactionServer` is the
+thread-per-connection fidelity baseline from the paper;
+:class:`AsyncTransactionServer` is the high-throughput asyncio layer
+(pipelining, batched dispatch, write coalescing — see
+``docs/networking.md``).
+"""
+
+from repro.net.aioclient import AsyncRemoteConnection, AsyncRemoteTransaction, connect
+from repro.net.aioserver import AsyncTransactionServer, serve_in_thread
 from repro.net.client import RemoteConnection, RemoteTransaction
 from repro.net.clock import VirtualClock, synchronized_generator
 from repro.net.protocol import (
@@ -12,6 +21,11 @@ from repro.net.protocol import (
 from repro.net.server import TransactionServer, serve_forever
 
 __all__ = [
+    "AsyncRemoteConnection",
+    "AsyncRemoteTransaction",
+    "AsyncTransactionServer",
+    "connect",
+    "serve_in_thread",
     "RemoteConnection",
     "RemoteTransaction",
     "VirtualClock",

@@ -1,0 +1,270 @@
+"""Asyncio client with request pipelining for the transaction servers.
+
+:class:`AsyncRemoteConnection` keeps one TCP connection and allows any
+number of concurrent requests on it: every request is tagged with a
+correlation ``id``, a single reader task matches responses back to their
+futures, and callers simply ``await connection.request(...)`` from as
+many tasks as they like.  Against the asyncio server responses may
+arrive out of order (independent transactions overtake a parked wait);
+against the threaded server they arrive in order — either way the ``id``
+does the matching, so the same client drives both.
+
+:class:`AsyncRemoteTransaction` mirrors the synchronous
+:class:`~repro.net.client.RemoteTransaction` with ``async`` operations.
+The load generator behind ``repro bench-net`` multiplexes many such
+transactions per connection to fill the pipeline.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Any
+
+from repro.core.bounds import EpsilonLevel, TransactionBounds
+from repro.engine.timestamps import Timestamp, TimestampGenerator
+from repro.errors import ProtocolError, TransactionAborted
+from repro.net.clock import VirtualClock
+from repro.net.protocol import MAX_LINE_BYTES, decode_message, encode_message
+
+__all__ = ["AsyncRemoteConnection", "AsyncRemoteTransaction", "connect"]
+
+
+class AsyncRemoteTransaction:
+    """A live transaction on a remote server (an awaitable session)."""
+
+    def __init__(
+        self,
+        connection: "AsyncRemoteConnection",
+        txn_id: int,
+        kind: str,
+        limit: float = 0.0,
+    ):
+        self._connection = connection
+        self.txn_id = txn_id
+        self.kind = kind
+        self.limit = limit
+        self.finished = False
+        #: Inconsistency imported/exported so far, as reported per op.
+        self.inconsistency = 0.0
+
+    async def read(self, object_id: int) -> float:
+        response = await self._connection.request(
+            {"op": "read", "txn": self.txn_id, "object": object_id}
+        )
+        self._check(response)
+        self.inconsistency += float(response.get("inconsistency") or 0.0)
+        return float(response["value"])
+
+    async def write(self, object_id: int, value: float) -> None:
+        response = await self._connection.request(
+            {"op": "write", "txn": self.txn_id, "object": object_id, "value": value}
+        )
+        self._check(response)
+        self.inconsistency += float(response.get("inconsistency") or 0.0)
+
+    async def commit(self) -> None:
+        response = await self._connection.request(
+            {"op": "commit", "txn": self.txn_id}
+        )
+        self._check(response)
+        self.finished = True
+
+    async def abort(self) -> None:
+        if self.finished:
+            return
+        response = await self._connection.request(
+            {"op": "abort", "txn": self.txn_id}
+        )
+        self._check(response)
+        self.finished = True
+
+    def _check(self, response: dict[str, Any]) -> None:
+        if response.get("ok"):
+            return
+        error = response.get("error")
+        if error == "aborted":
+            self.finished = True
+            raise TransactionAborted(
+                response.get("detail") or "transaction aborted by server",
+                transaction_id=self.txn_id,
+                reason=response.get("reason"),
+            )
+        raise ProtocolError(
+            f"server error {error!r}: {response.get('detail')!r}"
+        )
+
+
+class AsyncRemoteConnection:
+    """One pipelined client connection; build via :func:`connect`."""
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        site: int = 1,
+    ):
+        self.site = site
+        self._reader = reader
+        self._writer = writer
+        self._next_id = 0
+        self._pending: dict[int, asyncio.Future] = {}
+        self._outbuf: list[bytes] = []
+        self._flush_scheduled = False
+        self._closed = False
+        self.clock = VirtualClock()
+        self._timestamps: TimestampGenerator | None = None
+        self._reader_task = asyncio.create_task(self._read_responses())
+
+    # -- plumbing --------------------------------------------------------------
+
+    async def request(self, message: dict[str, Any]) -> dict[str, Any]:
+        """Send one request; resolves when its tagged response arrives.
+
+        Any number of requests may be outstanding concurrently — this is
+        the pipelining primitive.
+        """
+        if self._closed:
+            raise ProtocolError("connection is closed")
+        loop = asyncio.get_running_loop()
+        self._next_id += 1
+        correlation = self._next_id
+        future: asyncio.Future = loop.create_future()
+        self._pending[correlation] = future
+        try:
+            # Coalesce writes: buffer the encoded request and flush once
+            # per loop tick, so concurrent sessions on this connection
+            # share one syscall instead of paying one each.
+            self._outbuf.append(encode_message({**message, "id": correlation}))
+            if not self._flush_scheduled:
+                self._flush_scheduled = True
+                loop.call_soon(self._flush)
+            return await future
+        finally:
+            self._pending.pop(correlation, None)
+
+    def _flush(self) -> None:
+        self._flush_scheduled = False
+        if self._closed or not self._outbuf:
+            return
+        payload = b"".join(self._outbuf)
+        self._outbuf.clear()
+        self._writer.write(payload)
+
+    async def _read_responses(self) -> None:
+        try:
+            while True:
+                line = await self._reader.readuntil(b"\n")
+                response = decode_message(line.rstrip(b"\n"))
+                future = self._pending.get(response.get("id"))
+                if future is not None and not future.done():
+                    future.set_result(response)
+        except (
+            asyncio.IncompleteReadError,
+            asyncio.LimitOverrunError,
+            ConnectionError,
+            OSError,
+            ProtocolError,
+        ) as exc:
+            self._fail_pending(exc)
+        except asyncio.CancelledError:
+            self._fail_pending(None)
+            raise
+
+    def _fail_pending(self, cause: BaseException | None) -> None:
+        self._closed = True
+        error = ProtocolError("server closed the connection")
+        if cause is not None:
+            error.__cause__ = cause
+        for future in self._pending.values():
+            if not future.done():
+                future.set_exception(error)
+        self._pending.clear()
+
+    async def close(self) -> None:
+        self._closed = True
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except asyncio.CancelledError:
+            pass
+        try:
+            self._writer.close()
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+    async def __aenter__(self) -> "AsyncRemoteConnection":
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.close()
+
+    # -- clock sync and transactions -------------------------------------------
+
+    async def synchronize_clock(self) -> None:
+        sent = time.time()
+        response = await self.request({"op": "time"})
+        received = time.time()
+        if not response.get("ok"):
+            raise ProtocolError("server refused the time request")
+        self.clock.synchronize(float(response["time"]), sent, received)
+        self._timestamps = TimestampGenerator(
+            site=self.site, clock=self.clock.now
+        )
+
+    async def begin(
+        self,
+        kind: str,
+        bounds: TransactionBounds | EpsilonLevel | float = 0.0,
+        group_limits: dict[str, float] | None = None,
+        object_limits: dict[int, float] | None = None,
+        timestamp: Timestamp | None = None,
+    ) -> AsyncRemoteTransaction:
+        """Begin a transaction (same semantics as the sync client)."""
+        if isinstance(bounds, EpsilonLevel):
+            bounds = bounds.transaction
+        if isinstance(bounds, TransactionBounds):
+            limit = bounds.import_limit if kind == "query" else bounds.export_limit
+        else:
+            limit = float(bounds)
+        if timestamp is None:
+            if self._timestamps is None:
+                raise ProtocolError(
+                    "clock not synchronized; call synchronize_clock() first "
+                    "or pass an explicit timestamp"
+                )
+            timestamp = self._timestamps.next()
+        response = await self.request(
+            {
+                "op": "begin",
+                "kind": kind,
+                "limit": limit,
+                "timestamp": list(timestamp),
+                "group_limits": group_limits or {},
+                "object_limits": {
+                    str(k): v for k, v in (object_limits or {}).items()
+                },
+            }
+        )
+        if not response.get("ok"):
+            raise ProtocolError(
+                f"begin failed: {response.get('error')!r} "
+                f"{response.get('detail')!r}"
+            )
+        return AsyncRemoteTransaction(
+            self, int(response["txn"]), kind, limit=limit
+        )
+
+
+async def connect(
+    host: str, port: int, site: int = 1, timeout: float = 60.0
+) -> AsyncRemoteConnection:
+    """Open a pipelined connection and synchronise its virtual clock."""
+    reader, writer = await asyncio.wait_for(
+        asyncio.open_connection(host, port, limit=MAX_LINE_BYTES + 1),
+        timeout,
+    )
+    connection = AsyncRemoteConnection(reader, writer, site=site)
+    await connection.synchronize_clock()
+    return connection

@@ -1,0 +1,475 @@
+"""The high-throughput asyncio transaction server.
+
+Same engine, same wire protocol as the threaded server
+(:mod:`repro.net.server`), different serving architecture.  The engine is
+single-threaded by design; here the event loop *is* the critical section
+— every :class:`~repro.engine.manager.TransactionManager` call happens on
+the loop thread, so the threaded server's global mutex disappears
+entirely.  Three throughput levers ride on top:
+
+**Pipelining.**  Clients may keep many requests in flight per connection.
+Requests carry a correlation ``id`` which the response echoes; responses
+for *independent* transactions may return out of order (a parked
+strict-ordering wait delays only its own response).  Requests without an
+``id`` are answered untagged, so one-at-a-time clients — including the
+existing :class:`~repro.net.client.RemoteConnection` — work unchanged.
+
+**Batched dispatch.**  The transport layer is a callback-based
+:class:`asyncio.Protocol` (no stream-reader coroutine per connection):
+``data_received`` splits a chunk into requests and appends them to one
+shared queue, and a single dispatcher task drains the *entire* queue per
+loop tick, running it against the manager in one pass — per-request
+overhead is amortised across the batch.  Strict-ordering waits become
+``asyncio.Event`` subscriptions on the wait registry (no blocked
+threads): a parked operation lives in its own small task that retries
+when the blocker completes and aborts on ``wait_timeout``.
+
+**Write coalescing and backpressure.**  Responses are buffered per
+connection and flushed once per batch — many responses, one syscall.
+Backpressure is two-sided: a connection that exceeds its in-flight
+window (``max_inflight`` requests awaiting responses) has its socket
+reads paused until responses drain, and a slow *reader* that backs up
+the transport write buffer (``pause_writing``) causes responses to be
+held in the connection's buffer — itself bounded by the window — until
+the transport drains.
+
+Observability: ``repro.perf.counters`` tallies requests batched, batches
+drained, coalesced flushes, and backpressure stalls.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from collections import deque
+from typing import Any
+
+from repro import perf
+from repro.engine.database import Database
+from repro.engine.manager import TransactionManager
+from repro.errors import ProtocolError
+from repro.net.protocol import (
+    MAX_LINE_BYTES,
+    decode_message,
+    encode_message,
+    encode_response,
+)
+from repro.net.requests import (
+    NeedsWait,
+    abort_on_timeout,
+    attach_id,
+    retry_operation,
+    submit_request,
+)
+from repro.net.server import WAIT_TIMEOUT_SECONDS
+
+__all__ = ["AsyncTransactionServer", "AsyncServerThread", "serve_in_thread"]
+
+#: Per-connection cap on requests accepted but not yet answered.
+DEFAULT_MAX_INFLIGHT = 128
+
+
+class _Failure:
+    """A framing-level failure, queued so it answers in request order."""
+
+    __slots__ = ("error", "detail")
+
+    def __init__(self, error: str, detail: str):
+        self.error = error
+        self.detail = detail
+
+
+class _Connection(asyncio.Protocol):
+    """One client connection: line framing, sessions, response buffer."""
+
+    __slots__ = (
+        "server",
+        "transport",
+        "buffer",
+        "sessions",
+        "out",
+        "inflight",
+        "read_paused",
+        "write_paused",
+        "flush_pending",
+        "failed",
+        "closing",
+        "closed",
+    )
+
+    def __init__(self, server: "AsyncTransactionServer"):
+        self.server = server
+        self.transport: asyncio.Transport | None = None
+        self.buffer = b""
+        self.sessions: dict[int, Any] = {}
+        self.out: list[bytes] = []
+        self.inflight = 0
+        self.read_paused = False
+        self.write_paused = False
+        self.flush_pending = False
+        self.failed = False  # framing failure queued; ignore further input
+        self.closing = False  # error reply buffered; close once flushed
+        self.closed = False
+
+    # -- transport callbacks ---------------------------------------------------
+
+    def connection_made(self, transport: asyncio.BaseTransport) -> None:
+        self.transport = transport
+        self.server._connections.add(self)
+
+    def connection_lost(self, exc: Exception | None) -> None:
+        self.closed = True
+        self.server._connections.discard(self)
+        self.server._abandon(self)
+
+    def pause_writing(self) -> None:
+        # Slow reader: hold responses in self.out (bounded by the
+        # in-flight window) instead of growing the transport buffer.
+        self.write_paused = True
+
+    def resume_writing(self) -> None:
+        self.write_paused = False
+        self.flush_now()
+
+    def eof_received(self) -> bool | None:
+        if self.buffer and not self.failed:
+            self.fail("protocol", "connection closed mid-line")
+        # Keep the transport open while an error response is still in
+        # flight through the dispatch queue; flush_now() closes it.
+        return self.failed
+
+    def data_received(self, data: bytes) -> None:
+        if self.failed:
+            return
+        buffer = self.buffer + data
+        if b"\n" not in data:
+            if len(buffer) > MAX_LINE_BYTES:
+                self.buffer = b""
+                self.fail(
+                    "too_large",
+                    f"protocol line exceeds {MAX_LINE_BYTES} bytes",
+                )
+                return
+            self.buffer = buffer
+            return
+        lines = buffer.split(b"\n")
+        self.buffer = buffer = lines.pop()
+        if len(buffer) > MAX_LINE_BYTES:
+            self.fail(
+                "too_large", f"protocol line exceeds {MAX_LINE_BYTES} bytes"
+            )
+            return
+        server = self.server
+        queue = server._queue
+        for line in lines:
+            if len(line) > MAX_LINE_BYTES:
+                self.fail(
+                    "too_large",
+                    f"protocol line exceeds {MAX_LINE_BYTES} bytes",
+                )
+                return
+            try:
+                message = decode_message(line)
+            except ProtocolError as exc:
+                self.fail("protocol", str(exc))
+                return
+            queue.append((self, message))
+        self.inflight += len(lines)
+        if self.inflight >= self.server.max_inflight and not self.read_paused:
+            # In-flight window full: stop reading until responses drain.
+            perf.counters.net_backpressure_stalls += 1
+            self.read_paused = True
+            self.transport.pause_reading()
+        server._queue_ready.set()
+
+    # -- response path ---------------------------------------------------------
+
+    def enqueue(self, response: dict[str, Any]) -> None:
+        """Buffer one response; reopens the read window if it was full."""
+        if self.inflight > 0:
+            self.inflight -= 1
+        if self.read_paused and self.inflight < self.server.max_inflight:
+            self.read_paused = False
+            if not self.closed:
+                self.transport.resume_reading()
+        if self.closed:
+            return
+        self.out.append(encode_response(response))
+
+    def flush_now(self) -> None:
+        """Write the buffered responses in one transport write."""
+        self.flush_pending = False
+        if self.closed or self.write_paused or not self.out:
+            return
+        if len(self.out) > 1:
+            perf.counters.net_flushes_coalesced += 1
+        payload = b"".join(self.out)
+        self.out.clear()
+        self.transport.write(payload)
+        if self.closing:
+            self.closed = True
+            self.transport.close()
+
+    def schedule_flush(self) -> None:
+        if self.flush_pending or self.closed:
+            return
+        self.flush_pending = True
+        self.server._loop.call_soon(self.flush_now)
+
+    def fail(self, error: str, detail: str) -> None:
+        """Queue a framing-level failure; the dispatcher answers it in
+        order after any requests already queued, then the connection
+        closes once the error has been flushed."""
+        if self.failed:
+            return
+        self.failed = True
+        self.server._queue.append((self, _Failure(error, detail)))
+        self.server._queue_ready.set()
+
+
+class AsyncTransactionServer:
+    """An asyncio TCP transaction server around one database.
+
+    Usage (on a running loop)::
+
+        server = AsyncTransactionServer(database, wait_timeout=5.0)
+        await server.start(host, port)
+        ...
+        await server.aclose()
+
+    From synchronous code use :func:`serve_in_thread`, which runs the
+    whole server on a dedicated loop thread.
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        protocol: str = "esr",
+        export_policy: str = "max",
+        wait_timeout: float = WAIT_TIMEOUT_SECONDS,
+        wait_policy: str = "wait",
+        max_inflight: int = DEFAULT_MAX_INFLIGHT,
+    ):
+        self.manager = TransactionManager(
+            database,
+            protocol=protocol,
+            export_policy=export_policy,
+            wait_policy=wait_policy,
+        )
+        #: Upper bound on one strict-ordering wait, in seconds.
+        self.wait_timeout = wait_timeout
+        self.max_inflight = max_inflight
+        self._queue: deque[tuple[_Connection, dict[str, Any]]] = deque()
+        self._connections: set[_Connection] = set()
+        self._queue_ready: asyncio.Event | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._server: asyncio.base_events.Server | None = None
+        self._dispatcher: asyncio.Task | None = None
+        self._waiters: set[asyncio.Task] = set()
+
+    @property
+    def port(self) -> int:
+        assert self._server is not None, "server not started"
+        return self._server.sockets[0].getsockname()[1]
+
+    # -- lifecycle -------------------------------------------------------------
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._queue_ready = asyncio.Event()
+        self._server = await self._loop.create_server(
+            lambda: _Connection(self), host, port
+        )
+        self._dispatcher = asyncio.create_task(self._dispatch_loop())
+
+    async def aclose(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for conn in list(self._connections):
+            conn.flush_now()
+            if conn.transport is not None:
+                conn.transport.close()
+        for task in (self._dispatcher, *self._waiters):
+            if task is not None:
+                task.cancel()
+        await asyncio.gather(
+            *(t for t in (self._dispatcher, *self._waiters) if t is not None),
+            return_exceptions=True,
+        )
+
+    def _abandon(self, conn: _Connection) -> None:
+        """Abort whatever a disconnected client left active."""
+        for txn in conn.sessions.values():
+            if txn.is_active:
+                self.manager.abort(txn, "client-disconnected")
+        conn.sessions.clear()
+
+    # -- batched dispatch ------------------------------------------------------
+
+    async def _dispatch_loop(self) -> None:
+        counters = perf.counters
+        queue = self._queue
+        ready = self._queue_ready
+        manager = self.manager
+        while True:
+            await ready.wait()
+            ready.clear()
+            if not queue:
+                continue
+            # Drain in place — readers hold a reference to this deque.
+            batch = list(queue)
+            queue.clear()
+            counters.net_batches_drained += 1
+            counters.net_requests_batched += len(batch)
+            touched: dict[int, _Connection] = {}
+            for conn, message in batch:
+                if type(message) is _Failure:
+                    conn.out.append(
+                        encode_message(
+                            {
+                                "ok": False,
+                                "error": message.error,
+                                "detail": message.detail,
+                            }
+                        )
+                    )
+                    conn.closing = True
+                    touched[id(conn)] = conn
+                    continue
+                result = submit_request(manager, message, conn.sessions)
+                if type(result) is NeedsWait:
+                    # Subscribe *now*, synchronously — the blocker could
+                    # complete during any await between decision and
+                    # subscription, and the wake-up would be missed.
+                    event = self._subscribe(result)
+                    self._spawn_waiter(conn, message, result, event)
+                else:
+                    if "id" in message:
+                        result["id"] = message["id"]
+                    conn.enqueue(result)
+                    touched[id(conn)] = conn
+            for conn in touched.values():
+                conn.flush_now()
+
+    def _subscribe(self, pending: NeedsWait) -> asyncio.Event:
+        return self.manager.waits.wait_event(
+            pending.blocking_transaction,
+            waiter_transaction=pending.txn.transaction_id,
+            factory=asyncio.Event,
+        )
+
+    def _spawn_waiter(
+        self,
+        conn: _Connection,
+        message: dict[str, Any],
+        pending: NeedsWait,
+        event: asyncio.Event,
+    ) -> None:
+        task = asyncio.create_task(
+            self._wait_and_retry(conn, message, pending, event)
+        )
+        self._waiters.add(task)
+        task.add_done_callback(self._waiters.discard)
+
+    async def _wait_and_retry(
+        self,
+        conn: _Connection,
+        message: dict[str, Any],
+        pending: NeedsWait,
+        event: asyncio.Event,
+    ) -> None:
+        """One parked operation: wake on the blocker, retry, or time out."""
+        while True:
+            try:
+                await asyncio.wait_for(event.wait(), self.wait_timeout)
+            except asyncio.TimeoutError:
+                response = abort_on_timeout(self.manager, pending)
+                break
+            result = retry_operation(self.manager, pending)
+            if type(result) is NeedsWait:
+                event = self._subscribe(result)
+                continue
+            response = result
+            break
+        conn.enqueue(attach_id(response, message))
+        conn.schedule_flush()
+
+
+# -- running on a background thread -------------------------------------------
+
+
+class AsyncServerThread:
+    """An :class:`AsyncTransactionServer` on its own loop thread.
+
+    The synchronous counterpart of :func:`repro.net.server.serve_forever`:
+    construction blocks until the server is bound, ``port`` is readable
+    from any thread, and :meth:`shutdown` stops the loop and joins the
+    thread.  Client code (tests, the bench-net load generator, the CLI)
+    talks to it over TCP exactly as to the threaded server.
+    """
+
+    def __init__(self, server: AsyncTransactionServer, host: str, port: int):
+        self.server = server
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop: asyncio.Event | None = None
+        self._ready = threading.Event()
+        self._startup_error: BaseException | None = None
+        self._thread = threading.Thread(
+            target=self._run, args=(host, port), daemon=True
+        )
+        self._thread.start()
+        self._ready.wait()
+        if self._startup_error is not None:
+            raise self._startup_error
+
+    def _run(self, host: str, port: int) -> None:
+        async def main() -> None:
+            self._loop = asyncio.get_running_loop()
+            self._stop = asyncio.Event()
+            try:
+                await self.server.start(host, port)
+            except BaseException as exc:  # bind failures surface in __init__
+                self._startup_error = exc
+                self._ready.set()
+                return
+            self._ready.set()
+            await self._stop.wait()
+            await self.server.aclose()
+
+        asyncio.run(main())
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    @property
+    def manager(self) -> TransactionManager:
+        return self.server.manager
+
+    def shutdown(self) -> None:
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout=10.0)
+
+
+def serve_in_thread(
+    database: Database,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    protocol: str = "esr",
+    export_policy: str = "max",
+    wait_timeout: float = WAIT_TIMEOUT_SECONDS,
+    wait_policy: str = "wait",
+    max_inflight: int = DEFAULT_MAX_INFLIGHT,
+) -> AsyncServerThread:
+    """Start an async server on a background loop thread (bound and live)."""
+    server = AsyncTransactionServer(
+        database,
+        protocol=protocol,
+        export_policy=export_policy,
+        wait_policy=wait_policy,
+        wait_timeout=wait_timeout,
+        max_inflight=max_inflight,
+    )
+    return AsyncServerThread(server, host, port)

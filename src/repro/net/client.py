@@ -141,6 +141,8 @@ class RemoteConnection:
     def __init__(self, host: str, port: int, site: int = 1, timeout: float = 60.0):
         self.site = site
         self._sock = socket.create_connection((host, port), timeout=timeout)
+        # Requests are tiny; don't let Nagle hold one back for an ACK.
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         self._reader = LineReader(self._sock)
         self.clock = VirtualClock()
         self._synchronize_clock()
@@ -220,16 +222,36 @@ class RemoteConnection:
         return RemoteTransaction(self, int(response["txn"]), kind, limit=limit)
 
     def run_program(
-        self, program: Program, max_attempts: int = 1000
+        self,
+        program: Program,
+        max_retries: int = 1000,
+        backoff_base: float = 0.001,
+        backoff_cap: float = 0.25,
+        backoff_seed: int | None = None,
     ) -> tuple[ExecutionResult, int]:
         """The paper's client loop: resubmit until the program commits.
+
+        Aborted attempts back off with capped exponential delays —
+        ``min(backoff_cap, backoff_base * 2**attempt)`` scaled by a
+        deterministic jitter factor in [0.5, 1.0) drawn from a
+        ``random.Random`` seeded with ``backoff_seed`` (default: this
+        connection's site id, so concurrent sites desynchronise without
+        losing reproducibility) — instead of resubmitting in a tight
+        loop.  After ``max_retries`` aborted attempts the final
+        :class:`~repro.errors.TransactionAborted` is raised with reason
+        ``"retry-exhausted"``.
 
         Returns the final :class:`ExecutionResult` and the number of
         aborted attempts that preceded the commit.
         """
+        import random
+
         compiled = compile_program(program)
+        jitter = random.Random(
+            self.site if backoff_seed is None else backoff_seed
+        )
         restarts = 0
-        for _ in range(max_attempts):
+        while True:
             txn = self.begin(
                 compiled.kind,
                 compiled.bounds,
@@ -240,13 +262,18 @@ class RemoteConnection:
                 result = execute(program, txn)
             except TransactionAborted:
                 restarts += 1
+                if restarts > max_retries:
+                    raise TransactionAborted(
+                        f"program did not commit within {max_retries} retries",
+                        reason="retry-exhausted",
+                    ) from None
+                delay = min(
+                    backoff_cap, backoff_base * (2.0 ** (restarts - 1))
+                )
+                time.sleep(delay * (0.5 + 0.5 * jitter.random()))
                 continue
             if result.aborted_by_program:
                 txn.abort()
             else:
                 txn.commit()
             return result, restarts
-        raise TransactionAborted(
-            f"program did not commit within {max_attempts} attempts",
-            reason="retry-exhausted",
-        )

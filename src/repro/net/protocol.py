@@ -26,6 +26,7 @@ timestamp.
 from __future__ import annotations
 
 import json
+import math
 import socket
 from typing import Any
 
@@ -33,14 +34,29 @@ from repro.errors import ProtocolError
 
 __all__ = [
     "encode_message",
+    "encode_response",
     "decode_message",
     "send_message",
     "recv_message",
     "LineReader",
+    "LineTooLong",
+    "MAX_LINE_BYTES",
 ]
 
-#: Protect the server from absurd lines (a sane request is < 1 KiB).
+#: Protect the server from absurd lines.  A sane request is well under a
+#: kilobyte, but ``begin`` may carry per-object limit maps, so the cap is
+#: a generous 1 MiB; anything past it answers ``{"error": "too_large"}``
+#: and the connection is closed.
 MAX_LINE_BYTES = 1 << 20
+
+
+class LineTooLong(ProtocolError):
+    """A protocol line exceeded :data:`MAX_LINE_BYTES`.
+
+    Distinguished from other :class:`~repro.errors.ProtocolError` cases so
+    servers can answer a structured ``{"error": "too_large"}`` before
+    disconnecting rather than a generic protocol failure.
+    """
 
 
 def encode_message(message: dict[str, Any]) -> bytes:
@@ -51,8 +67,98 @@ def encode_message(message: dict[str, Any]) -> bytes:
         raise ProtocolError(f"unencodable message {message!r}: {exc}") from exc
 
 
+def encode_response(response: dict[str, Any]) -> bytes:
+    """:func:`encode_message` with fast paths for the hot response shapes.
+
+    Read/begin/commit responses dominate server output; formatting them
+    directly skips the generic JSON encoder.  Every fast path is
+    byte-identical to ``encode_message`` (compact separators, insertion
+    key order, ``repr`` floats — which is exactly what ``json.dumps``
+    emits) and anything that does not match a known shape precisely falls
+    through to the generic encoder.
+    """
+    if response.get("ok") is True:
+        keys = tuple(response)
+        if keys == ("ok", "value", "inconsistency", "esr_case", "id"):
+            value = response["value"]
+            inconsistency = response["inconsistency"]
+            tag = response["id"]
+            if (
+                type(value) is float
+                and type(inconsistency) is float
+                and type(tag) is int
+                and response["esr_case"] is None
+                and math.isfinite(value)
+                and math.isfinite(inconsistency)
+            ):
+                return (
+                    b'{"ok":true,"value":%s,"inconsistency":%s,'
+                    b'"esr_case":null,"id":%d}\n'
+                    % (repr(value).encode(), repr(inconsistency).encode(), tag)
+                )
+        elif keys == ("ok", "value", "inconsistency", "esr_case"):
+            value = response["value"]
+            inconsistency = response["inconsistency"]
+            if (
+                type(value) is float
+                and type(inconsistency) is float
+                and response["esr_case"] is None
+                and math.isfinite(value)
+                and math.isfinite(inconsistency)
+            ):
+                return (
+                    b'{"ok":true,"value":%s,"inconsistency":%s,'
+                    b'"esr_case":null}\n'
+                    % (repr(value).encode(), repr(inconsistency).encode())
+                )
+        elif keys == ("ok", "txn", "id"):
+            txn = response["txn"]
+            tag = response["id"]
+            if type(txn) is int and type(tag) is int:
+                return b'{"ok":true,"txn":%d,"id":%d}\n' % (txn, tag)
+        elif keys == ("ok", "txn"):
+            txn = response["txn"]
+            if type(txn) is int:
+                return b'{"ok":true,"txn":%d}\n' % txn
+        elif keys == ("ok", "id"):
+            tag = response["id"]
+            if type(tag) is int:
+                return b'{"ok":true,"id":%d}\n' % tag
+        elif keys == ("ok",):
+            return b'{"ok":true}\n'
+    return encode_message(response)
+
+
 def decode_message(line: bytes) -> dict[str, Any]:
-    """Parse one JSON line into a message dict."""
+    """Parse one JSON line into a message dict.
+
+    The two hottest requests on the wire — ``read`` and ``commit`` as the
+    reference clients format them — are matched byte-exactly and parsed
+    without the JSON machinery; any other byte sequence (reordered keys,
+    whitespace, extra fields) takes the general parser, so the accepted
+    language is unchanged.
+    """
+    if line.startswith(b'{"op":"read","txn":') and line.endswith(b"}"):
+        cut1 = line.find(b',"object":', 19)
+        cut2 = line.find(b',"id":', cut1 + 10) if cut1 > 0 else -1
+        if cut2 > 0:
+            txn = line[19:cut1]
+            obj = line[cut1 + 10 : cut2]
+            tag = line[cut2 + 6 : -1]
+            if txn.isdigit() and obj.isdigit() and tag.isdigit():
+                return {
+                    "op": "read",
+                    "txn": int(txn),
+                    "object": int(obj),
+                    "id": int(tag),
+                }
+    elif line.startswith(b'{"op":"commit","txn":') and line.endswith(b"}"):
+        cut1 = line.find(b',"id":', 21)
+        if cut1 > 0:
+            txn = line[21:cut1]
+            tag = line[cut1 + 6 : -1]
+            if txn.isdigit() and tag.isdigit():
+                return {"op": "commit", "txn": int(txn), "id": int(tag)}
     try:
         message = json.loads(line.decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
@@ -65,7 +171,7 @@ def decode_message(line: bytes) -> dict[str, Any]:
 
 
 def send_message(sock: socket.socket, message: dict[str, Any]) -> None:
-    sock.sendall(encode_message(message))
+    sock.sendall(encode_response(message))
 
 
 class LineReader:
@@ -79,7 +185,9 @@ class LineReader:
         """The next complete line (without newline), or None at EOF."""
         while b"\n" not in self._buffer:
             if len(self._buffer) > MAX_LINE_BYTES:
-                raise ProtocolError("protocol line exceeds maximum length")
+                raise LineTooLong(
+                    f"protocol line exceeds {MAX_LINE_BYTES} bytes"
+                )
             chunk = self._sock.recv(65536)
             if not chunk:
                 if self._buffer:

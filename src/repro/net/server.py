@@ -3,6 +3,11 @@
 This is the "real" counterpart of the simulator — a multithreaded server
 (one thread per client connection, like the paper's thread-per-RPC
 prototype) fronting one :class:`~repro.engine.manager.TransactionManager`.
+It is kept as the *fidelity baseline*: one request, one response, one
+thread per connection.  The high-throughput sibling is
+:mod:`repro.net.aioserver`; both speak the identical wire protocol (a
+shared conformance suite holds them to it) and both build responses via
+:mod:`repro.net.requests`.
 
 Concurrency discipline: the engine is single-threaded by design, so every
 manager call happens under one mutex (the scheduler's critical section).
@@ -10,29 +15,39 @@ Strict-ordering waits must *not* hold that mutex — a blocked operation
 registers a ``threading.Event`` with the wait registry, releases the
 mutex, sleeps on the event, and retries once the blocking transaction
 completes.  Because waiters only wait on older transactions, this cannot
-deadlock; a generous timeout guards against a client that dies while
-holding an uncommitted write.
+deadlock; a timeout (the ``wait_timeout`` constructor/CLI parameter)
+guards against a client that dies while holding an uncommitted write.
+
+Pipelining note: this server reads one request at a time per connection
+and answers before reading the next, so pipelined clients get their
+responses strictly in request order.
 """
 
 from __future__ import annotations
 
+import socket
 import socketserver
 import threading
-import time
 from typing import Any
 
 from repro.engine.database import Database
 from repro.engine.manager import TransactionManager
-from repro.engine.results import Granted, MustWait, Rejected
-from repro.engine.timestamps import Timestamp
 from repro.engine.transactions import TransactionState
-from repro.errors import InvalidOperation, ProtocolError, UnknownObjectError
-from repro.net.protocol import LineReader, recv_message, send_message
+from repro.errors import ProtocolError
+from repro.net.protocol import LineReader, LineTooLong, recv_message, send_message
+from repro.net.requests import (
+    NeedsWait,
+    abort_on_timeout,
+    attach_id,
+    retry_operation,
+    submit_request,
+)
 
-__all__ = ["TransactionServer", "serve_forever"]
+__all__ = ["TransactionServer", "serve_forever", "WAIT_TIMEOUT_SECONDS"]
 
-#: Upper bound on one strict-ordering wait; transactions normally finish
-#: in milliseconds, so hitting this means the blocker's client is gone.
+#: Default upper bound on one strict-ordering wait; transactions normally
+#: finish in milliseconds, so hitting this means the blocker's client is
+#: gone.  Override per server via the ``wait_timeout`` parameter.
 WAIT_TIMEOUT_SECONDS = 30.0
 
 
@@ -42,6 +57,10 @@ class _Handler(socketserver.StreamRequestHandler):
     server: "TransactionServer"
 
     def handle(self) -> None:
+        # Small responses must not sit in Nagle's buffer waiting for the
+        # client's delayed ACK — a pipelining client would otherwise see
+        # ~40ms stalls between back-to-back responses.
+        self.connection.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         reader = LineReader(self.connection)
         # Transactions begun on this connection, so a dropped client's
         # in-flight transaction can be aborted on disconnect.
@@ -50,6 +69,12 @@ class _Handler(socketserver.StreamRequestHandler):
             while True:
                 try:
                     message = recv_message(reader)
+                except LineTooLong as exc:
+                    send_message(
+                        self.connection,
+                        {"ok": False, "error": "too_large", "detail": str(exc)},
+                    )
+                    return
                 except ProtocolError as exc:
                     send_message(
                         self.connection,
@@ -59,7 +84,7 @@ class _Handler(socketserver.StreamRequestHandler):
                 if message is None:
                     return
                 response = self.server.dispatch(message, sessions)
-                send_message(self.connection, response)
+                send_message(self.connection, attach_id(response, message))
         except (ConnectionError, BrokenPipeError, OSError):
             pass
         finally:
@@ -101,157 +126,31 @@ class TransactionServer(socketserver.ThreadingTCPServer):
     def dispatch(
         self, message: dict[str, Any], sessions: dict[int, TransactionState]
     ) -> dict[str, Any]:
-        op = message.get("op")
-        try:
-            if op == "time":
-                return {"ok": True, "time": time.time()}
-            if op == "begin":
-                return self._do_begin(message, sessions)
-            if op in ("read", "write", "commit", "abort"):
-                txn = sessions.get(message.get("txn", -1))
-                if txn is None:
-                    return {
-                        "ok": False,
-                        "error": "unknown-transaction",
-                        "detail": f"no transaction {message.get('txn')!r} "
-                        "on this connection",
-                    }
-                if op == "read":
-                    return self._do_read(txn, message)
-                if op == "write":
-                    return self._do_write(txn, message)
-                if op == "commit":
-                    with self._mutex:
-                        self.manager.commit(txn)
-                    sessions.pop(txn.transaction_id, None)
-                    return {"ok": True}
-                with self._mutex:
-                    self.manager.abort(txn)
-                sessions.pop(txn.transaction_id, None)
-                return {"ok": True}
-            return {
-                "ok": False,
-                "error": "unknown-op",
-                "detail": f"unknown operation {op!r}",
-            }
-        except (InvalidOperation, UnknownObjectError) as exc:
-            return {"ok": False, "error": "invalid", "detail": str(exc)}
-        except (KeyError, TypeError, ValueError) as exc:
-            return {"ok": False, "error": "bad-request", "detail": str(exc)}
-
-    def _do_begin(
-        self, message: dict[str, Any], sessions: dict[int, TransactionState]
-    ) -> dict[str, Any]:
-        from repro.core.bounds import TransactionBounds
-
-        kind = message["kind"]
-        limit = float(message.get("limit", 0.0))
-        if kind == "query":
-            bounds = TransactionBounds(import_limit=limit)
-        else:
-            bounds = TransactionBounds(export_limit=limit)
-        raw_ts = message.get("timestamp")
-        timestamp = Timestamp(*raw_ts) if raw_ts is not None else None
-        group_limits = {
-            str(k): float(v)
-            for k, v in (message.get("group_limits") or {}).items()
-        }
-        object_limits = {
-            int(k): float(v)
-            for k, v in (message.get("object_limits") or {}).items()
-        }
+        """Execute one request, blocking this thread through any waits."""
         with self._mutex:
-            txn = self.manager.begin(
-                kind,
-                bounds,
-                timestamp=timestamp,
-                group_limits=group_limits,
-                object_limits=object_limits,
-            )
-        sessions[txn.transaction_id] = txn
-        return {"ok": True, "txn": txn.transaction_id}
-
-    def _do_read(
-        self, txn: TransactionState, message: dict[str, Any]
-    ) -> dict[str, Any]:
-        object_id = int(message["object"])
-        while True:
+            result = submit_request(self.manager, message, sessions)
+            waiter = self._register_wait(result)
+        while isinstance(result, NeedsWait):
+            if not waiter.wait(self.wait_timeout):
+                with self._mutex:
+                    return abort_on_timeout(self.manager, result)
             with self._mutex:
-                outcome = self.manager.read(txn, object_id)
-                waiter = self._waiter_for(outcome, txn)
-            if waiter is not None:
-                if not waiter.wait(self.wait_timeout):
-                    with self._mutex:
-                        self.manager.abort(txn, "wait-timeout")
-                    return {
-                        "ok": False,
-                        "error": "aborted",
-                        "reason": "wait-timeout",
-                    }
-                continue
-            if isinstance(outcome, Granted):
-                return {
-                    "ok": True,
-                    "value": outcome.value,
-                    "inconsistency": outcome.inconsistency,
-                    "esr_case": outcome.esr_case,
-                }
-            assert isinstance(outcome, Rejected)
-            return {
-                "ok": False,
-                "error": "aborted",
-                "reason": outcome.reason,
-                "detail": outcome.detail,
-            }
+                result = retry_operation(self.manager, result)
+                waiter = self._register_wait(result)
+        return result
 
-    def _do_write(
-        self, txn: TransactionState, message: dict[str, Any]
-    ) -> dict[str, Any]:
-        object_id = int(message["object"])
-        value = float(message["value"])
-        while True:
-            with self._mutex:
-                outcome = self.manager.write(txn, object_id, value)
-                waiter = self._waiter_for(outcome, txn)
-            if waiter is not None:
-                if not waiter.wait(self.wait_timeout):
-                    with self._mutex:
-                        self.manager.abort(txn, "wait-timeout")
-                    return {
-                        "ok": False,
-                        "error": "aborted",
-                        "reason": "wait-timeout",
-                    }
-                continue
-            if isinstance(outcome, Granted):
-                return {
-                    "ok": True,
-                    "inconsistency": outcome.inconsistency,
-                    "esr_case": outcome.esr_case,
-                }
-            assert isinstance(outcome, Rejected)
-            return {
-                "ok": False,
-                "error": "aborted",
-                "reason": outcome.reason,
-                "detail": outcome.detail,
-            }
-
-    def _waiter_for(
-        self, outcome: object, txn: TransactionState
+    def _register_wait(
+        self, result: dict[str, Any] | NeedsWait
     ) -> threading.Event | None:
         """Register a wait event while still holding the mutex."""
-        if not isinstance(outcome, MustWait):
+        if not isinstance(result, NeedsWait):
             return None
-        event = threading.Event()
-        self.manager.waits.subscribe(
-            outcome.blocking_transaction,
-            event.set,
-            waiter_transaction=txn.transaction_id,
+        return self.manager.waits.wait_event(
+            result.blocking_transaction,
+            waiter_transaction=result.txn.transaction_id,
         )
-        return event
 
-    # -- connection cleanup --------------------------------------------------------
+    # -- connection cleanup ----------------------------------------------------
 
     def abandon(self, sessions: dict[int, TransactionState]) -> None:
         """Abort whatever a disconnected client left active."""

@@ -47,6 +47,13 @@ class PerfCounters:
     ``ledger_rejections``        walks that ended in a bound violation
     ``conflict_cases``           inconsistent operations admitted, tallied by
                                  ESR relaxation case (``late-write``, …)
+    ``net_requests_batched``     requests the asyncio server executed from a
+                                 multi-request batch (amortised dispatch)
+    ``net_batches_drained``      dispatch-loop ticks that drained the queue
+    ``net_flushes_coalesced``    connection flushes that wrote more than one
+                                 buffered response in a single syscall
+    ``net_backpressure_stalls``  reads paused because a connection hit its
+                                 in-flight window
     ============================ ==============================================
     """
 
@@ -57,6 +64,10 @@ class PerfCounters:
         "ledger_walks",
         "ledger_rejections",
         "conflict_cases",
+        "net_requests_batched",
+        "net_batches_drained",
+        "net_flushes_coalesced",
+        "net_backpressure_stalls",
     )
 
     def __init__(self) -> None:
@@ -70,6 +81,10 @@ class PerfCounters:
         self.ledger_walks = 0
         self.ledger_rejections = 0
         self.conflict_cases: dict[str, int] = {}
+        self.net_requests_batched = 0
+        self.net_batches_drained = 0
+        self.net_flushes_coalesced = 0
+        self.net_backpressure_stalls = 0
 
     def record_conflict_case(self, case: str) -> None:
         tally = self.conflict_cases
@@ -84,6 +99,10 @@ class PerfCounters:
             "ledger_walks": self.ledger_walks,
             "ledger_rejections": self.ledger_rejections,
             "conflict_cases": dict(self.conflict_cases),
+            "net_requests_batched": self.net_requests_batched,
+            "net_batches_drained": self.net_batches_drained,
+            "net_flushes_coalesced": self.net_flushes_coalesced,
+            "net_backpressure_stalls": self.net_backpressure_stalls,
         }
 
     def format_table(self) -> str:
@@ -95,6 +114,16 @@ class PerfCounters:
             ("ledger walks", f"{self.ledger_walks:,}"),
             ("ledger rejections", f"{self.ledger_rejections:,}"),
         ]
+        if self.net_requests_batched or self.net_batches_drained:
+            rows += [
+                ("net requests batched", f"{self.net_requests_batched:,}"),
+                ("net batches drained", f"{self.net_batches_drained:,}"),
+                ("net flushes coalesced", f"{self.net_flushes_coalesced:,}"),
+                (
+                    "net backpressure stalls",
+                    f"{self.net_backpressure_stalls:,}",
+                ),
+            ]
         for case in sorted(self.conflict_cases):
             rows.append((f"conflict case {case}", f"{self.conflict_cases[case]:,}"))
         width = max(len(label) for label, _ in rows)

@@ -1,0 +1,106 @@
+"""Retry backoff behaviour of :meth:`RemoteConnection.run_program`.
+
+Aborted program attempts must back off with capped exponential delays
+and deterministic seeded jitter — resubmitting in a tight loop is how
+the original prototype livelocked under contention.  These tests drive
+a real connection against a live server but stub the program executor
+to force aborts and record the sleeps, so they are fast and exact.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+import repro.net.client as client_module
+from repro.engine.database import Database
+from repro.errors import TransactionAborted
+from repro.lang.parser import parse_program
+from repro.net.client import RemoteConnection
+from repro.net.server import serve_forever
+
+PROGRAM = parse_program(
+    "BEGIN Query TIL = 100000\nt1 = Read 1\nCOMMIT\n"
+)
+
+
+@pytest.fixture
+def server():
+    db = Database()
+    db.create_many((i, float(i) * 100.0) for i in range(1, 6))
+    srv = serve_forever(db)
+    yield srv
+    srv.shutdown()
+    srv.server_close()
+
+
+@pytest.fixture
+def always_abort(monkeypatch):
+    """Force every attempt to abort; record the backoff sleeps."""
+    delays: list[float] = []
+
+    def failing_execute(program, session):
+        session.abort()  # release the server-side transaction
+        raise TransactionAborted("forced", transaction_id=session.txn_id)
+
+    monkeypatch.setattr(client_module, "execute", failing_execute)
+    monkeypatch.setattr(client_module.time, "sleep", delays.append)
+    return delays
+
+
+def _expected_delays(
+    seed: int, count: int, base: float = 0.001, cap: float = 0.25
+) -> list[float]:
+    jitter = random.Random(seed)
+    return [
+        min(cap, base * 2.0 ** attempt) * (0.5 + 0.5 * jitter.random())
+        for attempt in range(count)
+    ]
+
+
+class TestBackoff:
+    def test_delays_are_capped_exponential_with_seeded_jitter(
+        self, server, always_abort
+    ):
+        with RemoteConnection("127.0.0.1", server.port, site=1) as conn:
+            with pytest.raises(TransactionAborted):
+                conn.run_program(PROGRAM, max_retries=12, backoff_seed=42)
+        assert always_abort == _expected_delays(42, 12)
+        # The cap binds: base * 2**attempt exceeds 0.25 from attempt 8
+        # on, so the raw delay (before jitter) is clamped there.
+        assert all(delay <= 0.25 for delay in always_abort)
+        assert always_abort[-1] > 0.25 * 0.5  # jittered off the cap
+
+    def test_jitter_defaults_to_site_seed(self, server, always_abort):
+        with RemoteConnection("127.0.0.1", server.port, site=7) as conn:
+            with pytest.raises(TransactionAborted):
+                conn.run_program(PROGRAM, max_retries=5)
+        assert always_abort == _expected_delays(7, 5)
+
+    def test_same_seed_same_delays(self, server, always_abort):
+        with RemoteConnection("127.0.0.1", server.port, site=1) as conn:
+            with pytest.raises(TransactionAborted):
+                conn.run_program(PROGRAM, max_retries=4, backoff_seed=99)
+        first = list(always_abort)
+        always_abort.clear()
+        with RemoteConnection("127.0.0.1", server.port, site=2) as conn:
+            with pytest.raises(TransactionAborted):
+                conn.run_program(PROGRAM, max_retries=4, backoff_seed=99)
+        assert always_abort == first
+
+    def test_retry_exhausted_raises_with_reason(self, server, always_abort):
+        with RemoteConnection("127.0.0.1", server.port, site=1) as conn:
+            with pytest.raises(TransactionAborted) as exc_info:
+                conn.run_program(PROGRAM, max_retries=3)
+        assert exc_info.value.reason == "retry-exhausted"
+        # max_retries aborted attempts backed off; the final one raised.
+        assert len(always_abort) == 3
+
+    def test_successful_program_sleeps_nowhere(self, server, monkeypatch):
+        delays: list[float] = []
+        monkeypatch.setattr(client_module.time, "sleep", delays.append)
+        with RemoteConnection("127.0.0.1", server.port, site=1) as conn:
+            result, restarts = conn.run_program(PROGRAM)
+        assert restarts == 0
+        assert delays == []

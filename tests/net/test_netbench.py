@@ -1,0 +1,67 @@
+"""Smoke tests for the bench-net load generator and baseline plumbing.
+
+These run tiny in-process loads (no subprocess isolation, fractions of a
+second) — they check the machinery works end to end, not performance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.experiments import netbench
+from repro.net.aioserver import serve_in_thread
+from repro.net.server import serve_forever
+
+TINY = replace(netbench.QUICK_CONFIG, connections=2, depth=2, duration_s=0.2)
+
+
+@pytest.mark.parametrize("discipline", ["serial", "pipelined"])
+@pytest.mark.parametrize("kind", ["threaded", "async"])
+def test_run_load_both_servers_both_disciplines(kind, discipline):
+    database = netbench.build_bench_database(TINY.objects)
+    if kind == "threaded":
+        server = serve_forever(database)
+        stop = lambda: (server.shutdown(), server.server_close())
+    else:
+        server = serve_in_thread(database)
+        stop = server.shutdown
+    try:
+        metrics = netbench.run_load(
+            "127.0.0.1", server.port, replace(TINY, discipline=discipline)
+        )
+    finally:
+        stop()
+    assert metrics["errors"] == 0
+    assert metrics["transactions"] > 0
+    assert metrics["requests"] >= metrics["transactions"]
+    assert metrics["requests_per_s"] > 0
+    assert metrics["latency_ms"]["p50"] >= 0
+
+
+def test_suite_report_shape_and_formatting(tmp_path):
+    report = netbench.run_suite(
+        TINY, servers=("threaded", "async"), isolate_client=False
+    )
+    assert set(report["servers"]) == {"threaded", "async"}
+    assert "speedup_requests_per_s" in report
+    assert "perf" in report["servers"]["async"]
+    text = netbench.format_report(report)
+    assert "async" in text and "req/s" in text
+    path = tmp_path / "BENCH_net.json"
+    netbench.write_baseline(report, path)
+    loaded = netbench.load_baseline(path)
+    assert loaded == report  # round-trips through JSON unchanged
+    assert "ratio" in netbench.format_comparison(loaded, report)
+
+
+def test_load_baseline_rejects_bad_files(tmp_path):
+    missing = tmp_path / "missing.json"
+    assert netbench.load_baseline(missing) is None
+    garbage = tmp_path / "garbage.json"
+    garbage.write_text("{not json", encoding="utf-8")
+    assert netbench.load_baseline(garbage) is None
+    stale = tmp_path / "stale.json"
+    stale.write_text('{"schema": -1}', encoding="utf-8")
+    assert netbench.load_baseline(stale) is None

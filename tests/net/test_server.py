@@ -1,4 +1,10 @@
-"""Integration tests for the networked prototype over localhost."""
+"""Integration tests for the networked prototype over localhost.
+
+The ``server`` fixture is parameterized over both server
+implementations — every test here is part of the wire-conformance
+suite: the threaded and asyncio servers must behave identically under
+the same client traffic.
+"""
 
 from __future__ import annotations
 
@@ -10,18 +16,24 @@ from repro.core.bounds import HIGH_EPSILON, TransactionBounds
 from repro.engine.database import Database
 from repro.errors import ProtocolError, TransactionAborted
 from repro.lang.parser import parse_program
+from repro.net.aioserver import serve_in_thread as serve_async
 from repro.net.client import RemoteConnection
 from repro.net.server import serve_forever
 
 
-@pytest.fixture
-def server():
+@pytest.fixture(params=["threaded", "async"])
+def server(request):
     db = Database()
     db.create_many((i, float(i) * 100.0) for i in range(1, 21))
-    srv = serve_forever(db)
-    yield srv
-    srv.shutdown()
-    srv.server_close()
+    if request.param == "threaded":
+        srv = serve_forever(db)
+        yield srv
+        srv.shutdown()
+        srv.server_close()
+    else:
+        handle = serve_async(db)
+        yield handle
+        handle.shutdown()
 
 
 @pytest.fixture
