@@ -200,9 +200,7 @@ def _cmd_bench_net(args: argparse.Namespace) -> int:
             rate=args.rate,
         )
     servers = (
-        tuple(args.server)
-        if args.server
-        else ("threaded", "threaded-pipelined", "async")
+        tuple(args.server) if args.server else netbench.DEFAULT_SERVERS
     )
     print(
         f"running bench-net: {config.connections} connections × depth "
@@ -254,7 +252,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
         async def serve_async() -> None:
             server = AsyncTransactionServer(
-                database, protocol=args.protocol, wait_timeout=wait_timeout
+                database,
+                protocol=args.protocol,
+                wait_timeout=wait_timeout,
+                snapshot_cache=args.snapshot_cache,
             )
             await server.start(args.host, args.port)
             print(
@@ -276,6 +277,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         (args.host, args.port),
         protocol=args.protocol,
         wait_timeout=wait_timeout,
+        snapshot_cache=args.snapshot_cache,
     )
     print(f"serving {len(database)} objects on {args.host}:{server.port}")
     try:
@@ -440,6 +442,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="seconds a strict-ordering wait may park before the server "
         "aborts the transaction (default 30)",
     )
+    serve.add_argument(
+        "--snapshot-cache",
+        action="store_true",
+        help="serve bounded-staleness query reads from the epsilon "
+        "snapshot cache, outside the engine critical section (ESR only)",
+    )
 
     bench_net = sub.add_parser(
         "bench-net",
@@ -463,8 +471,14 @@ def build_parser() -> argparse.ArgumentParser:
     bench_net.add_argument(
         "--server",
         action="append",
-        choices=("threaded", "threaded-pipelined", "async"),
-        help="suite row(s) to run (default: all three)",
+        choices=(
+            "threaded",
+            "threaded-pipelined",
+            "async",
+            "read-heavy-nocache",
+            "read-heavy-cached",
+        ),
+        help="suite row(s) to run (default: all five)",
     )
     bench_net.add_argument(
         "--baseline",

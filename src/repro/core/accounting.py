@@ -105,6 +105,32 @@ class InconsistencyAccount:
                 )
         return outcome
 
+    def admit_bounded(
+        self,
+        object_id: int,
+        test_amount: float,
+        charge_amount: float,
+        object_limit: float = UNBOUNDED,
+    ) -> ChargeOutcome:
+        """Admit ``test_amount`` against every level, charge ``charge_amount``.
+
+        The snapshot read cache's admission shape (see
+        :meth:`repro.core.hierarchy.HierarchyLedger.check_and_charge_bounded`):
+        the conservative bound covers divergence the fast path cannot rule
+        out, the charge is the staleness the read actually observed.  A
+        strictly positive charge counts as an inconsistent operation that
+        succeeded, same as :meth:`admit`.
+        """
+        outcome = self._ledger.check_and_charge_bounded(
+            object_id, test_amount, charge_amount, object_limit
+        )
+        if outcome.admitted and charge_amount > 0:
+            self.inconsistent_operations += 1
+            self._per_object[object_id] = (
+                self._per_object.get(object_id, 0.0) + charge_amount
+            )
+        return outcome
+
     def would_admit(self, object_id: int, amount: float) -> bool:
         """Non-charging preview of the group/transaction levels."""
         return self._ledger.would_admit(object_id, amount)

@@ -384,6 +384,45 @@ class HierarchyLedger:
             )
         return self.try_charge(object_id, amount)
 
+    def check_and_charge_bounded(
+        self,
+        object_id: int,
+        test_amount: float,
+        charge_amount: float,
+        object_limit: float = UNBOUNDED,
+    ) -> ChargeOutcome:
+        """Admit against a conservative bound, charge the observed amount.
+
+        The snapshot fast path must guard against divergence it cannot see
+        from outside the critical section (a pending uncommitted write may
+        commit concurrently), so it *tests* ``test_amount`` — staleness
+        plus in-flight delta — against every level, but *charges* only
+        ``charge_amount``, the staleness the served read actually
+        observed, exactly as a Case-1/Case-2 admission of that read would.
+        Requires ``charge_amount <= test_amount``, so an admitted charge
+        can never itself violate a level the test cleared.
+        """
+        if charge_amount < 0 or charge_amount > test_amount:
+            raise SpecificationError(
+                f"charge {charge_amount!r} must be within [0, {test_amount!r}]"
+            )
+        if test_amount > object_limit:
+            return ChargeOutcome(
+                admitted=False,
+                violated_level="object",
+                attempted=test_amount,
+                limit=object_limit,
+            )
+        _perf.ledger_walks += 1
+        violation = self._first_violation(object_id, test_amount)
+        if violation is not None:
+            _perf.ledger_rejections += 1
+            return violation
+        usage = self._usage
+        for level in self._limited_path(object_id):
+            usage[level] += charge_amount
+        return _ADMITTED
+
     def would_admit(self, object_id: int, amount: float) -> bool:
         """True if :meth:`try_charge` would succeed, without charging."""
         return self._first_violation(object_id, amount) is None

@@ -22,6 +22,7 @@ from repro.engine.results import (
 from repro.engine.locks import LockMode, LockTable
 from repro.engine.mvto import MVTOManager
 from repro.engine.scheduler import WaitRegistry
+from repro.engine.snapshot import PublishedObject, SnapshotStore, snapshot_read
 from repro.engine.twopl import REASON_DEADLOCK, TwoPhaseManager
 from repro.engine.timestamps import GENESIS, Timestamp, TimestampGenerator
 from repro.engine.transactions import (
@@ -47,6 +48,9 @@ __all__ = [
     "Outcome",
     "Rejected",
     "WaitRegistry",
+    "PublishedObject",
+    "SnapshotStore",
+    "snapshot_read",
     "LockMode",
     "LockTable",
     "MVTOManager",

@@ -92,7 +92,9 @@ def esr_read_decision(
             REASON_BOUND_VIOLATION,
             detail=(
                 f"uncommitted read of object {obj.object_id} carries "
-                f"inconsistency {d:g} past the {charge.violated_level} limit"
+                f"inconsistency {d:g} past the {charge.violated_level} limit "
+                f"(uncommitted write by transaction {obj.writer_id}, "
+                f"delta {distance(present, obj.committed_value):g})"
             ),
             violated_level=charge.violated_level,
         )

@@ -32,6 +32,7 @@ from repro.engine.esr import esr_read_decision, esr_write_decision
 from repro.engine.metrics import MetricsCollector
 from repro.engine.results import Granted, MustWait, Outcome, Rejected
 from repro.engine.scheduler import WaitRegistry
+from repro.engine.snapshot import SnapshotStore, snapshot_read
 from repro.engine.timestamps import Timestamp, TimestampGenerator
 from repro.engine.transactions import (
     TransactionKind,
@@ -58,6 +59,7 @@ class TransactionManager:
         metrics: MetricsCollector | None = None,
         timestamps: TimestampGenerator | None = None,
         wait_policy: str = "wait",
+        snapshot_cache: bool = False,
     ):
         if protocol not in PROTOCOLS:
             raise SpecificationError(
@@ -83,6 +85,18 @@ class TransactionManager:
         self._timestamps = timestamps if timestamps is not None else TimestampGenerator()
         self._next_id = 1
         self._active: dict[int, TransactionState] = {}
+        #: Opt-in snapshot read cache (ESR only): committed state is
+        #: published beside the live objects so bounded-staleness query
+        #: reads can be served via :meth:`read_cached` without the full
+        #: engine decision path (and, in the servers, without the engine
+        #: critical section).
+        if snapshot_cache and protocol == "esr":
+            self.snapshot: SnapshotStore | None = SnapshotStore(
+                database.catalog, distance
+            )
+            self.snapshot.bootstrap(database)
+        else:
+            self.snapshot = None
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -158,6 +172,26 @@ class TransactionManager:
             self._reject(txn, outcome)
         return outcome
 
+    def read_cached(self, txn: TransactionState, object_id: int) -> Granted | None:
+        """Try to serve a query read from the snapshot cache.
+
+        Returns a :class:`Granted` when the snapshot holds the object and
+        the staleness (plus any in-flight uncommitted delta) fits the
+        transaction's whole bound hierarchy, charging exactly as
+        :meth:`read` would; returns ``None`` when the caller should fall
+        back to :meth:`read`.  Never aborts and never waits — the cache
+        is a pure fast path.  Unlike :meth:`read`, a cache hit does not
+        touch the live object (no read-timestamp bump, no query-reader
+        registration), so it cannot trigger Case-3 export charges.
+        """
+        store = self.snapshot
+        if store is None:
+            return None
+        outcome = snapshot_read(store, txn, object_id)
+        if outcome is not None:
+            self.metrics.record_read(outcome.esr_case)
+        return outcome
+
     def write(self, txn: TransactionState, object_id: int, value: float) -> Outcome:
         """Submit a Write; stages it on success, aborts on rejection."""
         txn.require_active()
@@ -176,6 +210,8 @@ class TransactionManager:
         outcome = self._apply_wait_policy(outcome)
         if isinstance(outcome, Granted):
             obj.stage_write(txn.transaction_id, txn.timestamp, value)
+            if self.snapshot is not None:
+                self.snapshot.note_pending(obj)
             txn.write_set.add(object_id)
             txn.operations += 1
             if outcome.esr_case is not None:
@@ -210,7 +246,10 @@ class TransactionManager:
         """Commit: promote staged writes, release readers, wake waiters."""
         txn.require_active()
         for object_id in txn.write_set:
-            self.database.get(object_id).commit_write()
+            obj = self.database.get(object_id)
+            obj.commit_write()
+            if self.snapshot is not None:
+                self.snapshot.publish(obj)
         self.metrics.record_commit(txn.is_query, txn.imported, txn.exported)
         self._finish(txn, TransactionStatus.COMMITTED, None)
 
@@ -238,6 +277,8 @@ class TransactionManager:
                 obj = self.database.get(object_id)
                 if obj.writer_id == txn.transaction_id:
                     obj.abort_write()
+                    if self.snapshot is not None:
+                        self.snapshot.clear_pending(obj)
             txn.abort_reason = reason
             self.metrics.record_abort(reason or "unknown")
         if txn.is_query:

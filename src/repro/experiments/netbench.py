@@ -8,7 +8,7 @@ the same pipelined asyncio client (:mod:`repro.net.aioclient`), so the
 comparison isolates the serving architecture: thread-per-connection with
 a global engine mutex versus the asyncio batched-dispatch loop.
 
-The suite benchmarks three rows, decomposing where the speedup comes
+The suite benchmarks five rows, decomposing where the speedup comes
 from:
 
 * ``threaded`` — the threaded server under its own wire discipline:
@@ -21,6 +21,12 @@ from:
 * ``async`` — the asyncio server driven pipelined; the difference to
   ``threaded-pipelined`` is what the serving architecture (batched
   dispatch, write coalescing, no mutex/thread switches) buys.
+* ``read-heavy-nocache`` / ``read-heavy-cached`` — the asyncio server
+  under a read-heavy workload (48 reads per query, one writer session
+  in 16), with the epsilon snapshot read cache off and on.  The pair's
+  ratio (``speedup_cached_reads``) is what serving bounded-staleness
+  reads inline in ``data_received`` — outside the engine critical
+  section and the dispatch queue — buys.
 
 The headline ``speedup_requests_per_s`` is ``async`` versus the
 ``threaded`` baseline.
@@ -63,6 +69,9 @@ from repro.engine.database import Database
 
 __all__ = [
     "LoadConfig",
+    "SuiteRow",
+    "SUITE_ROWS",
+    "DEFAULT_SERVERS",
     "QUICK_CONFIG",
     "DEFAULT_CONFIG",
     "run_load",
@@ -92,10 +101,27 @@ class LoadConfig:
     mode: str = "closed"  # "closed" | "open"
     rate: float | None = None  # open-loop target, transactions/s overall
     discipline: str = "pipelined"  # "pipelined" | "serial" (pre-PR wire)
+    #: Fraction of sessions that run update transactions (begin, one
+    #: write, commit) instead of queries — the read-heavy cache rows use
+    #: a small fraction so cached reads observe real divergence.  Writer
+    #: sessions write disjoint object stripes (no write-write conflicts);
+    #: closed-loop raw driver only.
+    write_fraction: float = 0.0
 
     @property
     def sessions(self) -> int:
         return self.connections * self.depth
+
+    def is_writer(self, session_index: int) -> bool:
+        """Whether the session at this global index runs updates.
+
+        Writers are spread evenly: one every ``1/write_fraction``
+        sessions (at least one when the fraction is positive).
+        """
+        if self.write_fraction <= 0.0:
+            return False
+        stride = max(1, round(1.0 / self.write_fraction))
+        return session_index % stride == 0
 
 
 DEFAULT_CONFIG = LoadConfig()
@@ -121,16 +147,42 @@ def build_bench_database(objects: int) -> Database:
 # -- the raw closed-loop driver ------------------------------------------------
 
 
+#: Reads a query slot pipelines per burst.  Chunking matters for the
+#: cache rows: a query whose reads all ride one burst can never observe
+#: divergence (a writer that begins after the query needs two round
+#:  trips to commit, the reads arrive after one), so multi-burst queries
+#: are what makes writers genuinely race the reads.
+_READ_CHUNK = 16
+
+
 class _Slot:
-    """One pipeline slot: a begin→reads→commit state machine."""
+    """One pipeline slot: a begin→read-bursts→commit state machine.
 
-    __slots__ = ("outstanding", "failed", "started", "object_id")
+    Writer slots (``step > 0``) run begin→write→commit instead, each
+    stepping through its own disjoint object stride so writers never
+    conflict with each other.
+    """
 
-    def __init__(self, object_id: int):
+    __slots__ = (
+        "outstanding",
+        "failed",
+        "started",
+        "object_id",
+        "step",
+        "txn",
+        "remaining",
+        "cursor",
+    )
+
+    def __init__(self, object_id: int, step: int = 0):
         self.outstanding = 0
         self.failed = False
         self.started = 0.0
         self.object_id = object_id
+        self.step = step
+        self.txn: int | None = None  # open transaction awaiting its commit
+        self.remaining = 0  # reads not yet requested this transaction
+        self.cursor = 0  # read offset within this transaction
 
 
 async def _drive_connection_raw(
@@ -144,11 +196,12 @@ async def _drive_connection_raw(
     """One connection of the closed-loop load: ``depth`` slots pipelined.
 
     Each slot runs whole transactions: its ``begin`` is issued, and once
-    the transaction id arrives, all reads *and* the commit are pipelined
-    in one burst (same-connection requests dispatch in order on both
-    servers, and this workload never parks on a wait).  Requests from all
-    slots coalesce into shared writes; responses are parsed out of bulk
-    ``read()`` chunks.  No futures, no per-request tasks.
+    the transaction id arrives, the reads are pipelined in bursts of
+    :data:`_READ_CHUNK` followed by the commit (same-connection requests
+    dispatch in order on both servers, and this workload never parks on
+    a wait).  Requests from all slots coalesce into shared writes;
+    responses are parsed out of bulk ``read()`` chunks.  No futures, no
+    per-request tasks.
     """
     import json as _json
 
@@ -168,22 +221,71 @@ async def _drive_connection_raw(
     begin_template = (
         f'{{"op":"begin","kind":"query","limit":{_BENCH_TIL!r},"id":%d}}\n'
     ).encode()
+    begin_update_template = (
+        f'{{"op":"begin","kind":"update","limit":{_BENCH_TIL!r},"id":%d}}\n'
+    ).encode()
     read_template = b'{"op":"read","txn":%d,"object":%d,"id":%d}\n'
+    write_template = b'{"op":"write","txn":%d,"object":%d,"value":%d,"id":%d}\n'
     commit_template = b'{"op":"commit","txn":%d,"id":%d}\n'
+    write_seq = 0
 
     def start_txn(slot: _Slot) -> None:
         nonlocal next_id, active
         slot.started = time.perf_counter()
         slot.failed = False
+        slot.txn = None
+        slot.remaining = 0
+        slot.cursor = 0
         active += 1
         next_id += 1
         pending[next_id] = slot
         slot.outstanding += 1
-        out.append(begin_template % next_id)
+        out.append(
+            (begin_update_template if slot.step else begin_template) % next_id
+        )
 
+    def send_reads(slot: _Slot) -> None:
+        nonlocal next_id
+        count = min(_READ_CHUNK, slot.remaining)
+        slot.remaining -= count
+        for _ in range(count):
+            next_id += 1
+            pending[next_id] = slot
+            slot.outstanding += 1
+            out.append(
+                read_template
+                % (
+                    slot.txn,
+                    (slot.object_id + slot.cursor) % config.objects + 1,
+                    next_id,
+                )
+            )
+            slot.cursor += 1
+
+    def send_commit(slot: _Slot) -> None:
+        nonlocal next_id
+        next_id += 1
+        pending[next_id] = slot
+        slot.outstanding += 1
+        out.append(commit_template % (slot.txn, next_id))
+        slot.txn = None
+        slot.object_id = (slot.object_id + (slot.step or 1)) % config.objects
+
+    # Writer sessions step through disjoint object stripes (writer k
+    # touches objects ≡ k mod n_writers), so writers never conflict
+    # with each other — divergence comes from writes racing *queries*.
+    n_writers = sum(
+        1 for i in range(config.sessions) if config.is_writer(i)
+    )
     for d in range(config.depth):
         index = conn_index * config.depth + d
-        start_txn(_Slot((index * 7) % config.objects))
+        if config.is_writer(index):
+            writer_rank = sum(
+                1 for i in range(index) if config.is_writer(i)
+            )
+            start_txn(_Slot(writer_rank, step=n_writers))
+        else:
+            start_txn(_Slot((index * 7) % config.objects))
     writer.write(b"".join(out))
     out.clear()
 
@@ -228,35 +330,48 @@ async def _drive_connection_raw(
             if not ok:
                 slot.failed = True
             elif txn is not None:
-                # The begin answered: burst the reads and the commit.
-                for k in range(config.reads_per_txn):
+                # The begin answered.  A writer bursts its write and the
+                # commit together; a query bursts its first read chunk
+                # (later chunks ride later round trips, so writers
+                # genuinely race the query's reads).
+                slot.txn = txn
+                if slot.step:
+                    write_seq += 1
                     next_id += 1
                     pending[next_id] = slot
                     slot.outstanding += 1
                     out.append(
-                        read_template
+                        write_template
                         % (
                             txn,
-                            (slot.object_id + k) % config.objects + 1,
+                            slot.object_id % config.objects + 1,
+                            write_seq % 1000,
                             next_id,
                         )
                     )
-                next_id += 1
-                pending[next_id] = slot
-                slot.outstanding += 1
-                out.append(commit_template % (txn, next_id))
-                slot.object_id = (slot.object_id + 1) % config.objects
-            if slot.outstanding == 0:
-                # Transaction attempt finished (commit answered, or the
-                # begin/ops failed and every response has landed).
-                active -= 1
-                if slot.failed:
-                    tally.errors += 1
+                    send_commit(slot)
                 else:
-                    tally.transactions += 1
-                    tally.latencies_ms.append((now - slot.started) * 1e3)
-                if now < deadline:
-                    start_txn(slot)
+                    slot.remaining = config.reads_per_txn
+                    send_reads(slot)
+            if slot.outstanding == 0:
+                if slot.remaining > 0 and not slot.failed:
+                    # Burst answered, reads left: pipeline the next chunk.
+                    send_reads(slot)
+                elif slot.txn is not None:
+                    # All reads answered (or the transaction failed along
+                    # the way): settle it with its commit.
+                    send_commit(slot)
+                else:
+                    # Transaction attempt finished (commit answered, or
+                    # the begin failed and every response has landed).
+                    active -= 1
+                    if slot.failed:
+                        tally.errors += 1
+                    else:
+                        tally.transactions += 1
+                        tally.latencies_ms.append((now - slot.started) * 1e3)
+                    if now < deadline:
+                        start_txn(slot)
         if out:
             writer.write(b"".join(out))
             out.clear()
@@ -488,6 +603,7 @@ def run_load_isolated(host: str, port: int, config: LoadConfig) -> dict:
             "mode": config.mode,
             "rate": config.rate,
             "discipline": config.discipline,
+            "write_fraction": config.write_fraction,
         }
     )
     child = subprocess.run(
@@ -514,12 +630,14 @@ def run_load_isolated(host: str, port: int, config: LoadConfig) -> dict:
 # -- the server side -----------------------------------------------------------
 
 
-def _start_server(kind: str, database: Database):
+def _start_server(kind: str, database: Database, snapshot_cache: bool = False):
     """Start one server of ``kind``; returns (port, shutdown_callable)."""
     if kind == "threaded":
         from repro.net.server import serve_forever
 
-        server = serve_forever(database, wait_timeout=5.0)
+        server = serve_forever(
+            database, wait_timeout=5.0, snapshot_cache=snapshot_cache
+        )
 
         def stop() -> None:
             server.shutdown()
@@ -529,22 +647,68 @@ def _start_server(kind: str, database: Database):
     if kind == "async":
         from repro.net.aioserver import serve_in_thread
 
-        handle = serve_in_thread(database, wait_timeout=5.0)
+        handle = serve_in_thread(
+            database, wait_timeout=5.0, snapshot_cache=snapshot_cache
+        )
         return handle.port, handle.shutdown
     raise ValueError(f"unknown server kind {kind!r}")
 
 
-#: Suite row name -> (server kind, wire discipline).
+@dataclass(frozen=True)
+class SuiteRow:
+    """One benchmark row: which server, wire discipline, load shape."""
+
+    server: str
+    discipline: str
+    #: Server-side epsilon snapshot read cache on/off.
+    snapshot_cache: bool = False
+    #: LoadConfig field overrides applied on top of the suite config.
+    overrides: tuple[tuple[str, object], ...] = ()
+
+
+#: Suite row name -> row spec.  The read-heavy pair shares one workload
+#: (48 reads per query, 1 writer session in 16 on disjoint stripes —
+#: ~96% of requests are query reads) and differs only in the snapshot
+#: cache, so their ratio isolates what the cache buys.
+_READ_HEAVY = (("reads_per_txn", 48), ("write_fraction", 1 / 16))
 SUITE_ROWS = {
-    "threaded": ("threaded", "serial"),
-    "threaded-pipelined": ("threaded", "pipelined"),
-    "async": ("async", "pipelined"),
+    "threaded": SuiteRow("threaded", "serial"),
+    "threaded-pipelined": SuiteRow("threaded", "pipelined"),
+    "async": SuiteRow("async", "pipelined"),
+    "read-heavy-nocache": SuiteRow(
+        "async", "pipelined", overrides=_READ_HEAVY
+    ),
+    "read-heavy-cached": SuiteRow(
+        "async", "pipelined", snapshot_cache=True, overrides=_READ_HEAVY
+    ),
 }
+
+#: Rows run by default (also the order they are reported in).
+DEFAULT_SERVERS = (
+    "threaded",
+    "threaded-pipelined",
+    "async",
+    "read-heavy-nocache",
+    "read-heavy-cached",
+)
+
+
+#: Perf counters reported as per-row deltas in the suite report.
+_ROW_PERF_KEYS = (
+    "net_requests_batched",
+    "net_batches_drained",
+    "net_flushes_coalesced",
+    "net_backpressure_stalls",
+    "cache_hits",
+    "cache_misses",
+    "cache_fallbacks",
+    "cache_divergence_charged",
+)
 
 
 def run_suite(
     config: LoadConfig = DEFAULT_CONFIG,
-    servers: tuple[str, ...] = ("threaded", "threaded-pipelined", "async"),
+    servers: tuple[str, ...] = DEFAULT_SERVERS,
     progress: Callable[[str], None] | None = None,
     isolate_client: bool = True,
 ) -> dict:
@@ -552,7 +716,9 @@ def run_suite(
 
     Rows are named in :data:`SUITE_ROWS`: ``threaded`` is the pre-PR
     baseline (serial wire discipline), ``threaded-pipelined`` the old
-    architecture under the new pipelined wire, ``async`` the new server.
+    architecture under the new pipelined wire, ``async`` the new server,
+    and the ``read-heavy-*`` pair ablates the epsilon snapshot read
+    cache under an identical read-heavy workload.
 
     ``isolate_client=True`` (the default) runs the load generator in a
     separate process so it never contends for the server's GIL; tests
@@ -563,11 +729,15 @@ def run_suite(
     drive = run_load_isolated if isolate_client else run_load
     results: dict[str, dict] = {}
     for kind in servers:
-        server_kind, discipline = SUITE_ROWS[kind]
-        case_config = replace(config, discipline=discipline)
+        row = SUITE_ROWS[kind]
+        case_config = replace(
+            config, discipline=row.discipline, **dict(row.overrides)
+        )
         database = build_bench_database(config.objects)
         counters_before = perf.counters.snapshot()
-        port, stop = _start_server(server_kind, database)
+        port, stop = _start_server(
+            row.server, database, snapshot_cache=row.snapshot_cache
+        )
         try:
             results[kind] = drive("127.0.0.1", port, case_config)
         finally:
@@ -575,12 +745,13 @@ def run_suite(
         counters_after = perf.counters.snapshot()
         results[kind]["perf"] = {
             key: counters_after[key] - counters_before[key]
-            for key in (
-                "net_requests_batched",
-                "net_batches_drained",
-                "net_flushes_coalesced",
-                "net_backpressure_stalls",
-            )
+            for key in _ROW_PERF_KEYS
+        }
+        results[kind]["row"] = {
+            "server": row.server,
+            "discipline": row.discipline,
+            "snapshot_cache": row.snapshot_cache,
+            "overrides": dict(row.overrides),
         }
         if progress is not None:
             entry = results[kind]
@@ -616,6 +787,13 @@ def run_suite(
         base = results["threaded-pipelined"]["requests_per_s"]
         report["speedup_vs_threaded_pipelined"] = (
             round(results["async"]["requests_per_s"] / base, 2) if base else 0.0
+        )
+    if "read-heavy-nocache" in results and "read-heavy-cached" in results:
+        base = results["read-heavy-nocache"]["requests_per_s"]
+        report["speedup_cached_reads"] = (
+            round(results["read-heavy-cached"]["requests_per_s"] / base, 2)
+            if base
+            else 0.0
         )
     return report
 
@@ -659,6 +837,18 @@ def format_report(report: dict) -> str:
             f"{entry['transactions_per_s']:>10,.0f} "
             f"{lat['p50']:>8.2f} {lat['p90']:>8.2f} {lat['p99']:>8.2f}"
         )
+        cache_hits = entry.get("perf", {}).get("cache_hits", 0)
+        if cache_hits:
+            served = entry["perf"]
+            total = cache_hits + served.get("cache_misses", 0) + served.get(
+                "cache_fallbacks", 0
+            )
+            lines.append(
+                f"{'':<18}   snapshot cache: {cache_hits:,} hits "
+                f"({cache_hits / total:.0%} of eligible reads), "
+                f"{served.get('cache_divergence_charged', 0.0):g} "
+                "divergence charged"
+            )
     if "speedup_requests_per_s" in report:
         lines.append(
             "async vs threaded baseline: "
@@ -668,6 +858,11 @@ def format_report(report: dict) -> str:
         lines.append(
             "async vs threaded-pipelined: "
             f"{report['speedup_vs_threaded_pipelined']:.2f}x"
+        )
+    if "speedup_cached_reads" in report:
+        lines.append(
+            "snapshot cache on vs off (read-heavy): "
+            f"{report['speedup_cached_reads']:.2f}x"
         )
     return "\n".join(lines)
 
@@ -710,6 +905,7 @@ def _child_main(argv: list[str]) -> int:
         mode=spec["mode"],
         rate=spec["rate"],
         discipline=spec.get("discipline", "pipelined"),
+        write_fraction=float(spec.get("write_fraction", 0.0)),
     )
     print(json.dumps(run_load(host, int(port), config)))
     return 0

@@ -40,6 +40,7 @@ drained, coalesced flushes, and backpressure stalls.
 from __future__ import annotations
 
 import asyncio
+import re
 import threading
 from collections import deque
 from typing import Any
@@ -60,6 +61,7 @@ from repro.net.requests import (
     attach_id,
     retry_operation,
     submit_request,
+    try_cached_read,
 )
 from repro.net.server import WAIT_TIMEOUT_SECONDS
 
@@ -67,6 +69,15 @@ __all__ = ["AsyncTransactionServer", "AsyncServerThread", "serve_in_thread"]
 
 #: Per-connection cap on requests accepted but not yet answered.
 DEFAULT_MAX_INFLIGHT = 128
+
+#: The exact read-request shape every pipelining client emits.  The
+#: snapshot-cache fast path parses it at the byte level — a cache hit
+#: then skips ``json.loads`` *and* ``json.dumps`` for the round trip.
+#: Any other key order (or extra keys) falls through to the normal
+#: decode, which still reaches the cache via :func:`try_cached_read`.
+_READ_LINE = re.compile(
+    rb'\{"op":"read","txn":(\d+),"object":(\d+)(?:,"id":(\d+))?\}'
+)
 
 
 class _Failure:
@@ -79,6 +90,27 @@ class _Failure:
         self.detail = detail
 
 
+def _cached_read_response(outcome, rid: bytes | None) -> bytes:
+    """Hand-format a cache-hit response (byte-identical to the JSON
+    encoder's output for the same fields: ``%a`` of a finite float is
+    its ``repr``, which is exactly what ``json.dumps`` emits)."""
+    case = (
+        b'"' + outcome.esr_case.encode("ascii") + b'"'
+        if outcome.esr_case is not None
+        else b"null"
+    )
+    if rid is None:
+        return b'{"ok":true,"value":%a,"inconsistency":%a,"esr_case":%b}\n' % (
+            outcome.value,
+            outcome.inconsistency,
+            case,
+        )
+    return (
+        b'{"ok":true,"value":%a,"inconsistency":%a,"esr_case":%b,"id":%b}\n'
+        % (outcome.value, outcome.inconsistency, case, rid)
+    )
+
+
 class _Connection(asyncio.Protocol):
     """One client connection: line framing, sessions, response buffer."""
 
@@ -89,6 +121,7 @@ class _Connection(asyncio.Protocol):
         "sessions",
         "out",
         "inflight",
+        "pending_ops",
         "read_paused",
         "write_paused",
         "flush_pending",
@@ -104,6 +137,12 @@ class _Connection(asyncio.Protocol):
         self.sessions: dict[int, Any] = {}
         self.out: list[bytes] = []
         self.inflight = 0
+        #: Per-transaction count of requests queued for dispatch but not
+        #: yet answered.  The inline cache fast path must not answer a
+        #: read while an earlier operation of the *same* transaction is
+        #: still queued — that would reorder the transaction's own
+        #: execution (e.g. a read overtaking its own pending write).
+        self.pending_ops: dict[int, int] = {}
         self.read_paused = False
         self.write_paused = False
         self.flush_pending = False
@@ -161,6 +200,11 @@ class _Connection(asyncio.Protocol):
             return
         server = self.server
         queue = server._queue
+        manager = server.manager
+        cache = manager.snapshot is not None
+        pending_ops = self.pending_ops
+        queued = 0
+        answered_inline = False
         for line in lines:
             if len(line) > MAX_LINE_BYTES:
                 self.fail(
@@ -168,21 +212,80 @@ class _Connection(asyncio.Protocol):
                     f"protocol line exceeds {MAX_LINE_BYTES} bytes",
                 )
                 return
+            if cache:
+                # Inline fast path: answer a bounded-staleness read right
+                # here, before batched dispatch — zero queue, zero tick,
+                # and for the canonical wire shape zero JSON (the line is
+                # parsed and the response formatted at the byte level).
+                # Only when no earlier op of the same transaction is
+                # still queued (per-transaction order must hold; ops of
+                # *other* transactions may be overtaken, which pipelining
+                # already allows).  Inline answers never count against
+                # the in-flight window.
+                match = _READ_LINE.fullmatch(line)
+                if match is not None:
+                    txn_id = int(match.group(1))
+                    if not pending_ops.get(txn_id, 0):
+                        txn = self.sessions.get(txn_id)
+                        outcome = (
+                            manager.read_cached(txn, int(match.group(2)))
+                            if txn is not None
+                            else None
+                        )
+                        if outcome is not None:
+                            self.out.append(
+                                _cached_read_response(outcome, match.group(3))
+                            )
+                            answered_inline = True
+                            continue
             try:
                 message = decode_message(line)
             except ProtocolError as exc:
                 self.fail("protocol", str(exc))
                 return
+            if cache and not pending_ops.get(message.get("txn", -1), 0):
+                # Same fast path for read messages in any other wire
+                # shape (different key order, extra keys): decoded
+                # normally, still answered before dispatch.
+                response = try_cached_read(manager, message, self.sessions)
+                if response is not None:
+                    self.out.append(
+                        encode_response(attach_id(response, message))
+                    )
+                    answered_inline = True
+                    continue
+            txn = message.get("txn")
+            if txn is not None:
+                pending_ops[txn] = pending_ops.get(txn, 0) + 1
             queue.append((self, message))
-        self.inflight += len(lines)
+            queued += 1
+        self.inflight += queued
         if self.inflight >= self.server.max_inflight and not self.read_paused:
             # In-flight window full: stop reading until responses drain.
             perf.counters.net_backpressure_stalls += 1
             self.read_paused = True
             self.transport.pause_reading()
-        server._queue_ready.set()
+        if queued:
+            server._queue_ready.set()
+        if answered_inline:
+            # The dispatcher only flushes connections it answers, so the
+            # inline responses need their own (idempotent, coalesced)
+            # flush — e.g. when nothing was queued, or every queued
+            # request parked on a wait.
+            self.schedule_flush()
 
     # -- response path ---------------------------------------------------------
+
+    def note_answered(self, message: dict[str, Any]) -> None:
+        """Drop one queued-op claim for the message's transaction."""
+        txn = message.get("txn")
+        if txn is None:
+            return
+        count = self.pending_ops.get(txn, 0) - 1
+        if count > 0:
+            self.pending_ops[txn] = count
+        else:
+            self.pending_ops.pop(txn, None)
 
     def enqueue(self, response: dict[str, Any]) -> None:
         """Buffer one response; reopens the read window if it was full."""
@@ -249,12 +352,14 @@ class AsyncTransactionServer:
         wait_timeout: float = WAIT_TIMEOUT_SECONDS,
         wait_policy: str = "wait",
         max_inflight: int = DEFAULT_MAX_INFLIGHT,
+        snapshot_cache: bool = False,
     ):
         self.manager = TransactionManager(
             database,
             protocol=protocol,
             export_policy=export_policy,
             wait_policy=wait_policy,
+            snapshot_cache=snapshot_cache,
         )
         #: Upper bound on one strict-ordering wait, in seconds.
         self.wait_timeout = wait_timeout
@@ -345,6 +450,7 @@ class AsyncTransactionServer:
                     event = self._subscribe(result)
                     self._spawn_waiter(conn, message, result, event)
                 else:
+                    conn.note_answered(message)
                     if "id" in message:
                         result["id"] = message["id"]
                     conn.enqueue(result)
@@ -392,6 +498,7 @@ class AsyncTransactionServer:
                 continue
             response = result
             break
+        conn.note_answered(message)
         conn.enqueue(attach_id(response, message))
         conn.schedule_flush()
 
@@ -462,6 +569,7 @@ def serve_in_thread(
     wait_timeout: float = WAIT_TIMEOUT_SECONDS,
     wait_policy: str = "wait",
     max_inflight: int = DEFAULT_MAX_INFLIGHT,
+    snapshot_cache: bool = False,
 ) -> AsyncServerThread:
     """Start an async server on a background loop thread (bound and live)."""
     server = AsyncTransactionServer(
@@ -471,5 +579,6 @@ def serve_in_thread(
         wait_policy=wait_policy,
         wait_timeout=wait_timeout,
         max_inflight=max_inflight,
+        snapshot_cache=snapshot_cache,
     )
     return AsyncServerThread(server, host, port)

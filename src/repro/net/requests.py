@@ -39,6 +39,7 @@ __all__ = [
     "retry_operation",
     "abort_on_timeout",
     "attach_id",
+    "try_cached_read",
 ]
 
 
@@ -64,6 +65,45 @@ def attach_id(response: dict[str, Any], message: dict[str, Any]) -> dict[str, An
     if "id" in message:
         response["id"] = message["id"]
     return response
+
+
+def try_cached_read(
+    manager: TransactionManager,
+    message: dict[str, Any],
+    sessions: dict[int, TransactionState],
+) -> dict[str, Any] | None:
+    """Serve a read from the snapshot cache, bypassing the engine path.
+
+    Returns a complete response dict on a cache hit, or ``None`` when the
+    request is not a cacheable read (wrong op, unknown transaction,
+    malformed object id) or the cache declined (unpublished object, bound
+    does not fit, read-your-writes) — the caller then falls through to
+    the normal :func:`submit_request` path, which re-executes the read
+    under the engine critical section.
+
+    The hit path never mutates the live database and never aborts, so —
+    unlike :func:`submit_request` — callers may invoke it *outside* the
+    engine critical section, provided operations of one transaction stay
+    ordered (both servers already serialise per connection).
+    """
+    if manager.snapshot is None or message.get("op") != "read":
+        return None
+    txn = sessions.get(message.get("txn", -1))
+    if txn is None:
+        return None
+    try:
+        object_id = int(message["object"])
+    except (KeyError, TypeError, ValueError):
+        return None
+    outcome = manager.read_cached(txn, object_id)
+    if outcome is None:
+        return None
+    return {
+        "ok": True,
+        "value": outcome.value,
+        "inconsistency": outcome.inconsistency,
+        "esr_case": outcome.esr_case,
+    }
 
 
 def submit_request(

@@ -41,6 +41,7 @@ from repro.net.requests import (
     attach_id,
     retry_operation,
     submit_request,
+    try_cached_read,
 )
 
 __all__ = ["TransactionServer", "serve_forever", "WAIT_TIMEOUT_SECONDS"]
@@ -105,6 +106,7 @@ class TransactionServer(socketserver.ThreadingTCPServer):
         export_policy: str = "max",
         wait_timeout: float = WAIT_TIMEOUT_SECONDS,
         wait_policy: str = "wait",
+        snapshot_cache: bool = False,
     ):
         super().__init__(address, _Handler)
         self.manager = TransactionManager(
@@ -112,6 +114,7 @@ class TransactionServer(socketserver.ThreadingTCPServer):
             protocol=protocol,
             export_policy=export_policy,
             wait_policy=wait_policy,
+            snapshot_cache=snapshot_cache,
         )
         #: Upper bound on one strict-ordering wait (see module constant).
         self.wait_timeout = wait_timeout
@@ -127,6 +130,14 @@ class TransactionServer(socketserver.ThreadingTCPServer):
         self, message: dict[str, Any], sessions: dict[int, TransactionState]
     ) -> dict[str, Any]:
         """Execute one request, blocking this thread through any waits."""
+        # Snapshot-cache fast path: bounded-staleness reads are answered
+        # from immutable published records without taking the mutex at
+        # all.  Per-transaction ordering holds because one connection (and
+        # therefore one transaction) is served by one handler thread
+        # sequentially.  A None falls through to the engine path below.
+        cached = try_cached_read(self.manager, message, sessions)
+        if cached is not None:
+            return cached
         with self._mutex:
             result = submit_request(self.manager, message, sessions)
             waiter = self._register_wait(result)
@@ -169,6 +180,7 @@ def serve_forever(
     export_policy: str = "max",
     wait_timeout: float = WAIT_TIMEOUT_SECONDS,
     wait_policy: str = "wait",
+    snapshot_cache: bool = False,
 ) -> TransactionServer:
     """Start a server on a background thread; returns it (bound and live)."""
     server = TransactionServer(
@@ -178,6 +190,7 @@ def serve_forever(
         export_policy=export_policy,
         wait_timeout=wait_timeout,
         wait_policy=wait_policy,
+        snapshot_cache=snapshot_cache,
     )
     thread = threading.Thread(target=server.serve_forever, daemon=True)
     thread.start()

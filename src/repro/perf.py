@@ -54,6 +54,15 @@ class PerfCounters:
                                  buffered response in a single syscall
     ``net_backpressure_stalls``  reads paused because a connection hit its
                                  in-flight window
+    ``cache_hits``               query reads served from the snapshot cache
+                                 (no engine critical section)
+    ``cache_misses``             cache consultations that found no published
+                                 entry for the object
+    ``cache_fallbacks``          cache consultations that found an entry but
+                                 downgraded to the engine path (bounds did
+                                 not fit, read-your-writes, ineligible txn)
+    ``cache_divergence_charged`` total staleness (a float) cache-served
+                                 reads charged to their ledgers
     ============================ ==============================================
     """
 
@@ -68,6 +77,10 @@ class PerfCounters:
         "net_batches_drained",
         "net_flushes_coalesced",
         "net_backpressure_stalls",
+        "cache_hits",
+        "cache_misses",
+        "cache_fallbacks",
+        "cache_divergence_charged",
     )
 
     def __init__(self) -> None:
@@ -85,6 +98,10 @@ class PerfCounters:
         self.net_batches_drained = 0
         self.net_flushes_coalesced = 0
         self.net_backpressure_stalls = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.cache_fallbacks = 0
+        self.cache_divergence_charged = 0.0
 
     def record_conflict_case(self, case: str) -> None:
         tally = self.conflict_cases
@@ -103,6 +120,10 @@ class PerfCounters:
             "net_batches_drained": self.net_batches_drained,
             "net_flushes_coalesced": self.net_flushes_coalesced,
             "net_backpressure_stalls": self.net_backpressure_stalls,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_fallbacks": self.cache_fallbacks,
+            "cache_divergence_charged": self.cache_divergence_charged,
         }
 
     def format_table(self) -> str:
@@ -122,6 +143,16 @@ class PerfCounters:
                 (
                     "net backpressure stalls",
                     f"{self.net_backpressure_stalls:,}",
+                ),
+            ]
+        if self.cache_hits or self.cache_misses or self.cache_fallbacks:
+            rows += [
+                ("cache hits (snapshot reads)", f"{self.cache_hits:,}"),
+                ("cache misses (unpublished)", f"{self.cache_misses:,}"),
+                ("cache fallbacks (engine path)", f"{self.cache_fallbacks:,}"),
+                (
+                    "cache divergence charged",
+                    f"{self.cache_divergence_charged:g}",
                 ),
             ]
         for case in sorted(self.conflict_cases):

@@ -73,6 +73,11 @@ class SimulationConfig:
     #: Strict-ordering conflicts: ``"wait"`` (the paper's choice) or
     #: ``"abort"`` (abort-with-restart instead).  TSO engines only.
     wait_policy: str = "wait"
+    #: Serve bounded-staleness query reads from the epsilon snapshot
+    #: cache (zero service time, no service unit).  ESR only — the cache
+    #: meters staleness through the inconsistency ledger, which no other
+    #: protocol carries.
+    snapshot_cache: bool = False
     workload: WorkloadSpec = PAPER_WORKLOAD
     latency: LatencyModel = PAPER_LATENCY
     service_time_ms: float = DEFAULT_SERVICE_TIME_MS
@@ -98,6 +103,11 @@ class SimulationConfig:
             raise ExperimentError("duration_ms must be positive")
         if not 0 <= self.warmup_ms < self.duration_ms:
             raise ExperimentError("warmup_ms must be in [0, duration_ms)")
+        if self.snapshot_cache and self.protocol != "esr":
+            raise ExperimentError(
+                "snapshot_cache requires the 'esr' protocol, "
+                f"got {self.protocol!r}"
+            )
         distance_by_name(self.distance)  # fail fast on a bad spec
 
     def with_level(self, til: float, tel: float) -> "SimulationConfig":
@@ -115,6 +125,13 @@ class RunResult:
     metrics: MetricsSnapshot
     client_commits: tuple[int, ...]
     server_utilisation: float
+    #: Snapshot-cache tallies as ``(name, value)`` pairs — hits, misses,
+    #: fallbacks, divergence_charged — or None when the cache is off.
+    cache: tuple[tuple[str, float], ...] | None = None
+
+    @property
+    def cache_stats(self) -> dict[str, float] | None:
+        return dict(self.cache) if self.cache is not None else None
 
     @property
     def throughput(self) -> float:
@@ -184,6 +201,7 @@ def build_simulation(
             distance=distance,
             export_policy=config.export_policy,
             wait_policy=config.wait_policy,
+            snapshot_cache=config.snapshot_cache,
         )
     server = SimServer(
         manager,
@@ -240,6 +258,7 @@ def run_simulation(config: SimulationConfig) -> RunResult:
         engine.run(until=config.duration_ms)
         measured_ms = config.duration_ms - config.warmup_ms
     snapshot = manager.metrics.snapshot()
+    store = getattr(manager, "snapshot", None)
     return RunResult(
         config=config,
         measured_ms=measured_ms,
@@ -248,4 +267,7 @@ def run_simulation(config: SimulationConfig) -> RunResult:
         metrics=snapshot,
         client_commits=tuple(client.committed for client in clients),
         server_utilisation=server.cpu.utilisation(measured_ms, busy_at_start),
+        cache=(
+            tuple(store.stats().items()) if store is not None else None
+        ),
     )

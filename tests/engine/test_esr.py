@@ -194,6 +194,42 @@ class TestCase2ReadUncommitted:
         assert esr_read_decision(obj, update) == Granted(value=7_777.0)
 
 
+class TestCase2RejectionDetail:
+    """Regression: a Case-2 rejection must identify the blocking writer.
+
+    The detail used to stop at the violated level; diagnosing *why* a
+    query was rejected needs the uncommitted writer's transaction id and
+    how far its staged value has diverged from the committed one.
+    """
+
+    def _rejected(self):
+        obj = DataObject(1, 5_000.0)
+        committed_write(obj, 2, 15, 7_000.0)
+        obj.stage_write(9, ts(20), 8_000.0)
+        query = make_txn("query", 10, til=10.0)
+        outcome = esr_read_decision(obj, query)
+        assert isinstance(outcome, Rejected)
+        return outcome
+
+    def test_detail_names_the_writer_transaction(self):
+        outcome = self._rejected()
+        assert "uncommitted write by transaction 9" in outcome.detail
+
+    def test_detail_reports_the_uncommitted_delta(self):
+        # Inconsistency carried is |8000 - proper(10)| = 3000 but the
+        # writer's own uncommitted delta is |8000 - 7000| = 1000; the
+        # detail must report both, distinctly.
+        outcome = self._rejected()
+        assert "inconsistency 3000" in outcome.detail
+        assert "delta 1000" in outcome.detail
+
+    def test_detail_names_level_and_object(self):
+        outcome = self._rejected()
+        assert "object 1" in outcome.detail
+        assert f"past the {outcome.violated_level} limit" in outcome.detail
+        assert "None" not in outcome.detail
+
+
 class TestCase3LateWrite:
     """An update write older than a query read's timestamp."""
 

@@ -99,6 +99,7 @@ class TestRegistry:
             "fig12",
             "fig13",
             "ext_hierarchy",
+            "ext_cache",
         }
 
     def test_table1(self):

@@ -56,6 +56,50 @@ def test_suite_report_shape_and_formatting(tmp_path):
     assert "ratio" in netbench.format_comparison(loaded, report)
 
 
+def test_is_writer_matches_write_fraction():
+    config = replace(TINY, write_fraction=1 / 4)
+    flags = [config.is_writer(i) for i in range(64)]
+    assert sum(flags) == 16  # exactly one writer per stride of 4
+    assert flags[0] and not any(flags[1:4])
+    read_only = replace(TINY, write_fraction=0.0)
+    assert not any(read_only.is_writer(i) for i in range(16))
+
+
+def test_suite_rows_cover_the_cache_comparison():
+    rows = netbench.SUITE_ROWS
+    assert set(netbench.DEFAULT_SERVERS) == set(rows)
+    cached = rows["read-heavy-cached"]
+    nocache = rows["read-heavy-nocache"]
+    assert cached.snapshot_cache and not nocache.snapshot_cache
+    # Same workload shape on both sides of the comparison, and the shape
+    # is genuinely read-heavy (>= 80% of requests are query reads).
+    assert cached.overrides == nocache.overrides
+    shape = dict(cached.overrides)
+    reads = shape["reads_per_txn"]
+    stride = round(1.0 / shape["write_fraction"])
+    queries = stride - 1
+    total = stride * 2 + queries * reads  # begin+commit each, reads per query
+    assert queries * reads / total >= 0.80
+    assert not rows["threaded"].snapshot_cache
+
+
+def test_read_heavy_rows_exercise_the_cache():
+    # Doubles as the CI cache smoke: the cached row must actually hit.
+    report = netbench.run_suite(
+        replace(TINY, duration_s=0.4),
+        servers=("read-heavy-nocache", "read-heavy-cached"),
+        isolate_client=False,
+    )
+    cached = report["servers"]["read-heavy-cached"]
+    nocache = report["servers"]["read-heavy-nocache"]
+    assert cached["perf"]["cache_hits"] > 0
+    assert nocache["perf"]["cache_hits"] == 0
+    assert cached["row"]["snapshot_cache"] is True
+    assert "speedup_cached_reads" in report
+    text = netbench.format_report(report)
+    assert "snapshot cache" in text
+
+
 def test_load_baseline_rejects_bad_files(tmp_path):
     missing = tmp_path / "missing.json"
     assert netbench.load_baseline(missing) is None

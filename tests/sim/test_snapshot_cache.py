@@ -1,0 +1,56 @@
+"""The snapshot read cache inside the discrete-event simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.sim.system import SimulationConfig, run_simulation
+from repro.workload.spec import WorkloadSpec
+
+SMALL = WorkloadSpec(n_objects=60, hot_set_size=10, n_partitions=5)
+
+
+def config(**overrides) -> SimulationConfig:
+    defaults = dict(
+        mpl=4,
+        til=100_000.0,
+        tel=10_000.0,
+        workload=SMALL,
+        duration_ms=5_000.0,
+        warmup_ms=500.0,
+        seed=11,
+    )
+    defaults.update(overrides)
+    return SimulationConfig(**defaults)
+
+
+class TestSimSnapshotCache:
+    def test_cache_off_reports_no_stats(self):
+        result = run_simulation(config())
+        assert result.cache is None
+        assert result.cache_stats is None
+
+    def test_cache_on_serves_reads(self):
+        result = run_simulation(config(snapshot_cache=True))
+        stats = result.cache_stats
+        assert stats is not None
+        assert stats["hits"] > 0
+        assert stats["divergence_charged"] >= 0.0
+
+    def test_cache_never_hurts_throughput(self):
+        # Cached reads take zero service time and no service unit, so at
+        # the same seed the cached run commits at least as many queries.
+        off = run_simulation(config())
+        on = run_simulation(config(snapshot_cache=True))
+        assert on.commits >= off.commits
+
+    def test_cache_is_deterministic(self):
+        a = run_simulation(config(snapshot_cache=True))
+        b = run_simulation(config(snapshot_cache=True))
+        assert a.commits == b.commits
+        assert a.cache == b.cache
+
+    def test_cache_requires_esr(self):
+        with pytest.raises(ExperimentError):
+            config(protocol="2pl", snapshot_cache=True)
