@@ -24,6 +24,7 @@ import time
 from pathlib import Path
 
 from repro.core.bounds import level_by_name
+from repro.engine.api import PROTOCOLS
 from repro.experiments.config import FAST_PLAN, PAPER_PLAN, MeasurementPlan, bounds_table
 from repro.experiments.figures import ALL_FIGURES
 from repro.experiments.report import format_table, render_figure
@@ -126,6 +127,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         oil=args.oil,
         oel=args.oel,
         protocol=args.protocol,
+        shards=args.shards,
         duration_ms=duration,
         warmup_ms=warmup,
         seed=args.seed,
@@ -256,6 +258,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 protocol=args.protocol,
                 wait_timeout=wait_timeout,
                 snapshot_cache=args.snapshot_cache,
+                shards=args.shards,
             )
             await server.start(args.host, args.port)
             print(
@@ -278,6 +281,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         protocol=args.protocol,
         wait_timeout=wait_timeout,
         snapshot_cache=args.snapshot_cache,
+        shards=args.shards,
     )
     print(f"serving {len(database)} objects on {args.host}:{server.port}")
     try:
@@ -369,8 +373,14 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--oel", type=float, default=math.inf)
     sweep.add_argument(
         "--protocol",
-        choices=("esr", "sr", "2pl", "2pl-sr", "mvto"),
+        choices=PROTOCOLS,
         default="esr",
+    )
+    sweep.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="partition the engine across N per-shard critical sections",
     )
     sweep.add_argument("--duration", type=float)
     sweep.add_argument("--warmup", type=float, default=3_000.0)
@@ -425,9 +435,16 @@ def build_parser() -> argparse.ArgumentParser:
     serve = sub.add_parser("serve", help="start the networked prototype")
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=7453)
-    serve.add_argument("--protocol", choices=("esr", "sr"), default="esr")
+    serve.add_argument("--protocol", choices=PROTOCOLS, default="esr")
     serve.add_argument("--startup", help="database startup file")
     serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="partition the engine across N per-shard critical sections "
+        "(per-shard locks replace the global engine mutex)",
+    )
     serve.add_argument(
         "--async",
         dest="use_async",
@@ -468,17 +485,13 @@ def build_parser() -> argparse.ArgumentParser:
     bench_net.add_argument(
         "--rate", type=float, default=None, help="open-loop transactions/s"
     )
+    from repro.experiments.netbench import SUITE_ROWS
+
     bench_net.add_argument(
         "--server",
         action="append",
-        choices=(
-            "threaded",
-            "threaded-pipelined",
-            "async",
-            "read-heavy-nocache",
-            "read-heavy-cached",
-        ),
-        help="suite row(s) to run (default: all five)",
+        choices=tuple(SUITE_ROWS),
+        help="suite row(s) to run (default: all rows)",
     )
     bench_net.add_argument(
         "--baseline",

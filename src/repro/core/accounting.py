@@ -83,6 +83,22 @@ class InconsistencyAccount:
         self._per_object: dict[int, float] = {}
         self._ranges: dict[int, ValueRange] = {}
         self.inconsistent_operations = 0
+        #: Optional mutual exclusion around the charge path.  ``None`` by
+        #: default (the single-threaded engines pay nothing); the sharded
+        #: engine installs one lock per transaction so concurrent shards
+        #: charging the same TIL/GIL ledger keep exactly-at-limit
+        #: semantics (see :meth:`install_lock`).
+        self._lock = None
+
+    def install_lock(self, lock) -> None:
+        """Serialise :meth:`admit` / :meth:`admit_bounded` /
+        :meth:`would_admit` / :meth:`observe_value` under ``lock``.
+
+        The transaction and group levels of the hierarchy span shards, so
+        when one transaction's operations can run on different shard
+        threads concurrently, its ledger checks must be atomic.
+        """
+        self._lock = lock
 
     # -- admission ---------------------------------------------------------
 
@@ -96,6 +112,14 @@ class InconsistencyAccount:
         that succeeded* (paper Figure 8).  Zero-amount admissions are
         consistent operations and always succeed at the object level.
         """
+        if self._lock is not None:
+            with self._lock:
+                return self._admit(object_id, amount, object_limit)
+        return self._admit(object_id, amount, object_limit)
+
+    def _admit(
+        self, object_id: int, amount: float, object_limit: float
+    ) -> ChargeOutcome:
         outcome = self._ledger.check_and_charge(object_id, amount, object_limit)
         if outcome.admitted:
             if amount > 0:
@@ -121,6 +145,22 @@ class InconsistencyAccount:
         strictly positive charge counts as an inconsistent operation that
         succeeded, same as :meth:`admit`.
         """
+        if self._lock is not None:
+            with self._lock:
+                return self._admit_bounded(
+                    object_id, test_amount, charge_amount, object_limit
+                )
+        return self._admit_bounded(
+            object_id, test_amount, charge_amount, object_limit
+        )
+
+    def _admit_bounded(
+        self,
+        object_id: int,
+        test_amount: float,
+        charge_amount: float,
+        object_limit: float,
+    ) -> ChargeOutcome:
         outcome = self._ledger.check_and_charge_bounded(
             object_id, test_amount, charge_amount, object_limit
         )
@@ -133,12 +173,22 @@ class InconsistencyAccount:
 
     def would_admit(self, object_id: int, amount: float) -> bool:
         """Non-charging preview of the group/transaction levels."""
+        if self._lock is not None:
+            with self._lock:
+                return self._ledger.would_admit(object_id, amount)
         return self._ledger.would_admit(object_id, amount)
 
     # -- value observation (aggregates, section 5.3.2) ----------------------
 
     def observe_value(self, object_id: int, value: float) -> None:
         """Record a value viewed for ``object_id`` (min/max tracking)."""
+        if self._lock is not None:
+            with self._lock:
+                self._observe_value(object_id, value)
+            return
+        self._observe_value(object_id, value)
+
+    def _observe_value(self, object_id: int, value: float) -> None:
         existing = self._ranges.get(object_id)
         if existing is None:
             self._ranges[object_id] = ValueRange(value)

@@ -6,8 +6,18 @@ concurrency-control decisions, the wait registry, the transaction
 manager, and the performance counters.
 """
 
+from repro.engine.api import (
+    PROTOCOL_REGISTRY,
+    PROTOCOLS,
+    Engine,
+    ProtocolSpec,
+    create_engine,
+    protocol_spec,
+    validate_protocol_options,
+)
 from repro.engine.database import Database
-from repro.engine.manager import PROTOCOLS, TransactionManager
+from repro.engine.manager import TransactionManager
+from repro.engine.sharded import ShardedEngine
 from repro.engine.metrics import MetricsCollector, MetricsSnapshot
 from repro.engine.objects import DEFAULT_VERSION_WINDOW, DataObject, Version
 from repro.engine.results import (
@@ -33,8 +43,15 @@ from repro.engine.transactions import (
 
 __all__ = [
     "Database",
+    "Engine",
+    "PROTOCOL_REGISTRY",
     "PROTOCOLS",
+    "ProtocolSpec",
+    "ShardedEngine",
     "TransactionManager",
+    "create_engine",
+    "protocol_spec",
+    "validate_protocol_options",
     "MetricsCollector",
     "MetricsSnapshot",
     "DEFAULT_VERSION_WINDOW",

@@ -75,6 +75,19 @@ class Database:
         for object_id, value in items:
             self.create_object(object_id, value, bounds)
 
+    def adopt_object(self, obj: DataObject) -> DataObject:
+        """Insert an *existing* :class:`DataObject` instance, un-copied.
+
+        The sharded engine partitions one database into per-shard views
+        that alias the same objects (and share the same catalog), so a
+        write through a shard is immediately visible in the full
+        database.  Raises if the id is already present.
+        """
+        if obj.object_id in self._objects:
+            raise SpecificationError(f"object {obj.object_id} already exists")
+        self._objects[obj.object_id] = obj
+        return obj
+
     @classmethod
     def from_startup_file(
         cls, path: str | Path, version_window: int = DEFAULT_VERSION_WINDOW

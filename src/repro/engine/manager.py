@@ -138,6 +138,16 @@ class TransactionManager:
         self._active[txn.transaction_id] = txn
         return txn
 
+    def adopt(self, txn: TransactionState) -> None:
+        """Register an externally-built transaction as active here.
+
+        Used by :class:`~repro.engine.sharded.ShardedEngine`, which
+        allocates transaction ids and timestamps globally and hands each
+        shard a sibling :class:`TransactionState` sharing the global
+        transaction's accounts.
+        """
+        self._active[txn.transaction_id] = txn
+
     def active_transactions(self) -> tuple[TransactionState, ...]:
         return tuple(self._active.values())
 
@@ -245,13 +255,35 @@ class TransactionManager:
     def commit(self, txn: TransactionState) -> None:
         """Commit: promote staged writes, release readers, wake waiters."""
         txn.require_active()
+        self._promote(txn)
+        self.metrics.record_commit(txn.is_query, txn.imported, txn.exported)
+        self._finish(txn, TransactionStatus.COMMITTED, None)
+
+    def _promote(self, txn: TransactionState) -> None:
+        """Promote staged writes to committed state (the commit effects)."""
         for object_id in txn.write_set:
             obj = self.database.get(object_id)
             obj.commit_write()
             if self.snapshot is not None:
                 self.snapshot.publish(obj)
-        self.metrics.record_commit(txn.is_query, txn.imported, txn.exported)
-        self._finish(txn, TransactionStatus.COMMITTED, None)
+
+    def complete(
+        self,
+        txn: TransactionState,
+        status: TransactionStatus,
+        reason: str | None = None,
+    ) -> None:
+        """Apply a completion decided elsewhere, without recording metrics.
+
+        The sharded composite decides commit/abort once globally and then
+        completes each shard's sibling through this hook: state effects
+        (write promotion or shadow restore, reader release, lock release,
+        wait wake-ups) happen per shard, while commit/abort counters are
+        recorded exactly once by the composite.
+        """
+        if status is TransactionStatus.COMMITTED:
+            self._promote(txn)
+        self._finish(txn, status, reason, record=False)
 
     def abort(self, txn: TransactionState, reason: str = "client-abort") -> None:
         """Abort: restore shadow values, release readers, wake waiters.
@@ -270,7 +302,11 @@ class TransactionManager:
         self._finish(txn, TransactionStatus.ABORTED, reason)
 
     def _finish(
-        self, txn: TransactionState, status: TransactionStatus, reason: str | None
+        self,
+        txn: TransactionState,
+        status: TransactionStatus,
+        reason: str | None,
+        record: bool = True,
     ) -> None:
         if status is TransactionStatus.ABORTED:
             for object_id in txn.write_set:
@@ -280,7 +316,8 @@ class TransactionManager:
                     if self.snapshot is not None:
                         self.snapshot.clear_pending(obj)
             txn.abort_reason = reason
-            self.metrics.record_abort(reason or "unknown")
+            if record:
+                self.metrics.record_abort(reason or "unknown")
         if txn.is_query:
             for object_id in txn.read_set:
                 self.database.get(object_id).forget_reader(txn.transaction_id)

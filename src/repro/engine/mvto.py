@@ -129,6 +129,10 @@ class MVTOManager:
         timestamps: TimestampGenerator | None = None,
     ):
         self.database = database
+        #: Registry name (see :mod:`repro.engine.api`).
+        self.protocol = "mvto"
+        #: No snapshot read cache — MVTO's version store is its own cache.
+        self.snapshot = None
         self.metrics = metrics if metrics is not None else MetricsCollector()
         self.waits = WaitRegistry()
         self._timestamps = (
@@ -179,8 +183,16 @@ class MVTOManager:
         self._active[txn.transaction_id] = txn
         return txn
 
+    def adopt(self, txn: TransactionState) -> None:
+        """Register an externally-built transaction (sharding hook)."""
+        self._active[txn.transaction_id] = txn
+
     def active_transactions(self) -> tuple[TransactionState, ...]:
         return tuple(self._active.values())
+
+    def read_cached(self, txn: TransactionState, object_id: int) -> None:
+        """No snapshot cache on MVTO — always fall back to :meth:`read`."""
+        return None
 
     # -- operations -------------------------------------------------------------------
 
@@ -257,6 +269,11 @@ class MVTOManager:
 
     def commit(self, txn: TransactionState) -> None:
         txn.require_active()
+        self._promote(txn)
+        self.metrics.record_commit(txn.is_query, 0.0, 0.0)
+        self._finish(txn, TransactionStatus.COMMITTED, None)
+
+    def _promote(self, txn: TransactionState) -> None:
         for object_id in txn.write_set:
             obj = self._object(object_id)
             if obj.writer_id != txn.transaction_id:
@@ -268,8 +285,17 @@ class MVTOManager:
             db_obj = self.database.get(object_id)
             db_obj.stage_write(txn.transaction_id, obj.staged_wts, obj.latest_value)
             db_obj.commit_write()
-        self.metrics.record_commit(txn.is_query, 0.0, 0.0)
-        self._finish(txn, TransactionStatus.COMMITTED, None)
+
+    def complete(
+        self,
+        txn: TransactionState,
+        status: TransactionStatus,
+        reason: str | None = None,
+    ) -> None:
+        """Apply a completion decided by the sharded composite (no metrics)."""
+        if status is TransactionStatus.COMMITTED:
+            self._promote(txn)
+        self._finish(txn, status, reason, record=False)
 
     def abort(self, txn: TransactionState, reason: str = "client-abort") -> None:
         if txn.status is TransactionStatus.ABORTED:
@@ -282,7 +308,11 @@ class MVTOManager:
         self._finish(txn, TransactionStatus.ABORTED, reason)
 
     def _finish(
-        self, txn: TransactionState, status: TransactionStatus, reason: str | None
+        self,
+        txn: TransactionState,
+        status: TransactionStatus,
+        reason: str | None,
+        record: bool = True,
     ) -> None:
         if status is TransactionStatus.ABORTED:
             for object_id in txn.write_set:
@@ -290,7 +320,8 @@ class MVTOManager:
                 if obj.writer_id == txn.transaction_id:
                     obj.writer_id = None
             txn.abort_reason = reason
-            self.metrics.record_abort(reason or "unknown")
+            if record:
+                self.metrics.record_abort(reason or "unknown")
         txn.status = status
         self._active.pop(txn.transaction_id, None)
         self.waits.fire(txn.transaction_id)

@@ -1,0 +1,493 @@
+"""Sharded composite engine: per-shard critical sections, one ledger.
+
+:class:`ShardedEngine` partitions one database by object key
+(``object_id % shards``) across N inner engines — each a bare manager
+built by :func:`repro.engine.api.build_unsharded` over a shard-local
+:class:`~repro.engine.database.Database` view that *aliases* the real
+objects — and guards each shard with its own lock, so operations on
+different shards proceed concurrently.  The hierarchical bound
+accounting stays correct across shards:
+
+* **OIL/OEL** charges are decided where they always were — inside the
+  per-object admission the shard's inner engine runs under its shard
+  lock;
+* **TIL/TEL and group limits** span shards.  Every transaction carries
+  its usual :class:`~repro.core.accounting.InconsistencyAccount`s, but
+  the sharded engine installs one per-transaction lock on them
+  (:meth:`~repro.core.accounting.InconsistencyAccount.install_lock`),
+  making the object → groups → transaction check-and-charge atomic even
+  when two shards admit operations for sibling transactions of the same
+  client concurrently.  Exactly-at-limit semantics are untouched — the
+  same ledger code runs, just under a lock.
+
+**Sibling transactions.**  ``begin`` allocates the id and timestamp
+globally and returns the *global* :class:`TransactionState` (what hosts
+hold on to).  The first operation touching a shard lazily creates a
+sibling ``TransactionState`` with the same id/timestamp/kind whose
+``account`` / ``import_account`` / ``object_limits`` *are* the global
+transaction's, and adopts it into the shard's inner engine.  Each inner
+engine therefore sees a perfectly ordinary transaction; commit/abort is
+decided once globally and applied to every touched shard through the
+managers' ``complete`` hook (state effects per shard, metrics recorded
+exactly once here).
+
+**Waits.**  All inner engines share one :class:`_SharedWaitRegistry`.
+Its ``subscribe`` checks whether the blocking transaction is still
+globally active and fires the callback immediately when it is not —
+closing the missed-wake-up race where a blocker completes between an
+operation returning ``MustWait`` (under the shard lock) and the host
+subscribing (outside it).  Completion fires waiters per shard as each
+sibling completes and once more after the global cleanup; a waiter woken
+early simply retries and re-subscribes (a bounded busy retry while a
+multi-shard completion is in flight).
+
+**2PL caveat.**  Deadlock detection walks the shared wait-for relation,
+so cross-shard cycles are caught whenever the earlier waiter has
+subscribed; two transactions parking simultaneously under different
+shard locks can slip past the check, which is why the servers keep their
+``wait_timeout`` guard (the standard distributed-2PL position).
+
+With ``shards=1`` the composite is behaviourally identical to the bare
+manager on deterministic workloads (pinned by the golden-determinism
+equivalence tests) — it adds one lock acquisition per operation and
+nothing else.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Mapping
+
+from repro.core.bounds import EpsilonLevel, TransactionBounds
+from repro.core.metric import DistanceFunction, absolute_distance
+from repro.engine.api import build_unsharded, validate_protocol_options
+from repro.engine.database import Database
+from repro.engine.metrics import MetricsCollector
+from repro.engine.results import Granted, Outcome, Rejected
+from repro.engine.scheduler import WaitRegistry
+from repro.engine.timestamps import Timestamp, TimestampGenerator
+from repro.engine.transactions import (
+    TransactionKind,
+    TransactionState,
+    TransactionStatus,
+)
+from repro.errors import InvalidOperation
+
+__all__ = ["ShardedEngine"]
+
+
+class _LockedMetrics(MetricsCollector):
+    """A metrics collector safe to share across shard threads."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._lock = threading.Lock()
+
+    def record_read(self, esr_case: str | None) -> None:
+        with self._lock:
+            super().record_read(esr_case)
+
+    def record_write(self, esr_case: str | None) -> None:
+        with self._lock:
+            super().record_write(esr_case)
+
+    def record_wait(self) -> None:
+        with self._lock:
+            super().record_wait()
+
+    def record_rejection(self) -> None:
+        with self._lock:
+            super().record_rejection()
+
+    def record_commit(
+        self, is_query: bool, imported: float, exported: float
+    ) -> None:
+        with self._lock:
+            super().record_commit(is_query, imported, exported)
+
+    def record_abort(self, reason: str) -> None:
+        with self._lock:
+            super().record_abort(reason)
+
+
+class _SharedWaitRegistry(WaitRegistry):
+    """One wait registry shared by every shard's inner engine.
+
+    Thread-safe, and subscription-time aware of completion: if the
+    blocking transaction is no longer globally active when a waiter
+    subscribes, the callback fires immediately instead of being parked
+    forever (the subscriber raced the completion).
+    """
+
+    def __init__(self, is_active: Callable[[int], bool]) -> None:
+        super().__init__()
+        self._lock = threading.RLock()
+        self._is_active = is_active
+
+    def subscribe(
+        self,
+        blocking_transaction: int,
+        callback: Callable[[], None],
+        waiter_transaction: int | None = None,
+    ) -> None:
+        with self._lock:
+            if self._is_active(blocking_transaction):
+                super().subscribe(
+                    blocking_transaction,
+                    callback,
+                    waiter_transaction=waiter_transaction,
+                )
+                return
+        callback()
+
+    def fire(self, completed_transaction: int) -> int:
+        with self._lock:
+            callbacks = self._waiters.pop(completed_transaction, [])
+            self._waiting_on.pop(completed_transaction, None)
+            stale = [
+                waiter
+                for waiter, blocker in self._waiting_on.items()
+                if blocker == completed_transaction
+            ]
+            for waiter in stale:
+                del self._waiting_on[waiter]
+        for callback in callbacks:
+            callback()
+        return len(callbacks)
+
+    def waiting_on(self, waiter_transaction: int) -> int | None:
+        with self._lock:
+            return self._waiting_on.get(waiter_transaction)
+
+    def pending_waiters(self) -> int:
+        with self._lock:
+            return sum(len(cbs) for cbs in self._waiters.values())
+
+
+class _AggregateSnapshot:
+    """Read-only union view over the shards' snapshot stores."""
+
+    def __init__(self, stores: tuple) -> None:
+        self.stores = stores
+
+    def stats(self) -> dict[str, float]:
+        totals = {
+            "hits": 0.0,
+            "misses": 0.0,
+            "fallbacks": 0.0,
+            "divergence_charged": 0.0,
+        }
+        for store in self.stores:
+            for key, value in store.stats().items():
+                totals[key] = totals.get(key, 0.0) + value
+        return totals
+
+    @property
+    def hits(self) -> float:
+        return sum(store.hits for store in self.stores)
+
+    def __len__(self) -> int:
+        return sum(len(store) for store in self.stores)
+
+    def __repr__(self) -> str:
+        return f"_AggregateSnapshot(shards={len(self.stores)})"
+
+
+class ShardedEngine:
+    """N per-shard engines behind the one :class:`~repro.engine.api.Engine`
+    interface, with cross-shard hierarchical bound accounting."""
+
+    #: Hosts holding a global engine mutex may skip it for this engine —
+    #: every entry point takes the locks it needs itself.
+    thread_safe = True
+
+    def __init__(
+        self,
+        database: Database,
+        protocol: str = "esr",
+        *,
+        shards: int,
+        distance: DistanceFunction = absolute_distance,
+        export_policy: str = "max",
+        wait_policy: str = "wait",
+        snapshot_cache: bool = False,
+        metrics: MetricsCollector | None = None,
+        timestamps: TimestampGenerator | None = None,
+    ):
+        spec = validate_protocol_options(
+            protocol,
+            snapshot_cache=snapshot_cache,
+            wait_policy=wait_policy,
+            shards=shards,
+        )
+        self.database = database
+        self.protocol = protocol
+        self.shards = shards
+        self.wait_policy = wait_policy
+        self.export_policy = export_policy
+        self.distance = distance
+        self.metrics = metrics if metrics is not None else _LockedMetrics()
+        self._timestamps = (
+            timestamps if timestamps is not None else TimestampGenerator()
+        )
+        self._next_id = 1
+        #: Guards id/timestamp allocation and the global transaction maps.
+        self._txn_lock = threading.Lock()
+        self._active: dict[int, TransactionState] = {}
+        #: Global txn id -> {shard index: sibling TransactionState}.
+        self._siblings: dict[int, dict[int, TransactionState]] = {}
+        self.waits = _SharedWaitRegistry(self._is_globally_active)
+        # Partition: shard-local Database views aliasing the real objects
+        # (and sharing the real catalog), one inner engine + lock each.
+        self._databases = [
+            Database(
+                catalog=database.catalog,
+                version_window=database.version_window,
+            )
+            for _ in range(shards)
+        ]
+        for obj in database.objects():
+            self._databases[obj.object_id % shards].adopt_object(obj)
+        self._locks = [threading.Lock() for _ in range(shards)]
+        self._engines = []
+        for shard_db in self._databases:
+            inner = build_unsharded(
+                shard_db,
+                spec,
+                distance=distance,
+                export_policy=export_policy,
+                wait_policy=wait_policy,
+                snapshot_cache=snapshot_cache,
+                metrics=self.metrics,
+                timestamps=self._timestamps,
+            )
+            inner.waits = self.waits
+            self._engines.append(inner)
+        if snapshot_cache:
+            self.snapshot = _AggregateSnapshot(
+                tuple(engine.snapshot for engine in self._engines)
+            )
+        else:
+            self.snapshot = None
+
+    # -- routing ---------------------------------------------------------------
+
+    def shard_of(self, object_id: int) -> int:
+        return object_id % self.shards
+
+    def _is_globally_active(self, transaction_id: int) -> bool:
+        return transaction_id in self._active
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def begin(
+        self,
+        kind: TransactionKind | str,
+        bounds: TransactionBounds | EpsilonLevel | None = None,
+        timestamp: Timestamp | None = None,
+        group_limits: Mapping[str, float] | None = None,
+        object_limits: Mapping[int, float] | None = None,
+        allow_inconsistent_reads: bool = False,
+    ) -> TransactionState:
+        if isinstance(kind, str):
+            kind = TransactionKind(kind.lower())
+        if bounds is None:
+            bounds = TransactionBounds()
+        elif isinstance(bounds, EpsilonLevel):
+            bounds = bounds.transaction
+        with self._txn_lock:
+            if timestamp is None:
+                timestamp = self._timestamps.next()
+            txn = TransactionState(
+                transaction_id=self._next_id,
+                kind=kind,
+                timestamp=timestamp,
+                bounds=bounds,
+                catalog=self.database.catalog,
+                group_limits=group_limits,
+                object_limits=object_limits,
+                allow_inconsistent_reads=allow_inconsistent_reads,
+            )
+            self._next_id += 1
+            # TIL/TEL and group totals span shards: make the ledger's
+            # check-and-charge atomic across concurrent shard threads.
+            account_lock = threading.RLock()
+            txn.account.install_lock(account_lock)
+            if (
+                txn.import_account is not None
+                and txn.import_account is not txn.account
+            ):
+                txn.import_account.install_lock(account_lock)
+            self._active[txn.transaction_id] = txn
+            self._siblings[txn.transaction_id] = {}
+        return txn
+
+    def adopt(self, txn: TransactionState) -> None:
+        """Register an externally-built transaction as globally active."""
+        with self._txn_lock:
+            self._active[txn.transaction_id] = txn
+            self._siblings[txn.transaction_id] = {}
+
+    def active_transactions(self) -> tuple[TransactionState, ...]:
+        return tuple(self._active.values())
+
+    def _sibling(
+        self, txn: TransactionState, shard: int
+    ) -> TransactionState:
+        """The per-shard twin of ``txn``; created on first touch.
+
+        Called under the shard's lock.  A transaction's operations are
+        serialised by its client connection, so sibling creation for one
+        transaction is single-threaded.
+        """
+        try:
+            shard_map = self._siblings[txn.transaction_id]
+        except KeyError:
+            raise InvalidOperation(
+                f"transaction {txn.transaction_id} is not active",
+                txn.transaction_id,
+            ) from None
+        sibling = shard_map.get(shard)
+        if sibling is None:
+            sibling = TransactionState(
+                transaction_id=txn.transaction_id,
+                kind=txn.kind,
+                timestamp=txn.timestamp,
+                bounds=txn.bounds,
+                catalog=self.database.catalog,
+            )
+            # The accounts *are* the global transaction's — every shard
+            # charges the same TIL/GIL ledger (under its lock).
+            sibling.account = txn.account
+            sibling.import_account = txn.import_account
+            sibling.object_limits = txn.object_limits
+            shard_map[shard] = sibling
+            self._engines[shard].adopt(sibling)
+        return sibling
+
+    # -- operations -------------------------------------------------------------
+
+    def read(self, txn: TransactionState, object_id: int) -> Outcome:
+        txn.require_active()
+        shard = object_id % self.shards
+        with self._locks[shard]:
+            sibling = self._sibling(txn, shard)
+            outcome = self._engines[shard].read(sibling, object_id)
+        return self._absorb(txn, object_id, outcome, is_read=True)
+
+    def write(
+        self, txn: TransactionState, object_id: int, value: float
+    ) -> Outcome:
+        txn.require_active()
+        if not txn.is_update:
+            raise InvalidOperation(
+                f"query transaction {txn.transaction_id} cannot write",
+                txn.transaction_id,
+            )
+        shard = object_id % self.shards
+        with self._locks[shard]:
+            sibling = self._sibling(txn, shard)
+            outcome = self._engines[shard].write(sibling, object_id, value)
+        return self._absorb(txn, object_id, outcome, is_read=False)
+
+    def read_cached(
+        self, txn: TransactionState, object_id: int
+    ) -> Granted | None:
+        """Snapshot-cache fast path, pre-lock — routed to the shard's store.
+
+        Safe without the shard lock for the same reason the unsharded
+        fast path is safe without the engine mutex: the store publishes
+        immutable records, the transaction's account is (here) locked,
+        and one transaction's operations are serialised by its
+        connection.
+        """
+        if self.snapshot is None:
+            return None
+        return self._engines[object_id % self.shards].read_cached(
+            txn, object_id
+        )
+
+    def _absorb(
+        self,
+        txn: TransactionState,
+        object_id: int,
+        outcome: Outcome,
+        is_read: bool,
+    ) -> Outcome:
+        """Mirror a shard outcome onto the global transaction state."""
+        if isinstance(outcome, Granted):
+            if is_read:
+                txn.read_set.add(object_id)
+            else:
+                txn.write_set.add(object_id)
+            txn.operations += 1
+            if outcome.esr_case is not None:
+                txn.inconsistent_operations += 1
+        elif isinstance(outcome, Rejected):
+            # The shard already recorded the rejection and aborted (and
+            # finished) the sibling it saw; propagate the abort to every
+            # other touched shard and close out the global transaction.
+            self._finish_global(
+                txn,
+                TransactionStatus.ABORTED,
+                outcome.reason,
+                record=False,
+                already_finished=object_id % self.shards,
+            )
+        return outcome
+
+    # -- completion --------------------------------------------------------------
+
+    def commit(self, txn: TransactionState) -> None:
+        txn.require_active()
+        self._finish_global(txn, TransactionStatus.COMMITTED, None, record=True)
+
+    def abort(self, txn: TransactionState, reason: str = "client-abort") -> None:
+        if txn.status is TransactionStatus.ABORTED:
+            return
+        if txn.status is TransactionStatus.COMMITTED:
+            raise InvalidOperation(
+                f"cannot abort committed transaction {txn.transaction_id}",
+                txn.transaction_id,
+            )
+        self._finish_global(txn, TransactionStatus.ABORTED, reason, record=True)
+
+    def _finish_global(
+        self,
+        txn: TransactionState,
+        status: TransactionStatus,
+        reason: str | None,
+        record: bool,
+        already_finished: int | None = None,
+    ) -> None:
+        """Decide the completion once, apply it to every touched shard.
+
+        The global maps are popped *first* (under the txn lock), so any
+        waiter subscribing after this point sees the blocker as inactive
+        and self-fires; waiters subscribed before it are woken by the
+        per-shard fires and the final fire below.
+        """
+        with self._txn_lock:
+            shard_map = self._siblings.pop(txn.transaction_id, {})
+            self._active.pop(txn.transaction_id, None)
+        for shard in sorted(shard_map):
+            if shard == already_finished:
+                continue
+            sibling = shard_map[shard]
+            with self._locks[shard]:
+                self._engines[shard].complete(sibling, status, reason)
+        if status is TransactionStatus.ABORTED:
+            txn.abort_reason = reason
+            if record:
+                self.metrics.record_abort(reason or "unknown")
+        elif record:
+            self.metrics.record_commit(txn.is_query, txn.imported, txn.exported)
+        txn.status = status
+        self.waits.fire(txn.transaction_id)
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedEngine(protocol={self.protocol!r}, "
+            f"shards={self.shards}, active={len(self._active)}, "
+            f"objects={len(self.database)})"
+        )

@@ -81,6 +81,10 @@ class TwoPhaseManager:
         #: With ``relaxed`` False this is plain strict 2PL (the SR
         #: baseline in lock form); bounds are ignored entirely.
         self.relaxed = relaxed
+        #: Registry name (see :mod:`repro.engine.api`).
+        self.protocol = "2pl" if relaxed else "2pl-sr"
+        #: No snapshot read cache on the lock-based engines.
+        self.snapshot = None
         self.distance = distance
         self.export_policy = export_policy
         self.metrics = metrics if metrics is not None else MetricsCollector()
@@ -126,8 +130,16 @@ class TwoPhaseManager:
         self._active[txn.transaction_id] = txn
         return txn
 
+    def adopt(self, txn: TransactionState) -> None:
+        """Register an externally-built transaction (sharding hook)."""
+        self._active[txn.transaction_id] = txn
+
     def active_transactions(self) -> tuple[TransactionState, ...]:
         return tuple(self._active.values())
+
+    def read_cached(self, txn: TransactionState, object_id: int) -> None:
+        """No snapshot cache on the 2PL engines — always fall back."""
+        return None
 
     # -- deadlock handling -----------------------------------------------------------
 
@@ -273,10 +285,24 @@ class TwoPhaseManager:
 
     def commit(self, txn: TransactionState) -> None:
         txn.require_active()
-        for object_id in txn.write_set:
-            self.database.get(object_id).commit_write()
+        self._promote(txn)
         self.metrics.record_commit(txn.is_query, txn.imported, txn.exported)
         self._finish(txn, TransactionStatus.COMMITTED, None)
+
+    def _promote(self, txn: TransactionState) -> None:
+        for object_id in txn.write_set:
+            self.database.get(object_id).commit_write()
+
+    def complete(
+        self,
+        txn: TransactionState,
+        status: TransactionStatus,
+        reason: str | None = None,
+    ) -> None:
+        """Apply a completion decided by the sharded composite (no metrics)."""
+        if status is TransactionStatus.COMMITTED:
+            self._promote(txn)
+        self._finish(txn, status, reason, record=False)
 
     def abort(self, txn: TransactionState, reason: str = "client-abort") -> None:
         if txn.status is TransactionStatus.ABORTED:
@@ -289,7 +315,11 @@ class TwoPhaseManager:
         self._finish(txn, TransactionStatus.ABORTED, reason)
 
     def _finish(
-        self, txn: TransactionState, status: TransactionStatus, reason: str | None
+        self,
+        txn: TransactionState,
+        status: TransactionStatus,
+        reason: str | None,
+        record: bool = True,
     ) -> None:
         if status is TransactionStatus.ABORTED:
             for object_id in txn.write_set:
@@ -297,7 +327,8 @@ class TwoPhaseManager:
                 if obj.writer_id == txn.transaction_id:
                     obj.abort_write()
             txn.abort_reason = reason
-            self.metrics.record_abort(reason or "unknown")
+            if record:
+                self.metrics.record_abort(reason or "unknown")
         if txn.is_query:
             for object_id in txn.read_set:
                 self.database.get(object_id).forget_reader(txn.transaction_id)

@@ -8,7 +8,7 @@ the same pipelined asyncio client (:mod:`repro.net.aioclient`), so the
 comparison isolates the serving architecture: thread-per-connection with
 a global engine mutex versus the asyncio batched-dispatch loop.
 
-The suite benchmarks five rows, decomposing where the speedup comes
+The suite benchmarks seven rows, decomposing where the speedup comes
 from:
 
 * ``threaded`` — the threaded server under its own wire discipline:
@@ -27,6 +27,13 @@ from:
   ratio (``speedup_cached_reads``) is what serving bounded-staleness
   reads inline in ``data_received`` — outside the engine critical
   section and the dispatch queue — buys.
+* ``write-heavy-1shard`` / ``write-heavy-4shard`` — the threaded server
+  driven pipelined under a write-heavy multi-object mix (4 reads per
+  query, every second session a writer on disjoint stripes), with the
+  engine unsharded versus partitioned four ways
+  (:class:`~repro.engine.sharded.ShardedEngine`).  The pair's ratio
+  (``speedup_sharded``) is what replacing the global engine mutex with
+  per-shard critical sections buys.
 
 The headline ``speedup_requests_per_s`` is ``async`` versus the
 ``threaded`` baseline.
@@ -630,13 +637,21 @@ def run_load_isolated(host: str, port: int, config: LoadConfig) -> dict:
 # -- the server side -----------------------------------------------------------
 
 
-def _start_server(kind: str, database: Database, snapshot_cache: bool = False):
+def _start_server(
+    kind: str,
+    database: Database,
+    snapshot_cache: bool = False,
+    shards: int = 1,
+):
     """Start one server of ``kind``; returns (port, shutdown_callable)."""
     if kind == "threaded":
         from repro.net.server import serve_forever
 
         server = serve_forever(
-            database, wait_timeout=5.0, snapshot_cache=snapshot_cache
+            database,
+            wait_timeout=5.0,
+            snapshot_cache=snapshot_cache,
+            shards=shards,
         )
 
         def stop() -> None:
@@ -648,7 +663,10 @@ def _start_server(kind: str, database: Database, snapshot_cache: bool = False):
         from repro.net.aioserver import serve_in_thread
 
         handle = serve_in_thread(
-            database, wait_timeout=5.0, snapshot_cache=snapshot_cache
+            database,
+            wait_timeout=5.0,
+            snapshot_cache=snapshot_cache,
+            shards=shards,
         )
         return handle.port, handle.shutdown
     raise ValueError(f"unknown server kind {kind!r}")
@@ -662,6 +680,10 @@ class SuiteRow:
     discipline: str
     #: Server-side epsilon snapshot read cache on/off.
     snapshot_cache: bool = False
+    #: Partition the engine across this many per-shard critical sections
+    #: (see :class:`repro.engine.sharded.ShardedEngine`); 1 is the plain
+    #: single-engine server.
+    shards: int = 1
     #: LoadConfig field overrides applied on top of the suite config.
     overrides: tuple[tuple[str, object], ...] = ()
 
@@ -669,8 +691,13 @@ class SuiteRow:
 #: Suite row name -> row spec.  The read-heavy pair shares one workload
 #: (48 reads per query, 1 writer session in 16 on disjoint stripes —
 #: ~96% of requests are query reads) and differs only in the snapshot
-#: cache, so their ratio isolates what the cache buys.
+#: cache, so their ratio isolates what the cache buys.  The write-heavy
+#: pair shares a short-transaction mix (4 reads per query, every second
+#: session a writer on disjoint stripes) on the threaded pipelined
+#: server and differs only in engine sharding, so their ratio isolates
+#: what per-shard critical sections buy over the global engine mutex.
 _READ_HEAVY = (("reads_per_txn", 48), ("write_fraction", 1 / 16))
+_WRITE_HEAVY = (("reads_per_txn", 4), ("write_fraction", 0.5))
 SUITE_ROWS = {
     "threaded": SuiteRow("threaded", "serial"),
     "threaded-pipelined": SuiteRow("threaded", "pipelined"),
@@ -681,6 +708,12 @@ SUITE_ROWS = {
     "read-heavy-cached": SuiteRow(
         "async", "pipelined", snapshot_cache=True, overrides=_READ_HEAVY
     ),
+    "write-heavy-1shard": SuiteRow(
+        "threaded", "pipelined", overrides=_WRITE_HEAVY
+    ),
+    "write-heavy-4shard": SuiteRow(
+        "threaded", "pipelined", shards=4, overrides=_WRITE_HEAVY
+    ),
 }
 
 #: Rows run by default (also the order they are reported in).
@@ -690,6 +723,8 @@ DEFAULT_SERVERS = (
     "async",
     "read-heavy-nocache",
     "read-heavy-cached",
+    "write-heavy-1shard",
+    "write-heavy-4shard",
 )
 
 
@@ -736,7 +771,10 @@ def run_suite(
         database = build_bench_database(config.objects)
         counters_before = perf.counters.snapshot()
         port, stop = _start_server(
-            row.server, database, snapshot_cache=row.snapshot_cache
+            row.server,
+            database,
+            snapshot_cache=row.snapshot_cache,
+            shards=row.shards,
         )
         try:
             results[kind] = drive("127.0.0.1", port, case_config)
@@ -751,6 +789,7 @@ def run_suite(
             "server": row.server,
             "discipline": row.discipline,
             "snapshot_cache": row.snapshot_cache,
+            "shards": row.shards,
             "overrides": dict(row.overrides),
         }
         if progress is not None:
@@ -792,6 +831,13 @@ def run_suite(
         base = results["read-heavy-nocache"]["requests_per_s"]
         report["speedup_cached_reads"] = (
             round(results["read-heavy-cached"]["requests_per_s"] / base, 2)
+            if base
+            else 0.0
+        )
+    if "write-heavy-1shard" in results and "write-heavy-4shard" in results:
+        base = results["write-heavy-1shard"]["requests_per_s"]
+        report["speedup_sharded"] = (
+            round(results["write-heavy-4shard"]["requests_per_s"] / base, 2)
             if base
             else 0.0
         )
@@ -863,6 +909,11 @@ def format_report(report: dict) -> str:
         lines.append(
             "snapshot cache on vs off (read-heavy): "
             f"{report['speedup_cached_reads']:.2f}x"
+        )
+    if "speedup_sharded" in report:
+        lines.append(
+            "4 shards vs 1 (write-heavy, threaded): "
+            f"{report['speedup_sharded']:.2f}x"
         )
     return "\n".join(lines)
 

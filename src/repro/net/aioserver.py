@@ -33,6 +33,20 @@ the transport write buffer (``pause_writing``) causes responses to be
 held in the connection's buffer — itself bounded by the window — until
 the transport drains.
 
+**Off-loop shard executors** (``shards > 1``).  With a sharded engine
+(:class:`~repro.engine.sharded.ShardedEngine`) the loop is no longer the
+critical section — the engine takes its own per-shard locks.  The
+dispatcher then stops running engine calls inline: each request is handed
+to one of ``shards`` single-thread executor *lanes*.  A connection is
+pinned to one lane (round-robin), so a pipelined client's responses keep
+request order — the same wire contract as the threaded server — while
+different connections execute engine calls concurrently across lanes.
+Completion callbacks marshal responses back onto the loop, which
+remains the only thread that touches transports and buffers.  Wait
+events are loop-affine but may be fired from executor threads, so the
+sharded mode wraps them in :class:`_LoopEvent` (``set`` via
+``call_soon_threadsafe``).
+
 Observability: ``repro.perf.counters`` tallies requests batched, batches
 drained, coalesced flushes, and backpressure stalls.
 """
@@ -40,14 +54,16 @@ drained, coalesced flushes, and backpressure stalls.
 from __future__ import annotations
 
 import asyncio
+import functools
 import re
 import threading
 from collections import deque
+from concurrent.futures import ThreadPoolExecutor
 from typing import Any
 
 from repro import perf
+from repro.engine.api import Engine, create_engine
 from repro.engine.database import Database
-from repro.engine.manager import TransactionManager
 from repro.errors import ProtocolError
 from repro.net.protocol import (
     MAX_LINE_BYTES,
@@ -111,6 +127,29 @@ def _cached_read_response(outcome, rid: bytes | None) -> bytes:
     )
 
 
+class _LoopEvent:
+    """An awaitable event whose ``set()`` is safe from any thread.
+
+    The sharded engine fires wait-registry callbacks from whichever
+    executor thread completes the blocking transaction; a plain
+    ``asyncio.Event.set`` from a foreign thread races the loop.  This
+    wrapper marshals the set through ``call_soon_threadsafe`` while
+    ``wait()`` stays a normal loop-side await.
+    """
+
+    __slots__ = ("_event", "_loop")
+
+    def __init__(self, loop: asyncio.AbstractEventLoop):
+        self._event = asyncio.Event()
+        self._loop = loop
+
+    def set(self) -> None:
+        self._loop.call_soon_threadsafe(self._event.set)
+
+    async def wait(self) -> None:
+        await self._event.wait()
+
+
 class _Connection(asyncio.Protocol):
     """One client connection: line framing, sessions, response buffer."""
 
@@ -128,6 +167,7 @@ class _Connection(asyncio.Protocol):
         "failed",
         "closing",
         "closed",
+        "lane",
     )
 
     def __init__(self, server: "AsyncTransactionServer"):
@@ -149,6 +189,9 @@ class _Connection(asyncio.Protocol):
         self.failed = False  # framing failure queued; ignore further input
         self.closing = False  # error reply buffered; close once flushed
         self.closed = False
+        #: Off-loop shard-executor mode: the FIFO lane serving this
+        #: connection's engine calls (assigned round-robin on first use).
+        self.lane: ThreadPoolExecutor | None = None
 
     # -- transport callbacks ---------------------------------------------------
 
@@ -353,13 +396,15 @@ class AsyncTransactionServer:
         wait_policy: str = "wait",
         max_inflight: int = DEFAULT_MAX_INFLIGHT,
         snapshot_cache: bool = False,
+        shards: int = 1,
     ):
-        self.manager = TransactionManager(
+        self.manager: Engine = create_engine(
             database,
-            protocol=protocol,
+            protocol,
             export_policy=export_policy,
             wait_policy=wait_policy,
             snapshot_cache=snapshot_cache,
+            shards=shards,
         )
         #: Upper bound on one strict-ordering wait, in seconds.
         self.wait_timeout = wait_timeout
@@ -371,6 +416,22 @@ class AsyncTransactionServer:
         self._server: asyncio.base_events.Server | None = None
         self._dispatcher: asyncio.Task | None = None
         self._waiters: set[asyncio.Task] = set()
+        # Off-loop dispatch lanes (sharded mode only): one single-thread
+        # executor per shard; each connection is pinned to one lane
+        # (round-robin) so its responses keep request order while
+        # different connections run engine calls concurrently.  None
+        # means classic mode: the loop itself is the engine critical
+        # section.
+        if getattr(self.manager, "thread_safe", False) and shards > 1:
+            self._lanes: list[ThreadPoolExecutor] | None = [
+                ThreadPoolExecutor(
+                    max_workers=1, thread_name_prefix=f"aio-shard-{i}"
+                )
+                for i in range(shards)
+            ]
+        else:
+            self._lanes = None
+        self._lane_rr = 0
 
     @property
     def port(self) -> int:
@@ -402,6 +463,9 @@ class AsyncTransactionServer:
             *(t for t in (self._dispatcher, *self._waiters) if t is not None),
             return_exceptions=True,
         )
+        if self._lanes is not None:
+            for lane in self._lanes:
+                lane.shutdown(wait=False, cancel_futures=True)
 
     def _abandon(self, conn: _Connection) -> None:
         """Abort whatever a disconnected client left active."""
@@ -442,6 +506,21 @@ class AsyncTransactionServer:
                     conn.closing = True
                     touched[id(conn)] = conn
                     continue
+                if self._lanes is not None:
+                    # Off-loop mode: run the engine call on the
+                    # connection's FIFO lane; the done-callback (on the
+                    # loop) finishes the response path in request order.
+                    future = self._loop.run_in_executor(
+                        self._lane_for(conn),
+                        submit_request,
+                        manager,
+                        message,
+                        conn.sessions,
+                    )
+                    future.add_done_callback(
+                        functools.partial(self._offloop_done, conn, message)
+                    )
+                    continue
                 result = submit_request(manager, message, conn.sessions)
                 if type(result) is NeedsWait:
                     # Subscribe *now*, synchronously — the blocker could
@@ -458,11 +537,55 @@ class AsyncTransactionServer:
             for conn in touched.values():
                 conn.flush_now()
 
-    def _subscribe(self, pending: NeedsWait) -> asyncio.Event:
+    def _lane_for(self, conn: _Connection) -> ThreadPoolExecutor:
+        """Pick the FIFO lane for one request: one lane per connection,
+        assigned round-robin on first use.
+
+        Routing by connection (rather than by transaction id) keeps the
+        wire contract intact — a pipelined client receives its responses
+        strictly in request order, the same as on the threaded server —
+        because every request of one connection shares one FIFO lane.
+        Per-transaction ordering follows for free: a transaction lives
+        on exactly one connection.  Parallelism comes from concurrent
+        connections landing on different lanes, which is how the load
+        arrives in practice.
+        """
+        assert self._lanes is not None
+        if conn.lane is None:
+            conn.lane = self._lanes[self._lane_rr % len(self._lanes)]
+            self._lane_rr += 1
+        return conn.lane
+
+    def _offloop_done(
+        self,
+        conn: _Connection,
+        message: dict[str, Any],
+        future: "asyncio.Future[dict[str, Any] | NeedsWait]",
+    ) -> None:
+        """Loop-side completion of an off-loop engine call."""
+        if future.cancelled():
+            return
+        result = future.result()
+        if type(result) is NeedsWait:
+            event = self._subscribe(result)
+            self._spawn_waiter(conn, message, result, event)
+            return
+        conn.note_answered(message)
+        conn.enqueue(attach_id(result, message))
+        conn.schedule_flush()
+
+    def _subscribe(self, pending: NeedsWait) -> Any:
+        # In sharded mode the registry fires callbacks from executor
+        # threads, so the event's set() must marshal onto the loop.
+        factory = (
+            (lambda: _LoopEvent(self._loop))
+            if self._lanes is not None
+            else asyncio.Event
+        )
         return self.manager.waits.wait_event(
             pending.blocking_transaction,
             waiter_transaction=pending.txn.transaction_id,
-            factory=asyncio.Event,
+            factory=factory,
         )
 
     def _spawn_waiter(
@@ -470,7 +593,7 @@ class AsyncTransactionServer:
         conn: _Connection,
         message: dict[str, Any],
         pending: NeedsWait,
-        event: asyncio.Event,
+        event: Any,
     ) -> None:
         task = asyncio.create_task(
             self._wait_and_retry(conn, message, pending, event)
@@ -483,16 +606,20 @@ class AsyncTransactionServer:
         conn: _Connection,
         message: dict[str, Any],
         pending: NeedsWait,
-        event: asyncio.Event,
+        event: Any,
     ) -> None:
         """One parked operation: wake on the blocker, retry, or time out."""
         while True:
             try:
                 await asyncio.wait_for(event.wait(), self.wait_timeout)
             except asyncio.TimeoutError:
-                response = abort_on_timeout(self.manager, pending)
+                response = await self._run_engine_call(
+                    conn, message, abort_on_timeout, pending
+                )
                 break
-            result = retry_operation(self.manager, pending)
+            result = await self._run_engine_call(
+                conn, message, retry_operation, pending
+            )
             if type(result) is NeedsWait:
                 event = self._subscribe(result)
                 continue
@@ -501,6 +628,18 @@ class AsyncTransactionServer:
         conn.note_answered(message)
         conn.enqueue(attach_id(response, message))
         conn.schedule_flush()
+
+    async def _run_engine_call(
+        self, conn: _Connection, message: dict[str, Any], fn, pending: NeedsWait
+    ):
+        """Run a retry/abort engine call where this server runs them: on
+        the connection's lane in sharded mode, inline on the loop (the
+        classic critical section) otherwise."""
+        if self._lanes is None:
+            return fn(self.manager, pending)
+        return await self._loop.run_in_executor(
+            self._lane_for(conn), fn, self.manager, pending
+        )
 
 
 # -- running on a background thread -------------------------------------------
@@ -551,7 +690,7 @@ class AsyncServerThread:
         return self.server.port
 
     @property
-    def manager(self) -> TransactionManager:
+    def manager(self) -> Engine:
         return self.server.manager
 
     def shutdown(self) -> None:
@@ -570,6 +709,7 @@ def serve_in_thread(
     wait_policy: str = "wait",
     max_inflight: int = DEFAULT_MAX_INFLIGHT,
     snapshot_cache: bool = False,
+    shards: int = 1,
 ) -> AsyncServerThread:
     """Start an async server on a background loop thread (bound and live)."""
     server = AsyncTransactionServer(
@@ -580,5 +720,6 @@ def serve_in_thread(
         wait_timeout=wait_timeout,
         max_inflight=max_inflight,
         snapshot_cache=snapshot_cache,
+        shards=shards,
     )
     return AsyncServerThread(server, host, port)

@@ -8,16 +8,18 @@ them is *waiting*: the engine answers
 parks the blocked operation its own way (a ``threading.Event`` on a
 worker thread, an ``asyncio.Event`` on the loop).  So the split is:
 
-* :func:`submit_request` — parse one request, run it against the
-  :class:`~repro.engine.manager.TransactionManager`, and return either a
-  complete response dict or a :class:`NeedsWait` marker;
+* :func:`submit_request` — parse one request, run it against any
+  :class:`~repro.engine.api.Engine`, and return either a complete
+  response dict or a :class:`NeedsWait` marker;
 * :func:`retry_operation` — re-run a parked operation after its blocker
   completed (again a response or another :class:`NeedsWait`);
 * :func:`abort_on_timeout` — give up on a parked operation whose blocker
   never finished.
 
 Callers must serialise all three against the engine (the threaded
-server's mutex, or the asyncio server's single-threaded loop).
+server's mutex, or the asyncio server's single-threaded loop) — unless
+the engine declares ``thread_safe`` (the sharded composite), which takes
+its own per-shard locks internally.
 """
 
 from __future__ import annotations
@@ -27,7 +29,7 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.core.bounds import TransactionBounds
-from repro.engine.manager import TransactionManager
+from repro.engine.api import Engine
 from repro.engine.results import Granted, MustWait, Rejected
 from repro.engine.timestamps import Timestamp
 from repro.engine.transactions import TransactionState
@@ -68,7 +70,7 @@ def attach_id(response: dict[str, Any], message: dict[str, Any]) -> dict[str, An
 
 
 def try_cached_read(
-    manager: TransactionManager,
+    manager: Engine,
     message: dict[str, Any],
     sessions: dict[int, TransactionState],
 ) -> dict[str, Any] | None:
@@ -107,7 +109,7 @@ def try_cached_read(
 
 
 def submit_request(
-    manager: TransactionManager,
+    manager: Engine,
     message: dict[str, Any],
     sessions: dict[int, TransactionState],
 ) -> dict[str, Any] | NeedsWait:
@@ -162,7 +164,7 @@ def submit_request(
 
 
 def retry_operation(
-    manager: TransactionManager, pending: NeedsWait
+    manager: Engine, pending: NeedsWait
 ) -> dict[str, Any] | NeedsWait:
     """Re-run a parked operation once its blocker has completed."""
     try:
@@ -172,7 +174,7 @@ def retry_operation(
 
 
 def abort_on_timeout(
-    manager: TransactionManager, pending: NeedsWait
+    manager: Engine, pending: NeedsWait
 ) -> dict[str, Any]:
     """Abort a parked operation whose blocker never finished."""
     manager.abort(pending.txn, "wait-timeout")
@@ -180,7 +182,7 @@ def abort_on_timeout(
 
 
 def _resolve(
-    manager: TransactionManager, pending: NeedsWait
+    manager: Engine, pending: NeedsWait
 ) -> dict[str, Any] | NeedsWait:
     txn = pending.txn
     if pending.op == "read":
@@ -213,7 +215,7 @@ def _resolve(
 
 
 def _do_begin(
-    manager: TransactionManager,
+    manager: Engine,
     message: dict[str, Any],
     sessions: dict[int, TransactionState],
 ) -> dict[str, Any]:

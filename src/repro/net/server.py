@@ -25,13 +25,14 @@ responses strictly in request order.
 
 from __future__ import annotations
 
+import contextlib
 import socket
 import socketserver
 import threading
 from typing import Any
 
+from repro.engine.api import create_engine
 from repro.engine.database import Database
-from repro.engine.manager import TransactionManager
 from repro.engine.transactions import TransactionState
 from repro.errors import ProtocolError
 from repro.net.protocol import LineReader, LineTooLong, recv_message, send_message
@@ -107,18 +108,29 @@ class TransactionServer(socketserver.ThreadingTCPServer):
         wait_timeout: float = WAIT_TIMEOUT_SECONDS,
         wait_policy: str = "wait",
         snapshot_cache: bool = False,
+        shards: int = 1,
     ):
-        super().__init__(address, _Handler)
-        self.manager = TransactionManager(
+        # Build (and validate) the engine before binding the socket, so
+        # a bad protocol/option combination never leaks a bound port.
+        self.manager = create_engine(
             database,
-            protocol=protocol,
+            protocol,
             export_policy=export_policy,
             wait_policy=wait_policy,
             snapshot_cache=snapshot_cache,
+            shards=shards,
         )
+        super().__init__(address, _Handler)
         #: Upper bound on one strict-ordering wait (see module constant).
         self.wait_timeout = wait_timeout
-        self._mutex = threading.Lock()
+        # A thread-safe engine (the sharded composite) takes its own
+        # per-shard locks, replacing the global engine mutex with
+        # fine-grained critical sections; the bare managers still need
+        # the single mutex.
+        if getattr(self.manager, "thread_safe", False):
+            self._mutex: Any = contextlib.nullcontext()
+        else:
+            self._mutex = threading.Lock()
 
     @property
     def port(self) -> int:
@@ -181,6 +193,7 @@ def serve_forever(
     wait_timeout: float = WAIT_TIMEOUT_SECONDS,
     wait_policy: str = "wait",
     snapshot_cache: bool = False,
+    shards: int = 1,
 ) -> TransactionServer:
     """Start a server on a background thread; returns it (bound and live)."""
     server = TransactionServer(
@@ -191,6 +204,7 @@ def serve_forever(
         wait_timeout=wait_timeout,
         wait_policy=wait_policy,
         snapshot_cache=snapshot_cache,
+        shards=shards,
     )
     thread = threading.Thread(target=server.serve_forever, daemon=True)
     thread.start()

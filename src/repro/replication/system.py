@@ -60,6 +60,13 @@ class ReplicationConfig:
     propagation_delay: float = 50.0
     update_interval: float = 10.0
     duration_ms: float = 20_000.0
+    #: Mirror primary commits through a real ESR engine partitioned
+    #: across this many shards (0 disables the mirror).  Each replica is
+    #: modelled as an immortal engine query whose reads pin the run-start
+    #: view, so every primary commit is a late write whose exported
+    #: divergence the engine's hierarchical ledger meters — the same
+    #: charge path, sharded or not, which equivalence tests compare.
+    engine_shards: int = 0
     seed: int = 1
 
     def __post_init__(self) -> None:
@@ -67,6 +74,8 @@ class ReplicationConfig:
             raise ExperimentError("need at least one replica and one object")
         if self.duration_ms <= 0:
             raise ExperimentError("duration_ms must be positive")
+        if self.engine_shards < 0:
+            raise ExperimentError("engine_shards must be >= 0")
 
 
 @dataclass(frozen=True)
@@ -78,6 +87,10 @@ class ReplicationResult:
     local_reads: int
     remote_reads: int
     staleness_viewed: float
+    #: Exported divergence metered by the engine mirror (0.0 when
+    #: ``engine_shards`` is 0): the sum over primary commits of the
+    #: divergence each one exports to the replicas' pinned views.
+    engine_exported: float = 0.0
 
     @property
     def update_throughput(self) -> float:
@@ -117,6 +130,40 @@ class _Tally:
         self.local_reads = 0
         self.remote_reads = 0
         self.staleness = 0.0
+        self.engine_exported = 0.0
+
+
+def _build_engine_mirror(config: ReplicationConfig):
+    """An ESR engine metering the divergence primary commits export.
+
+    The mirror database carries the same objects as the store.  Each
+    replica becomes one immortal query transaction, timestamped *after*
+    every update the run will issue, that reads every object once — so a
+    later primary commit is a late write (ESR case 3) with respect to
+    those reads, and the engine charges the commit's export account with
+    the divergence it exports to the replicas' pinned run-start views.
+    All limits are unbounded: the mirror meters, it never vetoes.
+    """
+    from repro.core.bounds import TransactionBounds
+    from repro.engine.api import create_engine
+    from repro.engine.database import Database
+    from repro.engine.timestamps import Timestamp
+
+    database = Database()
+    for index in range(config.n_objects):
+        database.create_object(index, value=config.initial_value)
+    manager = create_engine(
+        database, "esr", shards=max(1, config.engine_shards)
+    )
+    for replica in range(config.n_replicas):
+        txn = manager.begin(
+            "query",
+            TransactionBounds(import_limit=UNBOUNDED),
+            timestamp=Timestamp(float("inf"), site=replica + 1),
+        )
+        for index in range(config.n_objects):
+            manager.read(txn, index)
+    return manager
 
 
 def _update_client(
@@ -125,6 +172,7 @@ def _update_client(
     config: ReplicationConfig,
     rng: random.Random,
     tally: _Tally,
+    ledger=None,
 ):
     """Posts updates at the primary, forcing syncs when epsilon binds."""
     objects = list(store.object_ids())
@@ -149,6 +197,15 @@ def _update_client(
         for _ in write_through:
             yield Timeout(config.remote_latency)
         store.commit_primary(object_id, new_value)
+        if ledger is not None:
+            from repro.core.bounds import TransactionBounds
+
+            txn = ledger.begin(
+                "update", TransactionBounds(export_limit=UNBOUNDED)
+            )
+            ledger.write(txn, object_id, new_value)
+            ledger.commit(txn)
+            tally.engine_exported += txn.exported
         for replica in write_through:
             store.propagate(object_id, replica)
             tally.forced_syncs += 1
@@ -199,10 +256,18 @@ def run_replication(config: ReplicationConfig) -> ReplicationResult:
     for index in range(config.n_objects):
         store.create_object(index, config.initial_value)
     tally = _Tally()
+    ledger = (
+        _build_engine_mirror(config) if config.engine_shards > 0 else None
+    )
     for worker in range(config.update_clients):
         engine.spawn(
             _update_client(
-                engine, store, config, random.Random(rng.random()), tally
+                engine,
+                store,
+                config,
+                random.Random(rng.random()),
+                tally,
+                ledger=ledger,
             )
         )
     for replica in range(config.n_replicas):
@@ -226,4 +291,5 @@ def run_replication(config: ReplicationConfig) -> ReplicationResult:
         local_reads=tally.local_reads,
         remote_reads=tally.remote_reads,
         staleness_viewed=tally.staleness,
+        engine_exported=tally.engine_exported,
     )

@@ -24,8 +24,8 @@ from __future__ import annotations
 from typing import Mapping
 
 from repro.core.bounds import EpsilonLevel, TransactionBounds
+from repro.engine.api import Engine, create_engine
 from repro.engine.database import Database
-from repro.engine.manager import TransactionManager
 from repro.engine.results import Granted, MustWait, Rejected
 from repro.engine.transactions import TransactionState
 from repro.errors import TransactionAborted, TransactionError
@@ -51,7 +51,7 @@ class WouldBlock(TransactionError):
 class LocalSession:
     """One in-process transaction (a blocking Session for programs)."""
 
-    def __init__(self, manager: TransactionManager, txn: TransactionState):
+    def __init__(self, manager: Engine, txn: TransactionState):
         self._manager = manager
         self.txn = txn
 
@@ -150,10 +150,15 @@ class LocalSession:
 
 
 class LocalClient:
-    """A convenience front-end over a manager for in-process use."""
+    """A convenience front-end over an engine for in-process use.
 
-    def __init__(self, database: Database, protocol: str = "esr", **manager_kwargs):
-        self.manager = TransactionManager(database, protocol=protocol, **manager_kwargs)
+    Accepts any registry protocol (``esr``/``sr``/``2pl``/``2pl-sr``/
+    ``mvto``) and the :func:`repro.engine.api.create_engine` options —
+    including ``shards=N`` for a sharded engine.
+    """
+
+    def __init__(self, database: Database, protocol: str = "esr", **engine_kwargs):
+        self.manager = create_engine(database, protocol, **engine_kwargs)
 
     @property
     def database(self) -> Database:

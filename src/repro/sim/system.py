@@ -15,11 +15,11 @@ from dataclasses import dataclass, replace
 
 from repro.core.bounds import ObjectBounds
 from repro.core.metric import distance_by_name
+from repro.engine.api import create_engine, validate_protocol_options
 from repro.engine.database import Database
-from repro.engine.manager import TransactionManager
 from repro.engine.metrics import MetricsSnapshot
 from repro.engine.objects import DEFAULT_VERSION_WINDOW
-from repro.errors import ExperimentError
+from repro.errors import ExperimentError, SpecificationError
 from repro.sim.des import Engine
 from repro.sim.client import SimClient
 from repro.sim.latency import LatencyModel, PAPER_LATENCY
@@ -78,6 +78,11 @@ class SimulationConfig:
     #: meters staleness through the inconsistency ledger, which no other
     #: protocol carries.
     snapshot_cache: bool = False
+    #: Partition the database by object key across this many per-shard
+    #: engines (see :class:`repro.engine.sharded.ShardedEngine`).  The
+    #: simulator is single-threaded, so this exercises the sharded code
+    #: paths deterministically rather than adding parallelism.
+    shards: int = 1
     workload: WorkloadSpec = PAPER_WORKLOAD
     latency: LatencyModel = PAPER_LATENCY
     service_time_ms: float = DEFAULT_SERVICE_TIME_MS
@@ -103,11 +108,17 @@ class SimulationConfig:
             raise ExperimentError("duration_ms must be positive")
         if not 0 <= self.warmup_ms < self.duration_ms:
             raise ExperimentError("warmup_ms must be in [0, duration_ms)")
-        if self.snapshot_cache and self.protocol != "esr":
-            raise ExperimentError(
-                "snapshot_cache requires the 'esr' protocol, "
-                f"got {self.protocol!r}"
+        try:
+            # The one shared validation every entry point uses (registry
+            # in repro.engine.api), wrapped into the experiment error.
+            validate_protocol_options(
+                self.protocol,
+                snapshot_cache=self.snapshot_cache,
+                wait_policy=self.wait_policy,
+                shards=self.shards,
             )
+        except SpecificationError as exc:
+            raise ExperimentError(str(exc)) from None
         distance_by_name(self.distance)  # fail fast on a bad spec
 
     def with_level(self, til: float, tel: float) -> "SimulationConfig":
@@ -181,28 +192,15 @@ def build_simulation(
     )
     engine = Engine()
     distance = distance_by_name(config.distance)
-    if config.protocol in ("2pl", "2pl-sr"):
-        from repro.engine.twopl import TwoPhaseManager
-
-        manager = TwoPhaseManager(
-            database,
-            relaxed=config.protocol == "2pl",
-            distance=distance,
-            export_policy=config.export_policy,
-        )
-    elif config.protocol == "mvto":
-        from repro.engine.mvto import MVTOManager
-
-        manager = MVTOManager(database)
-    else:
-        manager = TransactionManager(
-            database,
-            protocol=config.protocol,
-            distance=distance,
-            export_policy=config.export_policy,
-            wait_policy=config.wait_policy,
-            snapshot_cache=config.snapshot_cache,
-        )
+    manager = create_engine(
+        database,
+        config.protocol,
+        distance=distance,
+        export_policy=config.export_policy,
+        wait_policy=config.wait_policy,
+        snapshot_cache=config.snapshot_cache,
+        shards=config.shards,
+    )
     server = SimServer(
         manager,
         engine,

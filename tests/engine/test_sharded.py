@@ -1,0 +1,425 @@
+"""Tests for the sharded engine composite.
+
+Three angles:
+
+* **Equivalence** — a deterministic single-threaded operation trace must
+  produce bit-identical outcomes, metrics, and committed state whether it
+  runs on a bare manager, on ``ShardedEngine(shards=1)``, or on any other
+  shard count (single-threaded, shard routing must be unobservable).
+* **Cross-shard bound accounting** — TIL and GIL span shards through the
+  shared ledger, and exactly-at-limit admission semantics must hold even
+  when the charges land on different shards.
+* **Concurrency oracle** — under real threads, no transaction may ever
+  exceed its bound at any level of the hierarchy, and committed state must
+  be traceable to committed writes.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+import pytest
+
+from repro.core.bounds import TransactionBounds
+from repro.engine.api import (
+    PROTOCOLS,
+    create_engine,
+    protocol_spec,
+    validate_protocol_options,
+)
+from repro.engine.database import Database
+from repro.engine.manager import TransactionManager
+from repro.engine.mvto import MVTOManager
+from repro.engine.results import Granted, MustWait, Rejected
+from repro.engine.sharded import ShardedEngine
+from repro.engine.transactions import TransactionStatus
+from repro.engine.twopl import TwoPhaseManager
+from repro.errors import SpecificationError
+
+
+def _database(n_objects: int = 12, value: float = 1_000.0) -> Database:
+    db = Database()
+    for index in range(n_objects):
+        db.create_object(index, value=value)
+    return db
+
+
+# ---------------------------------------------------------------------------
+# Deterministic trace equivalence
+# ---------------------------------------------------------------------------
+
+
+def _make_trace(seed: int, n_ops: int = 400, n_objects: int = 12, n_slots: int = 4):
+    """A reproducible mixed workload over a handful of transaction slots."""
+    rng = random.Random(seed)
+    ops = []
+    live: dict[int, str] = {}
+    for _ in range(n_ops):
+        slot = rng.randrange(n_slots)
+        if slot not in live:
+            kind = rng.choice(["query", "update"])
+            limit = rng.choice([0.0, 25.0, 400.0, 1e9])
+            ops.append(("begin", slot, kind, limit))
+            live[slot] = kind
+        else:
+            roll = rng.random()
+            if roll < 0.55:
+                object_id = rng.randrange(n_objects)
+                if live[slot] == "update" and rng.random() < 0.5:
+                    value = round(rng.uniform(0.0, 2_000.0), 1)
+                    ops.append(("write", slot, object_id, value))
+                else:
+                    ops.append(("read", slot, object_id))
+            elif roll < 0.8:
+                ops.append(("commit", slot))
+                del live[slot]
+            else:
+                ops.append(("abort", slot))
+                del live[slot]
+    for slot in live:
+        ops.append(("commit", slot))
+    return ops
+
+
+def _drive(manager, trace):
+    """Run a trace single-threaded; return (outcome log, metrics, state)."""
+    log = []
+    txns = {}
+    for step in trace:
+        op = step[0]
+        if op == "begin":
+            _, slot, kind, limit = step
+            if kind == "query":
+                bounds = TransactionBounds(import_limit=limit)
+            else:
+                bounds = TransactionBounds(export_limit=limit)
+            txn = manager.begin(kind, bounds)
+            txns[slot] = txn
+            log.append(("begin", kind, txn.transaction_id))
+        elif op in ("read", "write"):
+            txn = txns[step[1]]
+            if not txn.is_active:
+                log.append(("dead", step[1]))
+                continue
+            if op == "read":
+                outcome = manager.read(txn, step[2])
+            else:
+                outcome = manager.write(txn, step[2], step[3])
+            log.append(
+                (
+                    op,
+                    step[2],
+                    type(outcome).__name__,
+                    getattr(outcome, "value", None),
+                    getattr(outcome, "inconsistency", None),
+                    getattr(outcome, "esr_case", None),
+                    getattr(outcome, "reason", None),
+                )
+            )
+            if isinstance(outcome, MustWait):
+                # A single-threaded driver cannot wait on itself.
+                manager.abort(txn, "trace-wait")
+        elif op == "commit":
+            txn = txns.pop(step[1])
+            if txn.is_active:
+                manager.commit(txn)
+                log.append(("commit", txn.transaction_id, txn.status))
+            else:
+                log.append(("finished", txn.transaction_id, txn.status))
+        else:
+            txn = txns.pop(step[1])
+            if txn.is_active:
+                manager.abort(txn)
+                log.append(("abort", txn.transaction_id))
+            else:
+                log.append(("finished", txn.transaction_id, txn.status))
+    state = {
+        object_id: manager.database.get(object_id).committed_value
+        for object_id in sorted(manager.database.object_ids())
+    }
+    return log, manager.metrics.snapshot(), state
+
+
+BARE_TYPES = {
+    "esr": TransactionManager,
+    "sr": TransactionManager,
+    "2pl": TwoPhaseManager,
+    "2pl-sr": TwoPhaseManager,
+    "mvto": MVTOManager,
+}
+
+
+class TestTraceEquivalence:
+    @pytest.mark.parametrize("protocol", PROTOCOLS)
+    def test_one_shard_matches_bare_manager(self, protocol):
+        trace = _make_trace(7)
+        bare = create_engine(_database(), protocol)
+        assert isinstance(bare, BARE_TYPES[protocol])
+        # ``create_engine`` only builds the composite above one shard, so
+        # construct the degenerate single-shard composite directly.
+        sharded = ShardedEngine(_database(), protocol, shards=1)
+        assert _drive(bare, trace) == _drive(sharded, trace)
+
+    @pytest.mark.parametrize("protocol", PROTOCOLS)
+    @pytest.mark.parametrize("shards", [2, 5])
+    def test_shard_count_unobservable_single_threaded(self, protocol, shards):
+        trace = _make_trace(11)
+        baseline = _drive(create_engine(_database(), protocol), trace)
+        routed = _drive(create_engine(_database(), protocol, shards=shards), trace)
+        assert baseline == routed
+
+    def test_trace_exercises_every_outcome_kind(self):
+        # Guard against the equivalence tests silently degenerating.
+        log, _, _ = _drive(create_engine(_database(), "esr"), _make_trace(7))
+        names = {entry[2] for entry in log if entry[0] in ("read", "write")}
+        assert {"Granted", "Rejected"} <= names
+
+
+# ---------------------------------------------------------------------------
+# Cross-shard hierarchical bounds, exactly-at-limit semantics
+# ---------------------------------------------------------------------------
+
+
+class TestCrossShardBounds:
+    """Objects 0 and 1 land on different shards (``object_id % 2``); a
+    writer that began *after* the query commits divergence 50 to object 0
+    and 30 to object 1, making the query's reads late reads of committed
+    data (ESR case 1) whose import charges span shards."""
+
+    def _commit_late_writes(self, engine):
+        writer = engine.begin("update", TransactionBounds(export_limit=1e9))
+        assert isinstance(engine.write(writer, 0, 150.0), Granted)  # d = 50
+        assert isinstance(engine.write(writer, 1, 130.0), Granted)  # d = 30
+        engine.commit(writer)
+
+    def test_til_spans_shards_exactly_at_limit(self):
+        engine = create_engine(_database(4, value=100.0), "esr", shards=2)
+        # 50 + 30 == 80: exactly at the limit must be admitted.
+        query = engine.begin("query", TransactionBounds(import_limit=80.0))
+        self._commit_late_writes(engine)
+        first = engine.read(query, 0)
+        assert isinstance(first, Granted) and first.inconsistency == 50.0
+        assert first.esr_case == "late-read-committed"
+        second = engine.read(query, 1)
+        assert isinstance(second, Granted) and second.inconsistency == 30.0
+        engine.commit(query)
+        assert query.imported == 80.0
+
+    def test_til_spans_shards_just_over_limit(self):
+        engine = create_engine(_database(4, value=100.0), "esr", shards=2)
+        query = engine.begin("query", TransactionBounds(import_limit=79.0))
+        self._commit_late_writes(engine)
+        assert isinstance(engine.read(query, 0), Granted)
+        second = engine.read(query, 1)
+        assert isinstance(second, Rejected)
+        assert second.reason == "bound-violation"
+        assert not query.is_active
+
+    def test_oil_is_shard_local(self):
+        engine = create_engine(_database(4, value=100.0), "esr", shards=2)
+        # Per-object caps: exactly 50 admits object 0's divergence, 29
+        # rejects object 1's 30; the TIL stays unbounded throughout.
+        query = engine.begin(
+            "query",
+            TransactionBounds(import_limit=1e9),
+            object_limits={0: 50.0, 1: 29.0},
+        )
+        self._commit_late_writes(engine)
+        assert isinstance(engine.read(query, 0), Granted)
+        rejected = engine.read(query, 1)
+        assert isinstance(rejected, Rejected)
+        assert rejected.reason == "bound-violation"
+
+    def test_gil_spans_shards(self):
+        def build():
+            db = Database()
+            db.catalog.add_group("hot")
+            for index in range(4):
+                db.create_object(
+                    index, value=100.0, group="hot" if index < 2 else None
+                )
+            return create_engine(db, "esr", shards=2)
+
+        # Group budget of exactly 80 admits both reads (objects 0 and 1
+        # live on different shards but share the group ledger) ...
+        engine = build()
+        roomy = engine.begin(
+            "query",
+            TransactionBounds(import_limit=1e9),
+            group_limits={"hot": 80.0},
+        )
+        self._commit_late_writes(engine)
+        assert isinstance(engine.read(roomy, 0), Granted)
+        assert isinstance(engine.read(roomy, 1), Granted)
+        engine.commit(roomy)
+        # ... and a budget of 79 rejects the second read.
+        engine = build()
+        tight = engine.begin(
+            "query",
+            TransactionBounds(import_limit=1e9),
+            group_limits={"hot": 79.0},
+        )
+        self._commit_late_writes(engine)
+        assert isinstance(engine.read(tight, 0), Granted)
+        rejected = engine.read(tight, 1)
+        assert isinstance(rejected, Rejected)
+        assert rejected.reason == "bound-violation"
+
+    def test_tel_spans_shards_for_late_writes(self):
+        engine = create_engine(_database(4, value=100.0), "esr", shards=2)
+        # A query with a pinned-future timestamp reads objects on both
+        # shards, so later writes are ESR case 3 (late write past a query
+        # read) and charge the writer's export account across shards.
+        from repro.engine.timestamps import Timestamp
+
+        query = engine.begin(
+            "query",
+            TransactionBounds(import_limit=1e9),
+            timestamp=Timestamp(float("inf"), site=9),
+        )
+        assert isinstance(engine.read(query, 0), Granted)
+        assert isinstance(engine.read(query, 1), Granted)
+        writer = engine.begin("update", TransactionBounds(export_limit=80.0))
+        first = engine.write(writer, 0, 150.0)  # exports 50 to the query
+        assert isinstance(first, Granted) and first.esr_case == "late-write"
+        second = engine.write(writer, 1, 130.0)  # 50 + 30 == 80: admitted
+        assert isinstance(second, Granted)
+        engine.commit(writer)
+        assert writer.exported == 80.0
+        over = engine.begin("update", TransactionBounds(export_limit=79.0))
+        assert isinstance(engine.write(over, 0, 150.0), Granted)
+        rejected = engine.write(over, 1, 130.0)
+        assert isinstance(rejected, Rejected)
+        assert rejected.reason == "bound-violation"
+        engine.abort(query)
+
+
+# ---------------------------------------------------------------------------
+# Threaded oracle: the hierarchy holds under real concurrency
+# ---------------------------------------------------------------------------
+
+
+class TestThreadedOracle:
+    N_OBJECTS = 16
+    N_THREADS = 6
+    TXNS_PER_THREAD = 40
+
+    def _worker(self, engine, seed, finished, errors):
+        rng = random.Random(seed)
+        try:
+            for _ in range(self.TXNS_PER_THREAD):
+                limit = rng.choice([0.0, 50.0, 200.0, 1e9])
+                if rng.random() < 0.5:
+                    txn = engine.begin(
+                        "query", TransactionBounds(import_limit=limit)
+                    )
+                else:
+                    txn = engine.begin(
+                        "update", TransactionBounds(export_limit=limit)
+                    )
+                committed_writes = []
+                for _ in range(rng.randrange(1, 6)):
+                    object_id = rng.randrange(self.N_OBJECTS)
+                    if txn.is_update and rng.random() < 0.5:
+                        value = rng.uniform(0.0, 2_000.0)
+                        outcome = engine.write(txn, object_id, value)
+                        if isinstance(outcome, Granted):
+                            committed_writes.append((object_id, value))
+                    else:
+                        outcome = engine.read(txn, object_id)
+                    if isinstance(outcome, MustWait):
+                        engine.abort(txn, "oracle-wait")
+                        break
+                    if isinstance(outcome, Rejected):
+                        break
+                if txn.is_active:
+                    if rng.random() < 0.85:
+                        engine.commit(txn)
+                    else:
+                        engine.abort(txn)
+                if txn.status is not TransactionStatus.COMMITTED:
+                    committed_writes = []
+                finished.append((limit, txn, committed_writes))
+        except Exception as exc:  # pragma: no cover - failure reporting
+            errors.append(exc)
+
+    def test_bounds_hold_under_threads(self):
+        engine = create_engine(
+            _database(self.N_OBJECTS, value=1_000.0), "esr", shards=4
+        )
+        finished: list = []
+        errors: list = []
+        threads = [
+            threading.Thread(
+                target=self._worker, args=(engine, 100 + i, finished, errors)
+            )
+            for i in range(self.N_THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        assert len(finished) == self.N_THREADS * self.TXNS_PER_THREAD
+        assert engine.active_transactions() == ()
+        slack = 1e-9
+        writes_by_object: dict[int, set[float]] = {}
+        for limit, txn, committed_writes in finished:
+            assert txn.status is not TransactionStatus.ACTIVE
+            if txn.is_query:
+                assert txn.imported <= limit + slack
+            else:
+                assert txn.exported <= limit + slack
+            for object_id, value in committed_writes:
+                writes_by_object.setdefault(object_id, set()).add(value)
+        # Committed state is traceable: every final value is either the
+        # initial value or something a committed transaction wrote.
+        for object_id in range(self.N_OBJECTS):
+            final = engine.database.get(object_id).committed_value
+            candidates = writes_by_object.get(object_id, set()) | {1_000.0}
+            assert final in candidates
+        snapshot = engine.metrics.snapshot()
+        assert snapshot.commits + snapshot.aborts == len(finished)
+
+
+# ---------------------------------------------------------------------------
+# Registry and validation agreement (satellites 1 and 2)
+# ---------------------------------------------------------------------------
+
+
+class TestRegistryAgreement:
+    def test_registry_contents(self):
+        assert PROTOCOLS == ("esr", "sr", "2pl", "2pl-sr", "mvto")
+        for name in PROTOCOLS:
+            spec = protocol_spec(name)
+            assert spec.name == name
+            engine = create_engine(_database(2), name)
+            assert isinstance(engine, BARE_TYPES[name])
+
+    def test_unknown_protocol_rejected_everywhere(self):
+        with pytest.raises(SpecificationError):
+            protocol_spec("serializable")
+        with pytest.raises(SpecificationError):
+            create_engine(_database(2), "serializable")
+
+    def test_snapshot_cache_requires_esr(self):
+        validate_protocol_options("esr", snapshot_cache=True)
+        for name in ("sr", "2pl", "2pl-sr", "mvto"):
+            with pytest.raises(SpecificationError):
+                validate_protocol_options(name, snapshot_cache=True)
+            with pytest.raises(SpecificationError):
+                create_engine(_database(2), name, snapshot_cache=True)
+
+    def test_shard_count_validated(self):
+        with pytest.raises(SpecificationError):
+            validate_protocol_options("esr", shards=0)
+        with pytest.raises(SpecificationError):
+            create_engine(_database(2), "esr", shards=0)
+
+    def test_wait_policy_validated(self):
+        validate_protocol_options("esr", wait_policy="abort")
+        with pytest.raises(SpecificationError):
+            validate_protocol_options("2pl", wait_policy="abort")
+        with pytest.raises(SpecificationError):
+            validate_protocol_options("esr", wait_policy="spin")

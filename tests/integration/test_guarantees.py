@@ -30,10 +30,10 @@ from repro.runtime import LocalClient, WouldBlock
 N_OBJECTS = 8
 
 
-def fresh_client(protocol: str = "esr") -> LocalClient:
+def fresh_client(protocol: str = "esr", shards: int = 1) -> LocalClient:
     db = Database()
     db.create_many((i, 5_000.0) for i in range(N_OBJECTS))
-    return LocalClient(db, protocol=protocol)
+    return LocalClient(db, protocol=protocol, shards=shards)
 
 
 @st.composite
@@ -107,11 +107,12 @@ def drive_query(client, til: float, order, slots):
 
 
 class TestImportGuarantee:
+    @pytest.mark.parametrize("shards", [1, 3])
     @settings(max_examples=60, deadline=None)
     @given(schedules(), st.sampled_from([0.0, 500.0, 2_000.0, 10_000.0, 1e9]))
-    def test_committed_query_result_within_til(self, schedule, til):
+    def test_committed_query_result_within_til(self, shards, schedule, til):
         order, slots = schedule
-        client = fresh_client()
+        client = fresh_client(shards=shards)
         outcome, proper_sum = drive_query(client, til, order, slots)
         if outcome is None:
             return  # aborted: nothing was promised
@@ -120,11 +121,12 @@ class TestImportGuarantee:
         assert abs(total - proper_sum) <= imported + 1e-6
         assert abs(total - proper_sum) <= til + 1e-6
 
+    @pytest.mark.parametrize("shards", [1, 3])
     @settings(max_examples=30, deadline=None)
     @given(schedules())
-    def test_zero_til_query_is_exact(self, schedule):
+    def test_zero_til_query_is_exact(self, shards, schedule):
         order, slots = schedule
-        client = fresh_client()
+        client = fresh_client(shards=shards)
         outcome, proper_sum = drive_query(client, 0.0, order, slots)
         if outcome is None:
             return
@@ -157,6 +159,7 @@ class TestSerializableBaseline:
 
 
 class TestAtomicityUnderConcurrency:
+    @pytest.mark.parametrize("shards", [1, 3])
     @settings(max_examples=40, deadline=None)
     @given(
         st.lists(
@@ -168,10 +171,12 @@ class TestAtomicityUnderConcurrency:
             max_size=30,
         )
     )
-    def test_final_state_reflects_exactly_the_committed_deltas(self, actions):
+    def test_final_state_reflects_exactly_the_committed_deltas(
+        self, shards, actions
+    ):
         """Shadow-paging recovery: aborted updates leave no trace, and the
         final state is the initial state plus the committed deltas."""
-        client = fresh_client()
+        client = fresh_client(shards=shards)
         expected = dict(client.database.committed_snapshot())
         for object_id, delta, commit in actions:
             before = client.database.get(object_id).committed_value
@@ -194,9 +199,10 @@ class TestAtomicityUnderConcurrency:
 
 
 class TestExportGuarantee:
-    def test_exported_inconsistency_never_exceeds_tel(self):
+    @pytest.mark.parametrize("shards", [1, 3])
+    def test_exported_inconsistency_never_exceeds_tel(self, shards):
         rng = random.Random(42)
-        client = fresh_client()
+        client = fresh_client(shards=shards)
         tel = 1_500.0
         for _ in range(200):
             # A query with a newer timestamp reads; an older update then

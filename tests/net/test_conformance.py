@@ -15,6 +15,7 @@ import time
 
 import pytest
 
+from repro.engine.api import PROTOCOLS
 from repro.engine.database import Database
 from repro.errors import ProtocolError
 from repro.net.aioserver import serve_in_thread as serve_async
@@ -33,16 +34,19 @@ def _database() -> Database:
     return db
 
 
-@pytest.fixture(params=["threaded", "async"])
+@pytest.fixture(
+    params=["threaded", "async", "threaded-sharded", "async-sharded"]
+)
 def server(request):
     db = _database()
-    if request.param == "threaded":
-        srv = serve_forever(db)
+    shards = 3 if request.param.endswith("-sharded") else 1
+    if request.param.startswith("threaded"):
+        srv = serve_forever(db, shards=shards)
         yield srv
         srv.shutdown()
         srv.server_close()
     else:
-        handle = serve_async(db)
+        handle = serve_async(db, shards=shards)
         yield handle
         handle.shutdown()
 
@@ -88,6 +92,23 @@ SCRIPT = [
 ]
 
 
+def _assert_script_responses(responses: list[dict]) -> None:
+    """The expected answers to ``SCRIPT`` — the same for every protocol
+    (a single sequential client sees only zero-inconsistency grants)."""
+    assert [r.get("id") for r in responses[:10]] == list(range(1, 11))
+    assert responses[0] == {"ok": True, "txn": 1, "id": 1}
+    assert responses[1]["ok"] and responses[1]["value"] == 300.0
+    assert responses[2]["ok"]
+    assert responses[3]["error"] == "bad-request"
+    assert responses[4] == {"ok": True, "id": 5}
+    assert responses[5] == {"ok": True, "txn": 2, "id": 6}
+    assert responses[6]["ok"] and responses[6]["value"] == 42.5
+    assert responses[7] == {"ok": True, "id": 8}
+    assert responses[8]["error"] == "unknown-transaction"
+    assert responses[9]["error"] == "unknown-op"
+    assert responses[10] == {"ok": True, "txn": 3}  # untagged stays untagged
+
+
 class TestScriptedConformance:
     def test_both_servers_answer_identically(self):
         """The same request script produces the same response sequence."""
@@ -105,19 +126,36 @@ class TestScriptedConformance:
         assert threaded_responses == async_responses
 
     def test_script_responses_are_correct(self, server):
-        responses = _run_script(server.port, SCRIPT)
-        assert [r.get("id") for r in responses[:10]] == list(range(1, 11))
-        assert responses[0] == {"ok": True, "txn": 1, "id": 1}
-        assert responses[1]["ok"] and responses[1]["value"] == 300.0
-        assert responses[2]["ok"]
-        assert responses[3]["error"] == "bad-request"
-        assert responses[4] == {"ok": True, "id": 5}
-        assert responses[5] == {"ok": True, "txn": 2, "id": 6}
-        assert responses[6]["ok"] and responses[6]["value"] == 42.5
-        assert responses[7] == {"ok": True, "id": 8}
-        assert responses[8]["error"] == "unknown-transaction"
-        assert responses[9]["error"] == "unknown-op"
-        assert responses[10] == {"ok": True, "txn": 3}  # untagged stays untagged
+        _assert_script_responses(_run_script(server.port, SCRIPT))
+
+    @pytest.mark.parametrize("protocol", PROTOCOLS)
+    def test_every_wire_protocol_answers_the_script(self, protocol):
+        """All five registry protocols are servable by both servers, and
+        both answer the conformance script identically and correctly."""
+        threaded = serve_forever(_database(), protocol=protocol)
+        try:
+            threaded_responses = _run_script(threaded.port, SCRIPT)
+        finally:
+            threaded.shutdown()
+            threaded.server_close()
+        aio = serve_async(_database(), protocol=protocol)
+        try:
+            async_responses = _run_script(aio.port, SCRIPT)
+        finally:
+            aio.shutdown()
+        assert threaded_responses == async_responses
+        _assert_script_responses(threaded_responses)
+
+    @pytest.mark.parametrize("shards", [1, 4])
+    def test_sharded_server_matches_unsharded(self, shards):
+        """Shard routing is unobservable on the wire."""
+        srv = serve_forever(_database(), shards=shards)
+        try:
+            responses = _run_script(srv.port, SCRIPT)
+        finally:
+            srv.shutdown()
+            srv.server_close()
+        _assert_script_responses(responses)
 
 
 class TestWireEdgeCases:

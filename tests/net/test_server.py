@@ -13,6 +13,7 @@ import threading
 import pytest
 
 from repro.core.bounds import HIGH_EPSILON, TransactionBounds
+from repro.engine.api import PROTOCOLS
 from repro.engine.database import Database
 from repro.errors import ProtocolError, TransactionAborted
 from repro.lang.parser import parse_program
@@ -21,17 +22,25 @@ from repro.net.client import RemoteConnection
 from repro.net.server import serve_forever
 
 
-@pytest.fixture(params=["threaded", "async"])
-def server(request):
+def _database() -> Database:
     db = Database()
     db.create_many((i, float(i) * 100.0) for i in range(1, 21))
-    if request.param == "threaded":
-        srv = serve_forever(db)
+    return db
+
+
+@pytest.fixture(
+    params=["threaded", "async", "threaded-sharded", "async-sharded"]
+)
+def server(request):
+    db = _database()
+    shards = 4 if request.param.endswith("-sharded") else 1
+    if request.param.startswith("threaded"):
+        srv = serve_forever(db, shards=shards)
         yield srv
         srv.shutdown()
         srv.server_close()
     else:
-        handle = serve_async(db)
+        handle = serve_async(db, shards=shards)
         yield handle
         handle.shutdown()
 
@@ -115,6 +124,41 @@ class TestProgramExecution:
         )
         connection.run_program(program)
         assert server.manager.database.get(4).committed_value == 400.0
+
+
+class TestEveryProtocolServed:
+    """Every protocol in the registry is wire-servable by both servers."""
+
+    @pytest.mark.parametrize("kind", ["threaded", "async"])
+    @pytest.mark.parametrize("protocol", PROTOCOLS)
+    def test_read_write_commit(self, kind, protocol):
+        db = _database()
+        if kind == "threaded":
+            srv = serve_forever(db, protocol=protocol)
+            shutdown = lambda: (srv.shutdown(), srv.server_close())  # noqa: E731
+        else:
+            srv = serve_async(db, protocol=protocol)
+            shutdown = srv.shutdown
+        try:
+            with RemoteConnection("127.0.0.1", srv.port, site=1) as conn:
+                with conn.begin("update", HIGH_EPSILON) as txn:
+                    assert txn.read(5) == 500.0
+                    txn.write(5, 555.0)
+                with conn.begin("query", HIGH_EPSILON) as query:
+                    assert query.read(5) == 555.0
+            assert db.get(5).committed_value == 555.0
+        finally:
+            shutdown()
+
+    @pytest.mark.parametrize("kind", ["threaded", "async"])
+    def test_invalid_combination_rejected_before_serving(self, kind):
+        from repro.errors import SpecificationError
+
+        start = serve_forever if kind == "threaded" else serve_async
+        with pytest.raises(SpecificationError):
+            start(_database(), protocol="strict-3pl")
+        with pytest.raises(SpecificationError):
+            start(_database(), protocol="mvto", snapshot_cache=True)
 
 
 class TestConcurrentClients:

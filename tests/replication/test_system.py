@@ -84,3 +84,41 @@ class TestDeterminism:
         a = run(seed=2)
         b = run(seed=3)
         assert a != b
+
+
+class TestEngineMirror:
+    """The ESR engine mirror meters exported divergence identically
+    whether the engine is sharded or not (the simulation is
+    single-threaded, so shard routing must be unobservable)."""
+
+    def test_disabled_by_default(self):
+        assert run().engine_exported == 0.0
+
+    def test_mirror_meters_exports(self):
+        result = run(engine_shards=1, duration_ms=2_000.0)
+        assert result.engine_exported > 0.0
+        # Every commit exports at least its own write's divergence to
+        # the replicas' pinned run-start views, so the metered total
+        # dominates zero and scales with committed updates.
+        assert result.updates_committed > 0
+
+    def test_sharded_mirror_matches_unsharded(self):
+        unsharded = run(engine_shards=1, duration_ms=2_000.0)
+        sharded = run(engine_shards=4, duration_ms=2_000.0)
+        assert sharded.engine_exported == unsharded.engine_exported
+        # The mirror only observes; the simulated outcomes are untouched.
+        baseline = run(duration_ms=2_000.0)
+        for field in (
+            "updates_committed",
+            "queries_completed",
+            "forced_syncs",
+            "local_reads",
+            "remote_reads",
+            "staleness_viewed",
+        ):
+            assert getattr(sharded, field) == getattr(baseline, field)
+            assert getattr(unsharded, field) == getattr(baseline, field)
+
+    def test_negative_shards_rejected(self):
+        with pytest.raises(ExperimentError):
+            ReplicationConfig(engine_shards=-1)

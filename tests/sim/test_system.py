@@ -57,6 +57,20 @@ class TestDeterminism:
         b = run_simulation(small_config(seed=6))
         assert (a.commits, a.metrics.reads) != (b.commits, b.metrics.reads)
 
+    def test_shard_count_unobservable_in_simulation(self):
+        """The DES is single-threaded, so running the workload on the
+        sharded composite must reproduce the unsharded run exactly."""
+        baseline = run_simulation(small_config())
+        sharded = run_simulation(small_config(shards=4))
+        assert sharded.commits == baseline.commits
+        assert sharded.aborts == baseline.aborts
+        assert sharded.metrics == baseline.metrics
+        assert sharded.client_commits == baseline.client_commits
+
+    def test_bad_shards_rejected(self):
+        with pytest.raises(ExperimentError):
+            small_config(shards=0)
+
 
 class TestBasicBehaviour:
     def test_single_client_commits_everything(self):
