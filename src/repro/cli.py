@@ -259,8 +259,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 wait_timeout=wait_timeout,
                 snapshot_cache=args.snapshot_cache,
                 shards=args.shards,
+                processes=args.process_shards,
             )
             await server.start(args.host, args.port)
+            _report_process_mode(server.manager)
             print(
                 f"serving {len(database)} objects on "
                 f"{args.host}:{server.port} (asyncio)"
@@ -282,13 +284,27 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         wait_timeout=wait_timeout,
         snapshot_cache=args.snapshot_cache,
         shards=args.shards,
+        processes=args.process_shards,
     )
+    _report_process_mode(server.manager)
     print(f"serving {len(database)} objects on {args.host}:{server.port}")
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         print("\nshutting down")
+    finally:
+        server.server_close()
     return 0
+
+
+def _report_process_mode(manager: object) -> None:
+    """Tell the operator whether --process-shards actually forked."""
+    degraded = getattr(manager, "process_degraded", None)
+    if degraded is not None:
+        print(f"process sharding degraded to threads ({degraded})")
+    elif hasattr(manager, "worker_pids"):
+        pids = ", ".join(str(pid) for pid in manager.worker_pids())
+        print(f"process sharding active (worker pids: {pids})")
 
 
 def _cmd_run_trace(args: argparse.Namespace) -> int:
@@ -444,6 +460,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="partition the engine across N per-shard critical sections "
         "(per-shard locks replace the global engine mutex)",
+    )
+    serve.add_argument(
+        "--process-shards",
+        action="store_true",
+        help="run each shard's engine in its own worker process (needs "
+        "--shards > 1); degrades to threads on one core or without fork",
     )
     serve.add_argument(
         "--async",

@@ -201,6 +201,63 @@ class InconsistencyAccount:
     def observed_objects(self) -> tuple[int, ...]:
         return tuple(self._ranges)
 
+    # -- state transfer (process sharding) -----------------------------------
+
+    def dump_state(
+        self,
+    ) -> tuple[
+        dict[str, float], dict[int, float], int, dict[int, tuple[float, float]]
+    ]:
+        """All dynamic account state as picklable plain data.
+
+        Limits, direction and the catalog are static per transaction; what
+        moves between processes is the accumulated usage (per ledger
+        level), the per-object charges, the inconsistent-operation count,
+        and the observed value ranges (section 5.3.2 aggregates).
+        """
+        if self._lock is not None:
+            with self._lock:
+                return self._dump_state()
+        return self._dump_state()
+
+    def _dump_state(self):
+        return (
+            self._ledger.dump_usage(),
+            dict(self._per_object),
+            self.inconsistent_operations,
+            {
+                object_id: (r.minimum, r.maximum)
+                for object_id, r in self._ranges.items()
+            },
+        )
+
+    def load_state(self, state) -> None:
+        """Overwrite the dynamic state with a :meth:`dump_state` dump.
+
+        Used by the process-sharded engine to keep one canonical account
+        per transaction: the parent ships the state to whichever shard
+        worker runs the next operation and adopts the worker's post-state,
+        so TIL/TEL and group charges accumulate across shards exactly as
+        they would under one in-process ledger.
+        """
+        if self._lock is not None:
+            with self._lock:
+                self._load_state(state)
+            return
+        self._load_state(state)
+
+    def _load_state(self, state) -> None:
+        usage, per_object, operations, ranges = state
+        self._ledger.load_usage(usage)
+        self._per_object = dict(per_object)
+        self.inconsistent_operations = operations
+        rebuilt: dict[int, ValueRange] = {}
+        for object_id, (minimum, maximum) in ranges.items():
+            value_range = ValueRange(minimum)
+            value_range.maximum = maximum
+            rebuilt[object_id] = value_range
+        self._ranges = rebuilt
+
     # -- introspection -------------------------------------------------------
 
     @property

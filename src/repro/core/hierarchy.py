@@ -427,6 +427,29 @@ class HierarchyLedger:
         """True if :meth:`try_charge` would succeed, without charging."""
         return self._first_violation(object_id, amount) is None
 
+    # -- state transfer (process sharding) --------------------------------
+
+    def dump_usage(self) -> dict[str, float]:
+        """The accumulated usage per bounded level, as plain data.
+
+        Limits are static (declared at BEGIN) and the limited-path cache
+        is catalog-shared, so usage is the only dynamic state a remote
+        copy of this ledger needs to replay a charge exactly.
+        """
+        return dict(self._usage)
+
+    def load_usage(self, usage: Mapping[str, float]) -> None:
+        """Overwrite the accumulated usage with a :meth:`dump_usage` dump.
+
+        The dump must come from a ledger declared with the same limits —
+        the process-sharded engine ships the canonical usage to the shard
+        worker before each operation and adopts the worker's post-state
+        after it, so exactly-at-limit admission is preserved across
+        processes without a cross-process lock.
+        """
+        self._usage.clear()
+        self._usage.update(usage)
+
     def snapshot(self) -> dict[str, tuple[float, float]]:
         """``{level: (usage, limit)}`` for every level with a limit."""
         return {

@@ -201,6 +201,7 @@ def validate_protocol_options(
     snapshot_cache: bool = False,
     wait_policy: str = "wait",
     shards: int = 1,
+    processes: bool = False,
 ) -> ProtocolSpec:
     """Check one protocol/options combination; all entry points call this.
 
@@ -224,6 +225,12 @@ def validate_protocol_options(
         )
     if shards < 1:
         raise SpecificationError(f"shards must be >= 1, got {shards}")
+    if processes and snapshot_cache:
+        raise SpecificationError(
+            "snapshot_cache is not supported with process sharding: the "
+            "cache publishes from inside the engine critical section, "
+            "which lives in the shard worker processes"
+        )
     return spec
 
 
@@ -238,6 +245,7 @@ def create_engine(
     metrics: MetricsCollector | None = None,
     timestamps: TimestampGenerator | None = None,
     shards: int = 1,
+    processes: bool | str = False,
 ) -> Engine:
     """Build the engine for ``protocol`` — the one factory every host uses.
 
@@ -245,13 +253,57 @@ def create_engine(
     that many inner engines behind a
     :class:`~repro.engine.sharded.ShardedEngine`; with ``shards == 1``
     the bare manager is returned unchanged (no wrapper, no locks).
+
+    With ``processes`` truthy (and ``shards > 1``) each shard's engine
+    runs in its own worker **process** behind a
+    :class:`~repro.engine.procshard.ProcessShardedEngine`, escaping the
+    GIL on multi-core hosts.  ``processes=True`` degrades gracefully to
+    the thread-based composite when real processes cannot help (single
+    core) or cannot fork — the returned engine then carries the reason
+    in a ``process_degraded`` attribute.  ``processes="force"`` skips
+    the single-core degradation (tests, CI smoke on small containers).
     """
     spec = validate_protocol_options(
         protocol,
         snapshot_cache=snapshot_cache,
         wait_policy=wait_policy,
         shards=shards,
+        processes=bool(processes),
     )
+    if shards > 1 and processes:
+        from repro.engine.procshard import (
+            ProcessShardedEngine,
+            process_sharding_unavailable,
+        )
+        from repro.engine.sharded import ShardedEngine
+
+        reason = process_sharding_unavailable()
+        if processes == "force" and reason == "single-core":
+            reason = None
+        if reason is None:
+            return ProcessShardedEngine(
+                database,
+                protocol,
+                shards=shards,
+                distance=distance,
+                export_policy=export_policy,
+                wait_policy=wait_policy,
+                metrics=metrics,
+                timestamps=timestamps,
+            )
+        engine = ShardedEngine(
+            database,
+            protocol,
+            shards=shards,
+            distance=distance,
+            export_policy=export_policy,
+            wait_policy=wait_policy,
+            snapshot_cache=snapshot_cache,
+            metrics=metrics,
+            timestamps=timestamps,
+        )
+        engine.process_degraded = reason
+        return engine
     if shards > 1:
         from repro.engine.sharded import ShardedEngine
 

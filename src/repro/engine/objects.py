@@ -176,6 +176,20 @@ class DataObject:
         self.writer_id = None
         self.writer_ts = GENESIS
 
+    def adopt_committed(self, value: float, timestamp: Timestamp) -> None:
+        """Install a committed write decided in another process.
+
+        The process-sharded engine's parent keeps a mirror of committed
+        state: each shard worker reports the (value, write-timestamp)
+        pairs a commit produced, and the mirror adopts them so reports,
+        tests and worker failover all see coherent committed data.  The
+        version history grows exactly as :meth:`commit_write` would grow
+        it; pending-write state is untouched (the mirror never stages).
+        """
+        self.committed_value = float(value)
+        self.committed_write_ts = timestamp
+        self._versions.append(Version(timestamp, self.committed_value))
+
     def abort_write(self) -> None:
         """Discard the staged write, restoring the shadow value."""
         if self.writer_id is None:

@@ -1,0 +1,960 @@
+"""Process-sharded composite engine: one worker process per shard.
+
+:class:`ProcessShardedEngine` is the multi-core sibling of
+:class:`~repro.engine.sharded.ShardedEngine`.  The thread-based composite
+partitions work but not the GIL — its shard threads serialise on the
+interpreter lock, so BENCH_net's ``speedup_sharded`` sits *below* 1 on
+CPU-bound write loads.  This engine moves each shard's inner engine into
+its own **process**, connected to the parent by a small length-prefixed
+pickle RPC over a ``socketpair``, so shards genuinely execute in
+parallel while the parent keeps presenting the ordinary
+:class:`~repro.engine.api.Engine` surface to every host (threaded
+server, asyncio server, DES, CLI, bench-net).
+
+**The cross-process commit protocol.**  The thread-based composite makes
+TIL/TEL/GIL accounting atomic across shards by installing one lock per
+transaction on its :class:`~repro.core.accounting.InconsistencyAccount`.
+A lock cannot span processes, but it also is not needed: every engine
+decision charges only the *operating* transaction's own account, and one
+transaction's operations are serialised by its client connection (the
+threaded server runs a connection on one handler thread; the asyncio
+server pins a connection to one dispatch lane).  So the account state
+can simply travel with the operation:
+
+1. the parent ships the canonical account state (ledger usage per level,
+   per-object charges, inconsistent-op count, observed value ranges)
+   with each ``op`` frame;
+2. the shard worker overwrites its sibling's account, runs the ordinary
+   engine decision — the *same* exactly-at-limit ledger walk, now seeded
+   with charges accumulated on other shards — and returns the post-state;
+3. the parent adopts the post-state, so the next operation (any shard)
+   and the commit-time ``record_commit(imported, exported)`` see exactly
+   what one in-process ledger would have seen.
+
+Commit/abort is decided once by the parent and fanned out as
+``complete`` frames; each worker applies the usual ``complete`` hook and
+a commit reply carries the ``{object_id: (value, write_ts)}`` pairs the
+promotion produced, which the parent adopts into its mirror database
+(reports, tests and failover all read coherent committed state there).
+
+**Waits and deadlock edges.**  Workers never park anything: ``MustWait``
+propagates to the parent and hosts subscribe against the parent's shared
+registry exactly as with the thread-based composite.  When a waiter
+parks, the parent broadcasts the wait-for edge (``wait_note``) to every
+worker, and completion broadcasts ``wakeup`` — the workers mirror the
+edges into their local registries so the 2PL engines' deadlock walk sees
+cross-shard cycles.  The same residual caveat as the thread composite
+applies (two simultaneous parkers can slip past the check), which is why
+the servers keep their ``wait_timeout`` guard.
+
+**Metrics.**  Worker engines record into throwaway local collectors;
+the parent reconstructs every counter from the outcomes it relays
+(granted read/write with the ESR case, wait, rejection, abort, commit
+with the synced imported/exported totals), so the composite's snapshot
+matches a bare manager's on the same trace.  Worker-side
+:mod:`repro.perf` counters stay in the worker and are not aggregated.
+
+**Degradation and failure.**  ``create_engine(..., processes=True)``
+falls back to the thread-based composite (tagging it with
+``process_degraded``) when the host has one core or no ``fork`` start
+method; ``processes="force"`` insists on real processes regardless of
+core count (tests, CI).  If a worker dies mid-run the parent rebuilds
+that shard in-process over the mirror database, aborts every transaction
+whose staged state died with the worker (reason ``"shard-failover"``),
+and keeps serving — a benchmark degrades instead of hanging.  Staged
+writes, read-timestamp metadata and version history accumulated inside
+the dead worker are lost; committed state survives via the mirror.
+
+Construction forks the workers, so build the engine before starting
+server threads (both servers construct their engine before binding).
+The snapshot read cache is not supported in process mode — the cache
+publishes from inside the engine critical section, which now lives in
+another process — and ``validate_protocol_options`` rejects the combination.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import socket
+import struct
+import threading
+import time
+import weakref
+from typing import Callable, Mapping
+
+from repro.core.bounds import EpsilonLevel, TransactionBounds
+from repro.core.hierarchy import ROOT_GROUP
+from repro.core.metric import DistanceFunction, absolute_distance
+from repro.engine.api import (
+    build_unsharded,
+    protocol_spec,
+    validate_protocol_options,
+)
+from repro.engine.database import Database
+from repro.engine.metrics import MetricsCollector
+from repro.engine.results import Granted, MustWait, Outcome, Rejected
+from repro.engine.scheduler import WaitRegistry
+from repro.engine.sharded import (
+    _SELF_FIRE_BACKOFF_CAP,
+    _SELF_FIRE_BACKOFF_INITIAL,
+    _LockedMetrics,
+    _SharedWaitRegistry,
+)
+from repro.engine.timestamps import Timestamp, TimestampGenerator
+from repro.engine.transactions import (
+    TransactionKind,
+    TransactionState,
+    TransactionStatus,
+)
+from repro.errors import InvalidOperation
+from repro.perf import counters as _perf
+
+__all__ = [
+    "ProcessShardedEngine",
+    "process_sharding_unavailable",
+    "REASON_SHARD_FAILOVER",
+]
+
+#: Abort reason used when a shard worker dies with a transaction's staged
+#: state inside it.
+REASON_SHARD_FAILOVER = "shard-failover"
+
+_HEADER = struct.Struct("!I")
+
+
+# -- framing -------------------------------------------------------------------
+
+
+def _send_frame(sock: socket.socket, frame: object) -> None:
+    payload = pickle.dumps(frame, protocol=pickle.HIGHEST_PROTOCOL)
+    sock.sendall(_HEADER.pack(len(payload)) + payload)
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            raise EOFError("shard channel closed")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def _recv_frame(sock: socket.socket) -> object:
+    (length,) = _HEADER.unpack(_recv_exact(sock, _HEADER.size))
+    return pickle.loads(_recv_exact(sock, length))
+
+
+# -- worker side ---------------------------------------------------------------
+
+
+class _MirrorWaitRegistry(WaitRegistry):
+    """Worker-local registry fed by the parent's wait_note/wakeup frames.
+
+    Nothing subscribes inside a worker (waiting is the parent's job); the
+    registry exists so the 2PL deadlock walk — ``waits.waiting_on(node)``
+    — sees the cross-shard wait-for edges the parent observed.
+    """
+
+    def note(self, waiter: int, blocker: int) -> None:
+        self._waiting_on[waiter] = blocker
+
+
+def _build_sibling(
+    engine, descriptor: dict, siblings: dict[int, TransactionState]
+) -> TransactionState:
+    sibling = TransactionState(
+        transaction_id=descriptor["transaction_id"],
+        kind=TransactionKind(descriptor["kind"]),
+        timestamp=descriptor["timestamp"],
+        bounds=descriptor["bounds"],
+        catalog=engine.database.catalog,
+        group_limits=descriptor["group_limits"],
+        object_limits=descriptor["object_limits"],
+        allow_inconsistent_reads=descriptor["allow_inconsistent_reads"],
+    )
+    engine.adopt(sibling)
+    siblings[sibling.transaction_id] = sibling
+    return sibling
+
+
+def _handle_op(engine, siblings: dict[int, TransactionState], payload):
+    txn_id, descriptor, op, object_id, value, account_state, import_state = (
+        payload
+    )
+    sibling = siblings.get(txn_id)
+    if sibling is None:
+        sibling = _build_sibling(engine, descriptor, siblings)
+    sibling.account.load_state(account_state)
+    has_import = (
+        sibling.import_account is not None
+        and sibling.import_account is not sibling.account
+    )
+    if import_state is not None and has_import:
+        sibling.import_account.load_state(import_state)
+    if op == "read":
+        outcome = engine.read(sibling, object_id)
+    else:
+        outcome = engine.write(sibling, object_id, value)
+    if not sibling.is_active:
+        # A rejection auto-aborted (and finished) the sibling.
+        siblings.pop(txn_id, None)
+    import_dump = sibling.import_account.dump_state() if has_import else None
+    return (outcome, sibling.account.dump_state(), import_dump)
+
+
+def _handle_complete(
+    engine,
+    siblings: dict[int, TransactionState],
+    txn_id: int,
+    status_value: str,
+    reason: str | None,
+):
+    sibling = siblings.pop(txn_id, None)
+    if sibling is None:
+        return {}
+    status = TransactionStatus(status_value)
+    if sibling.is_active:
+        engine.complete(sibling, status, reason)
+    committed: dict[int, tuple[float, Timestamp]] = {}
+    if status is TransactionStatus.COMMITTED:
+        for object_id in sibling.write_set:
+            obj = engine.database.get(object_id)
+            committed[object_id] = (obj.committed_value, obj.committed_write_ts)
+    return committed
+
+
+def _worker_main(
+    sock: socket.socket,
+    inherited: list[socket.socket],
+    shard_db: Database,
+    protocol: str,
+    distance: DistanceFunction,
+    export_policy: str,
+    wait_policy: str,
+) -> None:
+    """One shard worker: an ordinary engine behind a frame loop."""
+    # Forked children inherit every socketpair created before their fork;
+    # close the ones that are not ours so the parent closing a channel
+    # produces EOF at its worker instead of lingering in our fd table.
+    for other in inherited:
+        try:
+            other.close()
+        except OSError:
+            pass
+    engine = build_unsharded(
+        shard_db,
+        protocol_spec(protocol),
+        distance=distance,
+        export_policy=export_policy,
+        wait_policy=wait_policy,
+    )
+    engine.waits = _MirrorWaitRegistry()
+    siblings: dict[int, TransactionState] = {}
+    try:
+        while True:
+            frame = _recv_frame(sock)
+            kind = frame[0]
+            if kind == "op":
+                try:
+                    reply = ("ok", _handle_op(engine, siblings, frame[1]))
+                except Exception as exc:  # relayed to the caller
+                    reply = ("err", exc)
+                _send_frame(sock, reply)
+            elif kind == "complete":
+                try:
+                    reply = (
+                        "ok",
+                        _handle_complete(
+                            engine, siblings, frame[1], frame[2], frame[3]
+                        ),
+                    )
+                except Exception as exc:
+                    reply = ("err", exc)
+                _send_frame(sock, reply)
+            elif kind == "wait_note":
+                engine.waits.note(frame[1], frame[2])
+            elif kind == "wakeup":
+                engine.waits.fire(frame[1])
+            elif kind == "shutdown":
+                return
+    except (EOFError, OSError):
+        return
+    finally:
+        try:
+            sock.close()
+        except OSError:
+            pass
+
+
+# -- parent side ---------------------------------------------------------------
+
+
+class _WorkerChannel:
+    """One shard's RPC endpoint: socket + process + a send/recv lock.
+
+    The lock is held across a request's send *and* receive, so replies
+    pair with requests even when several server threads hit the same
+    shard; one-way posts interleave FIFO-safely on the same socket.
+    """
+
+    def __init__(self, sock: socket.socket, process) -> None:
+        self.sock = sock
+        self.process = process
+        self.lock = threading.Lock()
+        self.closed = False
+
+    def request(self, frame: object):
+        with self.lock:
+            if self.closed:
+                raise EOFError("shard channel closed")
+            _send_frame(self.sock, frame)
+            return _recv_frame(self.sock)
+
+    def post(self, frame: object) -> None:
+        with self.lock:
+            if self.closed:
+                return
+            _send_frame(self.sock, frame)
+
+    def close(self, timeout: float = 1.0) -> None:
+        with self.lock:
+            if not self.closed:
+                self.closed = True
+                try:
+                    _send_frame(self.sock, ("shutdown",))
+                except OSError:
+                    pass
+                try:
+                    self.sock.close()
+                except OSError:
+                    pass
+        if self.process is not None:
+            self.process.join(timeout)
+            if self.process.is_alive():
+                self.process.terminate()
+                self.process.join(timeout)
+
+
+def _reap(channels: list[_WorkerChannel]) -> None:
+    """weakref.finalize hook: never leak worker processes."""
+    for channel in channels:
+        try:
+            channel.close(timeout=0.5)
+        except Exception:
+            pass
+
+
+def process_sharding_unavailable() -> str | None:
+    """Why real process sharding would not help here, or None if it would.
+
+    ``"no-fork"`` — the platform cannot fork (workers inherit their shard
+    database and socket by fork; spawn cannot ship the socketpair).
+    ``"single-core"`` — forking N workers onto one core only adds IPC
+    cost; the thread-based composite is the better engine there.
+    """
+    if "fork" not in multiprocessing.get_all_start_methods():
+        return "no-fork"
+    if (os.cpu_count() or 1) <= 1:
+        return "single-core"
+    return None
+
+
+class _ProcessWaitRegistry(_SharedWaitRegistry):
+    """The shared parent registry plus cross-process edge mirroring."""
+
+    def __init__(
+        self,
+        is_active: Callable[[int], bool],
+        is_completing: Callable[[int], bool],
+        broadcast: Callable[[tuple], None],
+    ) -> None:
+        super().__init__(is_active, is_completing)
+        self._broadcast = broadcast
+
+    def subscribe(
+        self,
+        blocking_transaction: int,
+        callback: Callable[[], None],
+        waiter_transaction: int | None = None,
+    ) -> None:
+        parked = False
+        backoff = 0.0
+        with self._lock:
+            if self._is_active(blocking_transaction):
+                self._self_fires.pop(
+                    (waiter_transaction, blocking_transaction), None
+                )
+                WaitRegistry.subscribe(
+                    self,
+                    blocking_transaction,
+                    callback,
+                    waiter_transaction=waiter_transaction,
+                )
+                parked = True
+            elif self._is_completing(blocking_transaction):
+                key = (waiter_transaction, blocking_transaction)
+                count = self._self_fires.get(key, 0)
+                self._self_fires[key] = count + 1
+                backoff = min(
+                    _SELF_FIRE_BACKOFF_INITIAL * (2**count),
+                    _SELF_FIRE_BACKOFF_CAP,
+                )
+        if parked:
+            if waiter_transaction is not None:
+                self._broadcast(
+                    ("wait_note", waiter_transaction, blocking_transaction)
+                )
+            return
+        if backoff > 0.0:
+            time.sleep(backoff)
+        callback()
+
+    def fire(self, completed_transaction: int) -> int:
+        count = super().fire(completed_transaction)
+        self._broadcast(("wakeup", completed_transaction))
+        return count
+
+
+class ProcessShardedEngine:
+    """N per-shard engines in worker processes behind the one
+    :class:`~repro.engine.api.Engine` interface."""
+
+    #: Hosts holding a global engine mutex may skip it for this engine —
+    #: the per-shard channel locks are the critical sections.
+    thread_safe = True
+
+    def __init__(
+        self,
+        database: Database,
+        protocol: str = "esr",
+        *,
+        shards: int,
+        distance: DistanceFunction = absolute_distance,
+        export_policy: str = "max",
+        wait_policy: str = "wait",
+        snapshot_cache: bool = False,
+        metrics: MetricsCollector | None = None,
+        timestamps: TimestampGenerator | None = None,
+    ):
+        self._spec = validate_protocol_options(
+            protocol,
+            snapshot_cache=snapshot_cache,
+            wait_policy=wait_policy,
+            shards=shards,
+            processes=True,
+        )
+        self.database = database
+        self.protocol = protocol
+        self.shards = shards
+        self.wait_policy = wait_policy
+        self.export_policy = export_policy
+        self.distance = distance
+        self.metrics = metrics if metrics is not None else _LockedMetrics()
+        #: No snapshot cache in process mode (see module docstring).
+        self.snapshot = None
+        self._timestamps = (
+            timestamps if timestamps is not None else TimestampGenerator()
+        )
+        self._next_id = 1
+        self._txn_lock = threading.Lock()
+        self._active: dict[int, TransactionState] = {}
+        #: Global txn id -> shards it has operated on (completion fan-out).
+        self._touched: dict[int, set[int]] = {}
+        #: Global txn id -> shards already holding its sibling descriptor.
+        self._shipped: dict[int, set[int]] = {}
+        #: Global txn id -> the picklable BEGIN descriptor shipped on a
+        #: shard's first touch.
+        self._specs: dict[int, dict] = {}
+        #: Global txn id -> {shard: sibling} for *failed-over* (local)
+        #: shards only; healthy shards keep their siblings worker-side.
+        self._siblings: dict[int, dict[int, TransactionState]] = {}
+        self._completing: set[int] = set()
+        self.waits = _ProcessWaitRegistry(
+            self._is_globally_active, self._is_completing, self._broadcast
+        )
+        # Shard-local database views aliasing the parent's objects.  The
+        # fork below copy-on-writes them into each worker; the parent's
+        # originals stay behind as the committed-state mirror and as the
+        # substrate for in-process failover engines.
+        self._databases = [
+            Database(
+                catalog=database.catalog,
+                version_window=database.version_window,
+            )
+            for _ in range(shards)
+        ]
+        for obj in database.objects():
+            self._databases[obj.object_id % shards].adopt_object(obj)
+        #: In-process replacement engines for dead shards (None = healthy).
+        self._local: list[object | None] = [None] * shards
+        self._local_locks = [threading.Lock() for _ in range(shards)]
+        self._failover_lock = threading.RLock()
+        self._closed = False
+        context = multiprocessing.get_context("fork")
+        pairs = [socket.socketpair() for _ in range(shards)]
+        self._channels: list[_WorkerChannel] = []
+        for shard in range(shards):
+            parent_sock, child_sock = pairs[shard]
+            inherited = [
+                endpoint
+                for index, pair in enumerate(pairs)
+                if index != shard
+                for endpoint in pair
+            ]
+            process = context.Process(
+                target=_worker_main,
+                args=(
+                    child_sock,
+                    inherited,
+                    self._databases[shard],
+                    protocol,
+                    distance,
+                    export_policy,
+                    wait_policy,
+                ),
+                name=f"repro-shard-{shard}",
+                daemon=True,
+            )
+            process.start()
+            self._channels.append(_WorkerChannel(parent_sock, process))
+        for _, child_sock in pairs:
+            child_sock.close()
+        self._finalizer = weakref.finalize(self, _reap, list(self._channels))
+
+    # -- routing ---------------------------------------------------------------
+
+    def shard_of(self, object_id: int) -> int:
+        return object_id % self.shards
+
+    def worker_pids(self) -> tuple[int | None, ...]:
+        """Worker process ids (None once a shard has failed over)."""
+        return tuple(
+            None
+            if channel.closed or channel.process is None
+            else channel.process.pid
+            for channel in self._channels
+        )
+
+    def failed_shards(self) -> tuple[int, ...]:
+        return tuple(
+            shard
+            for shard, local in enumerate(self._local)
+            if local is not None
+        )
+
+    def _is_globally_active(self, transaction_id: int) -> bool:
+        return transaction_id in self._active
+
+    def _is_completing(self, transaction_id: int) -> bool:
+        return transaction_id in self._completing
+
+    def _broadcast(self, frame: tuple) -> None:
+        for channel in self._channels:
+            try:
+                channel.post(frame)
+            except OSError:
+                pass  # the op path notices the dead worker and fails over
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def begin(
+        self,
+        kind: TransactionKind | str,
+        bounds: TransactionBounds | EpsilonLevel | None = None,
+        timestamp: Timestamp | None = None,
+        group_limits: Mapping[str, float] | None = None,
+        object_limits: Mapping[int, float] | None = None,
+        allow_inconsistent_reads: bool = False,
+    ) -> TransactionState:
+        if isinstance(kind, str):
+            kind = TransactionKind(kind.lower())
+        if bounds is None:
+            bounds = TransactionBounds()
+        elif isinstance(bounds, EpsilonLevel):
+            bounds = bounds.transaction
+        with self._txn_lock:
+            if timestamp is None:
+                timestamp = self._timestamps.next()
+            txn = TransactionState(
+                transaction_id=self._next_id,
+                kind=kind,
+                timestamp=timestamp,
+                bounds=bounds,
+                catalog=self.database.catalog,
+                group_limits=group_limits,
+                object_limits=object_limits,
+                allow_inconsistent_reads=allow_inconsistent_reads,
+            )
+            self._next_id += 1
+            self._register(
+                txn,
+                {
+                    "transaction_id": txn.transaction_id,
+                    "kind": kind.value,
+                    "timestamp": timestamp,
+                    "bounds": bounds,
+                    "group_limits": (
+                        dict(group_limits) if group_limits is not None else None
+                    ),
+                    "object_limits": (
+                        dict(object_limits)
+                        if object_limits is not None
+                        else None
+                    ),
+                    "allow_inconsistent_reads": allow_inconsistent_reads,
+                },
+            )
+        return txn
+
+    def adopt(self, txn: TransactionState) -> None:
+        """Register an externally-built transaction as globally active."""
+        group_limits = {
+            level: limit
+            for level, (_usage, limit) in txn.account.level_snapshot().items()
+            if level != ROOT_GROUP
+        }
+        with self._txn_lock:
+            self._register(
+                txn,
+                {
+                    "transaction_id": txn.transaction_id,
+                    "kind": txn.kind.value,
+                    "timestamp": txn.timestamp,
+                    "bounds": txn.bounds,
+                    "group_limits": group_limits or None,
+                    "object_limits": dict(txn.object_limits) or None,
+                    "allow_inconsistent_reads": (
+                        txn.is_update and txn.import_account is not None
+                    ),
+                },
+            )
+
+    def _register(self, txn: TransactionState, descriptor: dict) -> None:
+        self._active[txn.transaction_id] = txn
+        self._touched[txn.transaction_id] = set()
+        self._shipped[txn.transaction_id] = set()
+        self._specs[txn.transaction_id] = descriptor
+        self._siblings[txn.transaction_id] = {}
+
+    def active_transactions(self) -> tuple[TransactionState, ...]:
+        return tuple(self._active.values())
+
+    # -- operations -------------------------------------------------------------
+
+    def read(self, txn: TransactionState, object_id: int) -> Outcome:
+        txn.require_active()
+        self.database.get(object_id)  # unknown-object parity before any RPC
+        return self._operate(txn, "read", object_id, 0.0)
+
+    def write(
+        self, txn: TransactionState, object_id: int, value: float
+    ) -> Outcome:
+        txn.require_active()
+        if not txn.is_update:
+            raise InvalidOperation(
+                f"query transaction {txn.transaction_id} cannot write",
+                txn.transaction_id,
+            )
+        self.database.get(object_id)
+        return self._operate(txn, "write", object_id, float(value))
+
+    def read_cached(
+        self, txn: TransactionState, object_id: int
+    ) -> Granted | None:
+        """No snapshot cache in process mode — always fall back."""
+        return None
+
+    def _operate(
+        self, txn: TransactionState, op: str, object_id: int, value: float
+    ) -> Outcome:
+        txn_id = txn.transaction_id
+        shard = object_id % self.shards
+        shipped = self._shipped.get(txn_id)
+        if shipped is None:
+            raise InvalidOperation(
+                f"transaction {txn_id} is not active", txn_id
+            )
+        if self._local[shard] is not None:
+            return self._local_op(txn, shard, op, object_id, value)
+        descriptor = self._specs[txn_id] if shard not in shipped else None
+        account_state = txn.account.dump_state()
+        has_import = (
+            txn.import_account is not None
+            and txn.import_account is not txn.account
+        )
+        import_state = txn.import_account.dump_state() if has_import else None
+        frame = (
+            "op",
+            (
+                txn_id,
+                descriptor,
+                op,
+                object_id,
+                value,
+                account_state,
+                import_state,
+            ),
+        )
+        try:
+            reply = self._channels[shard].request(frame)
+        except (OSError, EOFError):
+            return self._shard_failed(txn, shard)
+        shipped.add(shard)
+        if reply[0] == "err":
+            raise reply[1]
+        outcome, account_state, import_state = reply[1]
+        txn.account.load_state(account_state)
+        if import_state is not None and has_import:
+            txn.import_account.load_state(import_state)
+        touched = self._touched.get(txn_id)
+        if touched is not None:
+            touched.add(shard)
+        return self._absorb(txn, object_id, outcome, is_read=(op == "read"))
+
+    def _local_op(
+        self,
+        txn: TransactionState,
+        shard: int,
+        op: str,
+        object_id: int,
+        value: float,
+    ) -> Outcome:
+        """Operate on a failed-over shard's in-process engine."""
+        engine = self._local[shard]
+        with self._local_locks[shard]:
+            sibling = self._local_sibling(txn, shard)
+            if op == "read":
+                outcome = engine.read(sibling, object_id)
+            else:
+                outcome = engine.write(sibling, object_id, value)
+        touched = self._touched.get(txn.transaction_id)
+        if touched is not None:
+            touched.add(shard)
+        return self._absorb(txn, object_id, outcome, is_read=(op == "read"))
+
+    def _local_sibling(
+        self, txn: TransactionState, shard: int
+    ) -> TransactionState:
+        shard_map = self._siblings.get(txn.transaction_id)
+        if shard_map is None:
+            raise InvalidOperation(
+                f"transaction {txn.transaction_id} is not active",
+                txn.transaction_id,
+            )
+        sibling = shard_map.get(shard)
+        if sibling is None:
+            sibling = TransactionState(
+                transaction_id=txn.transaction_id,
+                kind=txn.kind,
+                timestamp=txn.timestamp,
+                bounds=txn.bounds,
+                catalog=self.database.catalog,
+            )
+            # In-process again: the accounts can be shared directly, as
+            # in the thread-based composite.
+            sibling.account = txn.account
+            sibling.import_account = txn.import_account
+            sibling.object_limits = txn.object_limits
+            shard_map[shard] = sibling
+            self._local[shard].adopt(sibling)
+        return sibling
+
+    def _absorb(
+        self,
+        txn: TransactionState,
+        object_id: int,
+        outcome: Outcome,
+        is_read: bool,
+    ) -> Outcome:
+        """Mirror a shard outcome onto the global state and the metrics.
+
+        Unlike the thread-based composite — whose inner engines share the
+        composite's collector — worker metrics are discarded, so the
+        parent re-records each outcome exactly as a bare manager would.
+        """
+        if isinstance(outcome, Granted):
+            if is_read:
+                txn.read_set.add(object_id)
+                self.metrics.record_read(outcome.esr_case)
+            else:
+                txn.write_set.add(object_id)
+                self.metrics.record_write(outcome.esr_case)
+            txn.operations += 1
+            if outcome.esr_case is not None:
+                txn.inconsistent_operations += 1
+        elif isinstance(outcome, MustWait):
+            self.metrics.record_wait()
+        elif isinstance(outcome, Rejected):
+            # The shard already aborted and finished the sibling it saw;
+            # record as the bare manager's _reject would, then propagate
+            # the abort to every other touched shard.
+            self.metrics.record_rejection()
+            self._finish_global(
+                txn,
+                TransactionStatus.ABORTED,
+                outcome.reason,
+                record=True,
+                already_finished=object_id % self.shards,
+            )
+        return outcome
+
+    # -- completion --------------------------------------------------------------
+
+    def commit(self, txn: TransactionState) -> None:
+        txn.require_active()
+        self._finish_global(
+            txn, TransactionStatus.COMMITTED, None, record=True
+        )
+
+    def abort(
+        self, txn: TransactionState, reason: str = "client-abort"
+    ) -> None:
+        if txn.status is TransactionStatus.ABORTED:
+            return
+        if txn.status is TransactionStatus.COMMITTED:
+            raise InvalidOperation(
+                f"cannot abort committed transaction {txn.transaction_id}",
+                txn.transaction_id,
+            )
+        self._finish_global(
+            txn, TransactionStatus.ABORTED, reason, record=True
+        )
+
+    def _finish_global(
+        self,
+        txn: TransactionState,
+        status: TransactionStatus,
+        reason: str | None,
+        record: bool,
+        already_finished: int | None = None,
+    ) -> None:
+        """Decide the completion once, fan it out to every touched shard."""
+        with self._txn_lock:
+            self._completing.add(txn.transaction_id)
+            touched = self._touched.pop(txn.transaction_id, set())
+            local_map = self._siblings.pop(txn.transaction_id, {})
+            self._shipped.pop(txn.transaction_id, None)
+            self._specs.pop(txn.transaction_id, None)
+            self._active.pop(txn.transaction_id, None)
+        committing = status is TransactionStatus.COMMITTED
+        for shard in sorted(touched):
+            if shard == already_finished:
+                continue
+            engine = self._local[shard]
+            if engine is not None:
+                sibling = local_map.get(shard)
+                if sibling is not None and sibling.is_active:
+                    with self._local_locks[shard]:
+                        engine.complete(sibling, status, reason)
+                continue
+            try:
+                reply = self._channels[shard].request(
+                    ("complete", txn.transaction_id, status.value, reason)
+                )
+            except (OSError, EOFError):
+                # The shard's staged effects died with its worker; the
+                # mirror below is the surviving committed state.
+                self._failover(shard)
+                continue
+            if reply[0] == "err":
+                continue
+            if committing:
+                for object_id, (value, write_ts) in reply[1].items():
+                    self.database.get(object_id).adopt_committed(
+                        value, write_ts
+                    )
+        if status is TransactionStatus.ABORTED:
+            txn.abort_reason = reason
+            if record:
+                self.metrics.record_abort(reason or "unknown")
+        elif record:
+            self.metrics.record_commit(
+                txn.is_query, txn.imported, txn.exported
+            )
+        txn.status = status
+        self.waits.fire(txn.transaction_id)
+        self._completing.discard(txn.transaction_id)
+
+    # -- worker failure ----------------------------------------------------------
+
+    def _shard_failed(self, txn: TransactionState, shard: int) -> Rejected:
+        """An op hit a dead worker: fail the shard over, abort the txn."""
+        self._failover(shard)
+        if txn.is_active:
+            self._finish_global(
+                txn,
+                TransactionStatus.ABORTED,
+                REASON_SHARD_FAILOVER,
+                record=True,
+            )
+        return Rejected(
+            REASON_SHARD_FAILOVER,
+            detail=(
+                f"shard {shard} worker died; the shard continues in-process"
+            ),
+        )
+
+    def _failover(self, shard: int) -> None:
+        """Replace a dead worker with an in-process engine over the mirror.
+
+        Committed state survives (the parent mirrors every commit);
+        whatever lived only inside the worker — staged writes, read
+        timestamps, reader registries, version history — is gone, so
+        every transaction that touched the shard is aborted with
+        ``"shard-failover"`` and restarts under a fresh timestamp.
+        """
+        with self._failover_lock:
+            if self._local[shard] is not None or self._closed:
+                return
+            self._channels[shard].close(timeout=0.2)
+            _perf.shard_failovers += 1
+            engine = build_unsharded(
+                self._databases[shard],
+                self._spec,
+                distance=self.distance,
+                export_policy=self.export_policy,
+                wait_policy=self.wait_policy,
+            )
+            engine.waits = self.waits
+            self._local[shard] = engine
+        for txn in list(self._active.values()):
+            touched = self._touched.get(txn.transaction_id)
+            if touched is not None and shard in touched and txn.is_active:
+                self._finish_global(
+                    txn,
+                    TransactionStatus.ABORTED,
+                    REASON_SHARD_FAILOVER,
+                    record=True,
+                    already_finished=shard,
+                )
+
+    # -- teardown ----------------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut every worker down (idempotent); never leaves orphans."""
+        if self._closed:
+            return
+        self._closed = True
+        for channel in self._channels:
+            channel.close()
+        self._finalizer.detach()
+
+    def __enter__(self) -> "ProcessShardedEngine":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        failed = len(self.failed_shards())
+        degraded = f", failed_over={failed}" if failed else ""
+        return (
+            f"ProcessShardedEngine(protocol={self.protocol!r}, "
+            f"shards={self.shards}, active={len(self._active)}, "
+            f"objects={len(self.database)}{degraded})"
+        )

@@ -56,6 +56,7 @@ nothing else.
 from __future__ import annotations
 
 import threading
+import time
 from typing import Callable, Mapping
 
 from repro.core.bounds import EpsilonLevel, TransactionBounds
@@ -110,6 +111,16 @@ class _LockedMetrics(MetricsCollector):
             super().record_abort(reason)
 
 
+#: Self-fire backoff while a multi-shard completion is in flight: first
+#: retry sleeps the initial quantum, each further retry doubles it up to
+#: the cap.  The cap keeps the waiter responsive (a completion holds a
+#: shard lock for microseconds, not milliseconds); the growth stops the
+#: subscribe-retry loop from spinning a core when the blocker's slowest
+#: shard takes long to complete.
+_SELF_FIRE_BACKOFF_INITIAL = 0.0001
+_SELF_FIRE_BACKOFF_CAP = 0.005
+
+
 class _SharedWaitRegistry(WaitRegistry):
     """One wait registry shared by every shard's inner engine.
 
@@ -117,12 +128,28 @@ class _SharedWaitRegistry(WaitRegistry):
     blocking transaction is no longer globally active when a waiter
     subscribes, the callback fires immediately instead of being parked
     forever (the subscriber raced the completion).
+
+    While the blocker's completion is still being applied shard by shard
+    (``is_completing``), consecutive self-fires for the same waiter sleep
+    a capped exponential backoff first — the retry loop stays a *bounded*
+    busy retry instead of a core-burning spin when the blocker commits
+    late on one of its other shards.
     """
 
-    def __init__(self, is_active: Callable[[int], bool]) -> None:
+    def __init__(
+        self,
+        is_active: Callable[[int], bool],
+        is_completing: Callable[[int], bool] | None = None,
+    ) -> None:
         super().__init__()
         self._lock = threading.RLock()
         self._is_active = is_active
+        self._is_completing = (
+            is_completing if is_completing is not None else lambda _txn: False
+        )
+        #: (waiter, blocker) -> consecutive self-fires against an
+        #: in-flight completion, driving the backoff schedule.
+        self._self_fires: dict[tuple[int | None, int], int] = {}
 
     def subscribe(
         self,
@@ -130,14 +157,28 @@ class _SharedWaitRegistry(WaitRegistry):
         callback: Callable[[], None],
         waiter_transaction: int | None = None,
     ) -> None:
+        backoff = 0.0
         with self._lock:
             if self._is_active(blocking_transaction):
+                self._self_fires.pop(
+                    (waiter_transaction, blocking_transaction), None
+                )
                 super().subscribe(
                     blocking_transaction,
                     callback,
                     waiter_transaction=waiter_transaction,
                 )
                 return
+            if self._is_completing(blocking_transaction):
+                key = (waiter_transaction, blocking_transaction)
+                count = self._self_fires.get(key, 0)
+                self._self_fires[key] = count + 1
+                backoff = min(
+                    _SELF_FIRE_BACKOFF_INITIAL * (2**count),
+                    _SELF_FIRE_BACKOFF_CAP,
+                )
+        if backoff > 0.0:
+            time.sleep(backoff)
         callback()
 
     def fire(self, completed_transaction: int) -> int:
@@ -151,6 +192,13 @@ class _SharedWaitRegistry(WaitRegistry):
             ]
             for waiter in stale:
                 del self._waiting_on[waiter]
+            done = [
+                key
+                for key in self._self_fires
+                if key[1] == completed_transaction
+            ]
+            for key in done:
+                del self._self_fires[key]
         for callback in callbacks:
             callback()
         return len(callbacks)
@@ -236,7 +284,13 @@ class ShardedEngine:
         self._active: dict[int, TransactionState] = {}
         #: Global txn id -> {shard index: sibling TransactionState}.
         self._siblings: dict[int, dict[int, TransactionState]] = {}
-        self.waits = _SharedWaitRegistry(self._is_globally_active)
+        #: Transactions popped from ``_active`` whose per-shard completion
+        #: is still being applied — waiters self-firing against these back
+        #: off instead of spinning (see :class:`_SharedWaitRegistry`).
+        self._completing: set[int] = set()
+        self.waits = _SharedWaitRegistry(
+            self._is_globally_active, self._is_completing
+        )
         # Partition: shard-local Database views aliasing the real objects
         # (and sharing the real catalog), one inner engine + lock each.
         self._databases = [
@@ -277,6 +331,9 @@ class ShardedEngine:
 
     def _is_globally_active(self, transaction_id: int) -> bool:
         return transaction_id in self._active
+
+    def _is_completing(self, transaction_id: int) -> bool:
+        return transaction_id in self._completing
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -468,6 +525,7 @@ class ShardedEngine:
         per-shard fires and the final fire below.
         """
         with self._txn_lock:
+            self._completing.add(txn.transaction_id)
             shard_map = self._siblings.pop(txn.transaction_id, {})
             self._active.pop(txn.transaction_id, None)
         for shard in sorted(shard_map):
@@ -484,6 +542,7 @@ class ShardedEngine:
             self.metrics.record_commit(txn.is_query, txn.imported, txn.exported)
         txn.status = status
         self.waits.fire(txn.transaction_id)
+        self._completing.discard(txn.transaction_id)
 
     def __repr__(self) -> str:
         return (

@@ -34,6 +34,14 @@ from:
   (:class:`~repro.engine.sharded.ShardedEngine`).  The pair's ratio
   (``speedup_sharded``) is what replacing the global engine mutex with
   per-shard critical sections buys.
+* ``write-heavy-4proc`` — the same write-heavy mix with the four shard
+  engines in worker **processes**
+  (:class:`~repro.engine.procshard.ProcessShardedEngine`).  Against
+  ``write-heavy-1shard`` this (``speedup_process_sharded``) is what
+  escaping the GIL buys; against ``write-heavy-4shard`` it isolates the
+  IPC cost/parallelism trade.  On a single-core host the row degrades
+  to the thread composite and the report carries
+  ``process_sharding_degraded`` so ~1.0x is not misread.
 
 The headline ``speedup_requests_per_s`` is ``async`` versus the
 ``threaded`` baseline.
@@ -65,6 +73,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import os
 import platform
 import time
 from dataclasses import dataclass, field
@@ -642,6 +651,7 @@ def _start_server(
     database: Database,
     snapshot_cache: bool = False,
     shards: int = 1,
+    processes: bool | str = False,
 ):
     """Start one server of ``kind``; returns (port, shutdown_callable)."""
     if kind == "threaded":
@@ -652,6 +662,7 @@ def _start_server(
             wait_timeout=5.0,
             snapshot_cache=snapshot_cache,
             shards=shards,
+            processes=processes,
         )
 
         def stop() -> None:
@@ -667,6 +678,7 @@ def _start_server(
             wait_timeout=5.0,
             snapshot_cache=snapshot_cache,
             shards=shards,
+            processes=processes,
         )
         return handle.port, handle.shutdown
     raise ValueError(f"unknown server kind {kind!r}")
@@ -684,6 +696,11 @@ class SuiteRow:
     #: (see :class:`repro.engine.sharded.ShardedEngine`); 1 is the plain
     #: single-engine server.
     shards: int = 1
+    #: Run the shard engines in worker processes
+    #: (:class:`repro.engine.procshard.ProcessShardedEngine`).  ``True``
+    #: degrades to threads where processes cannot help (single core, no
+    #: fork) — the report marks the degradation so the row is honest.
+    processes: bool | str = False
     #: LoadConfig field overrides applied on top of the suite config.
     overrides: tuple[tuple[str, object], ...] = ()
 
@@ -714,6 +731,13 @@ SUITE_ROWS = {
     "write-heavy-4shard": SuiteRow(
         "threaded", "pipelined", shards=4, overrides=_WRITE_HEAVY
     ),
+    "write-heavy-4proc": SuiteRow(
+        "threaded",
+        "pipelined",
+        shards=4,
+        processes=True,
+        overrides=_WRITE_HEAVY,
+    ),
 }
 
 #: Rows run by default (also the order they are reported in).
@@ -725,6 +749,7 @@ DEFAULT_SERVERS = (
     "read-heavy-cached",
     "write-heavy-1shard",
     "write-heavy-4shard",
+    "write-heavy-4proc",
 )
 
 
@@ -775,6 +800,7 @@ def run_suite(
             database,
             snapshot_cache=row.snapshot_cache,
             shards=row.shards,
+            processes=row.processes,
         )
         try:
             results[kind] = drive("127.0.0.1", port, case_config)
@@ -790,6 +816,7 @@ def run_suite(
             "discipline": row.discipline,
             "snapshot_cache": row.snapshot_cache,
             "shards": row.shards,
+            "processes": bool(row.processes),
             "overrides": dict(row.overrides),
         }
         if progress is not None:
@@ -805,6 +832,9 @@ def run_suite(
         "recorded": {
             "python": platform.python_version(),
             "platform": platform.platform(),
+            # Process sharding's headline number only means anything
+            # relative to how many cores the run actually had.
+            "cpu_count": os.cpu_count(),
         },
         "config": {
             "connections": config.connections,
@@ -841,6 +871,20 @@ def run_suite(
             if base
             else 0.0
         )
+    if "write-heavy-1shard" in results and "write-heavy-4proc" in results:
+        from repro.engine.procshard import process_sharding_unavailable
+
+        base = results["write-heavy-1shard"]["requests_per_s"]
+        report["speedup_process_sharded"] = (
+            round(results["write-heavy-4proc"]["requests_per_s"] / base, 2)
+            if base
+            else 0.0
+        )
+        degraded = process_sharding_unavailable()
+        if degraded is not None:
+            # The 4proc row silently ran on the thread composite; say so
+            # rather than let ~1.0x read as "processes do not help".
+            report["process_sharding_degraded"] = degraded
     return report
 
 
@@ -914,6 +958,17 @@ def format_report(report: dict) -> str:
         lines.append(
             "4 shards vs 1 (write-heavy, threaded): "
             f"{report['speedup_sharded']:.2f}x"
+        )
+    if "speedup_process_sharded" in report:
+        suffix = ""
+        if "process_sharding_degraded" in report:
+            suffix = (
+                " [degraded to threads: "
+                f"{report['process_sharding_degraded']}]"
+            )
+        lines.append(
+            "4 process shards vs 1 (write-heavy, threaded): "
+            f"{report['speedup_process_sharded']:.2f}x{suffix}"
         )
     return "\n".join(lines)
 

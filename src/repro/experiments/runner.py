@@ -159,11 +159,17 @@ def _shared_pool(max_workers: int) -> ProcessPoolExecutor:
     return _POOL
 
 
-def shutdown_pool() -> None:
-    """Tear down the shared worker pool (tests; crash recovery)."""
+def shutdown_pool(wait: bool = True) -> None:
+    """Tear down the shared worker pool (tests; crash recovery).
+
+    The default joins the worker processes, so a clean exit never leaves
+    children behind to race the interpreter's own teardown.  The crash
+    path passes ``wait=False``: a broken pool's workers may be hung or
+    dead, and the recovery code must not block on them.
+    """
     global _POOL
     if _POOL is not None:
-        _POOL.shutdown(wait=False, cancel_futures=True)
+        _POOL.shutdown(wait=wait, cancel_futures=True)
         _POOL = None
 
 
@@ -272,7 +278,9 @@ def run_cells(
                     ),
                 )
         if pool_broken:
-            shutdown_pool()
+            # A crashed worker leaves the pool unusable and possibly
+            # wedged: don't join, just drop it and start fresh.
+            shutdown_pool(wait=False)
         pending = crashed
     return [r for r in results if r is not None]
 

@@ -397,6 +397,7 @@ class AsyncTransactionServer:
         max_inflight: int = DEFAULT_MAX_INFLIGHT,
         snapshot_cache: bool = False,
         shards: int = 1,
+        processes: bool | str = False,
     ):
         self.manager: Engine = create_engine(
             database,
@@ -405,6 +406,7 @@ class AsyncTransactionServer:
             wait_policy=wait_policy,
             snapshot_cache=snapshot_cache,
             shards=shards,
+            processes=processes,
         )
         #: Upper bound on one strict-ordering wait, in seconds.
         self.wait_timeout = wait_timeout
@@ -464,8 +466,17 @@ class AsyncTransactionServer:
             return_exceptions=True,
         )
         if self._lanes is not None:
+            # Join the lane threads: wait=False leaked one thread per
+            # shard per serve/close cycle (an in-flight engine call kept
+            # its worker alive past aclose, and repeated cycles in one
+            # process accumulated them).  The lanes are single-thread
+            # executors whose queued work is cancelled, so the join is
+            # bounded by the one engine call still running.
             for lane in self._lanes:
-                lane.shutdown(wait=False, cancel_futures=True)
+                lane.shutdown(wait=True, cancel_futures=True)
+        close = getattr(self.manager, "close", None)
+        if close is not None:
+            close()
 
     def _abandon(self, conn: _Connection) -> None:
         """Abort whatever a disconnected client left active."""
@@ -710,6 +721,7 @@ def serve_in_thread(
     max_inflight: int = DEFAULT_MAX_INFLIGHT,
     snapshot_cache: bool = False,
     shards: int = 1,
+    processes: bool | str = False,
 ) -> AsyncServerThread:
     """Start an async server on a background loop thread (bound and live)."""
     server = AsyncTransactionServer(
@@ -721,5 +733,6 @@ def serve_in_thread(
         max_inflight=max_inflight,
         snapshot_cache=snapshot_cache,
         shards=shards,
+        processes=processes,
     )
     return AsyncServerThread(server, host, port)

@@ -109,9 +109,12 @@ class TransactionServer(socketserver.ThreadingTCPServer):
         wait_policy: str = "wait",
         snapshot_cache: bool = False,
         shards: int = 1,
+        processes: bool | str = False,
     ):
         # Build (and validate) the engine before binding the socket, so
-        # a bad protocol/option combination never leaks a bound port.
+        # a bad protocol/option combination never leaks a bound port —
+        # and, in process mode, so the shard workers fork before any
+        # serving thread exists.
         self.manager = create_engine(
             database,
             protocol,
@@ -119,6 +122,7 @@ class TransactionServer(socketserver.ThreadingTCPServer):
             wait_policy=wait_policy,
             snapshot_cache=snapshot_cache,
             shards=shards,
+            processes=processes,
         )
         super().__init__(address, _Handler)
         #: Upper bound on one strict-ordering wait (see module constant).
@@ -135,6 +139,13 @@ class TransactionServer(socketserver.ThreadingTCPServer):
     @property
     def port(self) -> int:
         return self.server_address[1]
+
+    def server_close(self) -> None:
+        """Close the listener, then the engine's worker processes."""
+        super().server_close()
+        close = getattr(self.manager, "close", None)
+        if close is not None:
+            close()
 
     # -- request dispatch ------------------------------------------------------
 
@@ -194,6 +205,7 @@ def serve_forever(
     wait_policy: str = "wait",
     snapshot_cache: bool = False,
     shards: int = 1,
+    processes: bool | str = False,
 ) -> TransactionServer:
     """Start a server on a background thread; returns it (bound and live)."""
     server = TransactionServer(
@@ -205,6 +217,7 @@ def serve_forever(
         wait_policy=wait_policy,
         snapshot_cache=snapshot_cache,
         shards=shards,
+        processes=processes,
     )
     thread = threading.Thread(target=server.serve_forever, daemon=True)
     thread.start()

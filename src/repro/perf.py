@@ -63,6 +63,8 @@ class PerfCounters:
                                  not fit, read-your-writes, ineligible txn)
     ``cache_divergence_charged`` total staleness (a float) cache-served
                                  reads charged to their ledgers
+    ``shard_failovers``          process-sharded shards rebuilt in-process
+                                 after their worker died
     ============================ ==============================================
     """
 
@@ -81,6 +83,7 @@ class PerfCounters:
         "cache_misses",
         "cache_fallbacks",
         "cache_divergence_charged",
+        "shard_failovers",
     )
 
     def __init__(self) -> None:
@@ -102,6 +105,7 @@ class PerfCounters:
         self.cache_misses = 0
         self.cache_fallbacks = 0
         self.cache_divergence_charged = 0.0
+        self.shard_failovers = 0
 
     def record_conflict_case(self, case: str) -> None:
         tally = self.conflict_cases
@@ -124,6 +128,7 @@ class PerfCounters:
             "cache_misses": self.cache_misses,
             "cache_fallbacks": self.cache_fallbacks,
             "cache_divergence_charged": self.cache_divergence_charged,
+            "shard_failovers": self.shard_failovers,
         }
 
     def format_table(self) -> str:

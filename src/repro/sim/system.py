@@ -83,6 +83,11 @@ class SimulationConfig:
     #: simulator is single-threaded, so this exercises the sharded code
     #: paths deterministically rather than adding parallelism.
     shards: int = 1
+    #: Run each shard's engine in a worker process (``shards > 1`` only).
+    #: The DES drives the engine synchronously, so in simulation this
+    #: exercises the cross-process commit protocol deterministically —
+    #: the parallel payoff belongs to the networked servers.
+    processes: bool | str = False
     workload: WorkloadSpec = PAPER_WORKLOAD
     latency: LatencyModel = PAPER_LATENCY
     service_time_ms: float = DEFAULT_SERVICE_TIME_MS
@@ -116,6 +121,7 @@ class SimulationConfig:
                 snapshot_cache=self.snapshot_cache,
                 wait_policy=self.wait_policy,
                 shards=self.shards,
+                processes=bool(self.processes),
             )
         except SpecificationError as exc:
             raise ExperimentError(str(exc)) from None
@@ -200,6 +206,7 @@ def build_simulation(
         wait_policy=config.wait_policy,
         snapshot_cache=config.snapshot_cache,
         shards=config.shards,
+        processes=config.processes,
     )
     server = SimServer(
         manager,

@@ -1,0 +1,307 @@
+"""Tests for the process-per-shard engine composite.
+
+What only :class:`~repro.engine.procshard.ProcessShardedEngine` promises
+— worker lifecycle (no orphans, reaping on garbage collection), graceful
+failover when a worker dies mid-run, degradation on hosts where
+processes cannot help, cross-process wait-for edge mirroring for 2PL
+deadlock detection, and the option-validation seams.  Equivalence with
+the thread composite on the full protocol matrix lives in
+``test_sharded.py`` (the ``processes`` parameterisation).
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+import signal
+import time
+
+import pytest
+
+from repro.core.bounds import TransactionBounds
+from repro.engine.api import create_engine, validate_protocol_options
+from repro.engine.database import Database
+from repro.engine.procshard import (
+    REASON_SHARD_FAILOVER,
+    ProcessShardedEngine,
+    process_sharding_unavailable,
+)
+from repro.engine.results import Granted, MustWait, Rejected
+from repro.engine.twopl import REASON_DEADLOCK
+from repro.engine.sharded import ShardedEngine
+from repro.errors import InvalidOperation, SpecificationError
+
+pytestmark = pytest.mark.skipif(
+    process_sharding_unavailable() == "no-fork",
+    reason="process sharding needs the fork start method",
+)
+
+
+def _database(n_objects: int = 8, value: float = 100.0) -> Database:
+    db = Database()
+    for index in range(n_objects):
+        db.create_object(index, value=value)
+    return db
+
+
+@pytest.fixture
+def make_engine():
+    created: list = []
+
+    def make(database=None, protocol="esr", shards=2, **kwargs):
+        engine = create_engine(
+            database if database is not None else _database(),
+            protocol,
+            shards=shards,
+            processes="force",
+            **kwargs,
+        )
+        created.append(engine)
+        return engine
+
+    yield make
+    for engine in created:
+        engine.close()
+
+
+def _wait_dead(pids, timeout=5.0):
+    """Block until every pid is gone; return the stragglers."""
+    deadline = time.monotonic() + timeout
+    remaining = list(pids)
+    while remaining and time.monotonic() < deadline:
+        still = []
+        for pid in remaining:
+            try:
+                os.kill(pid, 0)
+            except ProcessLookupError:
+                continue
+            # A zombie still responds to signal 0; reap it if it is ours.
+            done, _status = os.waitpid(pid, os.WNOHANG)
+            if done == 0:
+                still.append(pid)
+        remaining = still
+        if remaining:
+            time.sleep(0.02)
+    return remaining
+
+
+class TestWorkerLifecycle:
+    def test_one_live_worker_per_shard(self, make_engine):
+        engine = make_engine(shards=4)
+        assert isinstance(engine, ProcessShardedEngine)
+        pids = engine.worker_pids()
+        assert len(pids) == 4
+        assert len(set(pids)) == 4
+        for pid in pids:
+            os.kill(pid, 0)  # raises if the worker is not alive
+
+    def test_close_joins_every_worker(self, make_engine):
+        engine = make_engine(shards=3)
+        txn = engine.begin("update", TransactionBounds(export_limit=1e9))
+        for object_id in range(3):
+            assert isinstance(engine.write(txn, object_id, 7.0), Granted)
+        engine.commit(txn)
+        pids = [pid for pid in engine.worker_pids() if pid is not None]
+        engine.close()
+        assert _wait_dead(pids) == []
+        engine.close()  # idempotent
+
+    def test_garbage_collection_reaps_workers(self):
+        engine = create_engine(
+            _database(), "esr", shards=2, processes="force"
+        )
+        pids = [pid for pid in engine.worker_pids() if pid is not None]
+        del engine
+        gc.collect()
+        assert _wait_dead(pids) == []
+
+    def test_server_close_shuts_workers_down(self):
+        from repro.net.server import serve_forever
+
+        server = serve_forever(_database(), shards=2, processes="force")
+        try:
+            pids = [
+                pid for pid in server.manager.worker_pids() if pid is not None
+            ]
+            assert pids
+        finally:
+            server.shutdown()
+            server.server_close()
+        assert _wait_dead(pids) == []
+
+
+class TestFailover:
+    def _kill_worker(self, engine, shard):
+        pid = engine.worker_pids()[shard]
+        os.kill(pid, signal.SIGKILL)
+        os.waitpid(pid, 0)
+
+    def test_worker_death_aborts_and_fails_over(self, make_engine):
+        engine = make_engine()
+        seed = engine.begin("update", TransactionBounds(export_limit=1e9))
+        assert isinstance(engine.write(seed, 0, 111.0), Granted)
+        assert isinstance(engine.write(seed, 1, 222.0), Granted)
+        engine.commit(seed)
+
+        victim = engine.begin("update", TransactionBounds(export_limit=1e9))
+        assert isinstance(engine.read(victim, 0), Granted)
+        self._kill_worker(engine, shard=0)
+        outcome = engine.write(victim, 0, 999.0)
+        assert isinstance(outcome, Rejected)
+        assert outcome.reason == REASON_SHARD_FAILOVER
+        assert not victim.is_active
+        assert victim.abort_reason == REASON_SHARD_FAILOVER
+        assert engine.failed_shards() == (0,)
+        assert engine.worker_pids()[0] is None
+
+        # The shard keeps serving in-process over the mirrored committed
+        # state, and the surviving worker shard is untouched.
+        retry = engine.begin("update", TransactionBounds(export_limit=1e9))
+        read_back = engine.read(retry, 0)
+        assert isinstance(read_back, Granted)
+        assert read_back.value == 111.0
+        assert isinstance(engine.read(retry, 1), Granted)
+        assert isinstance(engine.write(retry, 0, 999.0), Granted)
+        engine.commit(retry)
+        assert engine.database.get(0).committed_value == 999.0
+
+    def test_failover_aborts_bystanders_that_touched_the_shard(
+        self, make_engine
+    ):
+        engine = make_engine()
+        bystander = engine.begin("query", TransactionBounds(import_limit=1e9))
+        assert isinstance(engine.read(bystander, 0), Granted)  # shard 0
+        untouched = engine.begin("query", TransactionBounds(import_limit=1e9))
+        assert isinstance(engine.read(untouched, 1), Granted)  # shard 1
+
+        self._kill_worker(engine, shard=0)
+        trigger = engine.begin("query", TransactionBounds(import_limit=1e9))
+        assert isinstance(engine.read(trigger, 0), Rejected)
+
+        # The bystander's staged state died with the worker: aborted.
+        assert not bystander.is_active
+        assert bystander.abort_reason == REASON_SHARD_FAILOVER
+        with pytest.raises(InvalidOperation):
+            engine.read(bystander, 1)
+        # A transaction that never touched the dead shard sails on.
+        assert untouched.is_active
+        engine.commit(untouched)
+
+    def test_failover_is_counted(self, make_engine):
+        from repro import perf
+
+        engine = make_engine()
+        before = perf.counters.shard_failovers
+        self._kill_worker(engine, shard=1)
+        probe = engine.begin("query", TransactionBounds(import_limit=1e9))
+        assert isinstance(engine.read(probe, 1), Rejected)
+        assert perf.counters.shard_failovers == before + 1
+
+
+class TestDegradation:
+    def test_single_core_degrades_to_threads(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        engine = create_engine(_database(), "esr", shards=2, processes=True)
+        assert isinstance(engine, ShardedEngine)
+        assert engine.process_degraded == "single-core"
+
+    def test_force_overrides_single_core(self, monkeypatch, make_engine):
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        engine = make_engine(shards=2)
+        assert isinstance(engine, ProcessShardedEngine)
+
+    def test_multi_core_builds_processes(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 8)
+        engine = create_engine(_database(), "esr", shards=2, processes=True)
+        try:
+            assert isinstance(engine, ProcessShardedEngine)
+        finally:
+            engine.close()
+
+    def test_unavailability_reasons_are_closed_set(self):
+        assert process_sharding_unavailable() in (
+            None,
+            "single-core",
+            "no-fork",
+        )
+
+
+class TestValidation:
+    def test_snapshot_cache_incompatible_with_processes(self):
+        with pytest.raises(SpecificationError):
+            validate_protocol_options(
+                "esr", snapshot_cache=True, shards=2, processes=True
+            )
+        with pytest.raises(SpecificationError):
+            create_engine(
+                _database(),
+                "esr",
+                shards=2,
+                processes="force",
+                snapshot_cache=True,
+            )
+
+    def test_single_shard_ignores_processes(self):
+        engine = create_engine(_database(), "esr", shards=1, processes=True)
+        assert not isinstance(engine, (ShardedEngine, ProcessShardedEngine))
+
+    def test_no_snapshot_cache_surface(self, make_engine):
+        engine = make_engine()
+        assert engine.snapshot is None
+        txn = engine.begin("query", TransactionBounds(import_limit=1e9))
+        assert engine.read_cached(txn, 0) is None
+        engine.commit(txn)
+
+
+class TestCrossProcessWaits:
+    def test_cross_shard_deadlock_detected_via_mirrored_edges(
+        self, make_engine
+    ):
+        """2PL's deadlock walk runs inside a worker, but the wait-for
+        edges are observed by the parent; the ``wait_note`` broadcast
+        must make a cross-shard cycle visible to the worker."""
+        engine = make_engine(protocol="2pl")
+        t1 = engine.begin("update", TransactionBounds(export_limit=1e9))
+        t2 = engine.begin("update", TransactionBounds(export_limit=1e9))
+        assert isinstance(engine.write(t1, 0, 1.0), Granted)  # shard 0
+        assert isinstance(engine.write(t2, 1, 2.0), Granted)  # shard 1
+
+        blocked = engine.write(t1, 1, 3.0)
+        assert isinstance(blocked, MustWait)
+        assert blocked.blocking_transaction == t2.transaction_id
+        # The server would park here; subscribing with the waiter id is
+        # what records (and broadcasts) the t1 -> t2 edge.
+        engine.waits.wait_event(
+            blocked.blocking_transaction,
+            waiter_transaction=t1.transaction_id,
+        )
+
+        outcome = engine.write(t2, 0, 4.0)  # closes the cycle on shard 0
+        assert isinstance(outcome, Rejected)
+        assert outcome.reason == REASON_DEADLOCK
+        assert not t2.is_active
+        engine.abort(t1, "test-cleanup")
+
+    def test_wait_and_wakeup_across_processes(self, make_engine):
+        """A reader blocked on an uncommitted cross-process write parks
+        in the parent and is released by the writer's commit."""
+        import threading
+
+        engine = make_engine()
+        writer = engine.begin("update", TransactionBounds(export_limit=1e9))
+        assert isinstance(engine.write(writer, 1, 175.0), Granted)
+        query = engine.begin("query", TransactionBounds(import_limit=0.0))
+        outcome = engine.read(query, 1)
+        assert isinstance(outcome, MustWait)
+        assert outcome.blocking_transaction == writer.transaction_id
+
+        event = engine.waits.wait_event(
+            outcome.blocking_transaction,
+            waiter_transaction=query.transaction_id,
+        )
+        threading.Timer(0.05, engine.commit, args=(writer,)).start()
+        assert event.wait(5.0)
+        retried = engine.read(query, 1)
+        assert isinstance(retried, Granted)
+        assert retried.value == 175.0
+        engine.commit(query)

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import random
 import threading
+import time
 
 import pytest
 
@@ -32,7 +33,11 @@ from repro.engine.database import Database
 from repro.engine.manager import TransactionManager
 from repro.engine.mvto import MVTOManager
 from repro.engine.results import Granted, MustWait, Rejected
-from repro.engine.sharded import ShardedEngine
+from repro.engine.sharded import (
+    _SELF_FIRE_BACKOFF_CAP,
+    _SharedWaitRegistry,
+    ShardedEngine,
+)
 from repro.engine.transactions import TransactionStatus
 from repro.engine.twopl import TwoPhaseManager
 from repro.errors import SpecificationError
@@ -43,6 +48,32 @@ def _database(n_objects: int = 12, value: float = 1_000.0) -> Database:
     for index in range(n_objects):
         db.create_object(index, value=value)
     return db
+
+
+# The shard composites come in two flavours — threads and worker
+# processes — behind the same Engine seam; everything in this module
+# that drives a composite runs against both.  On hosts without fork the
+# "processes" flavour transparently degrades to the thread composite
+# (so the parameterisation never skips, it just runs threads twice).
+@pytest.fixture(params=[False, "force"], ids=["threads", "processes"])
+def proc_mode(request):
+    return request.param
+
+
+@pytest.fixture
+def make_engine():
+    created: list = []
+
+    def make(database, protocol, **kwargs):
+        engine = create_engine(database, protocol, **kwargs)
+        created.append(engine)
+        return engine
+
+    yield make
+    for engine in created:
+        close = getattr(engine, "close", None)
+        if close is not None:
+            close()
 
 
 # ---------------------------------------------------------------------------
@@ -163,10 +194,17 @@ class TestTraceEquivalence:
 
     @pytest.mark.parametrize("protocol", PROTOCOLS)
     @pytest.mark.parametrize("shards", [2, 5])
-    def test_shard_count_unobservable_single_threaded(self, protocol, shards):
+    def test_shard_count_unobservable_single_threaded(
+        self, protocol, shards, proc_mode, make_engine
+    ):
         trace = _make_trace(11)
         baseline = _drive(create_engine(_database(), protocol), trace)
-        routed = _drive(create_engine(_database(), protocol, shards=shards), trace)
+        routed = _drive(
+            make_engine(
+                _database(), protocol, shards=shards, processes=proc_mode
+            ),
+            trace,
+        )
         assert baseline == routed
 
     def test_trace_exercises_every_outcome_kind(self):
@@ -185,7 +223,9 @@ class TestCrossShardBounds:
     """Objects 0 and 1 land on different shards (``object_id % 2``); a
     writer that began *after* the query commits divergence 50 to object 0
     and 30 to object 1, making the query's reads late reads of committed
-    data (ESR case 1) whose import charges span shards."""
+    data (ESR case 1) whose import charges span shards.  Runs against
+    both composites: in process mode the charges land in different
+    worker *processes* and must still share one exact ledger."""
 
     def _commit_late_writes(self, engine):
         writer = engine.begin("update", TransactionBounds(export_limit=1e9))
@@ -193,8 +233,10 @@ class TestCrossShardBounds:
         assert isinstance(engine.write(writer, 1, 130.0), Granted)  # d = 30
         engine.commit(writer)
 
-    def test_til_spans_shards_exactly_at_limit(self):
-        engine = create_engine(_database(4, value=100.0), "esr", shards=2)
+    def test_til_spans_shards_exactly_at_limit(self, proc_mode, make_engine):
+        engine = make_engine(
+            _database(4, value=100.0), "esr", shards=2, processes=proc_mode
+        )
         # 50 + 30 == 80: exactly at the limit must be admitted.
         query = engine.begin("query", TransactionBounds(import_limit=80.0))
         self._commit_late_writes(engine)
@@ -206,8 +248,10 @@ class TestCrossShardBounds:
         engine.commit(query)
         assert query.imported == 80.0
 
-    def test_til_spans_shards_just_over_limit(self):
-        engine = create_engine(_database(4, value=100.0), "esr", shards=2)
+    def test_til_spans_shards_just_over_limit(self, proc_mode, make_engine):
+        engine = make_engine(
+            _database(4, value=100.0), "esr", shards=2, processes=proc_mode
+        )
         query = engine.begin("query", TransactionBounds(import_limit=79.0))
         self._commit_late_writes(engine)
         assert isinstance(engine.read(query, 0), Granted)
@@ -216,8 +260,10 @@ class TestCrossShardBounds:
         assert second.reason == "bound-violation"
         assert not query.is_active
 
-    def test_oil_is_shard_local(self):
-        engine = create_engine(_database(4, value=100.0), "esr", shards=2)
+    def test_oil_is_shard_local(self, proc_mode, make_engine):
+        engine = make_engine(
+            _database(4, value=100.0), "esr", shards=2, processes=proc_mode
+        )
         # Per-object caps: exactly 50 admits object 0's divergence, 29
         # rejects object 1's 30; the TIL stays unbounded throughout.
         query = engine.begin(
@@ -231,7 +277,7 @@ class TestCrossShardBounds:
         assert isinstance(rejected, Rejected)
         assert rejected.reason == "bound-violation"
 
-    def test_gil_spans_shards(self):
+    def test_gil_spans_shards(self, proc_mode, make_engine):
         def build():
             db = Database()
             db.catalog.add_group("hot")
@@ -239,7 +285,7 @@ class TestCrossShardBounds:
                 db.create_object(
                     index, value=100.0, group="hot" if index < 2 else None
                 )
-            return create_engine(db, "esr", shards=2)
+            return make_engine(db, "esr", shards=2, processes=proc_mode)
 
         # Group budget of exactly 80 admits both reads (objects 0 and 1
         # live on different shards but share the group ledger) ...
@@ -266,8 +312,10 @@ class TestCrossShardBounds:
         assert isinstance(rejected, Rejected)
         assert rejected.reason == "bound-violation"
 
-    def test_tel_spans_shards_for_late_writes(self):
-        engine = create_engine(_database(4, value=100.0), "esr", shards=2)
+    def test_tel_spans_shards_for_late_writes(self, proc_mode, make_engine):
+        engine = make_engine(
+            _database(4, value=100.0), "esr", shards=2, processes=proc_mode
+        )
         # A query with a pinned-future timestamp reads objects on both
         # shards, so later writes are ESR case 3 (late write past a query
         # read) and charge the writer's export account across shards.
@@ -344,9 +392,12 @@ class TestThreadedOracle:
         except Exception as exc:  # pragma: no cover - failure reporting
             errors.append(exc)
 
-    def test_bounds_hold_under_threads(self):
-        engine = create_engine(
-            _database(self.N_OBJECTS, value=1_000.0), "esr", shards=4
+    def test_bounds_hold_under_threads(self, proc_mode, make_engine):
+        engine = make_engine(
+            _database(self.N_OBJECTS, value=1_000.0),
+            "esr",
+            shards=4,
+            processes=proc_mode,
         )
         finished: list = []
         errors: list = []
@@ -381,6 +432,142 @@ class TestThreadedOracle:
             assert final in candidates
         snapshot = engine.metrics.snapshot()
         assert snapshot.commits + snapshot.aborts == len(finished)
+
+
+# ---------------------------------------------------------------------------
+# Self-fire backoff: no busy-spin when the blocker commits late
+# ---------------------------------------------------------------------------
+
+
+class TestSelfFireBackoff:
+    """``_SharedWaitRegistry.subscribe`` fires the callback immediately
+    when the blocker is no longer active.  When the blocker is mid-
+    completion (popped from the active map but still finishing its last
+    shard), a waiter that retries on every self-fire used to spin through
+    subscribe → retry → MustWait → subscribe as fast as the interpreter
+    allowed.  Repeated self-fires against a *completing* blocker now
+    sleep a capped exponential backoff first."""
+
+    def _registry(self, active=(), completing=()):
+        return _SharedWaitRegistry(
+            lambda txn: txn in active, lambda txn: txn in completing
+        )
+
+    def test_self_fire_on_completed_blocker_is_immediate(self):
+        registry = self._registry()  # blocker neither active nor completing
+        fired = []
+        started = time.perf_counter()
+        for _ in range(50):
+            registry.subscribe(9, lambda: fired.append(1), waiter_transaction=1)
+        assert len(fired) == 50
+        # No completing blocker, no backoff: 50 subscribes are instant.
+        assert time.perf_counter() - started < _SELF_FIRE_BACKOFF_CAP * 10
+
+    def test_repeated_self_fires_against_completing_blocker_back_off(self):
+        registry = self._registry(completing={9})
+        fired = []
+        started = time.perf_counter()
+        for _ in range(10):
+            registry.subscribe(9, lambda: fired.append(1), waiter_transaction=1)
+        elapsed = time.perf_counter() - started
+        assert len(fired) == 10  # the callback always still fires
+        # Doubling from 0.1 ms reaches the 5 ms cap within the loop, so
+        # ten retries must have slept a measurable total (~28 ms) — the
+        # unbacked-off loop ran in microseconds.
+        assert elapsed >= _SELF_FIRE_BACKOFF_CAP
+        assert registry._self_fires[(1, 9)] == 10
+
+    def test_fire_resets_the_backoff_counter(self):
+        registry = self._registry(completing={9})
+        registry.subscribe(9, lambda: None, waiter_transaction=1)
+        assert registry._self_fires[(1, 9)] == 1
+        registry.fire(9)
+        assert (1, 9) not in registry._self_fires
+
+    def test_normal_park_resets_the_backoff_counter(self):
+        active = {9}
+        completing = set()
+        registry = _SharedWaitRegistry(
+            lambda txn: txn in active, lambda txn: txn in completing
+        )
+        completing.add(9)
+        active.discard(9)
+        registry.subscribe(9, lambda: None, waiter_transaction=1)
+        assert registry._self_fires[(1, 9)] == 1
+        # The blocker becomes active again (a fresh transaction id reusing
+        # the slot is equivalent); a real park clears the stale counter.
+        active.add(9)
+        completing.discard(9)
+        registry.subscribe(9, lambda: None, waiter_transaction=1)
+        assert (1, 9) not in registry._self_fires
+
+    def test_no_spin_when_blocker_commits_late(self, proc_mode, make_engine):
+        """End-to-end: a server-style wait/retry loop against a writer
+        whose commit stalls on another shard retries a bounded number of
+        times instead of busy-spinning for the whole completion window."""
+        engine = make_engine(
+            _database(4, value=100.0), "esr", shards=2, processes=proc_mode
+        )
+        writer = engine.begin("update", TransactionBounds(export_limit=1e9))
+        assert isinstance(engine.write(writer, 0, 150.0), Granted)
+        assert isinstance(engine.write(writer, 1, 130.0), Granted)
+
+        # Make the writer's completion stall *inside* the completing
+        # window: shard 0 finishes slowly while shard 1 (where the
+        # waiter's object lives) stays pending behind it, so retries see
+        # a blocker that is gone from the active map but not yet done.
+        entered = threading.Event()
+        if isinstance(engine, ShardedEngine):
+            inner = engine._engines[0]
+            original_complete = inner.complete
+
+            def slow_complete(txn, status, reason=None):
+                if txn.transaction_id == writer.transaction_id:
+                    entered.set()
+                    time.sleep(0.15)
+                return original_complete(txn, status, reason)
+
+            inner.complete = slow_complete
+        else:
+            channel = engine._channels[0]
+            original_request = channel.request
+
+            def slow_request(frame):
+                if (
+                    frame[0] == "complete"
+                    and frame[1] == writer.transaction_id
+                ):
+                    entered.set()
+                    time.sleep(0.15)
+                return original_request(frame)
+
+            channel.request = slow_request
+
+        query = engine.begin("query", TransactionBounds(import_limit=0.0))
+        committer = threading.Thread(target=engine.commit, args=(writer,))
+        committer.start()
+        try:
+            assert entered.wait(2.0)
+            retries = 0
+            while True:
+                outcome = engine.read(query, 1)
+                if isinstance(outcome, Granted):
+                    break
+                assert isinstance(outcome, MustWait)
+                retries += 1
+                assert retries < 500, "waiter is busy-spinning"
+                event = engine.waits.wait_event(
+                    outcome.blocking_transaction,
+                    waiter_transaction=query.transaction_id,
+                )
+                event.wait(1.0)
+            assert outcome.value == 130.0
+        finally:
+            committer.join()
+        engine.commit(query)
+        # The 150 ms completion stall admits at most ~35 capped-backoff
+        # retries; the pre-backoff loop spun thousands of times.
+        assert retries < 100
 
 
 # ---------------------------------------------------------------------------

@@ -241,3 +241,27 @@ class TestParallelExecution:
         shutdown_pool()
         assert runner._POOL is None
         shutdown_pool()  # second call is a no-op
+
+    def test_clean_shutdown_joins_worker_processes(self):
+        """The default teardown reaps the children, not just abandons them.
+
+        ``shutdown_pool`` used to pass ``wait=False`` unconditionally, so
+        a clean exit left the pool's worker processes running to race
+        interpreter teardown; only the crash path may skip the join.
+        """
+        from repro.experiments import runner
+
+        run_cells(
+            [
+                Cell(config=SimulationConfig(
+                    mpl=1, workload=TINY, duration_ms=500.0, warmup_ms=0.0,
+                ), seed=0)
+                for _ in range(2)
+            ],
+            max_workers=2,
+        )
+        assert runner._POOL is not None
+        workers = list(runner._POOL._processes.values())
+        assert workers, "pool should have spawned workers"
+        shutdown_pool()
+        assert all(not worker.is_alive() for worker in workers)

@@ -200,3 +200,53 @@ class TestBatchingAndBackpressure:
             assert perf.counters.net_backpressure_stalls > before
         finally:
             server.shutdown()
+
+
+class TestLifecycle:
+    """Serve/close cycles must return the process to its thread baseline.
+
+    ``aclose`` used to shut the shard dispatch lanes down with
+    ``wait=False``, so a lane worker still finishing an engine call
+    outlived its server — and every serve/close cycle in one process
+    (tests, the bench suite, notebook experimentation) accumulated
+    stranded threads.  The lanes are joined now; ten full cycles must
+    not grow the thread count.
+    """
+
+    def _cycle(self) -> None:
+        server = _serve(shards=2)
+        try:
+            with RemoteConnection("127.0.0.1", server.port) as conn:
+                txn = conn.begin("update", 0.0)
+                # One write per shard so both lanes actually spin up a
+                # worker thread before the server closes.
+                txn.write(1, 111.0)
+                txn.write(2, 222.0)
+                txn.commit()
+        finally:
+            server.shutdown()
+
+    @staticmethod
+    def _lane_threads():
+        import threading
+
+        return [
+            thread
+            for thread in threading.enumerate()
+            if thread.name.startswith("aio-shard-") and thread.is_alive()
+        ]
+
+    def test_repeated_serve_close_cycles_do_not_leak_threads(self):
+        import threading
+
+        self._cycle()  # warm-up: lazy imports, executor internals
+        baseline = threading.active_count()
+        for _ in range(10):
+            self._cycle()
+            # shutdown() joins the loop thread, whose aclose joins the
+            # lanes — so by the time it returns, no lane thread may
+            # survive, not even "about to exit".
+            assert self._lane_threads() == []
+        # And the overall census is back where it started (the old
+        # wait=False teardown left a window where cycles stacked up).
+        assert threading.active_count() <= baseline + 1
