@@ -189,6 +189,9 @@ def _cmd_bench_hotpath(args: argparse.Namespace) -> int:
 def _cmd_bench_net(args: argparse.Namespace) -> int:
     from repro.experiments import netbench
 
+    if args.rate is not None and args.mode != "open":
+        print("error: --rate only makes sense with --mode open", file=sys.stderr)
+        return 2
     if args.quick:
         config = netbench.QUICK_CONFIG
     else:
@@ -200,6 +203,7 @@ def _cmd_bench_net(args: argparse.Namespace) -> int:
             reads_per_txn=args.reads,
             mode=args.mode,
             rate=args.rate,
+            codec=args.codec,
         )
     servers = (
         tuple(args.server) if args.server else netbench.DEFAULT_SERVERS
@@ -216,6 +220,21 @@ def _cmd_bench_net(args: argparse.Namespace) -> int:
     if baseline is not None:
         print(f"\nvs. baseline {args.baseline}:")
         print(netbench.format_comparison(baseline, report))
+    if args.p99_guard:
+        if baseline is None:
+            print(f"\np99 guard skipped: no baseline at {args.baseline}")
+        else:
+            problems = netbench.check_p99_regression(
+                baseline, report, factor=args.p99_factor
+            )
+            if problems:
+                print("\np99 regression guard FAILED:")
+                for problem in problems:
+                    print(f"  {problem}")
+                return 1
+            print(
+                f"\np99 guard passed (within {args.p99_factor:g}x of baseline)"
+            )
     if args.quick:
         return 0
     if args.update or baseline is None:
@@ -250,7 +269,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.use_async:
         import asyncio
 
-        from repro.net.aioserver import AsyncTransactionServer
+        from repro.net.aioserver import AsyncTransactionServer, uvloop_available
+
+        use_uvloop = args.uvloop and uvloop_available()
+        if args.uvloop and not use_uvloop:
+            print("uvloop not installed; continuing on asyncio", file=sys.stderr)
+        loop_name = "uvloop" if use_uvloop else "asyncio"
 
         async def serve_async() -> None:
             server = AsyncTransactionServer(
@@ -265,7 +289,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             _report_process_mode(server.manager)
             print(
                 f"serving {len(database)} objects on "
-                f"{args.host}:{server.port} (asyncio)"
+                f"{args.host}:{server.port} ({loop_name})"
             )
             try:
                 await asyncio.Event().wait()  # until interrupted
@@ -273,7 +297,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 await server.aclose()
 
         try:
-            asyncio.run(serve_async())
+            if use_uvloop:
+                import uvloop
+
+                with asyncio.Runner(
+                    loop_factory=uvloop.new_event_loop
+                ) as runner:
+                    runner.run(serve_async())
+            else:
+                asyncio.run(serve_async())
         except KeyboardInterrupt:
             print("\nshutting down")
         return 0
@@ -487,6 +519,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="serve bounded-staleness query reads from the epsilon "
         "snapshot cache, outside the engine critical section (ESR only)",
     )
+    serve.add_argument(
+        "--uvloop",
+        action="store_true",
+        help="run the asyncio server on uvloop when installed (the "
+        "'speed' optional extra); silently falls back to asyncio",
+    )
 
     bench_net = sub.add_parser(
         "bench-net",
@@ -505,7 +543,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_net.add_argument("--mode", choices=("closed", "open"), default="closed")
     bench_net.add_argument(
-        "--rate", type=float, default=None, help="open-loop transactions/s"
+        "--rate",
+        type=float,
+        default=None,
+        help="open-loop offered transactions/s (requires --mode open)",
+    )
+    bench_net.add_argument(
+        "--codec",
+        choices=("json", "binary-1"),
+        default="json",
+        help="wire codec for the load generator (suite rows may override)",
+    )
+    bench_net.add_argument(
+        "--p99-guard",
+        action="store_true",
+        help="fail (exit 1) when any closed-loop row's p99 exceeds "
+        "--p99-factor times the baseline's p99",
+    )
+    bench_net.add_argument(
+        "--p99-factor",
+        type=float,
+        default=3.0,
+        help="p99 regression tolerance for --p99-guard (default 3.0)",
     )
     from repro.experiments.netbench import SUITE_ROWS
 

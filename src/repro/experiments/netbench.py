@@ -55,15 +55,35 @@ Two load modes for the pipelined rows:
   per-request futures) so the generator itself stays out of the
   measurement as far as possible — like ``wrk``, the client must be
   cheaper than the server it is loading.
-* ``open`` — transactions start on a fixed schedule derived from
-  ``--rate`` regardless of completions, and latency is measured from the
-  *scheduled* start (coordinated-omission-corrected), so a server that
-  falls behind shows honestly inflated tail latencies.  This mode drives
-  the general-purpose pipelining client
+* ``open`` — transactions start on a fixed arrival schedule derived from
+  ``--rate`` regardless of completions (wrk2-style: each pipeline slot
+  owns a deterministic arrival stream), and latency is measured from the
+  *intended* start, so queueing delay behind a slow server is charged to
+  the measurement instead of silently absorbed (the coordinated-omission
+  correction).  This mode drives the general-purpose pipelining client
   (:class:`~repro.net.aioclient.AsyncRemoteConnection`).
 
 The serial baseline row always runs closed-loop (a strictly alternating
 connection has no pipeline to schedule into).
+
+Beyond the seven decomposition rows, the suite carries the wire-codec
+and latency-under-load rows added with the binary codec:
+
+* ``async-binary`` — the ``async`` row again with the negotiated binary
+  codec (:mod:`repro.net.protocol`); the ratio
+  (``speedup_binary_codec``) is what struct-packed frames buy over the
+  byte-exact JSON fast path.
+* ``open-1k`` … ``open-12k`` — the async server (binary codec) under
+  fixed offered loads from well below to beyond saturation; the report's
+  ``latency_vs_load`` section is the resulting latency-vs-offered-load
+  curve, p50/p90/p99 per point.
+* ``soak-8k`` — the same open-loop harness at a sustained rate for 4×
+  the row duration, so drift (GC, fragmentation, backlog creep) has
+  time to show in the tail.
+
+Open-loop rows are excluded from the p99 regression guard
+(:func:`check_p99_regression`): beyond saturation their tail is
+unbounded *by design*; the guard covers the closed-loop rows.
 
 Results are written to/compared against ``BENCH_net.json`` the same way
 the hot-path suite uses ``BENCH_hotpath.json``.
@@ -96,6 +116,7 @@ __all__ = [
     "load_baseline",
     "format_report",
     "format_comparison",
+    "check_p99_regression",
 ]
 
 #: Schema marker for BENCH_net.json, bumped on incompatible changes.
@@ -117,12 +138,28 @@ class LoadConfig:
     mode: str = "closed"  # "closed" | "open"
     rate: float | None = None  # open-loop target, transactions/s overall
     discipline: str = "pipelined"  # "pipelined" | "serial" (pre-PR wire)
+    #: Wire codec: ``"json"`` (line protocol) or ``"binary-1"``
+    #: (negotiated length-prefixed frames).
+    codec: str = "json"
     #: Fraction of sessions that run update transactions (begin, one
     #: write, commit) instead of queries — the read-heavy cache rows use
     #: a small fraction so cached reads observe real divergence.  Writer
     #: sessions write disjoint object stripes (no write-write conflicts);
     #: closed-loop raw driver only.
     write_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("closed", "open"):
+            raise ValueError(f"mode must be 'closed' or 'open', not {self.mode!r}")
+        if self.codec not in ("json", "binary-1"):
+            raise ValueError(
+                f"codec must be 'json' or 'binary-1', not {self.codec!r}"
+            )
+        if self.rate is not None and self.mode != "open":
+            raise ValueError(
+                "a target rate only makes sense in open-loop mode "
+                "(closed loop adapts its offered load to the server)"
+            )
 
     @property
     def sessions(self) -> int:
@@ -221,28 +258,65 @@ async def _drive_connection_raw(
     """
     import json as _json
 
-    from repro.net.protocol import MAX_LINE_BYTES
+    from repro.net.protocol import MAX_LINE_BYTES, BinaryCodec
 
     reader, writer = await asyncio.open_connection(
         host, port, limit=MAX_LINE_BYTES + 1
     )
+    # Binary codec: negotiate before the load starts (one JSON hello
+    # round trip); a server that declines leaves the run on JSON.
+    binary = config.codec == "binary-1"
+    if binary:
+        writer.write(b'{"op":"hello","codecs":["binary-1"]}\n')
+        hello = _json.loads(await reader.readuntil(b"\n"))
+        if not (hello.get("ok") and hello.get("codec") == "binary-1"):
+            binary = False
     pending: dict[int, _Slot] = {}  # correlation id -> slot
     next_id = 0
     out: list[bytes] = []
     active = 0
 
-    # Requests are pre-formatted bytes (still plain protocol JSON): a
-    # load generator must cost less than the server it measures, and
-    # json.dumps per tiny request is a measurable share of that cost.
-    begin_template = (
-        f'{{"op":"begin","kind":"query","limit":{_BENCH_TIL!r},"id":%d}}\n'
-    ).encode()
-    begin_update_template = (
-        f'{{"op":"begin","kind":"update","limit":{_BENCH_TIL!r},"id":%d}}\n'
-    ).encode()
-    read_template = b'{"op":"read","txn":%d,"object":%d,"id":%d}\n'
-    write_template = b'{"op":"write","txn":%d,"object":%d,"value":%d,"id":%d}\n'
-    commit_template = b'{"op":"commit","txn":%d,"id":%d}\n'
+    # Requests are pre-formatted bytes (plain protocol JSON, or — in
+    # binary mode — one struct pack each): a load generator must cost
+    # less than the server it measures, and json.dumps per tiny request
+    # is a measurable share of that cost.
+    if binary:
+        # The pack_* staticmethods already have the fmt_* signatures
+        # (struct's ``d`` accepts the int write values), so bind them
+        # directly — no wrapper call per request.
+        _pack_begin = BinaryCodec.pack_begin
+        fmt_read = BinaryCodec.pack_read
+        fmt_write = BinaryCodec.pack_write
+        fmt_commit = BinaryCodec.pack_commit
+
+        def fmt_begin(rid: int, update: bool) -> bytes:
+            return _pack_begin(1 if update else 0, _BENCH_TIL, rid)
+
+    else:
+        begin_template = (
+            f'{{"op":"begin","kind":"query","limit":{_BENCH_TIL!r},"id":%d}}\n'
+        ).encode()
+        begin_update_template = (
+            f'{{"op":"begin","kind":"update","limit":{_BENCH_TIL!r},"id":%d}}\n'
+        ).encode()
+        read_template = b'{"op":"read","txn":%d,"object":%d,"id":%d}\n'
+        write_template = (
+            b'{"op":"write","txn":%d,"object":%d,"value":%d,"id":%d}\n'
+        )
+        commit_template = b'{"op":"commit","txn":%d,"id":%d}\n'
+
+        def fmt_begin(rid: int, update: bool) -> bytes:
+            return (begin_update_template if update else begin_template) % rid
+
+        def fmt_read(txn: int, object_id: int, rid: int) -> bytes:
+            return read_template % (txn, object_id, rid)
+
+        def fmt_write(txn: int, object_id: int, value: int, rid: int) -> bytes:
+            return write_template % (txn, object_id, value, rid)
+
+        def fmt_commit(txn: int, rid: int) -> bytes:
+            return commit_template % (txn, rid)
+
     write_seq = 0
 
     def start_txn(slot: _Slot) -> None:
@@ -256,9 +330,7 @@ async def _drive_connection_raw(
         next_id += 1
         pending[next_id] = slot
         slot.outstanding += 1
-        out.append(
-            (begin_update_template if slot.step else begin_template) % next_id
-        )
+        out.append(fmt_begin(next_id, bool(slot.step)))
 
     def send_reads(slot: _Slot) -> None:
         nonlocal next_id
@@ -269,8 +341,7 @@ async def _drive_connection_raw(
             pending[next_id] = slot
             slot.outstanding += 1
             out.append(
-                read_template
-                % (
+                fmt_read(
                     slot.txn,
                     (slot.object_id + slot.cursor) % config.objects + 1,
                     next_id,
@@ -283,9 +354,62 @@ async def _drive_connection_raw(
         next_id += 1
         pending[next_id] = slot
         slot.outstanding += 1
-        out.append(commit_template % (slot.txn, next_id))
+        out.append(fmt_commit(slot.txn, next_id))
         slot.txn = None
         slot.object_id = (slot.object_id + (slot.step or 1)) % config.objects
+
+    def settle(rid: int, ok: bool, txn: int | None, now: float) -> None:
+        """Advance one slot's state machine with one response."""
+        nonlocal active, write_seq, next_id
+        slot = pending.pop(rid, None)
+        if slot is None:
+            return
+        slot.outstanding -= 1
+        tally.requests += 1
+        if not ok:
+            slot.failed = True
+        elif txn is not None:
+            # The begin answered.  A writer bursts its write and the
+            # commit together; a query bursts its first read chunk
+            # (later chunks ride later round trips, so writers
+            # genuinely race the query's reads).
+            slot.txn = txn
+            if slot.step:
+                write_seq += 1
+                next_id += 1
+                pending[next_id] = slot
+                slot.outstanding += 1
+                out.append(
+                    fmt_write(
+                        txn,
+                        slot.object_id % config.objects + 1,
+                        write_seq % 1000,
+                        next_id,
+                    )
+                )
+                send_commit(slot)
+            else:
+                slot.remaining = config.reads_per_txn
+                send_reads(slot)
+        if slot.outstanding == 0:
+            if slot.remaining > 0 and not slot.failed:
+                # Burst answered, reads left: pipeline the next chunk.
+                send_reads(slot)
+            elif slot.txn is not None:
+                # All reads answered (or the transaction failed along
+                # the way): settle it with its commit.
+                send_commit(slot)
+            else:
+                # Transaction attempt finished (commit answered, or
+                # the begin failed and every response has landed).
+                active -= 1
+                if slot.failed:
+                    tally.errors += 1
+                else:
+                    tally.transactions += 1
+                    tally.latencies_ms.append((now - slot.started) * 1e3)
+                if now < deadline:
+                    start_txn(slot)
 
     # Writer sessions step through disjoint object stripes (writer k
     # touches objects ≡ k mod n_writers), so writers never conflict
@@ -312,82 +436,70 @@ async def _drive_connection_raw(
             tally.errors += active
             break
         buffer += chunk
-        if b"\n" not in chunk:
-            continue
-        lines = buffer.split(b"\n")
-        buffer = lines.pop()
-        now = time.perf_counter()
-        for line in lines:
-            # Hand-parse the response: the generator tags every request,
-            # so ``id`` is the response's last key, and ``begin`` answers
-            # are the only ok-responses carrying ``txn``.  A wrk-style
-            # generator must stay cheaper than the server it measures;
-            # anything surprising falls back to the JSON parser.
-            txn = None
-            if line.startswith(b'{"ok":true'):
-                ok = True
-                try:
-                    rid = int(line[line.rindex(b'"id":') + 5 : -1])
-                except ValueError:
-                    response = _json.loads(line)
-                    rid = response.get("id")
-                    txn = response.get("txn")
-                else:
-                    if line.startswith(b'{"ok":true,"txn":'):
-                        txn = int(line[17 : line.index(b",", 17)])
-            else:
-                ok = False
-                rid = _json.loads(line).get("id")
-            slot = pending.pop(rid, None)
-            if slot is None:
-                continue
-            slot.outstanding -= 1
-            tally.requests += 1
-            if not ok:
-                slot.failed = True
-            elif txn is not None:
-                # The begin answered.  A writer bursts its write and the
-                # commit together; a query bursts its first read chunk
-                # (later chunks ride later round trips, so writers
-                # genuinely race the query's reads).
-                slot.txn = txn
-                if slot.step:
-                    write_seq += 1
-                    next_id += 1
-                    pending[next_id] = slot
-                    slot.outstanding += 1
-                    out.append(
-                        write_template
-                        % (
-                            txn,
-                            slot.object_id % config.objects + 1,
-                            write_seq % 1000,
-                            next_id,
-                        )
+        if binary:
+            # Frames: u32le size, u8 type, payload.  Every fixed layout
+            # carries its correlation id in the *last* 8 bytes — by
+            # design, so the generator pulls it without a full decode.
+            # 0x82 is ok+txn (the begin answer); 0x81/0x83/0x84 are the
+            # other ok shapes; anything else (the JSON-payload frame,
+            # carrying errors) falls back to the JSON parser.
+            now = time.perf_counter()
+            pos = 0
+            end = len(buffer)
+            while end - pos >= 4:
+                size = int.from_bytes(buffer[pos : pos + 4], "little")
+                if end - pos - 4 < size:
+                    break
+                frame = buffer[pos + 4 : pos + 4 + size]
+                pos += 4 + size
+                kind = frame[0]
+                if kind == 0x82:
+                    settle(
+                        int.from_bytes(frame[9:17], "little"),
+                        True,
+                        int.from_bytes(frame[1:9], "little"),
+                        now,
                     )
-                    send_commit(slot)
+                elif kind in (0x81, 0x83, 0x84):
+                    settle(int.from_bytes(frame[-8:], "little"), True, None, now)
                 else:
-                    slot.remaining = config.reads_per_txn
-                    send_reads(slot)
-            if slot.outstanding == 0:
-                if slot.remaining > 0 and not slot.failed:
-                    # Burst answered, reads left: pipeline the next chunk.
-                    send_reads(slot)
-                elif slot.txn is not None:
-                    # All reads answered (or the transaction failed along
-                    # the way): settle it with its commit.
-                    send_commit(slot)
-                else:
-                    # Transaction attempt finished (commit answered, or
-                    # the begin failed and every response has landed).
-                    active -= 1
-                    if slot.failed:
-                        tally.errors += 1
+                    response = _json.loads(frame[1:])
+                    settle(
+                        response.get("id"),
+                        bool(response.get("ok")),
+                        response.get("txn") if response.get("ok") else None,
+                        now,
+                    )
+            buffer = buffer[pos:]
+        else:
+            if b"\n" not in chunk:
+                continue
+            lines = buffer.split(b"\n")
+            buffer = lines.pop()
+            now = time.perf_counter()
+            for line in lines:
+                # Hand-parse the response: the generator tags every
+                # request, so ``id`` is the response's last key, and
+                # ``begin`` answers are the only ok-responses carrying
+                # ``txn``.  A wrk-style generator must stay cheaper than
+                # the server it measures; anything surprising falls back
+                # to the JSON parser.
+                txn = None
+                if line.startswith(b'{"ok":true'):
+                    ok = True
+                    try:
+                        rid = int(line[line.rindex(b'"id":') + 5 : -1])
+                    except ValueError:
+                        response = _json.loads(line)
+                        rid = response.get("id")
+                        txn = response.get("txn")
                     else:
-                        tally.transactions += 1
-                        tally.latencies_ms.append((now - slot.started) * 1e3)
-                    if now < deadline:
-                        start_txn(slot)
+                        if line.startswith(b'{"ok":true,"txn":'):
+                            txn = int(line[17 : line.index(b",", 17)])
+                else:
+                    ok = False
+                    rid = _json.loads(line).get("id")
+                settle(rid, ok, txn, now)
         if out:
             writer.write(b"".join(out))
             out.clear()
@@ -540,7 +652,7 @@ async def _drive(host: str, port: int, config: LoadConfig) -> _Tally:
 
     connections = await asyncio.gather(
         *(
-            aioclient.connect(host, port, site=i + 1)
+            aioclient.connect(host, port, site=i + 1, codec=config.codec)
             for i in range(config.connections)
         )
     )
@@ -619,6 +731,7 @@ def run_load_isolated(host: str, port: int, config: LoadConfig) -> dict:
             "mode": config.mode,
             "rate": config.rate,
             "discipline": config.discipline,
+            "codec": config.codec,
             "write_fraction": config.write_fraction,
         }
     )
@@ -703,6 +816,8 @@ class SuiteRow:
     processes: bool | str = False
     #: LoadConfig field overrides applied on top of the suite config.
     overrides: tuple[tuple[str, object], ...] = ()
+    #: Multiply the suite duration for this row (the soak row runs 4×).
+    duration_scale: float = 1.0
 
 
 #: Suite row name -> row spec.  The read-heavy pair shares one workload
@@ -715,10 +830,18 @@ class SuiteRow:
 #: what per-shard critical sections buy over the global engine mutex.
 _READ_HEAVY = (("reads_per_txn", 48), ("write_fraction", 1 / 16))
 _WRITE_HEAVY = (("reads_per_txn", 4), ("write_fraction", 0.5))
+_BINARY = (("codec", "binary-1"),)
+
+
+def _open_row(rate: float) -> tuple[tuple[str, object], ...]:
+    return (("mode", "open"), ("rate", rate), ("codec", "binary-1"))
+
+
 SUITE_ROWS = {
     "threaded": SuiteRow("threaded", "serial"),
     "threaded-pipelined": SuiteRow("threaded", "pipelined"),
     "async": SuiteRow("async", "pipelined"),
+    "async-binary": SuiteRow("async", "pipelined", overrides=_BINARY),
     "read-heavy-nocache": SuiteRow(
         "async", "pipelined", overrides=_READ_HEAVY
     ),
@@ -738,6 +861,20 @@ SUITE_ROWS = {
         processes=True,
         overrides=_WRITE_HEAVY,
     ),
+    # Latency under load: fixed offered rates (transactions/s) from well
+    # below to beyond saturation, binary codec, async server.  The last
+    # point is *meant* to exceed capacity so the knee of the curve is in
+    # frame.
+    "open-1k": SuiteRow("async", "pipelined", overrides=_open_row(1000.0)),
+    "open-4k": SuiteRow("async", "pipelined", overrides=_open_row(4000.0)),
+    "open-8k": SuiteRow("async", "pipelined", overrides=_open_row(8000.0)),
+    "open-12k": SuiteRow("async", "pipelined", overrides=_open_row(12000.0)),
+    # Sustained soak at a rate the server can hold, 4× the row duration:
+    # long enough for drift (backlog creep, allocator growth) to surface
+    # in the tail percentiles.
+    "soak-8k": SuiteRow(
+        "async", "pipelined", overrides=_open_row(8000.0), duration_scale=4.0
+    ),
 }
 
 #: Rows run by default (also the order they are reported in).
@@ -745,11 +882,17 @@ DEFAULT_SERVERS = (
     "threaded",
     "threaded-pipelined",
     "async",
+    "async-binary",
     "read-heavy-nocache",
     "read-heavy-cached",
     "write-heavy-1shard",
     "write-heavy-4shard",
     "write-heavy-4proc",
+    "open-1k",
+    "open-4k",
+    "open-8k",
+    "open-12k",
+    "soak-8k",
 )
 
 
@@ -763,6 +906,10 @@ _ROW_PERF_KEYS = (
     "cache_misses",
     "cache_fallbacks",
     "cache_divergence_charged",
+    "net_codec_binary_frames_encoded",
+    "net_codec_binary_frames_decoded",
+    "net_codec_negotiation_downgrades",
+    "net_codec_json_fallbacks",
 )
 
 
@@ -791,7 +938,10 @@ def run_suite(
     for kind in servers:
         row = SUITE_ROWS[kind]
         case_config = replace(
-            config, discipline=row.discipline, **dict(row.overrides)
+            config,
+            discipline=row.discipline,
+            duration_s=config.duration_s * row.duration_scale,
+            **dict(row.overrides),
         )
         database = build_bench_database(config.objects)
         counters_before = perf.counters.snapshot()
@@ -818,6 +968,15 @@ def run_suite(
             "shards": row.shards,
             "processes": bool(row.processes),
             "overrides": dict(row.overrides),
+        }
+        # The load actually offered to this row — mode/rate/codec vary
+        # per row, so the global config block alone would be misleading.
+        results[kind]["load"] = {
+            "mode": case_config.mode,
+            "rate": case_config.rate,
+            "codec": case_config.codec,
+            "discipline": case_config.discipline,
+            "duration_s": case_config.duration_s,
         }
         if progress is not None:
             entry = results[kind]
@@ -885,7 +1044,57 @@ def run_suite(
             # The 4proc row silently ran on the thread composite; say so
             # rather than let ~1.0x read as "processes do not help".
             report["process_sharding_degraded"] = degraded
+    if "async" in results and "async-binary" in results:
+        base = results["async"]["requests_per_s"]
+        report["speedup_binary_codec"] = (
+            round(results["async-binary"]["requests_per_s"] / base, 2)
+            if base
+            else 0.0
+        )
+    latency_vs_load = [
+        {
+            "row": kind,
+            "offered_rate_txn_s": entry["load"]["rate"],
+            "achieved_txn_s": entry["transactions_per_s"],
+            "p50_ms": entry["latency_ms"]["p50"],
+            "p90_ms": entry["latency_ms"]["p90"],
+            "p99_ms": entry["latency_ms"]["p99"],
+        }
+        for kind, entry in results.items()
+        if entry["load"]["mode"] == "open" and entry["load"]["rate"]
+    ]
+    if latency_vs_load:
+        report["latency_vs_load"] = latency_vs_load
     return report
+
+
+def check_p99_regression(
+    baseline: dict, current: dict, factor: float = 3.0
+) -> list[str]:
+    """p99 latency guard: closed-loop rows vs. the checked-in baseline.
+
+    Returns one problem string per row whose current p99 exceeds
+    ``factor`` × the baseline p99 (empty list = pass).  Open-loop rows
+    are skipped: past the saturation knee the open-loop tail measures
+    the backlog, which is unbounded by design, so it cannot gate.
+    Rows missing from either report are skipped — new rows have no
+    baseline, retired rows no current number.
+    """
+    problems = []
+    for kind, entry in current.get("servers", {}).items():
+        if entry.get("load", {}).get("mode", "closed") == "open":
+            continue
+        base = baseline.get("servers", {}).get(kind)
+        if base is None:
+            continue
+        base_p99 = base.get("latency_ms", {}).get("p99", 0.0)
+        cur_p99 = entry.get("latency_ms", {}).get("p99", 0.0)
+        if base_p99 and cur_p99 > base_p99 * factor:
+            problems.append(
+                f"{kind}: p99 {cur_p99:.2f} ms vs baseline "
+                f"{base_p99:.2f} ms (> {factor:g}x)"
+            )
+    return problems
 
 
 # -- the baseline file ---------------------------------------------------------
@@ -970,20 +1179,41 @@ def format_report(report: dict) -> str:
             "4 process shards vs 1 (write-heavy, threaded): "
             f"{report['speedup_process_sharded']:.2f}x{suffix}"
         )
+    if "speedup_binary_codec" in report:
+        lines.append(
+            "binary codec vs JSON (async, pipelined): "
+            f"{report['speedup_binary_codec']:.2f}x"
+        )
+    if "latency_vs_load" in report:
+        lines.append("latency under offered load (open loop, binary codec):")
+        lines.append(
+            f"  {'row':<10} {'offered txn/s':>14} {'achieved':>10} "
+            f"{'p50 ms':>8} {'p90 ms':>8} {'p99 ms':>8}"
+        )
+        for point in report["latency_vs_load"]:
+            lines.append(
+                f"  {point['row']:<10} {point['offered_rate_txn_s']:>14,.0f} "
+                f"{point['achieved_txn_s']:>10,.0f} "
+                f"{point['p50_ms']:>8.2f} {point['p90_ms']:>8.2f} "
+                f"{point['p99_ms']:>8.2f}"
+            )
     return "\n".join(lines)
 
 
 def format_comparison(baseline: dict, current: dict) -> str:
-    """Side-by-side requests/s per server kind vs. the baseline."""
+    """Side-by-side requests/s and p99 per server kind vs. the baseline."""
     lines = [
-        f"{'server':<18} {'baseline req/s':>15} {'current req/s':>15} {'ratio':>7}"
+        f"{'server':<18} {'baseline req/s':>15} {'current req/s':>15} "
+        f"{'ratio':>7} {'base p99':>9} {'cur p99':>9}"
     ]
     for kind, entry in current["servers"].items():
+        cur_p99 = entry.get("latency_ms", {}).get("p99", 0.0)
         base = baseline.get("servers", {}).get(kind)
         if base is None:
             lines.append(
                 f"{kind:<18} {'—':>15} "
-                f"{entry['requests_per_s']:>15,.0f} {'new':>7}"
+                f"{entry['requests_per_s']:>15,.0f} {'new':>7} "
+                f"{'—':>9} {cur_p99:>9.2f}"
             )
             continue
         ratio = (
@@ -991,9 +1221,11 @@ def format_comparison(baseline: dict, current: dict) -> str:
             if base["requests_per_s"]
             else 0.0
         )
+        base_p99 = base.get("latency_ms", {}).get("p99", 0.0)
         lines.append(
             f"{kind:<18} {base['requests_per_s']:>15,.0f} "
-            f"{entry['requests_per_s']:>15,.0f} {ratio:>6.2f}x"
+            f"{entry['requests_per_s']:>15,.0f} {ratio:>6.2f}x "
+            f"{base_p99:>9.2f} {cur_p99:>9.2f}"
         )
     return "\n".join(lines)
 
@@ -1011,6 +1243,7 @@ def _child_main(argv: list[str]) -> int:
         mode=spec["mode"],
         rate=spec["rate"],
         discipline=spec.get("discipline", "pipelined"),
+        codec=spec.get("codec", "json"),
         write_fraction=float(spec.get("write_fraction", 0.0)),
     )
     print(json.dumps(run_load(host, int(port), config)))

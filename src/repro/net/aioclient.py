@@ -25,7 +25,14 @@ from repro.core.bounds import EpsilonLevel, TransactionBounds
 from repro.engine.timestamps import Timestamp, TimestampGenerator
 from repro.errors import ProtocolError, TransactionAborted
 from repro.net.clock import VirtualClock
-from repro.net.protocol import MAX_LINE_BYTES, decode_message, encode_message
+from repro.net.protocol import (
+    CODECS,
+    JSON_CODEC,
+    MAX_FRAME_BYTES,
+    MAX_LINE_BYTES,
+    Codec,
+    decode_message,
+)
 
 __all__ = ["AsyncRemoteConnection", "AsyncRemoteTransaction", "connect"]
 
@@ -112,6 +119,15 @@ class AsyncRemoteConnection:
         self._outbuf: list[bytes] = []
         self._flush_scheduled = False
         self._closed = False
+        self._codec: Codec = JSON_CODEC
+        self._binary = False
+        # In-flight negotiation: the reader task switches framing the
+        # moment it sees the hello response with this id, *before* its
+        # next read — binary response bytes may follow immediately.
+        self._hello_id: int | None = None
+        self._want_codec: Codec | None = None
+        #: The codec actually in effect after negotiation.
+        self.negotiated_codec = "json"
         self.clock = VirtualClock()
         self._timestamps: TimestampGenerator | None = None
         self._reader_task = asyncio.create_task(self._read_responses())
@@ -135,7 +151,9 @@ class AsyncRemoteConnection:
             # Coalesce writes: buffer the encoded request and flush once
             # per loop tick, so concurrent sessions on this connection
             # share one syscall instead of paying one each.
-            self._outbuf.append(encode_message({**message, "id": correlation}))
+            self._outbuf.append(
+                self._codec.encode_request({**message, "id": correlation})
+            )
             if not self._flush_scheduled:
                 self._flush_scheduled = True
                 loop.call_soon(self._flush)
@@ -154,9 +172,23 @@ class AsyncRemoteConnection:
     async def _read_responses(self) -> None:
         try:
             while True:
-                line = await self._reader.readuntil(b"\n")
-                response = decode_message(line.rstrip(b"\n"))
-                future = self._pending.get(response.get("id"))
+                if self._binary:
+                    header = await self._reader.readexactly(4)
+                    size = int.from_bytes(header, "little")
+                    if size < 1 or size > MAX_FRAME_BYTES:
+                        raise ProtocolError(
+                            f"binary frame of {size} bytes exceeds "
+                            f"{MAX_FRAME_BYTES} bytes"
+                        )
+                    frame = await self._reader.readexactly(size)
+                    response = self._codec.decode(frame)
+                else:
+                    line = await self._reader.readuntil(b"\n")
+                    response = decode_message(line.rstrip(b"\n"))
+                rid = response.get("id")
+                if self._hello_id is not None and rid == self._hello_id:
+                    self._finish_negotiation(response)
+                future = self._pending.get(rid)
                 if future is not None and not future.done():
                     future.set_result(response)
         except (
@@ -170,6 +202,48 @@ class AsyncRemoteConnection:
         except asyncio.CancelledError:
             self._fail_pending(None)
             raise
+
+    def _finish_negotiation(self, response: dict[str, Any]) -> None:
+        """Reader-side half of :meth:`negotiate_codec`: apply the switch
+        between this response and the next read."""
+        want = self._want_codec
+        self._hello_id = None
+        self._want_codec = None
+        if (
+            want is not None
+            and response.get("ok")
+            and response.get("codec") == want.name
+        ):
+            self._codec = want
+            self._binary = True
+            self.negotiated_codec = want.name
+
+    async def negotiate_codec(self, name: str) -> str:
+        """Negotiate the wire codec; returns the name actually in effect.
+
+        Must run on a quiet connection (no requests in flight): the
+        framing switch applies to every byte after the hello response,
+        so an earlier response still travelling as a JSON line would be
+        misparsed.  An old server answers ``unknown-op`` and the
+        connection simply stays on JSON.
+        """
+        if name not in CODECS:
+            raise ValueError(
+                f"unknown codec {name!r}; choose from {sorted(CODECS)}"
+            )
+        if name == self._codec.name:
+            return self.negotiated_codec
+        if self._pending:
+            raise ProtocolError(
+                "codec negotiation requires a quiet connection "
+                f"({len(self._pending)} requests in flight)"
+            )
+        self._want_codec = CODECS[name]
+        # request() assigns ids with a synchronous pre-increment, so the
+        # hello's id is knowable before the call.
+        self._hello_id = self._next_id + 1
+        await self.request({"op": "hello", "codecs": [name]})
+        return self.negotiated_codec
 
     def _fail_pending(self, cause: BaseException | None) -> None:
         self._closed = True
@@ -258,13 +332,23 @@ class AsyncRemoteConnection:
 
 
 async def connect(
-    host: str, port: int, site: int = 1, timeout: float = 60.0
+    host: str,
+    port: int,
+    site: int = 1,
+    timeout: float = 60.0,
+    codec: str = "json",
 ) -> AsyncRemoteConnection:
-    """Open a pipelined connection and synchronise its virtual clock."""
+    """Open a pipelined connection and synchronise its virtual clock.
+
+    ``codec="binary-1"`` negotiates the binary wire codec after clock
+    sync; the connection stays on JSON when the server declines.
+    """
     reader, writer = await asyncio.wait_for(
         asyncio.open_connection(host, port, limit=MAX_LINE_BYTES + 1),
         timeout,
     )
     connection = AsyncRemoteConnection(reader, writer, site=site)
     await connection.synchronize_clock()
+    if codec != "json":
+        await connection.negotiate_codec(codec)
     return connection

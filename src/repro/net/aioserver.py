@@ -47,15 +47,28 @@ events are loop-affine but may be fired from executor threads, so the
 sharded mode wraps them in :class:`_LoopEvent` (``set`` via
 ``call_soon_threadsafe``).
 
+**Codec negotiation.**  Every connection starts in JSON line mode; a
+``hello`` request may switch it to the length-prefixed binary codec
+(:mod:`repro.net.protocol`), after which ``data_received`` parses frames
+instead of lines — including a binary edition of the snapshot-cache
+inline fast path that never builds a dict on a cache hit.  The switch is
+lossless mid-chunk (binary bytes may contain ``0x0A``, so the line split
+is undone exactly before the frame parser takes over).
+
+**uvloop (optional).**  :class:`AsyncServerThread` runs its loop under
+uvloop when the optional extra is importable (``pip install
+repro[speed]``), falling back to stock asyncio silently otherwise;
+``loop_implementation`` reports which one actually ran.
+
 Observability: ``repro.perf.counters`` tallies requests batched, batches
-drained, coalesced flushes, and backpressure stalls.
+drained, coalesced flushes, backpressure stalls, and ``net_codec_*``
+frame/negotiation counts.
 """
 
 from __future__ import annotations
 
 import asyncio
 import functools
-import re
 import threading
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
@@ -66,10 +79,14 @@ from repro.engine.api import Engine, create_engine
 from repro.engine.database import Database
 from repro.errors import ProtocolError
 from repro.net.protocol import (
+    BINARY_CODEC,
+    JSON_CODEC,
+    MAX_FRAME_BYTES,
     MAX_LINE_BYTES,
+    SUPPORTED_CODECS,
+    Codec,
     decode_message,
-    encode_message,
-    encode_response,
+    negotiate_hello,
 )
 from repro.net.requests import (
     NeedsWait,
@@ -81,19 +98,25 @@ from repro.net.requests import (
 )
 from repro.net.server import WAIT_TIMEOUT_SECONDS
 
-__all__ = ["AsyncTransactionServer", "AsyncServerThread", "serve_in_thread"]
+try:  # optional accelerator: a drop-in libuv event loop
+    import uvloop as _uvloop
+except ImportError:  # pragma: no cover - environment-dependent
+    _uvloop = None
+
+__all__ = [
+    "AsyncTransactionServer",
+    "AsyncServerThread",
+    "serve_in_thread",
+    "uvloop_available",
+]
 
 #: Per-connection cap on requests accepted but not yet answered.
 DEFAULT_MAX_INFLIGHT = 128
 
-#: The exact read-request shape every pipelining client emits.  The
-#: snapshot-cache fast path parses it at the byte level — a cache hit
-#: then skips ``json.loads`` *and* ``json.dumps`` for the round trip.
-#: Any other key order (or extra keys) falls through to the normal
-#: decode, which still reaches the cache via :func:`try_cached_read`.
-_READ_LINE = re.compile(
-    rb'\{"op":"read","txn":(\d+),"object":(\d+)(?:,"id":(\d+))?\}'
-)
+
+def uvloop_available() -> bool:
+    """Whether the optional ``uvloop`` extra is importable here."""
+    return _uvloop is not None
 
 
 class _Failure:
@@ -104,27 +127,6 @@ class _Failure:
     def __init__(self, error: str, detail: str):
         self.error = error
         self.detail = detail
-
-
-def _cached_read_response(outcome, rid: bytes | None) -> bytes:
-    """Hand-format a cache-hit response (byte-identical to the JSON
-    encoder's output for the same fields: ``%a`` of a finite float is
-    its ``repr``, which is exactly what ``json.dumps`` emits)."""
-    case = (
-        b'"' + outcome.esr_case.encode("ascii") + b'"'
-        if outcome.esr_case is not None
-        else b"null"
-    )
-    if rid is None:
-        return b'{"ok":true,"value":%a,"inconsistency":%a,"esr_case":%b}\n' % (
-            outcome.value,
-            outcome.inconsistency,
-            case,
-        )
-    return (
-        b'{"ok":true,"value":%a,"inconsistency":%a,"esr_case":%b,"id":%b}\n'
-        % (outcome.value, outcome.inconsistency, case, rid)
-    )
 
 
 class _LoopEvent:
@@ -168,12 +170,17 @@ class _Connection(asyncio.Protocol):
         "closing",
         "closed",
         "lane",
+        "codec",
+        "binary",
     )
 
     def __init__(self, server: "AsyncTransactionServer"):
         self.server = server
         self.transport: asyncio.Transport | None = None
         self.buffer = b""
+        #: Wire codec in effect (starts JSON; ``hello`` may switch it).
+        self.codec: Codec = JSON_CODEC
+        self.binary = False  # codec is length-prefixed, not line-framed
         self.sessions: dict[int, Any] = {}
         self.out: list[bytes] = []
         self.inflight = 0
@@ -215,7 +222,12 @@ class _Connection(asyncio.Protocol):
 
     def eof_received(self) -> bool | None:
         if self.buffer and not self.failed:
-            self.fail("protocol", "connection closed mid-line")
+            self.fail(
+                "protocol",
+                "connection closed mid-frame"
+                if self.binary
+                else "connection closed mid-line",
+            )
         # Keep the transport open while an error response is still in
         # flight through the dispatch queue; flush_now() closes it.
         return self.failed
@@ -223,6 +235,12 @@ class _Connection(asyncio.Protocol):
     def data_received(self, data: bytes) -> None:
         if self.failed:
             return
+        if self.binary:
+            self._binary_data(data)
+        else:
+            self._line_data(data)
+
+    def _line_data(self, data: bytes) -> None:
         buffer = self.buffer + data
         if b"\n" not in data:
             if len(buffer) > MAX_LINE_BYTES:
@@ -246,9 +264,10 @@ class _Connection(asyncio.Protocol):
         manager = server.manager
         cache = manager.snapshot is not None
         pending_ops = self.pending_ops
+        codec = self.codec
         queued = 0
         answered_inline = False
-        for line in lines:
+        for index, line in enumerate(lines):
             if len(line) > MAX_LINE_BYTES:
                 self.fail(
                     "too_large",
@@ -265,19 +284,19 @@ class _Connection(asyncio.Protocol):
                 # *other* transactions may be overtaken, which pipelining
                 # already allows).  Inline answers never count against
                 # the in-flight window.
-                match = _READ_LINE.fullmatch(line)
-                if match is not None:
-                    txn_id = int(match.group(1))
+                parsed = codec.parse_canonical_read(line)
+                if parsed is not None:
+                    txn_id, object_id, rid = parsed
                     if not pending_ops.get(txn_id, 0):
                         txn = self.sessions.get(txn_id)
                         outcome = (
-                            manager.read_cached(txn, int(match.group(2)))
+                            manager.read_cached(txn, object_id)
                             if txn is not None
                             else None
                         )
                         if outcome is not None:
                             self.out.append(
-                                _cached_read_response(outcome, match.group(3))
+                                codec.encode_read_outcome(outcome, rid)
                             )
                             answered_inline = True
                             continue
@@ -286,6 +305,24 @@ class _Connection(asyncio.Protocol):
             except ProtocolError as exc:
                 self.fail("protocol", str(exc))
                 return
+            if server.codecs is not None and message.get("op") == "hello":
+                # Negotiate, answer on the current (JSON) codec, then —
+                # on a switch — hand the remaining bytes of this chunk
+                # to the binary parser losslessly: binary frames may
+                # contain 0x0A, so the split must be undone exactly.
+                chosen, response = negotiate_hello(message, server.codecs)
+                self.out.append(codec.encode_response(attach_id(response, message)))
+                answered_inline = True
+                if chosen is not codec:
+                    self.codec = chosen
+                    self.binary = True
+                    rest = b"\n".join(lines[index + 1 :] + [self.buffer])
+                    self.buffer = b""
+                    self._finish_ingest(queued, answered_inline)
+                    if rest:
+                        self._binary_data(rest)
+                    return
+                continue
             if cache and not pending_ops.get(message.get("txn", -1), 0):
                 # Same fast path for read messages in any other wire
                 # shape (different key order, extra keys): decoded
@@ -293,7 +330,7 @@ class _Connection(asyncio.Protocol):
                 response = try_cached_read(manager, message, self.sessions)
                 if response is not None:
                     self.out.append(
-                        encode_response(attach_id(response, message))
+                        codec.encode_response(attach_id(response, message))
                     )
                     answered_inline = True
                     continue
@@ -302,6 +339,98 @@ class _Connection(asyncio.Protocol):
                 pending_ops[txn] = pending_ops.get(txn, 0) + 1
             queue.append((self, message))
             queued += 1
+        self._finish_ingest(queued, answered_inline)
+
+    def _binary_data(self, data: bytes) -> None:
+        buffer = self.buffer + data
+        server = self.server
+        queue = server._queue
+        manager = server.manager
+        cache = manager.snapshot is not None
+        pending_ops = self.pending_ops
+        codec = self.codec
+        counters = perf.counters
+        queued = 0
+        answered_inline = False
+        pos = 0
+        end = len(buffer)
+        while end - pos >= 4:
+            size = int.from_bytes(buffer[pos : pos + 4], "little")
+            if size < 1 or size > MAX_FRAME_BYTES:
+                self.buffer = b""
+                self._finish_ingest(queued, answered_inline)
+                self.fail(
+                    "too_large",
+                    f"binary frame of {size} bytes exceeds "
+                    f"{MAX_FRAME_BYTES} bytes",
+                )
+                return
+            if end - pos - 4 < size:
+                break
+            frame = buffer[pos + 4 : pos + 4 + size]
+            pos += 4 + size
+            if cache:
+                # Inline fast path, binary edition: a canonical read
+                # frame is three struct fields — no dict is ever built
+                # on a cache hit.
+                parsed = codec.parse_canonical_read(frame)
+                if parsed is not None:
+                    txn_id, object_id, rid = parsed
+                    if not pending_ops.get(txn_id, 0):
+                        txn = self.sessions.get(txn_id)
+                        outcome = (
+                            manager.read_cached(txn, object_id)
+                            if txn is not None
+                            else None
+                        )
+                        if outcome is not None:
+                            # The decode counter normally ticks inside
+                            # codec.decode, which this path bypasses.
+                            counters.net_codec_binary_frames_decoded += 1
+                            self.out.append(
+                                codec.encode_read_outcome(outcome, rid)
+                            )
+                            answered_inline = True
+                            continue
+            try:
+                message = codec.decode(frame)
+            except ProtocolError as exc:
+                self.buffer = b""
+                self._finish_ingest(queued, answered_inline)
+                self.fail("protocol", str(exc))
+                return
+            if server.codecs is not None and message.get("op") == "hello":
+                chosen, response = negotiate_hello(message, server.codecs)
+                self.out.append(codec.encode_response(attach_id(response, message)))
+                answered_inline = True
+                if chosen is not codec:
+                    self.codec = chosen
+                    self.binary = False
+                    self.buffer = b""
+                    self._finish_ingest(queued, answered_inline)
+                    rest = buffer[pos:]
+                    if rest:
+                        self._line_data(rest)
+                    return
+                continue
+            if cache and not pending_ops.get(message.get("txn", -1), 0):
+                response = try_cached_read(manager, message, self.sessions)
+                if response is not None:
+                    self.out.append(
+                        codec.encode_response(attach_id(response, message))
+                    )
+                    answered_inline = True
+                    continue
+            txn = message.get("txn")
+            if txn is not None:
+                pending_ops[txn] = pending_ops.get(txn, 0) + 1
+            queue.append((self, message))
+            queued += 1
+        self.buffer = buffer[pos:]
+        self._finish_ingest(queued, answered_inline)
+
+    def _finish_ingest(self, queued: int, answered_inline: bool) -> None:
+        """Shared post-chunk bookkeeping for both framing modes."""
         self.inflight += queued
         if self.inflight >= self.server.max_inflight and not self.read_paused:
             # In-flight window full: stop reading until responses drain.
@@ -309,7 +438,7 @@ class _Connection(asyncio.Protocol):
             self.read_paused = True
             self.transport.pause_reading()
         if queued:
-            server._queue_ready.set()
+            self.server._queue_ready.set()
         if answered_inline:
             # The dispatcher only flushes connections it answers, so the
             # inline responses need their own (idempotent, coalesced)
@@ -340,7 +469,7 @@ class _Connection(asyncio.Protocol):
                 self.transport.resume_reading()
         if self.closed:
             return
-        self.out.append(encode_response(response))
+        self.out.append(self.codec.encode_response(response))
 
     def flush_now(self) -> None:
         """Write the buffered responses in one transport write."""
@@ -398,6 +527,7 @@ class AsyncTransactionServer:
         snapshot_cache: bool = False,
         shards: int = 1,
         processes: bool | str = False,
+        codecs: tuple[str, ...] | None = SUPPORTED_CODECS,
     ):
         self.manager: Engine = create_engine(
             database,
@@ -411,6 +541,9 @@ class AsyncTransactionServer:
         #: Upper bound on one strict-ordering wait, in seconds.
         self.wait_timeout = wait_timeout
         self.max_inflight = max_inflight
+        #: Codecs offered to ``hello`` negotiation; None disables it
+        #: (the connection then behaves like a pre-negotiation server).
+        self.codecs = codecs
         self._queue: deque[tuple[_Connection, dict[str, Any]]] = deque()
         self._connections: set[_Connection] = set()
         self._queue_ready: asyncio.Event | None = None
@@ -506,7 +639,7 @@ class AsyncTransactionServer:
             for conn, message in batch:
                 if type(message) is _Failure:
                     conn.out.append(
-                        encode_message(
+                        conn.codec.encode_response(
                             {
                                 "ok": False,
                                 "error": message.error,
@@ -666,8 +799,22 @@ class AsyncServerThread:
     talks to it over TCP exactly as to the threaded server.
     """
 
-    def __init__(self, server: AsyncTransactionServer, host: str, port: int):
+    def __init__(
+        self,
+        server: AsyncTransactionServer,
+        host: str,
+        port: int,
+        use_uvloop: bool | None = None,
+    ):
         self.server = server
+        # None = auto: take uvloop when the optional extra is importable.
+        # True degrades gracefully too — the request is best-effort, and
+        # ``loop_implementation`` reports what actually ran.
+        self._use_uvloop = uvloop_available() if use_uvloop is None else (
+            use_uvloop and uvloop_available()
+        )
+        #: ``"uvloop"`` or ``"asyncio"`` — the loop that actually ran.
+        self.loop_implementation = "uvloop" if self._use_uvloop else "asyncio"
         self._loop: asyncio.AbstractEventLoop | None = None
         self._stop: asyncio.Event | None = None
         self._ready = threading.Event()
@@ -694,7 +841,13 @@ class AsyncServerThread:
             await self._stop.wait()
             await self.server.aclose()
 
-        asyncio.run(main())
+        if self._use_uvloop:
+            # asyncio.run grew loop_factory only in 3.12; Runner has it
+            # since 3.11 and is otherwise the same machinery.
+            with asyncio.Runner(loop_factory=_uvloop.new_event_loop) as runner:
+                runner.run(main())
+        else:
+            asyncio.run(main())
 
     @property
     def port(self) -> int:
@@ -722,6 +875,8 @@ def serve_in_thread(
     snapshot_cache: bool = False,
     shards: int = 1,
     processes: bool | str = False,
+    codecs: tuple[str, ...] | None = SUPPORTED_CODECS,
+    use_uvloop: bool | None = None,
 ) -> AsyncServerThread:
     """Start an async server on a background loop thread (bound and live)."""
     server = AsyncTransactionServer(
@@ -734,5 +889,6 @@ def serve_in_thread(
         snapshot_cache=snapshot_cache,
         shards=shards,
         processes=processes,
+        codecs=codecs,
     )
-    return AsyncServerThread(server, host, port)
+    return AsyncServerThread(server, host, port, use_uvloop=use_uvloop)

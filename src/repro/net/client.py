@@ -24,7 +24,7 @@ from repro.lang.ast import Program
 from repro.lang.compiler import compile_program
 from repro.lang.eval import ExecutionResult, execute
 from repro.net.clock import VirtualClock
-from repro.net.protocol import LineReader, recv_message, send_message
+from repro.net.protocol import CODECS, JSON_CODEC, LineReader
 
 __all__ = ["RemoteConnection", "RemoteTransaction"]
 
@@ -138,23 +138,67 @@ class RemoteTransaction:
 class RemoteConnection:
     """One client site connected to a transaction server."""
 
-    def __init__(self, host: str, port: int, site: int = 1, timeout: float = 60.0):
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        site: int = 1,
+        timeout: float = 60.0,
+        codec: str = "json",
+    ):
+        if codec not in CODECS:
+            raise ValueError(
+                f"unknown codec {codec!r}; choose from {sorted(CODECS)}"
+            )
         self.site = site
         self._sock = socket.create_connection((host, port), timeout=timeout)
         # Requests are tiny; don't let Nagle hold one back for an ACK.
         self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._codec = JSON_CODEC
         self._reader = LineReader(self._sock)
+        self._next_id = 0
+        #: The codec actually in effect after negotiation.  Stays
+        #: ``"json"`` when the server declines (or predates) ``hello``.
+        self.negotiated_codec = "json"
         self.clock = VirtualClock()
         self._synchronize_clock()
+        if codec != JSON_CODEC.name:
+            self._negotiate_codec(codec)
         self._timestamps = TimestampGenerator(site=site, clock=self.clock.now)
 
     # -- plumbing -----------------------------------------------------------------
 
+    def _negotiate_codec(self, name: str) -> None:
+        # An old server answers hello with ``unknown-op`` — not ok, so the
+        # connection simply stays on JSON and everything keeps working.
+        response = self._request({"op": "hello", "codecs": [name]})
+        if response.get("ok") and response.get("codec") == name:
+            self._codec = CODECS[name]
+            self._reader = self._codec.make_reader(
+                self._sock, self._reader.buffer
+            )
+            self.negotiated_codec = name
+
     def _request(self, message: dict[str, Any]) -> dict[str, Any]:
-        send_message(self._sock, message)
-        response = recv_message(self._reader)
+        codec = self._codec
+        rid = None
+        if codec is not JSON_CODEC:
+            # Binary fixed layouts carry a correlation id; this client is
+            # strictly serial, so tag each request and verify the echo.
+            self._next_id += 1
+            rid = self._next_id
+            message = dict(message)
+            message["id"] = rid
+        self._sock.sendall(codec.encode_request(message))
+        response = self._reader.read_message()
         if response is None:
             raise ProtocolError("server closed the connection")
+        if rid is not None:
+            echoed = response.pop("id", None)
+            if echoed != rid:
+                raise ProtocolError(
+                    f"response id {echoed!r} does not match request id {rid}"
+                )
         return response
 
     def _synchronize_clock(self) -> None:

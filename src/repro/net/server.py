@@ -21,6 +21,14 @@ guards against a client that dies while holding an uncommitted write.
 Pipelining note: this server reads one request at a time per connection
 and answers before reading the next, so pipelined clients get their
 responses strictly in request order.
+
+Codec note: every connection starts in JSON line mode; a ``hello``
+request negotiates the wire codec (:func:`repro.net.protocol.
+negotiate_hello`) and the connection switches framing immediately after
+the (JSON) hello response.  ``codecs=None`` disables negotiation
+entirely — the server then behaves byte-for-byte like a pre-negotiation
+build (``hello`` falls through to dispatch and earns ``unknown-op``),
+which is how the tests emulate an old server.
 """
 
 from __future__ import annotations
@@ -35,7 +43,13 @@ from repro.engine.api import create_engine
 from repro.engine.database import Database
 from repro.engine.transactions import TransactionState
 from repro.errors import ProtocolError
-from repro.net.protocol import LineReader, LineTooLong, recv_message, send_message
+from repro.net.protocol import (
+    JSON_CODEC,
+    SUPPORTED_CODECS,
+    Codec,
+    LineTooLong,
+    negotiate_hello,
+)
 from repro.net.requests import (
     NeedsWait,
     abort_on_timeout,
@@ -63,34 +77,52 @@ class _Handler(socketserver.StreamRequestHandler):
         # client's delayed ACK — a pipelining client would otherwise see
         # ~40ms stalls between back-to-back responses.
         self.connection.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-        reader = LineReader(self.connection)
+        codec: Codec = JSON_CODEC
+        reader = codec.make_reader(self.connection)
         # Transactions begun on this connection, so a dropped client's
         # in-flight transaction can be aborted on disconnect.
         sessions: dict[int, TransactionState] = {}
         try:
             while True:
                 try:
-                    message = recv_message(reader)
+                    message = reader.read_message()
                 except LineTooLong as exc:
-                    send_message(
-                        self.connection,
+                    self._send(
+                        codec,
                         {"ok": False, "error": "too_large", "detail": str(exc)},
                     )
                     return
                 except ProtocolError as exc:
-                    send_message(
-                        self.connection,
+                    self._send(
+                        codec,
                         {"ok": False, "error": "protocol", "detail": str(exc)},
                     )
                     return
                 if message is None:
                     return
+                if self.server.codecs is not None and message.get("op") == "hello":
+                    # Negotiate, answer on the *current* codec, then switch
+                    # framing — handing any already-buffered bytes to the
+                    # new reader losslessly.
+                    codec, reader = self._negotiate(codec, message, reader)
+                    continue
                 response = self.server.dispatch(message, sessions)
-                send_message(self.connection, attach_id(response, message))
+                self._send(codec, attach_id(response, message))
         except (ConnectionError, BrokenPipeError, OSError):
             pass
         finally:
             self.server.abandon(sessions)
+
+    def _negotiate(self, codec: Codec, message: dict[str, Any], reader):
+        chosen, response = negotiate_hello(message, self.server.codecs)
+        self._send(codec, attach_id(response, message))
+        if chosen is not codec:
+            reader = chosen.make_reader(self.connection, reader.buffer)
+            codec = chosen
+        return codec, reader
+
+    def _send(self, codec: Codec, response: dict[str, Any]) -> None:
+        self.connection.sendall(codec.encode_response(response))
 
 
 class TransactionServer(socketserver.ThreadingTCPServer):
@@ -110,6 +142,7 @@ class TransactionServer(socketserver.ThreadingTCPServer):
         snapshot_cache: bool = False,
         shards: int = 1,
         processes: bool | str = False,
+        codecs: tuple[str, ...] | None = SUPPORTED_CODECS,
     ):
         # Build (and validate) the engine before binding the socket, so
         # a bad protocol/option combination never leaks a bound port —
@@ -127,6 +160,9 @@ class TransactionServer(socketserver.ThreadingTCPServer):
         super().__init__(address, _Handler)
         #: Upper bound on one strict-ordering wait (see module constant).
         self.wait_timeout = wait_timeout
+        #: Codecs offered to ``hello`` negotiation; None disables it
+        #: (the connection then behaves like a pre-negotiation server).
+        self.codecs = codecs
         # A thread-safe engine (the sharded composite) takes its own
         # per-shard locks, replacing the global engine mutex with
         # fine-grained critical sections; the bare managers still need
@@ -206,6 +242,7 @@ def serve_forever(
     snapshot_cache: bool = False,
     shards: int = 1,
     processes: bool | str = False,
+    codecs: tuple[str, ...] | None = SUPPORTED_CODECS,
 ) -> TransactionServer:
     """Start a server on a background thread; returns it (bound and live)."""
     server = TransactionServer(
@@ -218,6 +255,7 @@ def serve_forever(
         snapshot_cache=snapshot_cache,
         shards=shards,
         processes=processes,
+        codecs=codecs,
     )
     thread = threading.Thread(target=server.serve_forever, daemon=True)
     thread.start()

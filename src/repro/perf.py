@@ -65,6 +65,16 @@ class PerfCounters:
                                  reads charged to their ledgers
     ``shard_failovers``          process-sharded shards rebuilt in-process
                                  after their worker died
+    ``net_codec_binary_frames_encoded``
+                                 frames the binary codec encoded (fixed
+                                 layouts and JSON-payload frames alike)
+    ``net_codec_binary_frames_decoded``
+                                 frames the binary codec decoded
+    ``net_codec_negotiation_downgrades``
+                                 ``hello`` negotiations that asked for a
+                                 non-JSON codec but settled on JSON
+    ``net_codec_json_fallbacks`` binary-codec messages that did not fit a
+                                 fixed layout and rode a JSON-payload frame
     ============================ ==============================================
     """
 
@@ -84,6 +94,10 @@ class PerfCounters:
         "cache_fallbacks",
         "cache_divergence_charged",
         "shard_failovers",
+        "net_codec_binary_frames_encoded",
+        "net_codec_binary_frames_decoded",
+        "net_codec_negotiation_downgrades",
+        "net_codec_json_fallbacks",
     )
 
     def __init__(self) -> None:
@@ -106,6 +120,10 @@ class PerfCounters:
         self.cache_fallbacks = 0
         self.cache_divergence_charged = 0.0
         self.shard_failovers = 0
+        self.net_codec_binary_frames_encoded = 0
+        self.net_codec_binary_frames_decoded = 0
+        self.net_codec_negotiation_downgrades = 0
+        self.net_codec_json_fallbacks = 0
 
     def record_conflict_case(self, case: str) -> None:
         tally = self.conflict_cases
@@ -129,6 +147,12 @@ class PerfCounters:
             "cache_fallbacks": self.cache_fallbacks,
             "cache_divergence_charged": self.cache_divergence_charged,
             "shard_failovers": self.shard_failovers,
+            "net_codec_binary_frames_encoded": self.net_codec_binary_frames_encoded,
+            "net_codec_binary_frames_decoded": self.net_codec_binary_frames_decoded,
+            "net_codec_negotiation_downgrades": (
+                self.net_codec_negotiation_downgrades
+            ),
+            "net_codec_json_fallbacks": self.net_codec_json_fallbacks,
         }
 
     def format_table(self) -> str:
@@ -148,6 +172,29 @@ class PerfCounters:
                 (
                     "net backpressure stalls",
                     f"{self.net_backpressure_stalls:,}",
+                ),
+            ]
+        if (
+            self.net_codec_binary_frames_encoded
+            or self.net_codec_binary_frames_decoded
+            or self.net_codec_negotiation_downgrades
+        ):
+            rows += [
+                (
+                    "binary frames encoded",
+                    f"{self.net_codec_binary_frames_encoded:,}",
+                ),
+                (
+                    "binary frames decoded",
+                    f"{self.net_codec_binary_frames_decoded:,}",
+                ),
+                (
+                    "codec negotiation downgrades",
+                    f"{self.net_codec_negotiation_downgrades:,}",
+                ),
+                (
+                    "binary JSON fallbacks",
+                    f"{self.net_codec_json_fallbacks:,}",
                 ),
             ]
         if self.cache_hits or self.cache_misses or self.cache_fallbacks:

@@ -109,3 +109,80 @@ def test_load_baseline_rejects_bad_files(tmp_path):
     stale = tmp_path / "stale.json"
     stale.write_text('{"schema": -1}', encoding="utf-8")
     assert netbench.load_baseline(stale) is None
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        replace(TINY, rate=100.0)  # rate without open-loop mode
+    with pytest.raises(ValueError):
+        replace(TINY, mode="half-open")
+    with pytest.raises(ValueError):
+        replace(TINY, codec="binary-2")
+    replace(TINY, mode="open", rate=100.0)  # valid together
+
+
+def test_binary_codec_row_beats_counters():
+    report = netbench.run_suite(
+        TINY, servers=("async", "async-binary"), isolate_client=False
+    )
+    binary = report["servers"]["async-binary"]
+    assert binary["load"]["codec"] == "binary-1"
+    assert binary["perf"]["net_codec_binary_frames_encoded"] > 0
+    assert binary["perf"]["net_codec_binary_frames_decoded"] > 0
+    assert binary["perf"]["net_codec_json_fallbacks"] == 0
+    assert report["servers"]["async"]["load"]["codec"] == "json"
+    assert "speedup_binary_codec" in report
+    assert "binary codec" in netbench.format_report(report)
+
+
+def test_open_loop_row_reports_latency_vs_load():
+    report = netbench.run_suite(
+        replace(TINY, duration_s=0.4),
+        servers=("open-1k",),
+        isolate_client=False,
+    )
+    entry = report["servers"]["open-1k"]
+    assert entry["load"]["mode"] == "open"
+    assert entry["load"]["rate"] == 1000.0
+    assert entry["transactions"] > 0
+    (point,) = report["latency_vs_load"]
+    assert point["offered_rate_txn_s"] == 1000.0
+    assert point["achieved_txn_s"] == entry["transactions_per_s"]
+    assert point["p99_ms"] >= point["p50_ms"] >= 0
+    assert "latency under offered load" in netbench.format_report(report)
+
+
+def test_soak_row_scales_duration():
+    row = netbench.SUITE_ROWS["soak-8k"]
+    assert row.duration_scale == 4.0
+    assert dict(row.overrides)["mode"] == "open"
+
+
+def _fake_report(rows: dict) -> dict:
+    return {
+        "schema": netbench.SCHEMA_VERSION,
+        "servers": {
+            kind: {
+                "latency_ms": {"p99": p99},
+                "load": {"mode": mode},
+            }
+            for kind, (p99, mode) in rows.items()
+        },
+    }
+
+
+def test_check_p99_regression():
+    baseline = _fake_report(
+        {"async": (2.0, "closed"), "open-8k": (10.0, "open")}
+    )
+    fine = _fake_report({"async": (5.0, "closed"), "open-8k": (500.0, "open")})
+    assert netbench.check_p99_regression(baseline, fine, factor=3.0) == []
+    bad = _fake_report({"async": (6.1, "closed")})
+    problems = netbench.check_p99_regression(baseline, bad, factor=3.0)
+    assert len(problems) == 1 and "async" in problems[0]
+    # Open-loop rows never gate, however bad the tail looks; rows
+    # missing from the baseline are skipped.
+    saturated = _fake_report(
+        {"open-8k": (9999.0, "open"), "brand-new": (50.0, "closed")}
+    )
+    assert netbench.check_p99_regression(baseline, saturated) == []
