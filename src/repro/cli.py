@@ -178,6 +178,20 @@ def _cmd_bench_hotpath(args: argparse.Namespace) -> int:
         print(hotpath.format_comparison(baseline, report))
     else:
         print(hotpath.format_report(report))
+    if args.rpc_guard:
+        if baseline is None:
+            print(f"\nrpc guard skipped: no baseline at {args.baseline}")
+        else:
+            problem = hotpath.check_rpc_regression(
+                baseline, report, factor=args.rpc_factor
+            )
+            if problem:
+                print(f"\nprocshard_rpc regression guard FAILED:\n  {problem}")
+                return 1
+            print(
+                f"\nrpc guard passed (bytes/op within {args.rpc_factor:g}x "
+                "of baseline)"
+            )
     if args.quick:
         return 0
     if args.update or baseline is None:
@@ -471,6 +485,20 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="single repetition of everything — execution smoke test only, "
         "timings meaningless; never writes the baseline",
+    )
+    bench.add_argument(
+        "--rpc-guard",
+        action="store_true",
+        help="exit 1 if the procshard fast channel's bytes/op regressed "
+        "beyond --rpc-factor of the baseline (deterministic metric, "
+        "safe to gate CI on)",
+    )
+    bench.add_argument(
+        "--rpc-factor",
+        type=float,
+        default=1.5,
+        help="allowed bytes/op regression factor for --rpc-guard "
+        "(default 1.5)",
     )
 
     gen = sub.add_parser("gen-workload", help="write a client trace file")

@@ -46,11 +46,16 @@ class ValueRange:
         self.minimum = value
         self.maximum = value
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float) -> bool:
+        """Fold ``value`` in; True when either extreme actually moved."""
+        changed = False
         if value < self.minimum:
             self.minimum = value
+            changed = True
         if value > self.maximum:
             self.maximum = value
+            changed = True
+        return changed
 
     @property
     def spread(self) -> float:
@@ -89,6 +94,13 @@ class InconsistencyAccount:
         #: charging the same TIL/GIL ledger keep exactly-at-limit
         #: semantics (see :meth:`install_lock`).
         self._lock = None
+        # Incremental change tracking (see track_changes): off by
+        # default, so the hot admission path pays one predicate check.
+        self._track = False
+        self._dirty_usage = False
+        self._dirty_ops = False
+        self._dirty_objects: set[int] = set()
+        self._dirty_ranges: set[int] = set()
 
     def install_lock(self, lock) -> None:
         """Serialise :meth:`admit` / :meth:`admit_bounded` /
@@ -127,6 +139,10 @@ class InconsistencyAccount:
                 self._per_object[object_id] = (
                     self._per_object.get(object_id, 0.0) + amount
                 )
+                if self._track:
+                    self._dirty_usage = True
+                    self._dirty_ops = True
+                    self._dirty_objects.add(object_id)
         return outcome
 
     def admit_bounded(
@@ -169,6 +185,10 @@ class InconsistencyAccount:
             self._per_object[object_id] = (
                 self._per_object.get(object_id, 0.0) + charge_amount
             )
+            if self._track:
+                self._dirty_usage = True
+                self._dirty_ops = True
+                self._dirty_objects.add(object_id)
         return outcome
 
     def would_admit(self, object_id: int, amount: float) -> bool:
@@ -192,8 +212,10 @@ class InconsistencyAccount:
         existing = self._ranges.get(object_id)
         if existing is None:
             self._ranges[object_id] = ValueRange(value)
-        else:
-            existing.observe(value)
+            if self._track:
+                self._dirty_ranges.add(object_id)
+        elif existing.observe(value) and self._track:
+            self._dirty_ranges.add(object_id)
 
     def value_range(self, object_id: int) -> ValueRange | None:
         return self._ranges.get(object_id)
@@ -257,6 +279,128 @@ class InconsistencyAccount:
             value_range.maximum = maximum
             rebuilt[object_id] = value_range
         self._ranges = rebuilt
+        if self._track:
+            self._clear_dirty()
+
+    # -- incremental change tracking (process sharding fast path) ------------
+
+    def track_changes(self) -> None:
+        """Start recording which entries :meth:`take_delta` should ship.
+
+        Only *locally originated* changes are tracked — admissions and
+        value observations; :meth:`load_state` and :meth:`apply_delta`
+        reset the dirty sets, since state arriving from the canonical
+        copy must not echo back to it.  The shard workers enable this on
+        their sibling accounts so each operation's reply delta costs
+        O(changed entries) instead of a full state dump and diff.
+        """
+        self._track = True
+        self._clear_dirty()
+
+    def _clear_dirty(self) -> None:
+        self._dirty_usage = False
+        self._dirty_ops = False
+        self._dirty_objects.clear()
+        self._dirty_ranges.clear()
+
+    def take_delta(self):
+        """The changes since the last call, as an :meth:`apply_delta` delta.
+
+        Returns None when nothing changed (the common consistent-op
+        case).  Requires :meth:`track_changes`.  The usage component
+        ships the whole per-level dict when any charge landed — it holds
+        one entry per *bounded level*, a handful at most — while the
+        per-object and range components ship only the touched entries.
+        """
+        if self._lock is not None:
+            with self._lock:
+                return self._take_delta()
+        return self._take_delta()
+
+    def _take_delta(self):
+        if not (
+            self._dirty_usage
+            or self._dirty_ops
+            or self._dirty_objects
+            or self._dirty_ranges
+        ):
+            return None
+        usage = self._ledger.dump_usage() if self._dirty_usage else {}
+        per_object = {
+            object_id: self._per_object[object_id]
+            for object_id in self._dirty_objects
+        }
+        ranges = {}
+        for object_id in self._dirty_ranges:
+            value_range = self._ranges[object_id]
+            ranges[object_id] = (value_range.minimum, value_range.maximum)
+        operations = self.inconsistent_operations if self._dirty_ops else None
+        self._clear_dirty()
+        return (usage, per_object, operations, ranges)
+
+    @staticmethod
+    def diff_state(old, new):
+        """The delta between two :meth:`dump_state` dumps, or None.
+
+        Account state only grows (usage accumulates, per-object charges
+        and observed ranges are never removed), so a delta is simply the
+        entries of ``new`` that differ from ``old`` — applying it on top
+        of ``old`` with :meth:`apply_delta` reproduces ``new`` exactly.
+        Returns None when the dumps are identical (the common case for a
+        consistent operation, which charges nothing).
+        """
+        old_usage, old_per_object, old_operations, old_ranges = old
+        new_usage, new_per_object, new_operations, new_ranges = new
+        usage = {
+            level: value
+            for level, value in new_usage.items()
+            if old_usage.get(level) != value
+        }
+        per_object = {
+            object_id: value
+            for object_id, value in new_per_object.items()
+            if old_per_object.get(object_id) != value
+        }
+        ranges = {
+            object_id: extremes
+            for object_id, extremes in new_ranges.items()
+            if old_ranges.get(object_id) != extremes
+        }
+        operations = (
+            new_operations if new_operations != old_operations else None
+        )
+        if not usage and not per_object and not ranges and operations is None:
+            return None
+        return (usage, per_object, operations, ranges)
+
+    def apply_delta(self, delta) -> None:
+        """Apply a :meth:`diff_state` delta on top of the current state.
+
+        The inverse of shipping a full dump: only the changed ledger
+        levels, per-object charges, operation count and value ranges are
+        merged in, which is what crosses the shard channel on the
+        process-sharded engine's delta-sync fast path.
+        """
+        if self._lock is not None:
+            with self._lock:
+                self._apply_delta(delta)
+            return
+        self._apply_delta(delta)
+
+    def _apply_delta(self, delta) -> None:
+        usage, per_object, operations, ranges = delta
+        if usage:
+            self._ledger.update_usage(usage)
+        if per_object:
+            self._per_object.update(per_object)
+        if operations is not None:
+            self.inconsistent_operations = operations
+        for object_id, (minimum, maximum) in ranges.items():
+            value_range = ValueRange(minimum)
+            value_range.maximum = maximum
+            self._ranges[object_id] = value_range
+        if self._track:
+            self._clear_dirty()
 
     # -- introspection -------------------------------------------------------
 

@@ -450,6 +450,16 @@ class HierarchyLedger:
         self._usage.clear()
         self._usage.update(usage)
 
+    def update_usage(self, usage: Mapping[str, float]) -> None:
+        """Merge a *partial* usage dump — the changed levels only.
+
+        The delta-sync fast path of the process-sharded engine ships only
+        the levels whose accumulated usage moved since the receiver's
+        last acknowledged version; untouched levels keep their current
+        values (usage is monotone, levels are never removed).
+        """
+        self._usage.update(usage)
+
     def snapshot(self) -> dict[str, tuple[float, float]]:
         """``{level: (usage, limit)}`` for every level with a limit."""
         return {

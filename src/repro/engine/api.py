@@ -202,6 +202,7 @@ def validate_protocol_options(
     wait_policy: str = "wait",
     shards: int = 1,
     processes: bool = False,
+    shard_rpc: str = "fast",
 ) -> ProtocolSpec:
     """Check one protocol/options combination; all entry points call this.
 
@@ -231,6 +232,12 @@ def validate_protocol_options(
             "cache publishes from inside the engine critical section, "
             "which lives in the shard worker processes"
         )
+    if shard_rpc not in ("fast", "legacy"):
+        raise SpecificationError(
+            f"unknown shard_rpc mode {shard_rpc!r}; choose 'fast' "
+            "(delta sync + batching + binary frames) or 'legacy' "
+            "(per-op full-dump pickle channel)"
+        )
     return spec
 
 
@@ -246,6 +253,7 @@ def create_engine(
     timestamps: TimestampGenerator | None = None,
     shards: int = 1,
     processes: bool | str = False,
+    shard_rpc: str = "fast",
 ) -> Engine:
     """Build the engine for ``protocol`` — the one factory every host uses.
 
@@ -262,6 +270,14 @@ def create_engine(
     core) or cannot fork — the returned engine then carries the reason
     in a ``process_degraded`` attribute.  ``processes="force"`` skips
     the single-core degradation (tests, CI smoke on small containers).
+
+    ``shard_rpc`` selects the parent↔worker channel wire mode of the
+    process-sharded engine: ``"fast"`` (default — delta account sync,
+    op batching and struct-packed binary frames) or ``"legacy"`` (the
+    original per-op full-dump pickle channel, kept as a measurable
+    baseline for ``bench-hotpath``'s ``procshard_rpc`` microbench).
+    The option is validated everywhere but only affects engines that
+    actually run worker processes.
     """
     spec = validate_protocol_options(
         protocol,
@@ -269,6 +285,7 @@ def create_engine(
         wait_policy=wait_policy,
         shards=shards,
         processes=bool(processes),
+        shard_rpc=shard_rpc,
     )
     if shards > 1 and processes:
         from repro.engine.procshard import (
@@ -290,6 +307,7 @@ def create_engine(
                 wait_policy=wait_policy,
                 metrics=metrics,
                 timestamps=timestamps,
+                shard_rpc=shard_rpc,
             )
         engine = ShardedEngine(
             database,

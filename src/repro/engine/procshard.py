@@ -5,11 +5,10 @@
 partitions work but not the GIL — its shard threads serialise on the
 interpreter lock, so BENCH_net's ``speedup_sharded`` sits *below* 1 on
 CPU-bound write loads.  This engine moves each shard's inner engine into
-its own **process**, connected to the parent by a small length-prefixed
-pickle RPC over a ``socketpair``, so shards genuinely execute in
-parallel while the parent keeps presenting the ordinary
-:class:`~repro.engine.api.Engine` surface to every host (threaded
-server, asyncio server, DES, CLI, bench-net).
+its own **process**, connected to the parent by a framed RPC over a
+``socketpair``, so shards genuinely execute in parallel while the parent
+keeps presenting the ordinary :class:`~repro.engine.api.Engine` surface
+to every host (threaded server, asyncio server, DES, CLI, bench-net).
 
 **The cross-process commit protocol.**  The thread-based composite makes
 TIL/TEL/GIL accounting atomic across shards by installing one lock per
@@ -19,40 +18,70 @@ decision charges only the *operating* transaction's own account, and one
 transaction's operations are serialised by its client connection (the
 threaded server runs a connection on one handler thread; the asyncio
 server pins a connection to one dispatch lane).  So the account state
-can simply travel with the operation:
+can travel with the operation.  The original channel shipped the *full*
+canonical account dump both ways on every op; the current fast path
+(``shard_rpc="fast"``, the default) replaces that with three layers:
 
-1. the parent ships the canonical account state (ledger usage per level,
-   per-object charges, inconsistent-op count, observed value ranges)
-   with each ``op`` frame;
-2. the shard worker overwrites its sibling's account, runs the ordinary
-   engine decision — the *same* exactly-at-limit ledger walk, now seeded
-   with charges accumulated on other shards — and returns the post-state;
-3. the parent adopts the post-state, so the next operation (any shard)
-   and the commit-time ``record_commit(imported, exported)`` see exactly
-   what one in-process ledger would have seen.
+1. **Delta account sync.**  The parent versions each transaction's
+   canonical account state and remembers which version every shard
+   worker last acknowledged.  An op frame then carries one of three sync
+   shapes: *none* (the worker already holds the current version — the
+   common case, since a consistent operation charges nothing), *delta*
+   (only the ledger levels, per-object charges and value ranges that
+   changed since the worker's version; account state is monotone so a
+   delta is just the changed entries), or *full* (first touch of a
+   shard, or the resync fallback).  The worker checks the base version
+   on every frame; on a mismatch it answers ``resync`` *without
+   executing* and the parent re-sends the op with a full dump.  Reply
+   state rides the same scheme: the worker diffs its sibling's account
+   around the engine call and returns only the delta (or nothing).
+2. **Op batching.**  :class:`_WorkerChannel` is a flat-combining point:
+   concurrent callers append their op to a pending queue, and whichever
+   caller takes the channel lock first becomes the leader, draining
+   *every* pending op into one batch frame, paying one round-trip, and
+   distributing the replies.  Under the servers' concurrency the
+   syscall/framing cost amortises across the batch; a lone caller
+   degenerates to exactly one op per round-trip.
+3. **Binary frames.**  Hot shapes (op headers, granted/must-wait
+   replies, completion headers, wait notes) are struct-packed in the
+   idiom of :mod:`repro.net.protocol`'s ``binary-1`` codec — a u32
+   length prefix, a type byte, fixed little-endian layouts — with pickle
+   kept as the tagged long tail (descriptors, sync payloads, rejections,
+   exceptions).  The channel enforces the same 1 MiB frame cap as the
+   net codec: a worker answers an oversized or unknown frame with a
+   typed error and keeps serving instead of dying (which would trigger
+   a spurious shard failover), and torn frames surface as
+   :class:`~repro.errors.ShardChannelError` rather than bare
+   struct/pickle errors.
 
-Commit/abort is decided once by the parent and fanned out as
-``complete`` frames; each worker applies the usual ``complete`` hook and
-a commit reply carries the ``{object_id: (value, write_ts)}`` pairs the
-promotion produced, which the parent adopts into its mirror database
-(reports, tests and failover all read coherent committed state there).
+``shard_rpc="legacy"`` keeps the original per-op full-dump pickle
+channel alive for comparison; ``bench-hotpath``'s ``procshard_rpc``
+microbench measures both (ops/s, bytes/op, batch occupancy).
+
+Commit/abort is decided once by the parent and fanned out as complete
+items (which ride the same batch frames); each worker applies the usual
+``complete`` hook and a commit reply carries the ``{object_id: (value,
+write_ts)}`` pairs the promotion produced, which the parent adopts into
+its mirror database (reports, tests and failover all read coherent
+committed state there).
 
 **Waits and deadlock edges.**  Workers never park anything: ``MustWait``
 propagates to the parent and hosts subscribe against the parent's shared
 registry exactly as with the thread-based composite.  When a waiter
-parks, the parent broadcasts the wait-for edge (``wait_note``) to every
-worker, and completion broadcasts ``wakeup`` — the workers mirror the
-edges into their local registries so the 2PL engines' deadlock walk sees
-cross-shard cycles.  The same residual caveat as the thread composite
-applies (two simultaneous parkers can slip past the check), which is why
-the servers keep their ``wait_timeout`` guard.
+parks, the parent broadcasts the wait-for edge (a struct-packed note
+frame) to every worker, and completion broadcasts a wakeup — the workers
+mirror the edges into their local registries so the 2PL engines'
+deadlock walk sees cross-shard cycles.  The same residual caveat as the
+thread composite applies (two simultaneous parkers can slip past the
+check), which is why the servers keep their ``wait_timeout`` guard.
 
 **Metrics.**  Worker engines record into throwaway local collectors;
 the parent reconstructs every counter from the outcomes it relays
 (granted read/write with the ESR case, wait, rejection, abort, commit
 with the synced imported/exported totals), so the composite's snapshot
 matches a bare manager's on the same trace.  Worker-side
-:mod:`repro.perf` counters stay in the worker and are not aggregated.
+:mod:`repro.perf` counters stay in the worker and are not aggregated;
+the parent's ``rpc_*`` counters meter the channel itself.
 
 **Degradation and failure.**  ``create_engine(..., processes=True)``
 falls back to the thread-based composite (tagging it with
@@ -82,6 +111,7 @@ import struct
 import threading
 import time
 import weakref
+from collections import deque
 from typing import Callable, Mapping
 
 from repro.core.bounds import EpsilonLevel, TransactionBounds
@@ -94,13 +124,22 @@ from repro.engine.api import (
 )
 from repro.engine.database import Database
 from repro.engine.metrics import MetricsCollector
-from repro.engine.results import Granted, MustWait, Outcome, Rejected
+from repro.engine.results import (
+    CASE_LATE_READ,
+    CASE_LATE_WRITE,
+    CASE_READ_UNCOMMITTED,
+    Granted,
+    MustWait,
+    Outcome,
+    Rejected,
+)
 from repro.engine.scheduler import WaitRegistry
 from repro.engine.sharded import (
     _SELF_FIRE_BACKOFF_CAP,
     _SELF_FIRE_BACKOFF_INITIAL,
     _LockedMetrics,
     _SharedWaitRegistry,
+    absorb_granted,
 )
 from repro.engine.timestamps import Timestamp, TimestampGenerator
 from repro.engine.transactions import (
@@ -108,45 +147,384 @@ from repro.engine.transactions import (
     TransactionState,
     TransactionStatus,
 )
-from repro.errors import InvalidOperation
+from repro.errors import InvalidOperation, ProtocolError, ShardChannelError
+from repro.net.protocol import MAX_FRAME_BYTES
 from repro.perf import counters as _perf
 
 __all__ = [
     "ProcessShardedEngine",
     "process_sharding_unavailable",
     "REASON_SHARD_FAILOVER",
+    "SHARD_RPC_MODES",
 ]
 
 #: Abort reason used when a shard worker dies with a transaction's staged
 #: state inside it.
 REASON_SHARD_FAILOVER = "shard-failover"
 
-_HEADER = struct.Struct("!I")
+#: The shard-channel wire modes ``create_engine(..., shard_rpc=...)``
+#: accepts: ``"fast"`` (delta sync + batching + binary frames) and
+#: ``"legacy"`` (the original per-op full-dump pickle channel, kept so
+#: the fast path has a measurable baseline).
+SHARD_RPC_MODES = ("fast", "legacy")
+
+# -- wire format ---------------------------------------------------------------
+#
+# Every frame is `u32le size | u8 type | payload(size-1)`; size counts the
+# type byte.  Struct layouts are little-endian fixed shapes, matching the
+# binary-1 net codec idiom; anything cold rides a length-prefixed pickle.
+
+_HEADER = struct.Struct("<I")
+#: Struct-packed one-way note: sub-type plus two transaction ids.
+_NOTE = struct.Struct("<Bqq")
+#: Items per batch frame.
+_COUNT = struct.Struct("<I")
+_U32 = struct.Struct("<I")
+_2U32 = struct.Struct("<II")
+_I64 = struct.Struct("<q")
+_F64 = struct.Struct("<d")
+#: Op item header: txn id, opcode, object id, value, flags.
+_OP_HEAD = struct.Struct("<qBqdB")
+#: Complete item header: txn id, status, has-reason.
+_COMPLETE_HEAD = struct.Struct("<qBB")
+
+_FT_BATCH = 0x01  # parent -> worker: op/complete items
+_FT_BATCH_REPLY = 0x02  # worker -> parent: one reply per item
+_FT_NOTE = 0x03  # parent -> worker: wait_note / wakeup / shutdown
+_FT_ERROR = 0x04  # worker -> parent: typed refusal (frame not executed)
+_FT_PICKLE = 0x0F  # the tagged pickle long tail (legacy rpc mode)
+
+_NOTE_WAIT = 0
+_NOTE_WAKEUP = 1
+_NOTE_SHUTDOWN = 2
+
+_IT_OP = 1
+_IT_COMPLETE = 2
+
+_RT_OK = 1
+_RT_COMMITTED = 2
+_RT_ERR = 3
+_RT_RESYNC = 4
+
+_OUT_GRANTED = 0
+_OUT_MUSTWAIT = 1
+_OUT_PICKLED = 2
+
+_SYNC_NONE = 0
+_SYNC_DELTA = 1
+_SYNC_FULL = 2
+_SYNC_CODES = {"none": _SYNC_NONE, "delta": _SYNC_DELTA, "full": _SYNC_FULL}
+_SYNC_NAMES = {code: name for name, code in _SYNC_CODES.items()}
+
+_OP_READ = 0
+_OP_WRITE = 1
+
+_STATUS_CODES = {
+    TransactionStatus.COMMITTED.value: 0,
+    TransactionStatus.ABORTED.value: 1,
+}
+_STATUS_NAMES = {code: value for value, code in _STATUS_CODES.items()}
+
+_CASE_CODES = {CASE_LATE_READ: 1, CASE_READ_UNCOMMITTED: 2, CASE_LATE_WRITE: 3}
+_CASE_NAMES = {code: case for case, code in _CASE_CODES.items()}
+
+#: Bounded EINTR retries before a read is declared torn.
+_MAX_EINTR_RETRIES = 64
+#: A claimed frame size past this is stream corruption, not a big frame —
+#: the worker gives up (parent fails the shard over) instead of trying
+#: to discard gigabytes.
+_STREAM_CEILING = 1 << 30
+#: The leader splits a combined batch so no single frame exceeds the cap
+#: (headroom for the count prefix).
+_BATCH_BYTE_LIMIT = MAX_FRAME_BYTES - 1024
 
 
 # -- framing -------------------------------------------------------------------
 
 
-def _send_frame(sock: socket.socket, frame: object) -> None:
-    payload = pickle.dumps(frame, protocol=pickle.HIGHEST_PROTOCOL)
-    sock.sendall(_HEADER.pack(len(payload)) + payload)
+def _send_frame(sock: socket.socket, ftype: int, payload: bytes) -> None:
+    data = _HEADER.pack(1 + len(payload)) + bytes((ftype,)) + payload
+    sock.sendall(data)
+    _perf.rpc_bytes_sent += len(data)
 
 
-def _recv_exact(sock: socket.socket, n: int) -> bytes:
-    chunks = []
+def _recv_exact(
+    sock: socket.socket, n: int, *, shard: int | None = None, pending: int = 0
+) -> bytes:
+    """Read exactly ``n`` bytes, tolerating EINTR and partial reads.
+
+    A signal-interrupted read is retried up to :data:`_MAX_EINTR_RETRIES`
+    times (then declared torn with a typed :class:`ShardChannelError`
+    carrying the shard and pending-op context); a clean EOF raises
+    ``EOFError`` as before, which the op path treats as a dead worker.
+    """
+    chunks: list[bytes] = []
     remaining = n
+    interrupts = 0
     while remaining:
-        chunk = sock.recv(remaining)
+        try:
+            chunk = sock.recv(remaining)
+        except InterruptedError:
+            interrupts += 1
+            if interrupts > _MAX_EINTR_RETRIES:
+                raise ShardChannelError(
+                    "shard channel read interrupted "
+                    f"{interrupts} times without progress",
+                    shard,
+                    pending,
+                ) from None
+            continue
         if not chunk:
             raise EOFError("shard channel closed")
         chunks.append(chunk)
         remaining -= len(chunk)
+    if len(chunks) == 1:
+        return chunks[0]
     return b"".join(chunks)
 
 
-def _recv_frame(sock: socket.socket) -> object:
-    (length,) = _HEADER.unpack(_recv_exact(sock, _HEADER.size))
-    return pickle.loads(_recv_exact(sock, length))
+def _recv_typed(
+    sock: socket.socket, *, shard: int | None = None, pending: int = 0
+) -> tuple[int, bytes]:
+    """Parent-side receive: one typed frame, torn frames become typed errors."""
+    header = _recv_exact(sock, _HEADER.size, shard=shard, pending=pending)
+    (size,) = _HEADER.unpack(header)
+    if size < 1 or size > _STREAM_CEILING:
+        raise ShardChannelError(
+            f"torn shard frame: claimed {size} bytes", shard, pending
+        )
+    body = _recv_exact(sock, size, shard=shard, pending=pending)
+    _perf.rpc_bytes_received += _HEADER.size + size
+    return body[0], body[1:]
+
+
+def _append_pickled(out: bytearray, obj: object) -> None:
+    payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    out += _U32.pack(len(payload))
+    out += payload
+
+
+def _read_pickled(payload: bytes, offset: int) -> tuple[object, int]:
+    (length,) = _U32.unpack_from(payload, offset)
+    offset += _U32.size
+    obj = pickle.loads(payload[offset : offset + length])
+    return obj, offset + length
+
+
+# -- batch item encoding -------------------------------------------------------
+#
+# Parent-side items are small tagged tuples; the wire shape packs the hot
+# header fields and pickles only the cold payloads (descriptor, sync
+# state, rejections, exceptions).
+#
+#   ("op", txn_id, opcode, object_id, value, descriptor|None, sync_in)
+#       sync_in: ("none", version)
+#              | ("delta", from_version, to_version, (acct_delta, imp_delta))
+#              | ("full", version, (acct_dump, imp_dump))
+#   ("complete", txn_id, status_value, reason|None)
+#
+# Replies:
+#   ("ok", outcome, sync_out|None)   sync_out: (acct_delta, imp_delta)
+#   ("committed", {object_id: (value, write_ts)})
+#   ("err", exception)
+#   ("resync", worker_version|None)
+
+
+def _encode_item(item: tuple) -> bytes:
+    out = bytearray()
+    if item[0] == "op":
+        _, txn_id, opcode, object_id, value, descriptor, sync_in = item
+        flags = _SYNC_CODES[sync_in[0]] << 1
+        if descriptor is not None:
+            flags |= 1
+        out += bytes((_IT_OP,))
+        out += _OP_HEAD.pack(txn_id, opcode, object_id, value, flags)
+        if descriptor is not None:
+            _append_pickled(out, descriptor)
+        if sync_in[0] == "none":
+            out += _U32.pack(sync_in[1])
+        elif sync_in[0] == "delta":
+            out += _2U32.pack(sync_in[1], sync_in[2])
+            _append_pickled(out, sync_in[3])
+        else:
+            out += _U32.pack(sync_in[1])
+            _append_pickled(out, sync_in[2])
+    else:
+        _, txn_id, status_value, reason = item
+        out += bytes((_IT_COMPLETE,))
+        out += _COMPLETE_HEAD.pack(
+            txn_id, _STATUS_CODES[status_value], 0 if reason is None else 1
+        )
+        if reason is not None:
+            encoded = reason.encode("utf-8")
+            out += _U32.pack(len(encoded))
+            out += encoded
+    return bytes(out)
+
+
+def _decode_batch(payload: bytes) -> list[tuple]:
+    (count,) = _COUNT.unpack_from(payload, 0)
+    offset = _COUNT.size
+    items: list[tuple] = []
+    for _ in range(count):
+        itype = payload[offset]
+        offset += 1
+        if itype == _IT_OP:
+            txn_id, opcode, object_id, value, flags = _OP_HEAD.unpack_from(
+                payload, offset
+            )
+            offset += _OP_HEAD.size
+            descriptor = None
+            if flags & 1:
+                descriptor, offset = _read_pickled(payload, offset)
+            tag = _SYNC_NAMES[(flags >> 1) & 0x3]
+            if tag == "none":
+                (version,) = _U32.unpack_from(payload, offset)
+                offset += _U32.size
+                sync_in: tuple = ("none", version)
+            elif tag == "delta":
+                from_version, to_version = _2U32.unpack_from(payload, offset)
+                offset += _2U32.size
+                deltas, offset = _read_pickled(payload, offset)
+                sync_in = ("delta", from_version, to_version, deltas)
+            else:
+                (version,) = _U32.unpack_from(payload, offset)
+                offset += _U32.size
+                dumps, offset = _read_pickled(payload, offset)
+                sync_in = ("full", version, dumps)
+            items.append(
+                ("op", txn_id, opcode, object_id, value, descriptor, sync_in)
+            )
+        elif itype == _IT_COMPLETE:
+            txn_id, status, has_reason = _COMPLETE_HEAD.unpack_from(
+                payload, offset
+            )
+            offset += _COMPLETE_HEAD.size
+            reason = None
+            if has_reason:
+                (length,) = _U32.unpack_from(payload, offset)
+                offset += _U32.size
+                reason = payload[offset : offset + length].decode("utf-8")
+                offset += length
+            items.append(("complete", txn_id, _STATUS_NAMES[status], reason))
+        else:
+            raise ProtocolError(f"unknown batch item type {itype}")
+    return items
+
+
+def _encode_outcome(out: bytearray, outcome: Outcome) -> None:
+    if type(outcome) is Granted:
+        case = outcome.esr_case
+        code = _CASE_CODES.get(case, 0) if case is not None else 0
+        packable = (case is None and outcome.inconsistency == 0.0) or code
+        if not packable:
+            out += bytes((_OUT_PICKLED,))
+            _append_pickled(out, outcome)
+            return
+        flags = 0
+        if outcome.value is not None:
+            flags |= 1
+        if case is not None:
+            flags |= 2
+        out += bytes((_OUT_GRANTED, flags))
+        if outcome.value is not None:
+            out += _F64.pack(outcome.value)
+        if case is not None:
+            out += _F64.pack(outcome.inconsistency)
+            out += bytes((code,))
+    elif type(outcome) is MustWait:
+        out += bytes((_OUT_MUSTWAIT,))
+        out += _I64.pack(outcome.blocking_transaction)
+    else:
+        out += bytes((_OUT_PICKLED,))
+        _append_pickled(out, outcome)
+
+
+def _decode_outcome(payload: bytes, offset: int) -> tuple[Outcome, int]:
+    kind = payload[offset]
+    offset += 1
+    if kind == _OUT_GRANTED:
+        flags = payload[offset]
+        offset += 1
+        value = None
+        inconsistency = 0.0
+        case = None
+        if flags & 1:
+            (value,) = _F64.unpack_from(payload, offset)
+            offset += _F64.size
+        if flags & 2:
+            (inconsistency,) = _F64.unpack_from(payload, offset)
+            offset += _F64.size
+            case = _CASE_NAMES[payload[offset]]
+            offset += 1
+        return Granted(value, inconsistency, case), offset
+    if kind == _OUT_MUSTWAIT:
+        (blocker,) = _I64.unpack_from(payload, offset)
+        return MustWait(blocker), offset + _I64.size
+    outcome, offset = _read_pickled(payload, offset)
+    return outcome, offset
+
+
+def _encode_reply_item(reply: tuple) -> bytes:
+    out = bytearray()
+    kind = reply[0]
+    if kind == "ok":
+        out += bytes((_RT_OK,))
+        _encode_outcome(out, reply[1])
+        sync_out = reply[2]
+        if sync_out is None:
+            out += bytes((_SYNC_NONE,))
+        else:
+            out += bytes((_SYNC_DELTA,))
+            _append_pickled(out, sync_out)
+    elif kind == "committed":
+        out += bytes((_RT_COMMITTED,))
+        _append_pickled(out, reply[1])
+    elif kind == "resync":
+        out += bytes((_RT_RESYNC,))
+        version = reply[1]
+        out += bytes((0,)) if version is None else bytes((1,)) + _U32.pack(
+            version
+        )
+    else:
+        out += bytes((_RT_ERR,))
+        _append_pickled(out, reply[1])
+    return bytes(out)
+
+
+def _decode_batch_reply(payload: bytes) -> list[tuple]:
+    (count,) = _COUNT.unpack_from(payload, 0)
+    offset = _COUNT.size
+    replies: list[tuple] = []
+    for _ in range(count):
+        rtype = payload[offset]
+        offset += 1
+        if rtype == _RT_OK:
+            outcome, offset = _decode_outcome(payload, offset)
+            if payload[offset] == _SYNC_NONE:
+                sync_out = None
+                offset += 1
+            else:
+                offset += 1
+                sync_out, offset = _read_pickled(payload, offset)
+            replies.append(("ok", outcome, sync_out))
+        elif rtype == _RT_COMMITTED:
+            committed, offset = _read_pickled(payload, offset)
+            replies.append(("committed", committed))
+        elif rtype == _RT_RESYNC:
+            if payload[offset]:
+                (version,) = _U32.unpack_from(payload, offset + 1)
+                offset += 1 + _U32.size
+                replies.append(("resync", version))
+            else:
+                offset += 1
+                replies.append(("resync", None))
+        elif rtype == _RT_ERR:
+            error, offset = _read_pickled(payload, offset)
+            replies.append(("err", error))
+        else:
+            raise ProtocolError(f"unknown batch reply type {rtype}")
+    return replies
 
 
 # -- worker side ---------------------------------------------------------------
@@ -178,11 +556,84 @@ def _build_sibling(
         allow_inconsistent_reads=descriptor["allow_inconsistent_reads"],
     )
     engine.adopt(sibling)
+    # Track changes incrementally so each op's reply delta costs
+    # O(changed entries) — no per-op state dumps in the worker.
+    sibling.account.track_changes()
+    if (
+        sibling.import_account is not None
+        and sibling.import_account is not sibling.account
+    ):
+        sibling.import_account.track_changes()
     siblings[sibling.transaction_id] = sibling
     return sibling
 
 
-def _handle_op(engine, siblings: dict[int, TransactionState], payload):
+def _sibling_has_import(sibling: TransactionState) -> bool:
+    return (
+        sibling.import_account is not None
+        and sibling.import_account is not sibling.account
+    )
+
+
+def _handle_op_item(
+    engine,
+    siblings: dict[int, TransactionState],
+    versions: dict[int, int],
+    item: tuple,
+) -> tuple:
+    """One fast-path op: sync in, run the engine decision, delta out."""
+    _, txn_id, opcode, object_id, value, descriptor, sync_in = item
+    sibling = siblings.get(txn_id)
+    if sibling is None:
+        if descriptor is None:
+            # The parent assumed we hold state we do not (e.g. its record
+            # of this shard was dropped); ask for a full re-send.
+            return ("resync", versions.get(txn_id))
+        sibling = _build_sibling(engine, descriptor, siblings)
+    has_import = _sibling_has_import(sibling)
+    tag = sync_in[0]
+    held = versions.get(txn_id)
+    if tag == "none":
+        if held != sync_in[1]:
+            return ("resync", held)
+    elif tag == "delta":
+        if held != sync_in[1]:
+            return ("resync", held)
+        account_delta, import_delta = sync_in[3]
+        if account_delta is not None:
+            sibling.account.apply_delta(account_delta)
+        if import_delta is not None and has_import:
+            sibling.import_account.apply_delta(import_delta)
+        held = sync_in[2]
+        versions[txn_id] = held
+    else:  # full
+        account_state, import_state = sync_in[2]
+        sibling.account.load_state(account_state)
+        if import_state is not None and has_import:
+            sibling.import_account.load_state(import_state)
+        held = sync_in[1]
+        versions[txn_id] = held
+    if opcode == _OP_READ:
+        outcome = engine.read(sibling, object_id)
+    else:
+        outcome = engine.write(sibling, object_id, value)
+    if not sibling.is_active:
+        # A rejection auto-aborted (and finished) the sibling.
+        siblings.pop(txn_id, None)
+    account_delta = sibling.account.take_delta()
+    import_delta = sibling.import_account.take_delta() if has_import else None
+    if account_delta is None and import_delta is None:
+        sync_out = None
+    else:
+        sync_out = (account_delta, import_delta)
+        versions[txn_id] = held + 1
+    if txn_id not in siblings:
+        versions.pop(txn_id, None)
+    return ("ok", outcome, sync_out)
+
+
+def _handle_legacy_op(engine, siblings: dict[int, TransactionState], payload):
+    """The original channel: full account dumps both ways, every op."""
     txn_id, descriptor, op, object_id, value, account_state, import_state = (
         payload
     )
@@ -190,10 +641,7 @@ def _handle_op(engine, siblings: dict[int, TransactionState], payload):
     if sibling is None:
         sibling = _build_sibling(engine, descriptor, siblings)
     sibling.account.load_state(account_state)
-    has_import = (
-        sibling.import_account is not None
-        and sibling.import_account is not sibling.account
-    )
+    has_import = _sibling_has_import(sibling)
     if import_state is not None and has_import:
         sibling.import_account.load_state(import_state)
     if op == "read":
@@ -201,7 +649,6 @@ def _handle_op(engine, siblings: dict[int, TransactionState], payload):
     else:
         outcome = engine.write(sibling, object_id, value)
     if not sibling.is_active:
-        # A rejection auto-aborted (and finished) the sibling.
         siblings.pop(txn_id, None)
     import_dump = sibling.import_account.dump_state() if has_import else None
     return (outcome, sibling.account.dump_state(), import_dump)
@@ -210,11 +657,13 @@ def _handle_op(engine, siblings: dict[int, TransactionState], payload):
 def _handle_complete(
     engine,
     siblings: dict[int, TransactionState],
+    versions: dict[int, int],
     txn_id: int,
     status_value: str,
     reason: str | None,
 ):
     sibling = siblings.pop(txn_id, None)
+    versions.pop(txn_id, None)
     if sibling is None:
         return {}
     status = TransactionStatus(status_value)
@@ -226,6 +675,42 @@ def _handle_complete(
             obj = engine.database.get(object_id)
             committed[object_id] = (obj.committed_value, obj.committed_write_ts)
     return committed
+
+
+def _handle_item(engine, siblings, versions, item: tuple) -> tuple:
+    try:
+        if item[0] == "op":
+            return _handle_op_item(engine, siblings, versions, item)
+        return (
+            "committed",
+            _handle_complete(
+                engine, siblings, versions, item[1], item[2], item[3]
+            ),
+        )
+    except Exception as exc:  # relayed to the caller
+        return ("err", exc)
+
+
+def _recv_worker_frame(sock: socket.socket) -> tuple[int, bytes | None]:
+    """Worker-side receive with the 1 MiB cap.
+
+    Returns ``(type, payload)``; an oversized-but-well-framed frame is
+    drained and returned as ``(type, None)`` so the loop can answer with
+    a typed error instead of dying (a claimed size past the stream
+    ceiling is corruption and raises, killing the worker — the parent
+    then fails the shard over).
+    """
+    header = _recv_exact(sock, _HEADER.size)
+    (size,) = _HEADER.unpack(header)
+    if size < 1 or size > _STREAM_CEILING:
+        raise EOFError(f"torn shard frame: claimed {size} bytes")
+    ftype = _recv_exact(sock, 1)[0]
+    if size > MAX_FRAME_BYTES:
+        remaining = size - 1
+        while remaining:
+            remaining -= len(_recv_exact(sock, min(remaining, 1 << 16)))
+        return ftype, None
+    return ftype, _recv_exact(sock, size - 1)
 
 
 def _worker_main(
@@ -255,34 +740,117 @@ def _worker_main(
     )
     engine.waits = _MirrorWaitRegistry()
     siblings: dict[int, TransactionState] = {}
+    versions: dict[int, int] = {}
     try:
         while True:
-            frame = _recv_frame(sock)
-            kind = frame[0]
-            if kind == "op":
-                try:
-                    reply = ("ok", _handle_op(engine, siblings, frame[1]))
-                except Exception as exc:  # relayed to the caller
-                    reply = ("err", exc)
-                _send_frame(sock, reply)
-            elif kind == "complete":
-                try:
-                    reply = (
-                        "ok",
-                        _handle_complete(
-                            engine, siblings, frame[1], frame[2], frame[3]
+            ftype, payload = _recv_worker_frame(sock)
+            if payload is None:
+                # Oversized.  Notes are one-way (nobody is reading a
+                # reply), so they are dropped; anything else gets the
+                # typed refusal its sender is waiting for.
+                if ftype != _FT_NOTE:
+                    _send_frame(
+                        sock,
+                        _FT_ERROR,
+                        pickle.dumps(
+                            ProtocolError(
+                                "oversized shard frame refused "
+                                f"(cap {MAX_FRAME_BYTES} bytes)"
+                            ),
+                            protocol=pickle.HIGHEST_PROTOCOL,
                         ),
                     )
+                continue
+            if ftype == _FT_BATCH:
+                try:
+                    items = _decode_batch(payload)
                 except Exception as exc:
-                    reply = ("err", exc)
-                _send_frame(sock, reply)
-            elif kind == "wait_note":
-                engine.waits.note(frame[1], frame[2])
-            elif kind == "wakeup":
-                engine.waits.fire(frame[1])
-            elif kind == "shutdown":
-                return
-    except (EOFError, OSError):
+                    _send_frame(
+                        sock,
+                        _FT_ERROR,
+                        pickle.dumps(
+                            ProtocolError(f"undecodable batch frame: {exc}"),
+                            protocol=pickle.HIGHEST_PROTOCOL,
+                        ),
+                    )
+                    continue
+                replies = bytearray(_COUNT.pack(len(items)))
+                for item in items:
+                    replies += _encode_reply_item(
+                        _handle_item(engine, siblings, versions, item)
+                    )
+                _send_frame(sock, _FT_BATCH_REPLY, bytes(replies))
+            elif ftype == _FT_NOTE:
+                sub, a, b = _NOTE.unpack(payload)
+                if sub == _NOTE_WAIT:
+                    engine.waits.note(a, b)
+                elif sub == _NOTE_WAKEUP:
+                    engine.waits.fire(a)
+                else:
+                    return
+            elif ftype == _FT_PICKLE:
+                try:
+                    frame = pickle.loads(payload)
+                except Exception as exc:
+                    _send_frame(
+                        sock,
+                        _FT_ERROR,
+                        pickle.dumps(
+                            ProtocolError(f"undecodable pickle frame: {exc}"),
+                            protocol=pickle.HIGHEST_PROTOCOL,
+                        ),
+                    )
+                    continue
+                kind = frame[0]
+                if kind == "op":
+                    try:
+                        reply = (
+                            "ok",
+                            _handle_legacy_op(engine, siblings, frame[1]),
+                        )
+                    except Exception as exc:
+                        reply = ("err", exc)
+                    _send_frame(
+                        sock,
+                        _FT_PICKLE,
+                        pickle.dumps(reply, protocol=pickle.HIGHEST_PROTOCOL),
+                    )
+                elif kind == "complete":
+                    try:
+                        reply = (
+                            "ok",
+                            _handle_complete(
+                                engine,
+                                siblings,
+                                versions,
+                                frame[1],
+                                frame[2],
+                                frame[3],
+                            ),
+                        )
+                    except Exception as exc:
+                        reply = ("err", exc)
+                    _send_frame(
+                        sock,
+                        _FT_PICKLE,
+                        pickle.dumps(reply, protocol=pickle.HIGHEST_PROTOCOL),
+                    )
+                elif kind == "wait_note":
+                    engine.waits.note(frame[1], frame[2])
+                elif kind == "wakeup":
+                    engine.waits.fire(frame[1])
+                elif kind == "shutdown":
+                    return
+            else:
+                _send_frame(
+                    sock,
+                    _FT_ERROR,
+                    pickle.dumps(
+                        ProtocolError(f"unknown shard frame type {ftype}"),
+                        protocol=pickle.HIGHEST_PROTOCOL,
+                    ),
+                )
+    except (EOFError, OSError, ShardChannelError):
         return
     finally:
         try:
@@ -294,45 +862,189 @@ def _worker_main(
 # -- parent side ---------------------------------------------------------------
 
 
-class _WorkerChannel:
-    """One shard's RPC endpoint: socket + process + a send/recv lock.
+class _PendingCall:
+    """One caller's item waiting to ride a combined batch frame."""
 
-    The lock is held across a request's send *and* receive, so replies
-    pair with requests even when several server threads hit the same
-    shard; one-way posts interleave FIFO-safely on the same socket.
+    __slots__ = ("item", "reply", "error", "event")
+
+    def __init__(self, item: tuple) -> None:
+        self.item = item
+        self.reply: tuple | None = None
+        self.error: BaseException | None = None
+        self.event = threading.Event()
+
+
+class _WorkerChannel:
+    """One shard's RPC endpoint: socket + process + a flat-combining lock.
+
+    Callers append their item to the pending queue and then contend for
+    the channel lock.  The winner (the *leader*) drains every pending
+    item — its own and everyone else's — into one batch frame, pays one
+    round-trip, and distributes the replies; the losers find their reply
+    already delivered when they get the lock.  Replies pair with items
+    positionally, so the lock is held across the whole round-trip and
+    one-way posts interleave FIFO-safely on the same socket.
     """
 
-    def __init__(self, sock: socket.socket, process) -> None:
+    def __init__(self, sock: socket.socket, process, shard: int) -> None:
         self.sock = sock
         self.process = process
+        self.shard = shard
         self.lock = threading.Lock()
+        self._pending_lock = threading.Lock()
+        self._pending: deque[_PendingCall] = deque()
         self.closed = False
 
-    def request(self, frame: object):
+    def pending_ops(self) -> int:
+        with self._pending_lock:
+            return len(self._pending)
+
+    def request(self, item: tuple) -> tuple:
+        """Ship one op/complete item; returns its decoded reply."""
+        call = _PendingCall(item)
+        with self._pending_lock:
+            self._pending.append(call)
+        with self.lock:
+            if not call.event.is_set():
+                self._service()
+        if call.error is not None:
+            raise call.error
+        assert call.reply is not None
+        return call.reply
+
+    def _service(self) -> None:
+        """Leader duty: drain the pending queue, one frame per group."""
+        with self._pending_lock:
+            batch = list(self._pending)
+            self._pending.clear()
+        if not batch:
+            return
+        if self.closed:
+            error = EOFError("shard channel closed")
+            for call in batch:
+                call.error = error
+                call.event.set()
+            return
+        # Split only when a combined frame would blow the 1 MiB cap.
+        group: list[tuple[_PendingCall, bytes]] = []
+        size = _COUNT.size
+        for call in batch:
+            encoded = _encode_item(call.item)
+            if group and size + len(encoded) > _BATCH_BYTE_LIMIT:
+                self._round_trip(group)
+                group = []
+                size = _COUNT.size
+            group.append((call, encoded))
+            size += len(encoded)
+        if group:
+            self._round_trip(group)
+
+    def _round_trip(self, group: list[tuple[_PendingCall, bytes]]) -> None:
+        calls = [call for call, _ in group]
+        frame = _COUNT.pack(len(calls)) + b"".join(data for _, data in group)
+        try:
+            _send_frame(self.sock, _FT_BATCH, frame)
+            ftype, payload = _recv_typed(
+                self.sock, shard=self.shard, pending=len(calls)
+            )
+            if ftype == _FT_ERROR:
+                # A typed refusal: the worker is alive and executed
+                # nothing; surface the error without killing the channel.
+                error = pickle.loads(payload)
+                for call in calls:
+                    call.error = error
+                    call.event.set()
+                return
+            if ftype != _FT_BATCH_REPLY:
+                raise ShardChannelError(
+                    f"unexpected shard reply frame type {ftype}",
+                    self.shard,
+                    len(calls),
+                )
+            replies = _decode_batch_reply(payload)
+            if len(replies) != len(calls):
+                raise ShardChannelError(
+                    f"batch reply count mismatch "
+                    f"({len(replies)} != {len(calls)})",
+                    self.shard,
+                    len(calls),
+                )
+        except (OSError, EOFError, ShardChannelError) as exc:
+            for call in calls:
+                call.error = exc
+                call.event.set()
+            return
+        except Exception as exc:  # undecodable reply bytes = torn stream
+            error = ShardChannelError(
+                f"undecodable batch reply: {exc}", self.shard, len(calls)
+            )
+            for call in calls:
+                call.error = error
+                call.event.set()
+            return
+        _perf.rpc_ops += len(calls)
+        _perf.rpc_round_trips += 1
+        _perf.rpc_batched_ops += len(calls)
+        for call, reply in zip(calls, replies):
+            call.reply = reply
+            call.event.set()
+
+    def request_legacy(self, frame: object):
+        """The original per-op pickle round-trip (``shard_rpc="legacy"``)."""
         with self.lock:
             if self.closed:
                 raise EOFError("shard channel closed")
-            _send_frame(self.sock, frame)
-            return _recv_frame(self.sock)
+            _send_frame(
+                self.sock,
+                _FT_PICKLE,
+                pickle.dumps(frame, protocol=pickle.HIGHEST_PROTOCOL),
+            )
+            ftype, payload = _recv_typed(self.sock, shard=self.shard, pending=1)
+            if ftype == _FT_ERROR:
+                raise pickle.loads(payload)
+            if ftype != _FT_PICKLE:
+                raise ShardChannelError(
+                    f"unexpected shard reply frame type {ftype}", self.shard, 1
+                )
+            try:
+                reply = pickle.loads(payload)
+            except Exception as exc:
+                raise ShardChannelError(
+                    f"undecodable legacy reply: {exc}", self.shard, 1
+                ) from exc
+            _perf.rpc_ops += 1
+            _perf.rpc_round_trips += 1
+            return reply
 
-    def post(self, frame: object) -> None:
+    def post_note(self, sub: int, a: int = 0, b: int = 0) -> None:
         with self.lock:
             if self.closed:
                 return
-            _send_frame(self.sock, frame)
+            _send_frame(self.sock, _FT_NOTE, _NOTE.pack(sub, a, b))
 
     def close(self, timeout: float = 1.0) -> None:
         with self.lock:
             if not self.closed:
                 self.closed = True
                 try:
-                    _send_frame(self.sock, ("shutdown",))
+                    _send_frame(
+                        self.sock, _FT_NOTE, _NOTE.pack(_NOTE_SHUTDOWN, 0, 0)
+                    )
                 except OSError:
                     pass
                 try:
                     self.sock.close()
                 except OSError:
                     pass
+        # Fail anything still queued behind the closed channel.
+        with self._pending_lock:
+            stranded = list(self._pending)
+            self._pending.clear()
+        if stranded:
+            error = EOFError("shard channel closed")
+            for call in stranded:
+                call.error = error
+                call.event.set()
         if self.process is not None:
             self.process.join(timeout)
             if self.process.is_alive():
@@ -420,6 +1132,56 @@ class _ProcessWaitRegistry(_SharedWaitRegistry):
         return count
 
 
+def _merge_delta(accumulator, delta):
+    """Fold one ``apply_delta``-shaped delta onto an owned accumulator.
+
+    Delta entries carry *absolute* values (usage per level, per-object
+    totals, range extremes), so folding is plain overwrite — applying
+    the merged result equals applying each delta in order.  Returns the
+    (possibly freshly created) accumulator, a mutable 4-list.
+    """
+    usage, per_object, operations, ranges = delta
+    if accumulator is None:
+        return [dict(usage), dict(per_object), operations, dict(ranges)]
+    accumulator[0].update(usage)
+    accumulator[1].update(per_object)
+    if operations is not None:
+        accumulator[2] = operations
+    accumulator[3].update(ranges)
+    return accumulator
+
+
+#: Pending-delta marker: the canonical state moved in a way the parent
+#: cannot express as a delta (failed-over local op) — next op on the
+#: shard must carry a full dump.
+_PENDING_FULL = "full"
+
+
+class _TxnSync:
+    """Parent-side delta-sync bookkeeping for one transaction.
+
+    ``version`` counts the canonical account state's revisions (bumped
+    whenever an op's reply delta — or a failed-over local op — changes
+    it); ``shard_versions`` records the revision each worker last
+    acknowledged; ``pending`` accumulates, per lagging shard, the merged
+    deltas between that shard's revision and the current one, so its
+    next op ships exactly the missed changes (or :data:`_PENDING_FULL`
+    when the gap cannot be expressed as a delta).  A shard absent from
+    ``shard_versions`` has never been touched — its first op carries the
+    descriptor and a full dump.
+    """
+
+    __slots__ = ("descriptor", "version", "shard_versions", "pending")
+
+    def __init__(self, descriptor: dict) -> None:
+        self.descriptor = descriptor
+        self.version = 0
+        self.shard_versions: dict[int, int] = {}
+        #: shard -> [account_acc, import_acc] (each None or a 4-list)
+        #: or _PENDING_FULL.
+        self.pending: dict[int, object] = {}
+
+
 class ProcessShardedEngine:
     """N per-shard engines in worker processes behind the one
     :class:`~repro.engine.api.Engine` interface."""
@@ -440,6 +1202,7 @@ class ProcessShardedEngine:
         snapshot_cache: bool = False,
         metrics: MetricsCollector | None = None,
         timestamps: TimestampGenerator | None = None,
+        shard_rpc: str = "fast",
     ):
         self._spec = validate_protocol_options(
             protocol,
@@ -447,6 +1210,7 @@ class ProcessShardedEngine:
             wait_policy=wait_policy,
             shards=shards,
             processes=True,
+            shard_rpc=shard_rpc,
         )
         self.database = database
         self.protocol = protocol
@@ -454,6 +1218,7 @@ class ProcessShardedEngine:
         self.wait_policy = wait_policy
         self.export_policy = export_policy
         self.distance = distance
+        self.shard_rpc = shard_rpc
         self.metrics = metrics if metrics is not None else _LockedMetrics()
         #: No snapshot cache in process mode (see module docstring).
         self.snapshot = None
@@ -465,11 +1230,9 @@ class ProcessShardedEngine:
         self._active: dict[int, TransactionState] = {}
         #: Global txn id -> shards it has operated on (completion fan-out).
         self._touched: dict[int, set[int]] = {}
-        #: Global txn id -> shards already holding its sibling descriptor.
-        self._shipped: dict[int, set[int]] = {}
-        #: Global txn id -> the picklable BEGIN descriptor shipped on a
-        #: shard's first touch.
-        self._specs: dict[int, dict] = {}
+        #: Global txn id -> delta-sync bookkeeping (descriptor, canonical
+        #: state version, per-shard acknowledged versions and dumps).
+        self._sync: dict[int, _TxnSync] = {}
         #: Global txn id -> {shard: sibling} for *failed-over* (local)
         #: shards only; healthy shards keep their siblings worker-side.
         self._siblings: dict[int, dict[int, TransactionState]] = {}
@@ -521,7 +1284,7 @@ class ProcessShardedEngine:
                 daemon=True,
             )
             process.start()
-            self._channels.append(_WorkerChannel(parent_sock, process))
+            self._channels.append(_WorkerChannel(parent_sock, process, shard))
         for _, child_sock in pairs:
             child_sock.close()
         self._finalizer = weakref.finalize(self, _reap, list(self._channels))
@@ -554,9 +1317,12 @@ class ProcessShardedEngine:
         return transaction_id in self._completing
 
     def _broadcast(self, frame: tuple) -> None:
+        sub = _NOTE_WAIT if frame[0] == "wait_note" else _NOTE_WAKEUP
+        a = frame[1]
+        b = frame[2] if len(frame) > 2 else 0
         for channel in self._channels:
             try:
-                channel.post(frame)
+                channel.post_note(sub, a, b)
             except OSError:
                 pass  # the op path notices the dead worker and fails over
 
@@ -637,8 +1403,7 @@ class ProcessShardedEngine:
     def _register(self, txn: TransactionState, descriptor: dict) -> None:
         self._active[txn.transaction_id] = txn
         self._touched[txn.transaction_id] = set()
-        self._shipped[txn.transaction_id] = set()
-        self._specs[txn.transaction_id] = descriptor
+        self._sync[txn.transaction_id] = _TxnSync(descriptor)
         self._siblings[txn.transaction_id] = {}
 
     def active_transactions(self) -> tuple[TransactionState, ...]:
@@ -669,24 +1434,178 @@ class ProcessShardedEngine:
         """No snapshot cache in process mode — always fall back."""
         return None
 
+    @staticmethod
+    def _has_import(txn: TransactionState) -> bool:
+        return (
+            txn.import_account is not None
+            and txn.import_account is not txn.account
+        )
+
+    def _dump_accounts(
+        self, txn: TransactionState, has_import: bool
+    ) -> tuple:
+        return (
+            txn.account.dump_state(),
+            txn.import_account.dump_state() if has_import else None,
+        )
+
     def _operate(
         self, txn: TransactionState, op: str, object_id: int, value: float
     ) -> Outcome:
         txn_id = txn.transaction_id
         shard = object_id % self.shards
-        shipped = self._shipped.get(txn_id)
-        if shipped is None:
+        sync = self._sync.get(txn_id)
+        if sync is None:
             raise InvalidOperation(
                 f"transaction {txn_id} is not active", txn_id
             )
         if self._local[shard] is not None:
             return self._local_op(txn, shard, op, object_id, value)
-        descriptor = self._specs[txn_id] if shard not in shipped else None
-        account_state = txn.account.dump_state()
-        has_import = (
-            txn.import_account is not None
-            and txn.import_account is not txn.account
+        if self.shard_rpc == "legacy":
+            return self._operate_legacy(txn, sync, shard, op, object_id, value)
+        opcode = _OP_READ if op == "read" else _OP_WRITE
+        has_import = self._has_import(txn)
+        item = self._build_op_item(
+            txn, sync, shard, opcode, object_id, value, has_import
         )
+        try:
+            reply = self._channels[shard].request(item)
+            if reply[0] == "resync":
+                # Version skew (the worker holds a different revision
+                # than our record says — e.g. a dropped acknowledgement):
+                # forget the record and re-send with a full dump.
+                _perf.rpc_resyncs += 1
+                sync.shard_versions.pop(shard, None)
+                sync.pending.pop(shard, None)
+                item = self._build_op_item(
+                    txn, sync, shard, opcode, object_id, value, has_import
+                )
+                reply = self._channels[shard].request(item)
+                if reply[0] == "resync":
+                    raise ShardChannelError(
+                        "worker refused a full-dump resync", shard, 1
+                    )
+        except (OSError, EOFError, ShardChannelError):
+            return self._shard_failed(txn, shard)
+        if reply[0] == "err":
+            raise reply[1]
+        outcome = reply[1]
+        self._apply_sync_out(txn, sync, shard, reply[2], has_import)
+        touched = self._touched.get(txn_id)
+        if touched is not None:
+            touched.add(shard)
+        return self._absorb(txn, object_id, outcome, is_read=(op == "read"))
+
+    def _build_op_item(
+        self,
+        txn: TransactionState,
+        sync: _TxnSync,
+        shard: int,
+        opcode: int,
+        object_id: int,
+        value: float,
+        has_import: bool,
+    ) -> tuple:
+        descriptor = None
+        held = sync.shard_versions.get(shard)
+        if held is None:
+            # First touch: ship the sibling descriptor and the full state.
+            descriptor = sync.descriptor
+            sync_in: tuple = (
+                "full",
+                sync.version,
+                self._dump_accounts(txn, has_import),
+            )
+            _perf.rpc_sync_full += 1
+        elif held == sync.version:
+            sync_in = ("none", sync.version)
+            _perf.rpc_sync_none += 1
+        else:
+            entry = sync.pending.get(shard)
+            if entry is None or entry is _PENDING_FULL:
+                sync_in = (
+                    "full",
+                    sync.version,
+                    self._dump_accounts(txn, has_import),
+                )
+                _perf.rpc_sync_full += 1
+            else:
+                account_acc, import_acc = entry
+                sync_in = (
+                    "delta",
+                    held,
+                    sync.version,
+                    (
+                        tuple(account_acc) if account_acc else None,
+                        tuple(import_acc) if import_acc else None,
+                    ),
+                )
+                _perf.rpc_sync_delta += 1
+        return (
+            "op",
+            txn.transaction_id,
+            opcode,
+            object_id,
+            value,
+            descriptor,
+            sync_in,
+        )
+
+    def _apply_sync_out(
+        self,
+        txn: TransactionState,
+        sync: _TxnSync,
+        shard: int,
+        sync_out: tuple | None,
+        has_import: bool,
+    ) -> None:
+        if sync_out is None:
+            # The op charged nothing; the worker now simply holds
+            # whatever revision the op frame brought it to.
+            sync.shard_versions[shard] = sync.version
+            sync.pending.pop(shard, None)
+            return
+        account_delta, import_delta = sync_out
+        if account_delta is not None:
+            txn.account.apply_delta(account_delta)
+        if import_delta is not None and has_import:
+            txn.import_account.apply_delta(import_delta)
+        sync.version += 1
+        sync.shard_versions[shard] = sync.version
+        sync.pending.pop(shard, None)
+        # Every other touched shard just fell one revision behind; fold
+        # this delta into its pending accumulator so its next op ships
+        # exactly the missed changes — O(changed entries), never a dump.
+        for other in sync.shard_versions:
+            if other == shard:
+                continue
+            entry = sync.pending.get(other)
+            if entry is _PENDING_FULL:
+                continue
+            if entry is None:
+                entry = [None, None]
+                sync.pending[other] = entry
+            if account_delta is not None:
+                entry[0] = _merge_delta(entry[0], account_delta)
+            if import_delta is not None:
+                entry[1] = _merge_delta(entry[1], import_delta)
+
+    def _operate_legacy(
+        self,
+        txn: TransactionState,
+        sync: _TxnSync,
+        shard: int,
+        op: str,
+        object_id: int,
+        value: float,
+    ) -> Outcome:
+        """The original channel: one pickle round-trip per op, full dumps."""
+        txn_id = txn.transaction_id
+        descriptor = (
+            sync.descriptor if shard not in sync.shard_versions else None
+        )
+        account_state = txn.account.dump_state()
+        has_import = self._has_import(txn)
         import_state = txn.import_account.dump_state() if has_import else None
         frame = (
             "op",
@@ -701,10 +1620,12 @@ class ProcessShardedEngine:
             ),
         )
         try:
-            reply = self._channels[shard].request(frame)
-        except (OSError, EOFError):
+            reply = self._channels[shard].request_legacy(frame)
+        except (OSError, EOFError, ShardChannelError):
             return self._shard_failed(txn, shard)
-        shipped.add(shard)
+        # Legacy mode keeps no versions; the entry just marks "descriptor
+        # shipped" so later ops skip it.
+        sync.shard_versions.setdefault(shard, 0)
         if reply[0] == "err":
             raise reply[1]
         outcome, account_state, import_state = reply[1]
@@ -726,12 +1647,23 @@ class ProcessShardedEngine:
     ) -> Outcome:
         """Operate on a failed-over shard's in-process engine."""
         engine = self._local[shard]
+        sync = self._sync.get(txn.transaction_id)
+        fast = self.shard_rpc != "legacy"
         with self._local_locks[shard]:
             sibling = self._local_sibling(txn, shard)
             if op == "read":
                 outcome = engine.read(sibling, object_id)
             else:
                 outcome = engine.write(sibling, object_id, value)
+        if sync is not None and fast:
+            # The local engine mutated the shared canonical account
+            # directly — there is no delta to accumulate, so move the
+            # revision past every worker shard and force their next op
+            # to carry a full dump.
+            sync.version += 1
+            for other in sync.shard_versions:
+                if other != shard:
+                    sync.pending[other] = _PENDING_FULL
         touched = self._touched.get(txn.transaction_id)
         if touched is not None:
             touched.add(shard)
@@ -778,15 +1710,11 @@ class ProcessShardedEngine:
         parent re-records each outcome exactly as a bare manager would.
         """
         if isinstance(outcome, Granted):
+            absorb_granted(txn, object_id, outcome, is_read)
             if is_read:
-                txn.read_set.add(object_id)
                 self.metrics.record_read(outcome.esr_case)
             else:
-                txn.write_set.add(object_id)
                 self.metrics.record_write(outcome.esr_case)
-            txn.operations += 1
-            if outcome.esr_case is not None:
-                txn.inconsistent_operations += 1
         elif isinstance(outcome, MustWait):
             self.metrics.record_wait()
         elif isinstance(outcome, Rejected):
@@ -833,15 +1761,19 @@ class ProcessShardedEngine:
         record: bool,
         already_finished: int | None = None,
     ) -> None:
-        """Decide the completion once, fan it out to every touched shard."""
+        """Decide the completion once, fan it out to every touched shard.
+
+        Complete items ride the same batch frames as ops, so a busy
+        channel coalesces completions from concurrent transactions into
+        shared round-trips."""
         with self._txn_lock:
             self._completing.add(txn.transaction_id)
             touched = self._touched.pop(txn.transaction_id, set())
             local_map = self._siblings.pop(txn.transaction_id, {})
-            self._shipped.pop(txn.transaction_id, None)
-            self._specs.pop(txn.transaction_id, None)
+            self._sync.pop(txn.transaction_id, None)
             self._active.pop(txn.transaction_id, None)
         committing = status is TransactionStatus.COMMITTED
+        legacy = self.shard_rpc == "legacy"
         for shard in sorted(touched):
             if shard == already_finished:
                 continue
@@ -853,15 +1785,22 @@ class ProcessShardedEngine:
                         engine.complete(sibling, status, reason)
                 continue
             try:
-                reply = self._channels[shard].request(
-                    ("complete", txn.transaction_id, status.value, reason)
-                )
-            except (OSError, EOFError):
+                if legacy:
+                    reply = self._channels[shard].request_legacy(
+                        ("complete", txn.transaction_id, status.value, reason)
+                    )
+                    kind = "committed" if reply[0] == "ok" else reply[0]
+                else:
+                    reply = self._channels[shard].request(
+                        ("complete", txn.transaction_id, status.value, reason)
+                    )
+                    kind = reply[0]
+            except (OSError, EOFError, ShardChannelError):
                 # The shard's staged effects died with its worker; the
                 # mirror below is the surviving committed state.
                 self._failover(shard)
                 continue
-            if reply[0] == "err":
+            if kind == "err":
                 continue
             if committing:
                 for object_id, (value, write_ts) in reply[1].items():

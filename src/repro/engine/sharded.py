@@ -74,7 +74,26 @@ from repro.engine.transactions import (
 )
 from repro.errors import InvalidOperation
 
-__all__ = ["ShardedEngine"]
+__all__ = ["ShardedEngine", "absorb_granted"]
+
+
+def absorb_granted(
+    txn: TransactionState, object_id: int, outcome: Granted, is_read: bool
+) -> None:
+    """Mirror one granted shard outcome onto the global transaction state.
+
+    The shared absorption seam of both sharded composites (threads and
+    processes): read/write sets, the operation count, and the
+    inconsistent-operation tally move to the global transaction exactly
+    as the bare manager would have recorded them on itself.
+    """
+    if is_read:
+        txn.read_set.add(object_id)
+    else:
+        txn.write_set.add(object_id)
+    txn.operations += 1
+    if outcome.esr_case is not None:
+        txn.inconsistent_operations += 1
 
 
 class _LockedMetrics(MetricsCollector):
@@ -473,13 +492,7 @@ class ShardedEngine:
     ) -> Outcome:
         """Mirror a shard outcome onto the global transaction state."""
         if isinstance(outcome, Granted):
-            if is_read:
-                txn.read_set.add(object_id)
-            else:
-                txn.write_set.add(object_id)
-            txn.operations += 1
-            if outcome.esr_case is not None:
-                txn.inconsistent_operations += 1
+            absorb_granted(txn, object_id, outcome, is_read)
         elif isinstance(outcome, Rejected):
             # The shard already recorded the rejection and aborted (and
             # finished) the sibling it saw; propagate the abort to every

@@ -118,6 +118,33 @@ class ProtocolError(ReproError):
     """A malformed or unexpected message on the network protocol."""
 
 
+class ShardChannelError(ReproError):
+    """The parent↔worker shard channel failed mid-frame.
+
+    Raised by the process-sharded engine's RPC layer on a torn frame
+    (truncated header/payload, undecodable reply) or when bounded
+    ``EINTR`` retries are exhausted — instead of surfacing a bare
+    ``struct``/``pickle`` error from deep inside the framing code.  The
+    op path treats it like a dead worker and fails the shard over.
+
+    ``shard`` is the shard whose channel failed; ``pending_ops`` counts
+    the operations that were riding (or queued behind) the failed
+    round-trip, so logs show how much staged work the failure took out.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        shard: int | None = None,
+        pending_ops: int = 0,
+    ):
+        if shard is not None:
+            message = f"{message} (shard {shard}, {pending_ops} pending ops)"
+        super().__init__(message)
+        self.shard = shard
+        self.pending_ops = pending_ops
+
+
 class ServerError(ReproError):
     """The networked server failed to start or crashed while serving."""
 

@@ -18,18 +18,26 @@ from __future__ import annotations
 
 import json
 import platform
+import random
+import threading
 import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable
 
+from repro.core.bounds import TransactionBounds
 from repro.core.hierarchy import GroupCatalog, HierarchyLedger
+from repro.engine.results import Granted
+from repro.perf import counters as _perf
 from repro.sim.des import Engine, Event, Resource, Timeout
 from repro.sim.system import SimulationConfig, run_simulation
 
 __all__ = [
     "MicroBench",
     "MICRO_BENCHES",
+    "ProcshardRpcConfig",
+    "run_procshard_rpc",
+    "check_rpc_regression",
     "smoke_config",
     "run_suite",
     "write_baseline",
@@ -154,6 +162,190 @@ MICRO_BENCHES: tuple[MicroBench, ...] = (
 )
 
 
+# -- the shard-channel microbench ----------------------------------------------
+
+
+@dataclass(frozen=True)
+class ProcshardRpcConfig:
+    """The fixed workload behind the ``procshard_rpc`` figure.
+
+    A seeded mixed read/write trace over a process-sharded engine, in
+    two phases measured separately.  The *sequential* phase (one client,
+    alternating export-side updates and import-side queries touching
+    every shard) makes the per-op wire cost deterministic — that is the
+    ``bytes_per_op`` probe the CI regression guard keys on.  The
+    *concurrent* phase (many client threads) is the throughput probe:
+    it gives the flat-combining channel concurrent callers to coalesce,
+    and its long transactions grow the per-transaction account
+    footprint that the legacy channel re-ships in full on every single
+    operation — the cost the delta-sync fast path removes."""
+
+    shards: int = 4
+    objects: int = 256
+    seq_transactions: int = 8
+    seq_ops_per_txn: int = 100
+    threads: int = 24
+    thread_transactions: int = 2
+    thread_ops_per_txn: int = 300
+    seed: int = 7
+
+
+def _drive_rpc_transaction(engine, rng: random.Random, objects, ops) -> int:
+    """One client transaction; returns the number of granted operations."""
+    update = rng.random() < 0.5
+    if update:
+        txn = engine.begin(
+            "update",
+            TransactionBounds(export_limit=1e9),
+            allow_inconsistent_reads=True,
+        )
+    else:
+        txn = engine.begin("query", TransactionBounds(import_limit=1e9))
+    granted = 0
+    for _ in range(ops):
+        object_id = rng.randrange(objects)
+        if update and rng.random() < 0.5:
+            outcome = engine.write(txn, object_id, rng.random() * 100.0)
+        else:
+            outcome = engine.read(txn, object_id)
+        if isinstance(outcome, Granted):
+            granted += 1
+            continue
+        # MustWait / Rejected: give up on this transaction (the bench
+        # measures channel cost, not contention resolution).
+        if txn.is_active:
+            engine.abort(txn, "bench-blocked")
+        return granted
+    if txn.is_active:
+        engine.commit(txn)
+    return granted
+
+
+def _rpc_delta(before: dict, after: dict) -> dict:
+    return {
+        key: after[key] - before[key]
+        for key in after
+        if key.startswith("rpc_")
+    }
+
+
+def run_procshard_rpc(
+    mode: str, config: ProcshardRpcConfig | None = None
+) -> dict | None:
+    """Time the parent↔worker shard channel in one wire mode.
+
+    ``mode`` is ``"fast"`` or ``"legacy"``.  Returns the figure dict —
+    ``ops_per_s``/``batch_occupancy`` from the concurrent phase,
+    ``bytes_per_op``/``round_trips_per_txn``/sync mix from the
+    deterministic sequential phase — or ``None`` where process sharding
+    is unavailable (no ``fork``).
+    """
+    from repro.engine.api import create_engine
+    from repro.engine.database import Database
+    from repro.engine.procshard import process_sharding_unavailable
+
+    if process_sharding_unavailable() == "no-fork":
+        return None
+    if config is None:
+        config = ProcshardRpcConfig()
+    database = Database()
+    database.create_many(
+        (object_id, 100.0) for object_id in range(config.objects)
+    )
+    engine = create_engine(
+        database,
+        "esr",
+        shards=config.shards,
+        processes="force",
+        shard_rpc=mode,
+    )
+    try:
+        # Phase 1 — sequential bytes probe (deterministic for the seed).
+        before = _perf.snapshot()
+        rng = random.Random(config.seed)
+        for _ in range(config.seq_transactions):
+            _drive_rpc_transaction(
+                engine, rng, config.objects, config.seq_ops_per_txn
+            )
+        seq = _rpc_delta(before, _perf.snapshot())
+        # Phase 2 — concurrent throughput probe.
+        before = _perf.snapshot()
+        results: list[int] = []
+
+        def client(worker: int) -> None:
+            thread_rng = random.Random(config.seed + 1 + worker)
+            count = 0
+            for _ in range(config.thread_transactions):
+                count += _drive_rpc_transaction(
+                    engine,
+                    thread_rng,
+                    config.objects,
+                    config.thread_ops_per_txn,
+                )
+            results.append(count)
+
+        threads = [
+            threading.Thread(target=client, args=(worker,))
+            for worker in range(config.threads)
+        ]
+        started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - started
+        granted = sum(results)
+        conc = _rpc_delta(before, _perf.snapshot())
+    finally:
+        engine.close()
+    seq_ops = max(seq["rpc_ops"], 1)
+    round_trips = max(conc["rpc_round_trips"], 1)
+    return {
+        "ops_per_s": round(granted / elapsed, 1) if elapsed > 0 else 0.0,
+        "bytes_per_op": round(
+            (seq["rpc_bytes_sent"] + seq["rpc_bytes_received"]) / seq_ops, 1
+        ),
+        "batch_occupancy": round(conc["rpc_batched_ops"] / round_trips, 2),
+        "round_trips_per_txn": round(
+            seq["rpc_round_trips"] / config.seq_transactions, 2
+        ),
+        "rpc_ops": seq["rpc_ops"] + conc["rpc_ops"],
+        "rpc_round_trips": seq["rpc_round_trips"] + conc["rpc_round_trips"],
+        "rpc_bytes_sent": seq["rpc_bytes_sent"] + conc["rpc_bytes_sent"],
+        "rpc_bytes_received": (
+            seq["rpc_bytes_received"] + conc["rpc_bytes_received"]
+        ),
+        "sync_full": seq["rpc_sync_full"],
+        "sync_delta": seq["rpc_sync_delta"],
+        "sync_none": seq["rpc_sync_none"],
+    }
+
+
+def check_rpc_regression(
+    baseline: dict, current: dict, factor: float = 1.5
+) -> str | None:
+    """Fail if the fast channel's bytes/op regressed vs. the baseline.
+
+    Returns a failure message, or None when within ``factor`` of the
+    recorded figure (or when either side lacks the ``procshard_rpc``
+    section — older baselines stay usable).  Bytes/op is the guarded
+    metric because it is deterministic for the fixed sequential trace;
+    ops/s on shared CI hardware is too noisy to gate on.
+    """
+    base = (baseline.get("procshard_rpc") or {}).get("fast")
+    cur = (current.get("procshard_rpc") or {}).get("fast")
+    if not base or not cur:
+        return None
+    allowed = base["bytes_per_op"] * factor
+    if cur["bytes_per_op"] > allowed:
+        return (
+            f"procshard_rpc bytes/op regressed: {cur['bytes_per_op']:.1f} "
+            f"> {allowed:.1f} (baseline {base['bytes_per_op']:.1f} "
+            f"x factor {factor})"
+        )
+    return None
+
+
 def smoke_config() -> SimulationConfig:
     """The fixed single-cell simulation the suite times wall-clock."""
     return SimulationConfig(
@@ -204,12 +396,29 @@ def run_suite(
                 f"  {bench.name}: {best:.4f}s "
                 f"({bench.ops / best:,.0f} {bench.unit}/s)"
             )
+    rpc: dict[str, dict] | None = {}
+    for mode in ("fast", "legacy"):
+        figure = run_procshard_rpc(mode)
+        if figure is None:
+            rpc = None
+            if progress is not None:
+                progress("  procshard_rpc: skipped (no fork)")
+            break
+        rpc[mode] = figure
+        if progress is not None:
+            progress(
+                f"  procshard_rpc[{mode}]: "
+                f"{figure['ops_per_s']:,.0f} ops/s, "
+                f"{figure['bytes_per_op']:,.0f} bytes/op, "
+                f"occupancy {figure['batch_occupancy']:.2f}"
+            )
     config = smoke_config()
     smoke_best = _best_of(lambda: run_simulation(config), smoke_repeats)
     if progress is not None:
         progress(f"  smoke_figure: {smoke_best:.4f}s wall")
     return {
         "schema": SCHEMA_VERSION,
+        "procshard_rpc": rpc,
         "recorded": {
             "python": platform.python_version(),
             "platform": platform.platform(),
@@ -257,6 +466,16 @@ def format_report(report: dict) -> str:
         lines.append(
             f"  {name:<18} {entry['best_s']:.4f}s  ({entry['ops_per_s']:,.0f} ops/s)"
         )
+    rpc = report.get("procshard_rpc")
+    if rpc:
+        for mode, figure in rpc.items():
+            lines.append(
+                f"  {'procshard_rpc[' + mode + ']':<18} "
+                f"{figure['ops_per_s']:,.0f} ops/s  "
+                f"{figure['bytes_per_op']:,.0f} bytes/op  "
+                f"occupancy {figure['batch_occupancy']:.2f}  "
+                f"{figure['round_trips_per_txn']:.1f} round-trips/txn"
+            )
     lines.append(f"  {'smoke_figure':<18} {report['smoke']['wall_s']:.4f}s wall")
     return "\n".join(lines)
 
@@ -275,6 +494,26 @@ def format_comparison(baseline: dict, current: dict) -> str:
         lines.append(
             f"{name:<18} {base['ops_per_s']:>14,.0f} "
             f"{entry['ops_per_s']:>14,.0f} {ratio:>8.2f}x"
+        )
+    cur_rpc = current.get("procshard_rpc") or {}
+    base_rpc = baseline.get("procshard_rpc") or {}
+    for mode, figure in cur_rpc.items():
+        name = f"rpc[{mode}] B/op"
+        base = base_rpc.get(mode)
+        if base is None:
+            lines.append(
+                f"{name:<18} {'—':>14} {figure['bytes_per_op']:>14,.0f} {'new':>9}"
+            )
+            continue
+        # Bytes/op is a cost: ratio > 1 means the channel got cheaper.
+        ratio = (
+            base["bytes_per_op"] / figure["bytes_per_op"]
+            if figure["bytes_per_op"]
+            else 0.0
+        )
+        lines.append(
+            f"{name:<18} {base['bytes_per_op']:>14,.0f} "
+            f"{figure['bytes_per_op']:>14,.0f} {ratio:>8.2f}x"
         )
     base_wall = baseline["smoke"]["wall_s"]
     cur_wall = current["smoke"]["wall_s"]

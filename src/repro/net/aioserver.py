@@ -93,6 +93,7 @@ from repro.net.requests import (
     abort_on_timeout,
     attach_id,
     retry_operation,
+    submit_batch,
     submit_request,
     try_cached_read,
 )
@@ -527,6 +528,7 @@ class AsyncTransactionServer:
         snapshot_cache: bool = False,
         shards: int = 1,
         processes: bool | str = False,
+        shard_rpc: str = "fast",
         codecs: tuple[str, ...] | None = SUPPORTED_CODECS,
     ):
         self.manager: Engine = create_engine(
@@ -537,6 +539,7 @@ class AsyncTransactionServer:
             snapshot_cache=snapshot_cache,
             shards=shards,
             processes=processes,
+            shard_rpc=shard_rpc,
         )
         #: Upper bound on one strict-ordering wait, in seconds.
         self.wait_timeout = wait_timeout
@@ -636,8 +639,22 @@ class AsyncTransactionServer:
             counters.net_batches_drained += 1
             counters.net_requests_batched += len(batch)
             touched: dict[int, _Connection] = {}
+            # Off-loop mode groups each drained tick's messages by
+            # connection and pays ONE executor hop per group (instead of
+            # one per message): the lane runs submit_batch over the
+            # group, and a process-sharded engine underneath coalesces
+            # the concurrent lanes' shard RPCs into shared batch frames.
+            # Per-connection request order is preserved — a group keeps
+            # its messages in arrival order and every group of one
+            # connection lands on that connection's FIFO lane.
+            groups: dict[int, tuple[_Connection, list[dict[str, Any]]]] = {}
             for conn, message in batch:
                 if type(message) is _Failure:
+                    # Flush this connection's pending group first so the
+                    # failure reply keeps its position in the lane order.
+                    pending = groups.pop(id(conn), None)
+                    if pending is not None:
+                        self._submit_group(*pending)
                     conn.out.append(
                         conn.codec.encode_response(
                             {
@@ -651,19 +668,11 @@ class AsyncTransactionServer:
                     touched[id(conn)] = conn
                     continue
                 if self._lanes is not None:
-                    # Off-loop mode: run the engine call on the
-                    # connection's FIFO lane; the done-callback (on the
-                    # loop) finishes the response path in request order.
-                    future = self._loop.run_in_executor(
-                        self._lane_for(conn),
-                        submit_request,
-                        manager,
-                        message,
-                        conn.sessions,
-                    )
-                    future.add_done_callback(
-                        functools.partial(self._offloop_done, conn, message)
-                    )
+                    group = groups.get(id(conn))
+                    if group is None:
+                        groups[id(conn)] = (conn, [message])
+                    else:
+                        group[1].append(message)
                     continue
                 result = submit_request(manager, message, conn.sessions)
                 if type(result) is NeedsWait:
@@ -678,8 +687,25 @@ class AsyncTransactionServer:
                         result["id"] = message["id"]
                     conn.enqueue(result)
                     touched[id(conn)] = conn
+            for conn, messages in groups.values():
+                self._submit_group(conn, messages)
             for conn in touched.values():
                 conn.flush_now()
+
+    def _submit_group(
+        self, conn: _Connection, messages: list[dict[str, Any]]
+    ) -> None:
+        """One executor hop for one connection's drained-tick messages."""
+        future = self._loop.run_in_executor(
+            self._lane_for(conn),
+            submit_batch,
+            self.manager,
+            messages,
+            conn.sessions,
+        )
+        future.add_done_callback(
+            functools.partial(self._offloop_batch_done, conn, messages)
+        )
 
     def _lane_for(self, conn: _Connection) -> ThreadPoolExecutor:
         """Pick the FIFO lane for one request: one lane per connection,
@@ -717,6 +743,28 @@ class AsyncTransactionServer:
         conn.note_answered(message)
         conn.enqueue(attach_id(result, message))
         conn.schedule_flush()
+
+    def _offloop_batch_done(
+        self,
+        conn: _Connection,
+        messages: list[dict[str, Any]],
+        future: "asyncio.Future[list[dict[str, Any] | NeedsWait]]",
+    ) -> None:
+        """Loop-side completion of one connection's off-loop batch."""
+        if future.cancelled():
+            return
+        results = future.result()
+        flush = False
+        for message, result in zip(messages, results):
+            if type(result) is NeedsWait:
+                event = self._subscribe(result)
+                self._spawn_waiter(conn, message, result, event)
+                continue
+            conn.note_answered(message)
+            conn.enqueue(attach_id(result, message))
+            flush = True
+        if flush:
+            conn.schedule_flush()
 
     def _subscribe(self, pending: NeedsWait) -> Any:
         # In sharded mode the registry fires callbacks from executor
@@ -875,6 +923,7 @@ def serve_in_thread(
     snapshot_cache: bool = False,
     shards: int = 1,
     processes: bool | str = False,
+    shard_rpc: str = "fast",
     codecs: tuple[str, ...] | None = SUPPORTED_CODECS,
     use_uvloop: bool | None = None,
 ) -> AsyncServerThread:
@@ -889,6 +938,7 @@ def serve_in_thread(
         snapshot_cache=snapshot_cache,
         shards=shards,
         processes=processes,
+        shard_rpc=shard_rpc,
         codecs=codecs,
     )
     return AsyncServerThread(server, host, port, use_uvloop=use_uvloop)

@@ -142,6 +142,7 @@ class TransactionServer(socketserver.ThreadingTCPServer):
         snapshot_cache: bool = False,
         shards: int = 1,
         processes: bool | str = False,
+        shard_rpc: str = "fast",
         codecs: tuple[str, ...] | None = SUPPORTED_CODECS,
     ):
         # Build (and validate) the engine before binding the socket, so
@@ -156,6 +157,7 @@ class TransactionServer(socketserver.ThreadingTCPServer):
             snapshot_cache=snapshot_cache,
             shards=shards,
             processes=processes,
+            shard_rpc=shard_rpc,
         )
         super().__init__(address, _Handler)
         #: Upper bound on one strict-ordering wait (see module constant).
@@ -242,6 +244,7 @@ def serve_forever(
     snapshot_cache: bool = False,
     shards: int = 1,
     processes: bool | str = False,
+    shard_rpc: str = "fast",
     codecs: tuple[str, ...] | None = SUPPORTED_CODECS,
 ) -> TransactionServer:
     """Start a server on a background thread; returns it (bound and live)."""
@@ -255,6 +258,7 @@ def serve_forever(
         snapshot_cache=snapshot_cache,
         shards=shards,
         processes=processes,
+        shard_rpc=shard_rpc,
         codecs=codecs,
     )
     thread = threading.Thread(target=server.serve_forever, daemon=True)

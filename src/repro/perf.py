@@ -65,6 +65,26 @@ class PerfCounters:
                                  reads charged to their ledgers
     ``shard_failovers``          process-sharded shards rebuilt in-process
                                  after their worker died
+    ``rpc_ops``                  operations shipped over shard channels
+                                 (reads/writes/completes, both rpc modes)
+    ``rpc_round_trips``          framed round-trips on shard channels; the
+                                 fast path coalesces concurrent ops, so
+                                 ``rpc_batched_ops / rpc_round_trips`` is
+                                 the mean batch occupancy
+    ``rpc_batched_ops``          operations that rode a batch frame (every
+                                 fast-path op; zero in legacy mode)
+    ``rpc_bytes_sent``           parent→worker shard-channel bytes
+    ``rpc_bytes_received``       worker→parent shard-channel bytes
+    ``rpc_sync_full``            op frames that carried a full account dump
+                                 (first shard touch, or resync fallback)
+    ``rpc_sync_delta``           op frames that carried only the account
+                                 entries changed since the worker's last
+                                 acknowledged version
+    ``rpc_sync_none``            op frames that carried no account state at
+                                 all (worker already at the current version)
+    ``rpc_resyncs``              version-skew round-trips: the worker held a
+                                 different version than the parent assumed
+                                 and the op was re-sent with a full dump
     ``net_codec_binary_frames_encoded``
                                  frames the binary codec encoded (fixed
                                  layouts and JSON-payload frames alike)
@@ -94,6 +114,15 @@ class PerfCounters:
         "cache_fallbacks",
         "cache_divergence_charged",
         "shard_failovers",
+        "rpc_ops",
+        "rpc_round_trips",
+        "rpc_batched_ops",
+        "rpc_bytes_sent",
+        "rpc_bytes_received",
+        "rpc_sync_full",
+        "rpc_sync_delta",
+        "rpc_sync_none",
+        "rpc_resyncs",
         "net_codec_binary_frames_encoded",
         "net_codec_binary_frames_decoded",
         "net_codec_negotiation_downgrades",
@@ -120,6 +149,15 @@ class PerfCounters:
         self.cache_fallbacks = 0
         self.cache_divergence_charged = 0.0
         self.shard_failovers = 0
+        self.rpc_ops = 0
+        self.rpc_round_trips = 0
+        self.rpc_batched_ops = 0
+        self.rpc_bytes_sent = 0
+        self.rpc_bytes_received = 0
+        self.rpc_sync_full = 0
+        self.rpc_sync_delta = 0
+        self.rpc_sync_none = 0
+        self.rpc_resyncs = 0
         self.net_codec_binary_frames_encoded = 0
         self.net_codec_binary_frames_decoded = 0
         self.net_codec_negotiation_downgrades = 0
@@ -147,6 +185,15 @@ class PerfCounters:
             "cache_fallbacks": self.cache_fallbacks,
             "cache_divergence_charged": self.cache_divergence_charged,
             "shard_failovers": self.shard_failovers,
+            "rpc_ops": self.rpc_ops,
+            "rpc_round_trips": self.rpc_round_trips,
+            "rpc_batched_ops": self.rpc_batched_ops,
+            "rpc_bytes_sent": self.rpc_bytes_sent,
+            "rpc_bytes_received": self.rpc_bytes_received,
+            "rpc_sync_full": self.rpc_sync_full,
+            "rpc_sync_delta": self.rpc_sync_delta,
+            "rpc_sync_none": self.rpc_sync_none,
+            "rpc_resyncs": self.rpc_resyncs,
             "net_codec_binary_frames_encoded": self.net_codec_binary_frames_encoded,
             "net_codec_binary_frames_decoded": self.net_codec_binary_frames_decoded,
             "net_codec_negotiation_downgrades": (
@@ -196,6 +243,25 @@ class PerfCounters:
                     "binary JSON fallbacks",
                     f"{self.net_codec_json_fallbacks:,}",
                 ),
+            ]
+        if self.rpc_ops or self.rpc_round_trips:
+            occupancy = (
+                self.rpc_batched_ops / self.rpc_round_trips
+                if self.rpc_round_trips
+                else 0.0
+            )
+            rows += [
+                ("shard rpc ops", f"{self.rpc_ops:,}"),
+                ("shard rpc round trips", f"{self.rpc_round_trips:,}"),
+                ("shard rpc batch occupancy", f"{occupancy:.2f}"),
+                ("shard rpc bytes sent", f"{self.rpc_bytes_sent:,}"),
+                ("shard rpc bytes received", f"{self.rpc_bytes_received:,}"),
+                (
+                    "shard rpc sync full/delta/none",
+                    f"{self.rpc_sync_full:,}/{self.rpc_sync_delta:,}"
+                    f"/{self.rpc_sync_none:,}",
+                ),
+                ("shard rpc resyncs", f"{self.rpc_resyncs:,}"),
             ]
         if self.cache_hits or self.cache_misses or self.cache_fallbacks:
             rows += [

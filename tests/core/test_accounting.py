@@ -116,3 +116,80 @@ class TestInconsistencyAccount:
         for amount in amounts:
             account.admit(1, amount)
         assert account.total <= 200.0 + 1e-9
+
+
+class TestChangeTracking:
+    """The O(changed) delta path behind the shard channel's fast sync."""
+
+    def _mirror_of(self, account, catalog):
+        mirror = InconsistencyAccount(Direction.IMPORT, catalog, 100.0)
+        mirror.load_state(account.dump_state())
+        return mirror
+
+    def test_take_delta_none_when_clean(self, catalog):
+        account = InconsistencyAccount(Direction.IMPORT, catalog, 100.0)
+        account.track_changes()
+        assert account.take_delta() is None
+        account.admit(1, 0.0)  # consistent op: charges nothing
+        assert account.take_delta() is None
+
+    def test_delta_reproduces_dump(self, catalog):
+        catalog.assign(2, "g")
+        account = InconsistencyAccount(Direction.IMPORT, catalog, 100.0)
+        account.admit(1, 10.0)
+        account.observe_value(1, 5.0)
+        mirror = self._mirror_of(account, catalog)
+        account.track_changes()
+        account.admit(2, 7.0)
+        account.observe_value(1, 40.0)
+        account.observe_value(2, 1.0)
+        delta = account.take_delta()
+        assert delta is not None
+        mirror.apply_delta(delta)
+        assert mirror.dump_state() == account.dump_state()
+        # Drained: a second take ships nothing until the next change.
+        assert account.take_delta() is None
+
+    def test_loaded_state_does_not_echo_back(self, catalog):
+        account = InconsistencyAccount(Direction.IMPORT, catalog, 100.0)
+        account.track_changes()
+        account.admit(1, 10.0)
+        account.load_state(
+            InconsistencyAccount(
+                Direction.IMPORT, catalog, 100.0
+            ).dump_state()
+        )
+        assert account.take_delta() is None
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["admit", "observe"]),
+                st.integers(min_value=1, max_value=3),
+                st.floats(min_value=0, max_value=20),
+            ),
+            max_size=40,
+        )
+    )
+    def test_chained_deltas_match_full_dumps(self, events):
+        catalog = GroupCatalog()
+        catalog.add_group("g")
+        for object_id in (1, 2, 3):
+            catalog.assign(object_id, "g")
+        account = InconsistencyAccount(Direction.IMPORT, catalog, 1e9)
+        mirror = InconsistencyAccount(Direction.IMPORT, catalog, 1e9)
+        mirror.load_state(account.dump_state())
+        account.track_changes()
+        for index, (kind, object_id, amount) in enumerate(events):
+            if kind == "admit":
+                account.admit(object_id, amount)
+            else:
+                account.observe_value(object_id, amount)
+            if index % 3 == 2:  # sync every few events, like the channel
+                delta = account.take_delta()
+                if delta is not None:
+                    mirror.apply_delta(delta)
+        delta = account.take_delta()
+        if delta is not None:
+            mirror.apply_delta(delta)
+        assert mirror.dump_state() == account.dump_state()

@@ -305,3 +305,361 @@ class TestCrossProcessWaits:
         assert isinstance(retried, Granted)
         assert retried.value == 175.0
         engine.commit(query)
+
+
+# -- delta sync and the fast channel ------------------------------------------
+
+
+def _drive_stream(engine, seed, objects=8, steps=80):
+    """One deterministic interleaved client stream; returns the trace.
+
+    Mixed update/query transactions advance round-robin-by-rng in a
+    single thread, so two engines fed the same seed execute the exact
+    same operation sequence and must produce the exact same outcomes —
+    the fast delta-synced channel has no semantic headroom over the
+    legacy full-dump one.
+    """
+    import random
+
+    rng = random.Random(seed)
+    active = []
+    trace = []
+    for _ in range(steps):
+        if not active or (len(active) < 3 and rng.random() < 0.3):
+            if rng.random() < 0.5:
+                txn = engine.begin(
+                    "update",
+                    TransactionBounds(export_limit=1e9),
+                    allow_inconsistent_reads=True,
+                )
+                active.append((txn, True))
+                trace.append("begin-update")
+            else:
+                txn = engine.begin(
+                    "query", TransactionBounds(import_limit=1e9)
+                )
+                active.append((txn, False))
+                trace.append("begin-query")
+            continue
+        index = rng.randrange(len(active))
+        txn, is_update = active[index]
+        roll = rng.random()
+        if roll < 0.12:
+            if txn.is_active:
+                engine.commit(txn)
+                trace.append("commit")
+            active.pop(index)
+            continue
+        object_id = rng.randrange(objects)
+        if is_update and rng.random() < 0.5:
+            outcome = engine.write(txn, object_id, rng.random() * 100.0)
+        else:
+            outcome = engine.read(txn, object_id)
+        if isinstance(outcome, Granted):
+            trace.append(
+                (
+                    "granted",
+                    object_id,
+                    getattr(outcome, "value", None),
+                    round(outcome.inconsistency, 9),
+                    outcome.esr_case,
+                )
+            )
+        elif isinstance(outcome, MustWait):
+            trace.append(("mustwait", object_id))
+            if txn.is_active:
+                engine.abort(txn, "stream-blocked")
+            active.pop(index)
+        else:
+            trace.append(("rejected", object_id, outcome.reason))
+            active.pop(index)
+    for txn, _ in active:
+        if txn.is_active:
+            engine.commit(txn)
+            trace.append("commit")
+    return trace
+
+
+class TestDeltaSync:
+    def test_fast_is_the_default_channel(self, make_engine):
+        engine = make_engine()
+        assert engine.shard_rpc == "fast"
+
+    def test_sync_tag_mix_none_delta_full(self, make_engine):
+        """A cross-shard update sees all three sync-in shapes: full on
+        first touch, delta after another shard moved the canonical
+        state, none when the shard is already current."""
+        from repro import perf
+
+        engine = make_engine(database=_database(8), shards=2)
+        writer = engine.begin("update", TransactionBounds(export_limit=1e9))
+        assert isinstance(engine.write(writer, 0, 50.0), Granted)
+        assert isinstance(engine.write(writer, 1, 60.0), Granted)
+
+        before = perf.counters.snapshot()
+        reader = engine.begin(
+            "update",
+            TransactionBounds(export_limit=1e9, import_limit=1e9),
+            allow_inconsistent_reads=True,
+        )
+        # Uncommitted reads charge import inconsistency, so every op
+        # below advances the canonical account version.
+        assert isinstance(engine.read(reader, 0), Granted)  # shard 0: full
+        assert isinstance(engine.read(reader, 1), Granted)  # shard 1: full
+        assert isinstance(engine.read(reader, 2), Granted)  # shard 0: delta
+        assert isinstance(engine.read(reader, 4), Granted)  # shard 0: none
+        after = perf.counters.snapshot()
+        assert after["rpc_sync_full"] - before["rpc_sync_full"] >= 2
+        assert after["rpc_sync_delta"] - before["rpc_sync_delta"] >= 1
+        assert after["rpc_sync_none"] - before["rpc_sync_none"] >= 1
+        engine.abort(reader, "test-done")
+        engine.abort(writer, "test-done")
+
+    @pytest.mark.parametrize("seed", [3, 11, 29])
+    def test_fast_and_legacy_channels_are_equivalent(self, make_engine, seed):
+        """Property check: the same randomized op stream produces
+        identical outcomes and identical final committed state whether
+        account state crosses the channel as deltas or as full dumps."""
+        traces = {}
+        finals = {}
+        for mode in ("fast", "legacy"):
+            db = _database(8)
+            engine = make_engine(database=db, shards=2, shard_rpc=mode)
+            traces[mode] = _drive_stream(engine, seed)
+            finals[mode] = {
+                index: db.get(index).committed_value for index in range(8)
+            }
+            engine.close()
+        assert traces["fast"] == traces["legacy"]
+        assert finals["fast"] == finals["legacy"]
+
+    def test_version_skew_triggers_resync_and_recovers(self, make_engine):
+        """A parent whose version record lies (claims the worker is
+        current when it is not) gets a resync reply, re-sends the full
+        state, and the operation still succeeds."""
+        from repro import perf
+
+        engine = make_engine(database=_database(8), shards=2)
+        txn = engine.begin("update", TransactionBounds(export_limit=1e9))
+        assert isinstance(engine.write(txn, 0, 10.0), Granted)
+
+        sync = engine._sync[txn.transaction_id]
+        sync.version += 5  # a revision the worker has never seen
+        sync.shard_versions[0] = sync.version  # ...claimed as delivered
+        before = perf.counters.rpc_resyncs
+        assert isinstance(engine.write(txn, 0, 11.0), Granted)
+        assert perf.counters.rpc_resyncs == before + 1
+        # The record healed: the next op is an ordinary in-sync frame.
+        assert isinstance(engine.write(txn, 2, 12.0), Granted)
+        assert perf.counters.rpc_resyncs == before + 1
+        engine.commit(txn)
+        assert engine.database.get(0).committed_value == 11.0
+
+    def test_failover_serves_delta_synced_commits(self, make_engine):
+        """Commits that reached the parent through the delta-sync path
+        survive a worker SIGKILL: the mirrored committed state the
+        failover engine adopts includes them."""
+        engine = make_engine(database=_database(8), shards=2)
+        writer = engine.begin("update", TransactionBounds(export_limit=1e9))
+        assert isinstance(engine.write(writer, 0, 41.0), Granted)
+        reader = engine.begin(
+            "update",
+            TransactionBounds(export_limit=1e9, import_limit=1e9),
+            allow_inconsistent_reads=True,
+        )
+        # Charge import inconsistency across both shards so the commit
+        # below rides on delta-synced account state.
+        assert isinstance(engine.read(reader, 0), Granted)
+        assert isinstance(engine.read(reader, 1), Granted)
+        assert isinstance(engine.write(reader, 2, 43.0), Granted)
+        engine.commit(reader)
+        engine.commit(writer)
+
+        pid = engine.worker_pids()[0]
+        os.kill(pid, signal.SIGKILL)
+        os.waitpid(pid, 0)
+        probe = engine.begin("query", TransactionBounds(import_limit=1e9))
+        assert isinstance(engine.read(probe, 0), Rejected)  # trips failover
+        assert engine.failed_shards() == (0,)
+
+        retry = engine.begin("query", TransactionBounds(import_limit=1e9))
+        for object_id, expected in ((0, 41.0), (2, 43.0), (1, 100.0)):
+            outcome = engine.read(retry, object_id)
+            assert isinstance(outcome, Granted)
+            assert outcome.value == expected
+        engine.commit(retry)
+
+    def test_legacy_channel_smoke(self, make_engine):
+        from repro import perf
+
+        engine = make_engine(database=_database(4), shards=2, shard_rpc="legacy")
+        before = perf.counters.snapshot()
+        txn = engine.begin("update", TransactionBounds(export_limit=1e9))
+        assert isinstance(engine.write(txn, 0, 7.0), Granted)
+        assert isinstance(engine.read(txn, 1), Granted)
+        engine.commit(txn)
+        after = perf.counters.snapshot()
+        assert engine.database.get(0).committed_value == 7.0
+        assert after["rpc_ops"] > before["rpc_ops"]
+        # The legacy channel never rides batch frames or delta syncs.
+        assert after["rpc_batched_ops"] == before["rpc_batched_ops"]
+        assert after["rpc_sync_delta"] == before["rpc_sync_delta"]
+
+    def test_unknown_shard_rpc_mode_rejected(self):
+        with pytest.raises(SpecificationError):
+            validate_protocol_options("esr", shards=2, shard_rpc="bogus")
+        with pytest.raises(SpecificationError):
+            create_engine(
+                _database(), "esr", shards=2, processes="force",
+                shard_rpc="bogus",
+            )
+
+
+# -- channel hardening ---------------------------------------------------------
+
+
+class _FlakySocket:
+    """recv() raises InterruptedError ``interrupts`` times, then serves."""
+
+    def __init__(self, data: bytes, interrupts: int):
+        self._data = data
+        self._interrupts = interrupts
+
+    def recv(self, n: int) -> bytes:
+        if self._interrupts > 0:
+            self._interrupts -= 1
+            raise InterruptedError
+        chunk, self._data = self._data[:n], self._data[n:]
+        return chunk
+
+
+class TestChannelHardening:
+    def test_recv_exact_rides_out_eintr_and_partial_reads(self):
+        from repro.engine.procshard import _recv_exact
+
+        sock = _FlakySocket(b"abcdef", interrupts=5)
+        assert _recv_exact(sock, 4) == b"abcd"
+        assert _recv_exact(sock, 2) == b"ef"
+
+    def test_recv_exact_bounded_retries_become_typed_error(self):
+        from repro.engine.procshard import _recv_exact
+        from repro.errors import ShardChannelError
+
+        sock = _FlakySocket(b"abcd", interrupts=10_000)
+        with pytest.raises(ShardChannelError) as excinfo:
+            _recv_exact(sock, 4, shard=3, pending=7)
+        assert excinfo.value.shard == 3
+        assert excinfo.value.pending_ops == 7
+        assert "shard 3" in str(excinfo.value)
+        assert "7 pending ops" in str(excinfo.value)
+
+    def test_torn_frame_header_is_typed_error(self):
+        import struct
+
+        from repro.engine.procshard import _recv_typed
+        from repro.errors import ShardChannelError
+
+        sock = _FlakySocket(struct.pack("<I", 1 << 31), interrupts=0)
+        with pytest.raises(ShardChannelError) as excinfo:
+            _recv_typed(sock, shard=1, pending=2)
+        assert "torn" in str(excinfo.value)
+
+    def test_worker_refuses_oversized_frame_and_survives(self, make_engine):
+        """A frame past the 1 MiB cap gets a typed refusal — the worker
+        drains it and keeps serving instead of dying (no failover)."""
+        from repro.engine.procshard import (
+            _FT_BATCH,
+            _FT_ERROR,
+            _recv_typed,
+            _send_frame,
+            MAX_FRAME_BYTES,
+        )
+        from repro.errors import ProtocolError
+
+        engine = make_engine(database=_database(4), shards=2)
+        channel = engine._channels[0]
+        with channel.lock:
+            _send_frame(channel.sock, _FT_BATCH, b"x" * (MAX_FRAME_BYTES + 64))
+            ftype, payload = _recv_typed(channel.sock, shard=0, pending=1)
+        assert ftype == _FT_ERROR
+        import pickle
+
+        error = pickle.loads(payload)
+        assert isinstance(error, ProtocolError)
+        assert "oversized" in str(error)
+        # The worker lived through it: ordinary traffic still flows.
+        txn = engine.begin("update", TransactionBounds(export_limit=1e9))
+        assert isinstance(engine.write(txn, 0, 5.0), Granted)
+        engine.commit(txn)
+        assert engine.failed_shards() == ()
+
+    def test_worker_refuses_unknown_frame_type(self, make_engine):
+        import pickle
+
+        from repro.engine.procshard import (
+            _FT_ERROR,
+            _recv_typed,
+            _send_frame,
+        )
+        from repro.errors import ProtocolError
+
+        engine = make_engine(database=_database(4), shards=2)
+        channel = engine._channels[0]
+        with channel.lock:
+            _send_frame(channel.sock, 0x7A, b"?")
+            ftype, payload = _recv_typed(channel.sock, shard=0, pending=1)
+        assert ftype == _FT_ERROR
+        assert isinstance(pickle.loads(payload), ProtocolError)
+        txn = engine.begin("query", TransactionBounds(import_limit=1e9))
+        assert isinstance(engine.read(txn, 0), Granted)
+        engine.commit(txn)
+        assert engine.failed_shards() == ()
+
+
+# -- flat-combining batching ---------------------------------------------------
+
+
+class TestBatching:
+    def test_queued_callers_share_one_round_trip(self, make_engine):
+        """Callers that pile up behind the channel lock ride a single
+        combined batch frame when the leader drains the queue."""
+        import threading
+
+        from repro import perf
+
+        engine = make_engine(database=_database(8), shards=2)
+        channel = engine._channels[0]
+        txns = [
+            engine.begin("query", TransactionBounds(import_limit=1e9))
+            for _ in range(6)
+        ]
+        outcomes = [None] * len(txns)
+
+        def reader(slot, txn):
+            outcomes[slot] = engine.read(txn, (slot % 4) * 2)  # all shard 0
+
+        with channel.lock:  # stall the channel so callers pile up
+            threads = [
+                threading.Thread(target=reader, args=(slot, txn))
+                for slot, txn in enumerate(txns)
+            ]
+            for thread in threads:
+                thread.start()
+            deadline = time.monotonic() + 5.0
+            while (
+                channel.pending_ops() < len(txns)
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.005)
+            assert channel.pending_ops() == len(txns)
+            before = perf.counters.snapshot()
+        for thread in threads:
+            thread.join()
+        after = perf.counters.snapshot()
+        assert all(isinstance(outcome, Granted) for outcome in outcomes)
+        assert after["rpc_round_trips"] - before["rpc_round_trips"] == 1
+        assert after["rpc_batched_ops"] - before["rpc_batched_ops"] == len(
+            txns
+        )
+        for txn in txns:
+            engine.commit(txn)
