@@ -1,0 +1,42 @@
+"""Offline conformance checking of recorded engine histories.
+
+The engines record what they *decided* (:mod:`repro.engine.history`);
+this package re-derives what they *should* have decided and diffs the
+two:
+
+* :func:`check_log` replays every recorded inconsistency charge against
+  a fresh :class:`~repro.core.accounting.InconsistencyAccount` built
+  from the history's own BEGIN declarations and the header's object
+  bounds and group catalog — any charge the fresh hierarchy would not
+  admit, at any level (object, group, transaction), is a violation, and
+  so is any commit whose recorded imported/exported divergence differs
+  from the replayed totals;
+* for strict (epsilon = 0) histories it additionally builds the direct
+  serialization graph from the event stream and reports any cycle —
+  bounded inconsistency must degenerate to plain serializability when
+  every bound is zero;
+* :func:`render_report` formats a batch of results as the familiar
+  ``|History|Result|CPU(s)|Valid?|`` markdown table with a summary.
+
+The replay is bit-exact, not tolerance-based: the paper's admission
+charges each transaction's own account only (even the late-write case
+charges the *writer*), so replaying one transaction's events performs
+the same float additions in the same order as the live engine did.
+"""
+
+from repro.check.chaos import ChaosConfig, ChaosReport, run_chaos
+from repro.check.conformance import CheckResult, Violation, check_log
+from repro.check.dsg import DSGEdge, serialization_cycle
+from repro.check.report import render_report
+
+__all__ = [
+    "CheckResult",
+    "Violation",
+    "check_log",
+    "DSGEdge",
+    "serialization_cycle",
+    "render_report",
+    "ChaosConfig",
+    "ChaosReport",
+    "run_chaos",
+]

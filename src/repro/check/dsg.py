@@ -1,0 +1,169 @@
+"""Direct serialization graph over a recorded event stream.
+
+When every bound in a history is zero, ESR degenerates to plain
+serializability, and the recorded history must admit an acyclic direct
+serialization graph (DSG) over its committed transactions.  This module
+builds that graph from the event log alone:
+
+* writes become visible at their writer's *commit* event, so the
+  "current committed version" of an object at any point in the log is
+  the last transaction that committed a write to it before that point
+  (the virtual initial transaction otherwise);
+* a read observes the current committed version — under a strict
+  (epsilon-0) engine a read is never served uncommitted data, and reads
+  of an object the reader itself has staged a write on are own-reads
+  and carry no dependency;
+* edges: **wr** from the observed writer to the reader, **ww** from the
+  superseded version's writer to the superseding one (at commit), and
+  **rw** from every reader of the superseded version to the superseding
+  writer (the anti-dependency).
+
+Aborted transactions contribute nothing (their writes never became
+visible, their reads constrain nobody).  A cycle among committed
+transactions is returned as the offending transaction-id path.
+
+The construction trusts recording order per object, which holds for the
+in-process engines (events append inside the owning shard's critical
+section).  The process-sharded parent records replies as connections
+drain them, so cross-connection order can differ from decision order —
+epsilon-0 cycle checks are therefore meaningful on deterministic or
+single-connection histories; the conformance replay (which is
+per-transaction and order-insensitive across transactions) covers the
+rest.  See ``docs/correctness.md``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.engine.history import (
+    EVENT_ABORT,
+    EVENT_COMMIT,
+    EVENT_READ,
+    EVENT_WRITE,
+    HistoryEvent,
+)
+
+__all__ = ["DSGEdge", "build_edges", "serialization_cycle"]
+
+#: Node id used for the virtual initial transaction (pre-loaded state).
+_INITIAL = 0
+
+
+@dataclass(frozen=True)
+class DSGEdge:
+    """One dependency edge: ``src`` must precede ``dst``."""
+
+    src: int
+    dst: int
+    #: ``"wr"``, ``"ww"`` or ``"rw"``.
+    kind: str
+    object_id: int
+
+
+def build_edges(events: Iterable[HistoryEvent]) -> list[DSGEdge]:
+    """Dependency edges among *committed* transactions."""
+    events = list(events)
+    committed = {
+        event.txn for event in events if event.kind == EVENT_COMMIT
+    }
+    #: object -> txn whose committed write is current (log order).
+    current: dict[int, int] = {}
+    #: object -> version writer -> readers of that version.
+    readers: dict[int, dict[int, set[int]]] = {}
+    #: txn -> objects it has staged writes on so far (own-read filter).
+    staged: dict[int, set[int]] = {}
+    #: txn -> objects it wrote (applied at commit).
+    writes: dict[int, list[int]] = {}
+    edges: list[DSGEdge] = []
+
+    for event in events:
+        if event.kind == EVENT_READ:
+            txn = event.txn
+            object_id = event.object_id
+            if object_id is None or txn not in committed:
+                continue
+            if object_id in staged.get(txn, ()):  # own staged write
+                continue
+            version = current.get(object_id, _INITIAL)
+            if version != _INITIAL and version != txn:
+                edges.append(DSGEdge(version, txn, "wr", object_id))
+            readers.setdefault(object_id, {}).setdefault(
+                version, set()
+            ).add(txn)
+        elif event.kind == EVENT_WRITE:
+            txn = event.txn
+            object_id = event.object_id
+            if object_id is None:
+                continue
+            staged.setdefault(txn, set()).add(object_id)
+            writes.setdefault(txn, []).append(object_id)
+        elif event.kind == EVENT_COMMIT:
+            txn = event.txn
+            for object_id in writes.pop(txn, ()):
+                previous = current.get(object_id, _INITIAL)
+                if previous == txn:
+                    continue
+                if previous != _INITIAL:
+                    edges.append(DSGEdge(previous, txn, "ww", object_id))
+                for reader in readers.get(object_id, {}).get(previous, ()):
+                    if reader != txn and reader in committed:
+                        edges.append(
+                            DSGEdge(reader, txn, "rw", object_id)
+                        )
+                current[object_id] = txn
+            staged.pop(txn, None)
+        elif event.kind == EVENT_ABORT:
+            writes.pop(event.txn, None)
+            staged.pop(event.txn, None)
+
+    return edges
+
+
+def serialization_cycle(
+    events: Iterable[HistoryEvent],
+) -> tuple[int, ...] | None:
+    """The first dependency cycle found, or ``None`` when acyclic.
+
+    Returns the cycle as a transaction-id path ``(t1, t2, ..., t1)``.
+    """
+    edges = build_edges(events)
+    graph: dict[int, list[int]] = {}
+    for edge in edges:
+        graph.setdefault(edge.src, []).append(edge.dst)
+        graph.setdefault(edge.dst, [])
+    return _find_cycle(graph)
+
+
+def _find_cycle(
+    graph: dict[int, Sequence[int]],
+) -> tuple[int, ...] | None:
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {node: WHITE for node in graph}
+    for root in graph:
+        if color[root] != WHITE:
+            continue
+        # Iterative DFS keeping the gray path for cycle extraction.
+        stack: list[tuple[int, int]] = [(root, 0)]
+        path: list[int] = []
+        color[root] = GRAY
+        path.append(root)
+        while stack:
+            node, next_index = stack[-1]
+            neighbors = graph[node]
+            if next_index < len(neighbors):
+                stack[-1] = (node, next_index + 1)
+                child = neighbors[next_index]
+                if color[child] == GRAY:
+                    start = path.index(child)
+                    return tuple(path[start:] + [child])
+                if color[child] == WHITE:
+                    color[child] = GRAY
+                    path.append(child)
+                    stack.append((child, 0))
+            else:
+                color[node] = BLACK
+                path.pop()
+                stack.pop()
+    return None

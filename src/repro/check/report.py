@@ -1,0 +1,70 @@
+"""Markdown report for a batch of history checks.
+
+Formats :class:`~repro.check.conformance.CheckResult`s as the
+``|History|Result|CPU(s)|Valid?|`` table (the layout of serializability
+tooling reports), followed by a ``## Summary`` section with totals the
+CI chaos smoke greps for.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.check.conformance import CheckResult
+
+__all__ = ["render_report"]
+
+_VALID = "✅"
+_INVALID = "❌"
+
+
+def render_report(
+    results: Iterable[CheckResult],
+    title: str = "History Conformance Report",
+    generated: str | None = None,
+) -> str:
+    """Render ``results`` as a markdown report.
+
+    ``generated`` is an optional freeform provenance line (a timestamp,
+    the command that produced the histories) echoed under the title.
+    """
+    rows: Sequence[CheckResult] = list(results)
+    lines = [f"# {title}", ""]
+    if generated:
+        lines += [f"Generated: {generated}", ""]
+    lines += ["|History|Result|CPU(s)|Valid?|", "|--|--|--|--|"]
+    for result in rows:
+        mark = _VALID if result.ok else _INVALID
+        lines.append(
+            f"| `{result.name}` |{result.label}|{result.cpu:.2f}|{mark}|"
+        )
+    conformant = sum(1 for r in rows if r.ok)
+    flagged = [r for r in rows if not r.ok]
+    total_violations = sum(len(r.violations) for r in flagged)
+    serializable = sum(1 for r in rows if r.serializable is True)
+    non_serializable = sum(1 for r in rows if r.serializable is False)
+    total_warnings = sum(len(r.warnings) for r in rows)
+    lines += [
+        "",
+        "## Summary",
+        f"- Conformant: {conformant}",
+        (
+            f"- Violating: {len(flagged)} "
+            f"({total_violations} violation"
+            f"{'s' if total_violations != 1 else ''})"
+        ),
+        (
+            f"- Serializability checks: {serializable} passed, "
+            f"{non_serializable} failed"
+        ),
+        f"- Warnings: {total_warnings}, Total: {len(rows)}",
+    ]
+    if flagged:
+        lines += ["", "## Violations"]
+        for result in flagged:
+            lines.append(f"### `{result.name}`")
+            for violation in result.violations:
+                lines.append(
+                    f"- [{violation.kind}] {violation.message}"
+                )
+    return "\n".join(lines) + "\n"

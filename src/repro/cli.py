@@ -298,6 +298,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 snapshot_cache=args.snapshot_cache,
                 shards=args.shards,
                 processes=args.process_shards,
+                record_history=args.record_history,
             )
             await server.start(args.host, args.port)
             _report_process_mode(server.manager)
@@ -308,6 +309,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             try:
                 await asyncio.Event().wait()  # until interrupted
             finally:
+                _save_history(args, server.history)
                 await server.aclose()
 
         try:
@@ -331,6 +333,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         snapshot_cache=args.snapshot_cache,
         shards=args.shards,
         processes=args.process_shards,
+        record_history=args.record_history,
     )
     _report_process_mode(server.manager)
     print(f"serving {len(database)} objects on {args.host}:{server.port}")
@@ -339,8 +342,24 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:
         print("\nshutting down")
     finally:
+        _save_history(args, server.history)
         server.server_close()
     return 0
+
+
+def _save_history(args: argparse.Namespace, history_of) -> None:
+    """Write the server's recorded history on shutdown, if asked."""
+    if not args.history_out:
+        return
+    if not args.record_history:
+        print(
+            "--history-out needs --record-history; nothing recorded",
+            file=sys.stderr,
+        )
+        return
+    log = history_of()
+    log.save(args.history_out)
+    print(f"wrote {len(log)} history events to {args.history_out}")
 
 
 def _report_process_mode(manager: object) -> None:
@@ -351,6 +370,82 @@ def _report_process_mode(manager: object) -> None:
     elif hasattr(manager, "worker_pids"):
         pids = ", ".join(str(pid) for pid in manager.worker_pids())
         print(f"process sharding active (worker pids: {pids})")
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.check import check_log, render_report
+    from repro.engine.history import HistoryLog
+
+    serializability = {"auto": None, "on": True, "off": False}[
+        args.serializability
+    ]
+    results = []
+    for path in args.histories:
+        log = HistoryLog.load(path)
+        results.append(
+            check_log(
+                log,
+                name=os.path.basename(path),
+                serializability=serializability,
+            )
+        )
+    report = render_report(
+        results, generated=f"repro check {' '.join(args.histories)}"
+    )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fp:
+            fp.write(report)
+        print(f"wrote report to {args.out}")
+    else:
+        print(report, end="")
+    return 0 if all(result.ok for result in results) else 1
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.check import ChaosConfig, render_report, run_chaos
+
+    config = ChaosConfig(
+        clients=args.clients,
+        transactions_per_client=args.transactions,
+        objects=args.objects,
+        protocol=args.protocol,
+        server="async" if args.use_async else "threaded",
+        shards=args.shards,
+        # A kill run needs real worker processes even on a small host.
+        processes=(
+            "force"
+            if args.process_shards and args.kill_workers
+            else args.process_shards
+        ),
+        kill_workers=args.kill_workers,
+        disconnect_rate=args.disconnect_rate,
+        delay_rate=args.delay_rate,
+        seed=args.seed,
+    )
+    report = run_chaos(config)
+    print(
+        f"chaos: {report.commits} commits, {report.aborts} aborts, "
+        f"{report.disconnects} disconnects, {report.kills} worker kills, "
+        f"{report.delayed_frames} delayed frames, {report.bursts} bursts "
+        f"over {len(report.history)} recorded events"
+    )
+    for error in report.errors:
+        print(f"harness error: {error}", file=sys.stderr)
+    rendered = render_report(
+        [report.check],
+        title="Chaos History Conformance",
+        generated=f"repro chaos --seed {args.seed}",
+    )
+    if args.history_out:
+        report.history.save(args.history_out)
+        print(f"wrote history to {args.history_out}")
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fp:
+            fp.write(rendered)
+        print(f"wrote report to {args.out}")
+    else:
+        print(rendered, end="")
+    return 0 if report.ok else 1
 
 
 def _cmd_run_trace(args: argparse.Namespace) -> int:
@@ -553,6 +648,78 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the asyncio server on uvloop when installed (the "
         "'speed' optional extra); silently falls back to asyncio",
     )
+    serve.add_argument(
+        "--record-history",
+        action="store_true",
+        help="record a full event history (begin/read/write/wait/reject/"
+        "commit/abort) the offline checker can replay",
+    )
+    serve.add_argument(
+        "--history-out",
+        default=None,
+        help="write the recorded history to this file on shutdown "
+        "(needs --record-history)",
+    )
+
+    check = sub.add_parser(
+        "check",
+        help="replay recorded histories through the conformance checker",
+    )
+    check.add_argument(
+        "histories", nargs="+", help="history files (repro serve --history-out)"
+    )
+    check.add_argument(
+        "--serializability",
+        choices=("auto", "on", "off"),
+        default="auto",
+        help="epsilon-0 serialization-graph check: auto runs it exactly "
+        "when every transaction declared zero bounds (default auto)",
+    )
+    check.add_argument(
+        "--out", default=None, help="write the markdown report here"
+    )
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run a fault-injecting schedule against a live server and "
+        "check the recorded history",
+    )
+    chaos.add_argument("--clients", type=int, default=4)
+    chaos.add_argument(
+        "--transactions",
+        type=int,
+        default=25,
+        help="transactions per client (default 25)",
+    )
+    chaos.add_argument("--objects", type=int, default=32)
+    chaos.add_argument("--protocol", choices=PROTOCOLS, default="esr")
+    chaos.add_argument(
+        "--async",
+        dest="use_async",
+        action="store_true",
+        help="target the asyncio pipelined server (default: threaded)",
+    )
+    chaos.add_argument("--shards", type=int, default=1)
+    chaos.add_argument(
+        "--process-shards",
+        action="store_true",
+        help="run shards in worker processes (enables --kill-workers)",
+    )
+    chaos.add_argument(
+        "--kill-workers",
+        type=int,
+        default=0,
+        help="SIGKILL this many shard workers mid-run (process shards)",
+    )
+    chaos.add_argument("--disconnect-rate", type=float, default=0.05)
+    chaos.add_argument("--delay-rate", type=float, default=0.1)
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument(
+        "--history-out", default=None, help="save the recorded history here"
+    )
+    chaos.add_argument(
+        "--out", default=None, help="write the markdown report here"
+    )
 
     bench_net = sub.add_parser(
         "bench-net",
@@ -638,6 +805,8 @@ _COMMANDS = {
     "bench-net": _cmd_bench_net,
     "gen-workload": _cmd_gen_workload,
     "serve": _cmd_serve,
+    "check": _cmd_check,
+    "chaos": _cmd_chaos,
     "run-trace": _cmd_run_trace,
 }
 

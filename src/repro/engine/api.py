@@ -32,6 +32,7 @@ from typing import Mapping, Protocol
 from repro.core.bounds import EpsilonLevel, TransactionBounds
 from repro.core.metric import DistanceFunction, absolute_distance
 from repro.engine.database import Database
+from repro.engine.history import HistoryRecorder
 from repro.engine.manager import TransactionManager
 from repro.engine.metrics import MetricsCollector
 from repro.engine.mvto import MVTOManager
@@ -212,31 +213,60 @@ def validate_protocol_options(
     """
     spec = protocol_spec(protocol)
     if wait_policy not in ("wait", "abort"):
+        supporting = ", ".join(
+            repr(s.name)
+            for s in PROTOCOL_REGISTRY.values()
+            if s.supports_wait_policy
+        )
         raise SpecificationError(
-            f"unknown wait policy {wait_policy!r}; choose 'wait' or 'abort'"
+            f"unknown wait policy {wait_policy!r}: valid values are "
+            f"'wait' (default, any protocol) and 'abort' (TSO protocols "
+            f"only: {supporting})"
         )
     if wait_policy != "wait" and not spec.supports_wait_policy:
+        supporting = ", ".join(
+            repr(s.name)
+            for s in PROTOCOL_REGISTRY.values()
+            if s.supports_wait_policy
+        )
         raise SpecificationError(
-            f"wait_policy={wait_policy!r} requires a TSO protocol "
-            f"('esr' or 'sr'), got {protocol!r}"
+            f"wait_policy={wait_policy!r} is not supported by protocol "
+            f"{protocol!r}: valid combinations are wait_policy='wait' with "
+            f"any protocol, or wait_policy='abort' with a TSO protocol "
+            f"({supporting})"
         )
     if snapshot_cache and not spec.supports_snapshot_cache:
+        supporting = ", ".join(
+            repr(s.name)
+            for s in PROTOCOL_REGISTRY.values()
+            if s.supports_snapshot_cache
+        )
         raise SpecificationError(
-            f"snapshot_cache requires the 'esr' protocol, got {protocol!r}"
+            f"snapshot_cache=True is not supported by protocol "
+            f"{protocol!r}: the cache meters staleness through the ESR "
+            f"inconsistency ledger, so the only valid combination is "
+            f"snapshot_cache=True with protocol {supporting}; other "
+            f"protocols must use snapshot_cache=False"
         )
     if shards < 1:
-        raise SpecificationError(f"shards must be >= 1, got {shards}")
+        raise SpecificationError(
+            f"shards must be >= 1, got {shards}: use shards=1 for a bare "
+            "unsharded engine, or shards=N (N > 1) for an N-way "
+            "thread- or process-sharded composite"
+        )
     if processes and snapshot_cache:
         raise SpecificationError(
-            "snapshot_cache is not supported with process sharding: the "
-            "cache publishes from inside the engine critical section, "
-            "which lives in the shard worker processes"
+            "snapshot_cache=True cannot be combined with processes=True: "
+            "the cache publishes from inside the engine critical section, "
+            "which lives in the shard worker processes.  Valid "
+            "combinations are snapshot_cache=True with thread sharding "
+            "(processes=False) or process sharding without the cache"
         )
     if shard_rpc not in ("fast", "legacy"):
         raise SpecificationError(
-            f"unknown shard_rpc mode {shard_rpc!r}; choose 'fast' "
-            "(delta sync + batching + binary frames) or 'legacy' "
-            "(per-op full-dump pickle channel)"
+            f"unknown shard_rpc mode {shard_rpc!r}: valid values are "
+            "'fast' (delta sync + batching + binary frames, the default) "
+            "and 'legacy' (per-op full-dump pickle channel)"
         )
     return spec
 
@@ -254,6 +284,7 @@ def create_engine(
     shards: int = 1,
     processes: bool | str = False,
     shard_rpc: str = "fast",
+    record_history: bool = False,
 ) -> Engine:
     """Build the engine for ``protocol`` — the one factory every host uses.
 
@@ -308,6 +339,7 @@ def create_engine(
                 metrics=metrics,
                 timestamps=timestamps,
                 shard_rpc=shard_rpc,
+                record_history=record_history,
             )
         engine = ShardedEngine(
             database,
@@ -319,6 +351,7 @@ def create_engine(
             snapshot_cache=snapshot_cache,
             metrics=metrics,
             timestamps=timestamps,
+            record_history=record_history,
         )
         engine.process_degraded = reason
         return engine
@@ -335,6 +368,7 @@ def create_engine(
             snapshot_cache=snapshot_cache,
             metrics=metrics,
             timestamps=timestamps,
+            record_history=record_history,
         )
     return build_unsharded(
         database,
@@ -345,6 +379,7 @@ def create_engine(
         snapshot_cache=snapshot_cache,
         metrics=metrics,
         timestamps=timestamps,
+        record_history=record_history,
     )
 
 
@@ -358,11 +393,14 @@ def build_unsharded(
     snapshot_cache: bool = False,
     metrics: MetricsCollector | None = None,
     timestamps: TimestampGenerator | None = None,
+    recorder: HistoryRecorder | None = None,
+    record_history: bool = False,
 ) -> Engine:
     """Build one bare (unsharded) manager for a resolved spec.
 
     Shared by :func:`create_engine` and the sharded composite, which uses
-    it to build each shard's inner engine.
+    it to build each shard's inner engine (passing a per-shard
+    ``recorder`` view so inner-engine events carry their shard id).
     """
     if spec.family == "2pl":
         return TwoPhaseManager(
@@ -372,9 +410,17 @@ def build_unsharded(
             export_policy=export_policy,
             metrics=metrics,
             timestamps=timestamps,
+            recorder=recorder,
+            record_history=record_history,
         )
     if spec.family == "mvto":
-        return MVTOManager(database, metrics=metrics, timestamps=timestamps)
+        return MVTOManager(
+            database,
+            metrics=metrics,
+            timestamps=timestamps,
+            recorder=recorder,
+            record_history=record_history,
+        )
     return TransactionManager(
         database,
         protocol=spec.name,
@@ -384,4 +430,6 @@ def build_unsharded(
         timestamps=timestamps,
         wait_policy=wait_policy,
         snapshot_cache=snapshot_cache,
+        recorder=recorder,
+        record_history=record_history,
     )

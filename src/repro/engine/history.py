@@ -1,0 +1,638 @@
+"""The unified history seam: one append-only event log per engine.
+
+Every engine (bare managers, the thread-sharded composite, the
+process-sharded engine) reports its decisions to a
+:class:`HistoryRecorder` instead of poking ``MetricsCollector`` counters
+directly.  The recorder *derives* the metrics from the reported events —
+one choke point produces both — so the figure-level totals and the
+recorded history can never disagree.
+
+Recording is off by default and costs nothing but the derivation call:
+the recorder only materialises :class:`HistoryEvent` objects when
+``record=True`` (one ``None`` check per operation otherwise).  When
+enabled, each event carries what the offline conformance checker
+(:mod:`repro.check`) needs to replay it against a fresh ledger: the ESR
+case and inconsistency charge, the shard that executed it, the begin-time
+bound declarations, commit-time imported/exported divergence, and both a
+wall-clock and the transaction's logical timestamp.
+
+Sharding notes:
+
+* the thread-sharded composite shares one recorder across its inner
+  engines through :meth:`HistoryRecorder.for_shard` views, so per-object
+  events are appended *inside* the owning shard's critical section and
+  per-object event order matches decision order;
+* the process-sharded engine records in the parent: worker decisions
+  (esr case, charge, value) already travel back over the binary shard
+  channel as op outcomes, and the parent's absorb path — the single
+  place worker replies are applied — turns them into events tagged with
+  the shard id.  Worker-side collectors stay discarded, exactly as
+  their metrics always were.
+
+Events serialise one-per-line as JSON (:class:`HistoryLog`), with a
+header describing the database the history ran against (object bounds,
+group catalog), which is everything the checker needs to re-run the
+hierarchy admission of every charge.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import IO, TYPE_CHECKING, Any, Callable, Iterable, Mapping
+
+from repro.core.hierarchy import ROOT_GROUP
+from repro.engine.metrics import MetricsCollector
+from repro.engine.reasons import REASON_UNKNOWN
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.engine.database import Database
+    from repro.engine.results import Granted, Rejected
+    from repro.engine.transactions import TransactionState
+
+__all__ = [
+    "EVENT_BEGIN",
+    "EVENT_READ",
+    "EVENT_WRITE",
+    "EVENT_WAIT",
+    "EVENT_REJECT",
+    "EVENT_COMMIT",
+    "EVENT_ABORT",
+    "HistoryEvent",
+    "HistoryRecorder",
+    "HistoryLog",
+    "derive_metrics",
+]
+
+EVENT_BEGIN = "begin"
+EVENT_READ = "read"
+EVENT_WRITE = "write"
+EVENT_WAIT = "wait"
+EVENT_REJECT = "reject"
+EVENT_COMMIT = "commit"
+EVENT_ABORT = "abort"
+
+#: Current on-disk format version (the header's ``version`` field).
+HISTORY_FORMAT_VERSION = 1
+
+
+@dataclass(slots=True)
+class HistoryEvent:
+    """One recorded engine decision.
+
+    Only ``kind``, ``txn`` and ``wall`` are always present; the rest are
+    populated per event kind (see the field comments).  Serialisation
+    drops default-valued fields, so a typical read event is ~6 keys.
+    """
+
+    kind: str
+    txn: int
+    #: Wall-clock (or simulated-clock) seconds when the event happened.
+    wall: float
+    #: The transaction's logical timestamp ``(ticks, site, seq)``.
+    ts: tuple[float, int, int] | None = None
+    #: ``"query"`` or ``"update"`` (begin and commit events).
+    txn_kind: str | None = None
+    #: Which shard's engine executed the operation (None when unsharded).
+    shard: int | None = None
+    object_id: int | None = None
+    value: float | None = None
+    #: ESR relaxation case admitted, if any (read/write events).
+    esr_case: str | None = None
+    #: Divergence charged to the transaction's account by this operation.
+    inconsistency: float = 0.0
+    #: True when the read was served by the snapshot cache; the charge is
+    #: then the observed staleness the cache admitted.
+    cached: bool = False
+    #: For wait/reject events: which operation ("read"/"write") stalled.
+    op: str | None = None
+    #: For wait events: the transaction being waited on.
+    blocking: int | None = None
+    #: For reject/abort events.
+    reason: str | None = None
+    detail: str | None = None
+    violated_level: str | None = None
+    #: Begin events: the declared bound hierarchy.
+    import_limit: float | None = None
+    export_limit: float | None = None
+    group_limits: dict[str, float] | None = None
+    object_limits: dict[int, float] | None = None
+    allow_inconsistent_reads: bool = False
+    #: Commit events: total divergence imported/exported by the txn.
+    imported: float | None = None
+    exported: float | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        """A compact dict (default-valued fields dropped)."""
+        out: dict[str, Any] = {
+            "kind": self.kind,
+            "txn": self.txn,
+            "wall": self.wall,
+        }
+        if self.ts is not None:
+            out["ts"] = list(self.ts)
+        for key in (
+            "txn_kind",
+            "shard",
+            "object_id",
+            "value",
+            "esr_case",
+            "op",
+            "blocking",
+            "reason",
+            "detail",
+            "violated_level",
+            "import_limit",
+            "export_limit",
+            "group_limits",
+            "object_limits",
+            "imported",
+            "exported",
+        ):
+            val = getattr(self, key)
+            if val is not None:
+                out[key] = val
+        if self.inconsistency:
+            out["inconsistency"] = self.inconsistency
+        if self.cached:
+            out["cached"] = True
+        if self.allow_inconsistent_reads:
+            out["allow_inconsistent_reads"] = True
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "HistoryEvent":
+        ts = data.get("ts")
+        object_limits = data.get("object_limits")
+        return cls(
+            kind=data["kind"],
+            txn=int(data["txn"]),
+            wall=float(data.get("wall", 0.0)),
+            ts=tuple(ts) if ts is not None else None,
+            txn_kind=data.get("txn_kind"),
+            shard=data.get("shard"),
+            object_id=data.get("object_id"),
+            value=data.get("value"),
+            esr_case=data.get("esr_case"),
+            inconsistency=float(data.get("inconsistency", 0.0)),
+            cached=bool(data.get("cached", False)),
+            op=data.get("op"),
+            blocking=data.get("blocking"),
+            reason=data.get("reason"),
+            detail=data.get("detail"),
+            violated_level=data.get("violated_level"),
+            import_limit=data.get("import_limit"),
+            export_limit=data.get("export_limit"),
+            group_limits=data.get("group_limits"),
+            object_limits=(
+                {int(k): float(v) for k, v in object_limits.items()}
+                if object_limits
+                else None
+            ),
+            allow_inconsistent_reads=bool(
+                data.get("allow_inconsistent_reads", False)
+            ),
+            imported=data.get("imported"),
+            exported=data.get("exported"),
+        )
+
+
+class HistoryRecorder:
+    """The single recording entry point engines report events through.
+
+    Derives the :class:`MetricsCollector` totals from the reported
+    events and, when ``record=True``, appends a :class:`HistoryEvent`
+    per report.  With recording off the event branch is one ``is None``
+    check — the metrics derivation is the same work the engines used to
+    do inline.
+
+    Thread-safety matches the metrics collector it wraps: the sharded
+    composite hands in its lock-wrapped collector, and event appends are
+    single ``list.append`` calls (atomic under the GIL).
+    """
+
+    __slots__ = ("metrics", "clock", "_events")
+
+    def __init__(
+        self,
+        metrics: MetricsCollector | None = None,
+        record: bool = False,
+        clock: Callable[[], float] = time.time,
+    ):
+        self.metrics = metrics if metrics is not None else MetricsCollector()
+        #: Supplies the ``wall`` field of recorded events; the DES
+        #: simulator points this at the simulated clock.
+        self.clock = clock
+        self._events: list[HistoryEvent] | None = [] if record else None
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def recording(self) -> bool:
+        return self._events is not None
+
+    def events(self) -> tuple[HistoryEvent, ...]:
+        """The events recorded so far (empty when recording is off)."""
+        if self._events is None:
+            return ()
+        return tuple(self._events)
+
+    def reset(self) -> None:
+        """Zero the derived metrics and drop recorded events together.
+
+        Measurement phases reset through this (not ``metrics.reset()``)
+        so the history never describes more work than the counters.
+        """
+        self.metrics.reset()
+        if self._events is not None:
+            self._events.clear()
+
+    def for_shard(self, shard: int) -> "_ShardRecorder":
+        """A view that tags every reported event with ``shard``."""
+        return _ShardRecorder(self, shard)
+
+    # -- recording hooks (one per engine decision) ---------------------------
+
+    def begin(self, txn: "TransactionState", shard: int | None = None) -> None:
+        events = self._events
+        if events is None:
+            return
+        group_limits = _declared_group_limits(txn)
+        events.append(
+            HistoryEvent(
+                kind=EVENT_BEGIN,
+                txn=txn.transaction_id,
+                wall=self.clock(),
+                ts=txn.timestamp,
+                txn_kind=txn.kind.value,
+                shard=shard,
+                import_limit=txn.bounds.import_limit,
+                export_limit=txn.bounds.export_limit,
+                group_limits=group_limits,
+                object_limits=dict(txn.object_limits) if txn.object_limits else None,
+                allow_inconsistent_reads=txn.import_account is not None
+                and txn.import_account is not txn.account,
+            )
+        )
+
+    def read(
+        self,
+        txn: "TransactionState",
+        object_id: int,
+        outcome: "Granted",
+        cached: bool = False,
+        shard: int | None = None,
+    ) -> None:
+        self.metrics.record_read(outcome.esr_case)
+        events = self._events
+        if events is None:
+            return
+        events.append(
+            HistoryEvent(
+                kind=EVENT_READ,
+                txn=txn.transaction_id,
+                wall=self.clock(),
+                ts=txn.timestamp,
+                shard=shard,
+                object_id=object_id,
+                value=outcome.value,
+                esr_case=outcome.esr_case,
+                inconsistency=outcome.inconsistency,
+                cached=cached,
+            )
+        )
+
+    def write(
+        self,
+        txn: "TransactionState",
+        object_id: int,
+        value: float,
+        outcome: "Granted",
+        shard: int | None = None,
+    ) -> None:
+        self.metrics.record_write(outcome.esr_case)
+        events = self._events
+        if events is None:
+            return
+        events.append(
+            HistoryEvent(
+                kind=EVENT_WRITE,
+                txn=txn.transaction_id,
+                wall=self.clock(),
+                ts=txn.timestamp,
+                shard=shard,
+                object_id=object_id,
+                value=value,
+                esr_case=outcome.esr_case,
+                inconsistency=outcome.inconsistency,
+            )
+        )
+
+    def wait(
+        self,
+        txn: "TransactionState",
+        op: str,
+        object_id: int,
+        blocking: int,
+        shard: int | None = None,
+    ) -> None:
+        self.metrics.record_wait()
+        events = self._events
+        if events is None:
+            return
+        events.append(
+            HistoryEvent(
+                kind=EVENT_WAIT,
+                txn=txn.transaction_id,
+                wall=self.clock(),
+                ts=txn.timestamp,
+                shard=shard,
+                object_id=object_id,
+                op=op,
+                blocking=blocking,
+            )
+        )
+
+    def rejection(
+        self,
+        txn: "TransactionState",
+        op: str,
+        object_id: int | None,
+        outcome: "Rejected",
+        shard: int | None = None,
+    ) -> None:
+        self.metrics.record_rejection()
+        events = self._events
+        if events is None:
+            return
+        events.append(
+            HistoryEvent(
+                kind=EVENT_REJECT,
+                txn=txn.transaction_id,
+                wall=self.clock(),
+                ts=txn.timestamp,
+                shard=shard,
+                object_id=object_id,
+                op=op,
+                reason=outcome.reason,
+                detail=outcome.detail or None,
+                violated_level=outcome.violated_level,
+            )
+        )
+
+    def commit(
+        self,
+        txn: "TransactionState",
+        imported: float | None = None,
+        exported: float | None = None,
+        shard: int | None = None,
+    ) -> None:
+        if imported is None:
+            imported = txn.imported
+        if exported is None:
+            exported = txn.exported
+        self.metrics.record_commit(txn.is_query, imported, exported)
+        events = self._events
+        if events is None:
+            return
+        events.append(
+            HistoryEvent(
+                kind=EVENT_COMMIT,
+                txn=txn.transaction_id,
+                wall=self.clock(),
+                ts=txn.timestamp,
+                txn_kind=txn.kind.value,
+                shard=shard,
+                imported=imported,
+                exported=exported,
+            )
+        )
+
+    def abort(
+        self,
+        txn: "TransactionState",
+        reason: str | None,
+        shard: int | None = None,
+    ) -> None:
+        self.metrics.record_abort(reason or REASON_UNKNOWN)
+        events = self._events
+        if events is None:
+            return
+        events.append(
+            HistoryEvent(
+                kind=EVENT_ABORT,
+                txn=txn.transaction_id,
+                wall=self.clock(),
+                ts=txn.timestamp,
+                txn_kind=txn.kind.value,
+                shard=shard,
+                reason=reason or REASON_UNKNOWN,
+            )
+        )
+
+
+def _declared_group_limits(txn: "TransactionState") -> dict[str, float] | None:
+    """The group limits a transaction declared at BEGIN, if any.
+
+    Recovered from the account's ledger (the single place they live);
+    the root entry is the transaction limit, which begin events carry
+    separately as ``import_limit``/``export_limit``.
+    """
+    ledger = getattr(txn.account, "_ledger", None)
+    if ledger is None:
+        return None
+    declared = ledger._limits
+    if not declared or (len(declared) == 1 and ROOT_GROUP in declared):
+        return None  # only the root entry — nothing beyond the txn limit
+    limits = {
+        group: limit
+        for group, limit in declared.items()
+        if group != ROOT_GROUP
+    }
+    return limits or None
+
+
+class _ShardRecorder:
+    """A :class:`HistoryRecorder` view tagging events with one shard id.
+
+    The sharded composites hand one of these to each inner engine so
+    events report which shard's critical section produced them; all
+    state (metrics, the event list) lives in the shared parent recorder.
+    """
+
+    __slots__ = ("_recorder", "_shard", "metrics")
+
+    def __init__(self, recorder: HistoryRecorder, shard: int):
+        self._recorder = recorder
+        self._shard = shard
+        self.metrics = recorder.metrics
+
+    @property
+    def recording(self) -> bool:
+        return self._recorder.recording
+
+    @property
+    def clock(self) -> Callable[[], float]:
+        return self._recorder.clock
+
+    def for_shard(self, shard: int) -> "_ShardRecorder":
+        return _ShardRecorder(self._recorder, shard)
+
+    def begin(self, txn, shard: int | None = None) -> None:
+        self._recorder.begin(txn, shard=self._shard)
+
+    def read(self, txn, object_id, outcome, cached=False, shard=None) -> None:
+        self._recorder.read(
+            txn, object_id, outcome, cached=cached, shard=self._shard
+        )
+
+    def write(self, txn, object_id, value, outcome, shard=None) -> None:
+        self._recorder.write(
+            txn, object_id, value, outcome, shard=self._shard
+        )
+
+    def wait(self, txn, op, object_id, blocking, shard=None) -> None:
+        self._recorder.wait(txn, op, object_id, blocking, shard=self._shard)
+
+    def rejection(self, txn, op, object_id, outcome, shard=None) -> None:
+        self._recorder.rejection(
+            txn, op, object_id, outcome, shard=self._shard
+        )
+
+    def commit(self, txn, imported=None, exported=None, shard=None) -> None:
+        self._recorder.commit(
+            txn, imported=imported, exported=exported, shard=self._shard
+        )
+
+    def abort(self, txn, reason, shard=None) -> None:
+        self._recorder.abort(txn, reason, shard=self._shard)
+
+
+@dataclass
+class HistoryLog:
+    """A recorded history plus the context needed to replay it.
+
+    The header captures the static facts replay depends on: the protocol
+    name, the per-object server-side bounds (OIL/OEL), and the group
+    catalog (groups with parents, object→group assignment).  Everything
+    dynamic is in the events.
+    """
+
+    header: dict[str, Any] = field(default_factory=dict)
+    events: list[HistoryEvent] = field(default_factory=list)
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def from_engine(cls, engine: Any) -> "HistoryLog":
+        """Collect the recorded history out of a live engine."""
+        recorder = getattr(engine, "recorder", None)
+        events = list(recorder.events()) if recorder is not None else []
+        return cls(
+            header=describe_engine(engine),
+            events=events,
+        )
+
+    # -- (de)serialisation ---------------------------------------------------
+
+    def dump(self, fp: IO[str]) -> None:
+        """Write header + one event per line as JSON lines."""
+        json.dump(self.header, fp, separators=(",", ":"))
+        fp.write("\n")
+        for event in self.events:
+            json.dump(event.to_dict(), fp, separators=(",", ":"))
+            fp.write("\n")
+
+    def dumps(self) -> str:
+        lines = [json.dumps(self.header, separators=(",", ":"))]
+        lines.extend(
+            json.dumps(event.to_dict(), separators=(",", ":"))
+            for event in self.events
+        )
+        return "\n".join(lines) + "\n"
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fp:
+            self.dump(fp)
+
+    @classmethod
+    def loads(cls, text: str) -> "HistoryLog":
+        lines = [line for line in text.splitlines() if line.strip()]
+        if not lines:
+            return cls()
+        header = json.loads(lines[0])
+        events = [HistoryEvent.from_dict(json.loads(line)) for line in lines[1:]]
+        return cls(header=header, events=events)
+
+    @classmethod
+    def load(cls, path: str) -> "HistoryLog":
+        with open(path, "r", encoding="utf-8") as fp:
+            return cls.loads(fp.read())
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __repr__(self) -> str:
+        return (
+            f"HistoryLog(events={len(self.events)}, "
+            f"protocol={self.header.get('protocol')!r})"
+        )
+
+
+def describe_engine(engine: Any) -> dict[str, Any]:
+    """Build a :class:`HistoryLog` header for a live engine."""
+    database: "Database" = engine.database
+    catalog = database.catalog
+    groups: dict[str, str | None] = {}
+    for name in catalog.groups():
+        if name == ROOT_GROUP:
+            continue
+        parent = catalog.parent_of(name)
+        groups[name] = None if parent == ROOT_GROUP else parent
+    assignment: dict[str, str] = {}
+    bounds: dict[str, list[float]] = {}
+    for obj in database.objects():
+        bounds[str(obj.object_id)] = [
+            obj.bounds.import_limit,
+            obj.bounds.export_limit,
+        ]
+        group = catalog.group_of(obj.object_id)
+        if group != ROOT_GROUP:
+            assignment[str(obj.object_id)] = group
+    return {
+        "version": HISTORY_FORMAT_VERSION,
+        "protocol": getattr(engine, "protocol", None),
+        "shards": getattr(engine, "shards", 1),
+        "groups": groups,
+        "assignment": assignment,
+        "object_bounds": bounds,
+    }
+
+
+def derive_metrics(events: Iterable[HistoryEvent]) -> MetricsCollector:
+    """Re-derive metrics totals from a recorded event stream.
+
+    This is the checker's cross-validation tool: because live engines
+    derive their collectors through the same per-event hooks, replaying
+    the events through a fresh collector must land on identical totals.
+    """
+    metrics = MetricsCollector()
+    for event in events:
+        if event.kind == EVENT_READ:
+            metrics.record_read(event.esr_case)
+        elif event.kind == EVENT_WRITE:
+            metrics.record_write(event.esr_case)
+        elif event.kind == EVENT_WAIT:
+            metrics.record_wait()
+        elif event.kind == EVENT_REJECT:
+            metrics.record_rejection()
+        elif event.kind == EVENT_COMMIT:
+            metrics.record_commit(
+                event.txn_kind == "query",
+                event.imported or 0.0,
+                event.exported or 0.0,
+            )
+        elif event.kind == EVENT_ABORT:
+            metrics.record_abort(event.reason or REASON_UNKNOWN)
+    return metrics

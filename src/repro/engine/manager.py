@@ -29,7 +29,9 @@ from repro.core.bounds import EpsilonLevel, TransactionBounds
 from repro.core.metric import DistanceFunction, absolute_distance
 from repro.engine.database import Database
 from repro.engine.esr import esr_read_decision, esr_write_decision
+from repro.engine.history import HistoryRecorder
 from repro.engine.metrics import MetricsCollector
+from repro.engine.reasons import REASON_CLIENT_ABORT, REASON_CONFLICT_ABORT
 from repro.engine.results import Granted, MustWait, Outcome, Rejected
 from repro.engine.scheduler import WaitRegistry
 from repro.engine.snapshot import SnapshotStore, snapshot_read
@@ -60,6 +62,8 @@ class TransactionManager:
         timestamps: TimestampGenerator | None = None,
         wait_policy: str = "wait",
         snapshot_cache: bool = False,
+        recorder: HistoryRecorder | None = None,
+        record_history: bool = False,
     ):
         if protocol not in PROTOCOLS:
             raise SpecificationError(
@@ -80,7 +84,15 @@ class TransactionManager:
         self.wait_policy = wait_policy
         self.distance = distance
         self.export_policy = export_policy
-        self.metrics = metrics if metrics is not None else MetricsCollector()
+        #: The unified history seam: every decision is reported here and
+        #: the metrics totals are *derived* from those reports (see
+        #: :mod:`repro.engine.history`).  A sharded composite hands each
+        #: inner engine a shard-tagged view of its shared recorder.
+        if recorder is not None:
+            self.recorder = recorder
+        else:
+            self.recorder = HistoryRecorder(metrics, record=record_history)
+        self.metrics = self.recorder.metrics
         self.waits = WaitRegistry()
         self._timestamps = timestamps if timestamps is not None else TimestampGenerator()
         self._next_id = 1
@@ -136,6 +148,7 @@ class TransactionManager:
         )
         self._next_id += 1
         self._active[txn.transaction_id] = txn
+        self.recorder.begin(txn)
         return txn
 
     def adopt(self, txn: TransactionState) -> None:
@@ -175,11 +188,13 @@ class TransactionManager:
                 txn.inconsistent_operations += 1
             if txn.import_account is not None and outcome.value is not None:
                 txn.import_account.observe_value(object_id, outcome.value)
-            self.metrics.record_read(outcome.esr_case)
+            self.recorder.read(txn, object_id, outcome)
         elif isinstance(outcome, MustWait):
-            self.metrics.record_wait()
+            self.recorder.wait(
+                txn, "read", object_id, outcome.blocking_transaction
+            )
         else:
-            self._reject(txn, outcome)
+            self._reject(txn, "read", object_id, outcome)
         return outcome
 
     def read_cached(self, txn: TransactionState, object_id: int) -> Granted | None:
@@ -199,7 +214,9 @@ class TransactionManager:
             return None
         outcome = snapshot_read(store, txn, object_id)
         if outcome is not None:
-            self.metrics.record_read(outcome.esr_case)
+            # The event carries the staleness the cache actually charged
+            # (``outcome.inconsistency``), flagged as cache-served.
+            self.recorder.read(txn, object_id, outcome, cached=True)
         return outcome
 
     def write(self, txn: TransactionState, object_id: int, value: float) -> Outcome:
@@ -226,18 +243,20 @@ class TransactionManager:
             txn.operations += 1
             if outcome.esr_case is not None:
                 txn.inconsistent_operations += 1
-            self.metrics.record_write(outcome.esr_case)
+            self.recorder.write(txn, object_id, value, outcome)
         elif isinstance(outcome, MustWait):
-            self.metrics.record_wait()
+            self.recorder.wait(
+                txn, "write", object_id, outcome.blocking_transaction
+            )
         else:
-            self._reject(txn, outcome)
+            self._reject(txn, "write", object_id, outcome)
         return outcome
 
     def _apply_wait_policy(self, outcome: Outcome) -> Outcome:
         """Under the ``"abort"`` policy, conflicts abort instead of waiting."""
         if self.wait_policy == "abort" and isinstance(outcome, MustWait):
             return Rejected(
-                "conflict-abort",
+                REASON_CONFLICT_ABORT,
                 detail=(
                     "conflicting operation aborted instead of waiting "
                     f"for transaction {outcome.blocking_transaction} "
@@ -246,8 +265,14 @@ class TransactionManager:
             )
         return outcome
 
-    def _reject(self, txn: TransactionState, outcome: Rejected) -> None:
-        self.metrics.record_rejection()
+    def _reject(
+        self,
+        txn: TransactionState,
+        op: str,
+        object_id: int | None,
+        outcome: Rejected,
+    ) -> None:
+        self.recorder.rejection(txn, op, object_id, outcome)
         self._finish(txn, TransactionStatus.ABORTED, outcome.reason)
 
     # -- completion ------------------------------------------------------------------
@@ -256,7 +281,7 @@ class TransactionManager:
         """Commit: promote staged writes, release readers, wake waiters."""
         txn.require_active()
         self._promote(txn)
-        self.metrics.record_commit(txn.is_query, txn.imported, txn.exported)
+        self.recorder.commit(txn)
         self._finish(txn, TransactionStatus.COMMITTED, None)
 
     def _promote(self, txn: TransactionState) -> None:
@@ -285,7 +310,9 @@ class TransactionManager:
             self._promote(txn)
         self._finish(txn, status, reason, record=False)
 
-    def abort(self, txn: TransactionState, reason: str = "client-abort") -> None:
+    def abort(
+        self, txn: TransactionState, reason: str = REASON_CLIENT_ABORT
+    ) -> None:
         """Abort: restore shadow values, release readers, wake waiters.
 
         Idempotent for transactions the manager already aborted (a
@@ -317,7 +344,7 @@ class TransactionManager:
                         self.snapshot.clear_pending(obj)
             txn.abort_reason = reason
             if record:
-                self.metrics.record_abort(reason or "unknown")
+                self.recorder.abort(txn, reason)
         if txn.is_query:
             for object_id in txn.read_set:
                 self.database.get(object_id).forget_reader(txn.transaction_id)

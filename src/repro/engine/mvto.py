@@ -39,7 +39,9 @@ from typing import Mapping
 
 from repro.core.bounds import EpsilonLevel, TransactionBounds
 from repro.engine.database import Database
+from repro.engine.history import HistoryRecorder
 from repro.engine.metrics import MetricsCollector
+from repro.engine.reasons import REASON_CLIENT_ABORT
 from repro.engine.results import (
     Granted,
     MustWait,
@@ -127,13 +129,19 @@ class MVTOManager:
         database: Database,
         metrics: MetricsCollector | None = None,
         timestamps: TimestampGenerator | None = None,
+        recorder: HistoryRecorder | None = None,
+        record_history: bool = False,
     ):
         self.database = database
         #: Registry name (see :mod:`repro.engine.api`).
         self.protocol = "mvto"
         #: No snapshot read cache — MVTO's version store is its own cache.
         self.snapshot = None
-        self.metrics = metrics if metrics is not None else MetricsCollector()
+        if recorder is not None:
+            self.recorder = recorder
+        else:
+            self.recorder = HistoryRecorder(metrics, record=record_history)
+        self.metrics = self.recorder.metrics
         self.waits = WaitRegistry()
         self._timestamps = (
             timestamps if timestamps is not None else TimestampGenerator()
@@ -181,6 +189,7 @@ class MVTOManager:
         )
         self._next_id += 1
         self._active[txn.transaction_id] = txn
+        self.recorder.begin(txn)
         return txn
 
     def adopt(self, txn: TransactionState) -> None:
@@ -215,8 +224,9 @@ class MVTOManager:
                 version.rts = txn.timestamp
         txn.read_set.add(object_id)
         txn.operations += 1
-        self.metrics.record_read(None)
-        return Granted(value=value)
+        outcome = Granted(value=value)
+        self.recorder.read(txn, object_id, outcome)
+        return outcome
 
     def write(self, txn: TransactionState, object_id: int, value: float) -> Outcome:
         txn.require_active()
@@ -228,7 +238,7 @@ class MVTOManager:
         obj = self._object(object_id)
         if obj.writer_id is not None and obj.writer_id != txn.transaction_id:
             if txn.timestamp > obj.staged_wts:
-                self.metrics.record_wait()
+                self.recorder.wait(txn, "write", object_id, obj.writer_id)
                 return MustWait(obj.writer_id)
             outcome = Rejected(
                 REASON_LATE_WRITE,
@@ -237,7 +247,7 @@ class MVTOManager:
                     f"ts {obj.staged_wts} on object {object_id}"
                 ),
             )
-            self._reject(txn, outcome)
+            self._reject(txn, object_id, outcome)
             return outcome
         predecessor = obj.version_for(txn.timestamp)
         if predecessor.rts > txn.timestamp:
@@ -251,18 +261,21 @@ class MVTOManager:
                     f"{txn.timestamp}"
                 ),
             )
-            self._reject(txn, outcome)
+            self._reject(txn, object_id, outcome)
             return outcome
         obj.writer_id = txn.transaction_id
         obj.staged_wts = txn.timestamp
         obj.staged_value = float(value)
         txn.write_set.add(object_id)
         txn.operations += 1
-        self.metrics.record_write(None)
-        return Granted()
+        outcome = Granted()
+        self.recorder.write(txn, object_id, value, outcome)
+        return outcome
 
-    def _reject(self, txn: TransactionState, outcome: Rejected) -> None:
-        self.metrics.record_rejection()
+    def _reject(
+        self, txn: TransactionState, object_id: int, outcome: Rejected
+    ) -> None:
+        self.recorder.rejection(txn, "write", object_id, outcome)
         self._finish(txn, TransactionStatus.ABORTED, outcome.reason)
 
     # -- completion -------------------------------------------------------------------
@@ -270,7 +283,7 @@ class MVTOManager:
     def commit(self, txn: TransactionState) -> None:
         txn.require_active()
         self._promote(txn)
-        self.metrics.record_commit(txn.is_query, 0.0, 0.0)
+        self.recorder.commit(txn, imported=0.0, exported=0.0)
         self._finish(txn, TransactionStatus.COMMITTED, None)
 
     def _promote(self, txn: TransactionState) -> None:
@@ -297,7 +310,9 @@ class MVTOManager:
             self._promote(txn)
         self._finish(txn, status, reason, record=False)
 
-    def abort(self, txn: TransactionState, reason: str = "client-abort") -> None:
+    def abort(
+        self, txn: TransactionState, reason: str = REASON_CLIENT_ABORT
+    ) -> None:
         if txn.status is TransactionStatus.ABORTED:
             return
         if txn.status is TransactionStatus.COMMITTED:
@@ -321,7 +336,7 @@ class MVTOManager:
                     obj.writer_id = None
             txn.abort_reason = reason
             if record:
-                self.metrics.record_abort(reason or "unknown")
+                self.recorder.abort(txn, reason)
         txn.status = status
         self._active.pop(txn.transaction_id, None)
         self.waits.fire(txn.transaction_id)

@@ -123,7 +123,12 @@ from repro.engine.api import (
     validate_protocol_options,
 )
 from repro.engine.database import Database
+from repro.engine.history import HistoryRecorder
 from repro.engine.metrics import MetricsCollector
+from repro.engine.reasons import (
+    REASON_CLIENT_ABORT,
+    REASON_SHARD_FAILOVER,
+)
 from repro.engine.results import (
     CASE_LATE_READ,
     CASE_LATE_WRITE,
@@ -157,10 +162,6 @@ __all__ = [
     "REASON_SHARD_FAILOVER",
     "SHARD_RPC_MODES",
 ]
-
-#: Abort reason used when a shard worker dies with a transaction's staged
-#: state inside it.
-REASON_SHARD_FAILOVER = "shard-failover"
 
 #: The shard-channel wire modes ``create_engine(..., shard_rpc=...)``
 #: accepts: ``"fast"`` (delta sync + batching + binary frames) and
@@ -1203,6 +1204,8 @@ class ProcessShardedEngine:
         metrics: MetricsCollector | None = None,
         timestamps: TimestampGenerator | None = None,
         shard_rpc: str = "fast",
+        recorder: HistoryRecorder | None = None,
+        record_history: bool = False,
     ):
         self._spec = validate_protocol_options(
             protocol,
@@ -1219,7 +1222,14 @@ class ProcessShardedEngine:
         self.export_policy = export_policy
         self.distance = distance
         self.shard_rpc = shard_rpc
-        self.metrics = metrics if metrics is not None else _LockedMetrics()
+        if recorder is not None:
+            self.recorder = recorder
+        else:
+            self.recorder = HistoryRecorder(
+                metrics if metrics is not None else _LockedMetrics(),
+                record=record_history,
+            )
+        self.metrics = self.recorder.metrics
         #: No snapshot cache in process mode (see module docstring).
         self.snapshot = None
         self._timestamps = (
@@ -1375,6 +1385,7 @@ class ProcessShardedEngine:
                     "allow_inconsistent_reads": allow_inconsistent_reads,
                 },
             )
+        self.recorder.begin(txn)
         return txn
 
     def adopt(self, txn: TransactionState) -> None:
@@ -1494,7 +1505,9 @@ class ProcessShardedEngine:
         touched = self._touched.get(txn_id)
         if touched is not None:
             touched.add(shard)
-        return self._absorb(txn, object_id, outcome, is_read=(op == "read"))
+        return self._absorb(
+            txn, object_id, outcome, is_read=(op == "read"), value=value
+        )
 
     def _build_op_item(
         self,
@@ -1635,7 +1648,9 @@ class ProcessShardedEngine:
         touched = self._touched.get(txn_id)
         if touched is not None:
             touched.add(shard)
-        return self._absorb(txn, object_id, outcome, is_read=(op == "read"))
+        return self._absorb(
+            txn, object_id, outcome, is_read=(op == "read"), value=value
+        )
 
     def _local_op(
         self,
@@ -1667,7 +1682,9 @@ class ProcessShardedEngine:
         touched = self._touched.get(txn.transaction_id)
         if touched is not None:
             touched.add(shard)
-        return self._absorb(txn, object_id, outcome, is_read=(op == "read"))
+        return self._absorb(
+            txn, object_id, outcome, is_read=(op == "read"), value=value
+        )
 
     def _local_sibling(
         self, txn: TransactionState, shard: int
@@ -1702,26 +1719,42 @@ class ProcessShardedEngine:
         object_id: int,
         outcome: Outcome,
         is_read: bool,
+        value: float = 0.0,
     ) -> Outcome:
-        """Mirror a shard outcome onto the global state and the metrics.
+        """Mirror a shard outcome onto the global state and the recorder.
 
         Unlike the thread-based composite — whose inner engines share the
-        composite's collector — worker metrics are discarded, so the
+        composite's recorder — worker metrics are discarded, so the
         parent re-records each outcome exactly as a bare manager would.
+        Outcome payloads (esr_case, charged inconsistency, values) ride
+        the shard channel's reply frames, so parent-side events carry the
+        same information worker-side recording would have.
         """
+        shard = object_id % self.shards
         if isinstance(outcome, Granted):
             absorb_granted(txn, object_id, outcome, is_read)
             if is_read:
-                self.metrics.record_read(outcome.esr_case)
+                self.recorder.read(txn, object_id, outcome, shard=shard)
             else:
-                self.metrics.record_write(outcome.esr_case)
+                self.recorder.write(
+                    txn, object_id, value, outcome, shard=shard
+                )
         elif isinstance(outcome, MustWait):
-            self.metrics.record_wait()
+            self.recorder.wait(
+                txn,
+                "read" if is_read else "write",
+                object_id,
+                outcome.blocking_transaction,
+                shard=shard,
+            )
         elif isinstance(outcome, Rejected):
             # The shard already aborted and finished the sibling it saw;
             # record as the bare manager's _reject would, then propagate
             # the abort to every other touched shard.
-            self.metrics.record_rejection()
+            self.recorder.rejection(
+                txn, "read" if is_read else "write", object_id, outcome,
+                shard=shard,
+            )
             self._finish_global(
                 txn,
                 TransactionStatus.ABORTED,
@@ -1740,7 +1773,7 @@ class ProcessShardedEngine:
         )
 
     def abort(
-        self, txn: TransactionState, reason: str = "client-abort"
+        self, txn: TransactionState, reason: str = REASON_CLIENT_ABORT
     ) -> None:
         if txn.status is TransactionStatus.ABORTED:
             return
@@ -1810,11 +1843,9 @@ class ProcessShardedEngine:
         if status is TransactionStatus.ABORTED:
             txn.abort_reason = reason
             if record:
-                self.metrics.record_abort(reason or "unknown")
+                self.recorder.abort(txn, reason)
         elif record:
-            self.metrics.record_commit(
-                txn.is_query, txn.imported, txn.exported
-            )
+            self.recorder.commit(txn)
         txn.status = status
         self.waits.fire(txn.transaction_id)
         self._completing.discard(txn.transaction_id)

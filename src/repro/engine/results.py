@@ -30,6 +30,19 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Union
 
+# Canonical case/reason strings live in repro.engine.reasons (shared by
+# engines, metrics, history events and the checker); re-exported here
+# because outcome-handling code has always imported them from results.
+from repro.engine.reasons import (
+    CASE_LATE_READ,
+    CASE_LATE_WRITE,
+    CASE_READ_UNCOMMITTED,
+    REASON_BOUND_VIOLATION,
+    REASON_LATE_READ,
+    REASON_LATE_WRITE,
+    REASON_WRITE_CONFLICT,
+)
+
 __all__ = [
     "Granted",
     "MustWait",
@@ -43,18 +56,6 @@ __all__ = [
     "REASON_BOUND_VIOLATION",
     "REASON_WRITE_CONFLICT",
 ]
-
-#: Paper Figure 3, case 1 — a query read arrives after a newer committed write.
-CASE_LATE_READ = "late-read-committed"
-#: Paper Figure 3, case 2 — a query read views uncommitted data.
-CASE_READ_UNCOMMITTED = "read-uncommitted"
-#: Paper Figure 3, case 3 — an update write arrives after a newer query read.
-CASE_LATE_WRITE = "late-write"
-
-REASON_LATE_READ = "late-read"
-REASON_LATE_WRITE = "late-write"
-REASON_BOUND_VIOLATION = "bound-violation"
-REASON_WRITE_CONFLICT = "write-write-conflict"
 
 
 @dataclass(frozen=True)

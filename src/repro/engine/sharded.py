@@ -63,7 +63,9 @@ from repro.core.bounds import EpsilonLevel, TransactionBounds
 from repro.core.metric import DistanceFunction, absolute_distance
 from repro.engine.api import build_unsharded, validate_protocol_options
 from repro.engine.database import Database
+from repro.engine.history import HistoryRecorder
 from repro.engine.metrics import MetricsCollector
+from repro.engine.reasons import REASON_CLIENT_ABORT
 from repro.engine.results import Granted, Outcome, Rejected
 from repro.engine.scheduler import WaitRegistry
 from repro.engine.timestamps import Timestamp, TimestampGenerator
@@ -280,6 +282,8 @@ class ShardedEngine:
         snapshot_cache: bool = False,
         metrics: MetricsCollector | None = None,
         timestamps: TimestampGenerator | None = None,
+        recorder: HistoryRecorder | None = None,
+        record_history: bool = False,
     ):
         spec = validate_protocol_options(
             protocol,
@@ -293,7 +297,14 @@ class ShardedEngine:
         self.wait_policy = wait_policy
         self.export_policy = export_policy
         self.distance = distance
-        self.metrics = metrics if metrics is not None else _LockedMetrics()
+        if recorder is not None:
+            self.recorder = recorder
+        else:
+            self.recorder = HistoryRecorder(
+                metrics if metrics is not None else _LockedMetrics(),
+                record=record_history,
+            )
+        self.metrics = self.recorder.metrics
         self._timestamps = (
             timestamps if timestamps is not None else TimestampGenerator()
         )
@@ -323,7 +334,7 @@ class ShardedEngine:
             self._databases[obj.object_id % shards].adopt_object(obj)
         self._locks = [threading.Lock() for _ in range(shards)]
         self._engines = []
-        for shard_db in self._databases:
+        for shard_index, shard_db in enumerate(self._databases):
             inner = build_unsharded(
                 shard_db,
                 spec,
@@ -331,7 +342,7 @@ class ShardedEngine:
                 export_policy=export_policy,
                 wait_policy=wait_policy,
                 snapshot_cache=snapshot_cache,
-                metrics=self.metrics,
+                recorder=self.recorder.for_shard(shard_index),
                 timestamps=self._timestamps,
             )
             inner.waits = self.waits
@@ -396,6 +407,7 @@ class ShardedEngine:
                 txn.import_account.install_lock(account_lock)
             self._active[txn.transaction_id] = txn
             self._siblings[txn.transaction_id] = {}
+        self.recorder.begin(txn)
         return txn
 
     def adopt(self, txn: TransactionState) -> None:
@@ -512,7 +524,9 @@ class ShardedEngine:
         txn.require_active()
         self._finish_global(txn, TransactionStatus.COMMITTED, None, record=True)
 
-    def abort(self, txn: TransactionState, reason: str = "client-abort") -> None:
+    def abort(
+        self, txn: TransactionState, reason: str = REASON_CLIENT_ABORT
+    ) -> None:
         if txn.status is TransactionStatus.ABORTED:
             return
         if txn.status is TransactionStatus.COMMITTED:
@@ -550,9 +564,9 @@ class ShardedEngine:
         if status is TransactionStatus.ABORTED:
             txn.abort_reason = reason
             if record:
-                self.metrics.record_abort(reason or "unknown")
+                self.recorder.abort(txn, reason)
         elif record:
-            self.metrics.record_commit(txn.is_query, txn.imported, txn.exported)
+            self.recorder.commit(txn)
         txn.status = status
         self.waits.fire(txn.transaction_id)
         self._completing.discard(txn.transaction_id)

@@ -41,8 +41,10 @@ from repro.core.bounds import EpsilonLevel, TransactionBounds
 from repro.core.divergence import export_divergence, import_divergence
 from repro.core.metric import DistanceFunction, absolute_distance
 from repro.engine.database import Database
+from repro.engine.history import HistoryRecorder
 from repro.engine.locks import LockTable
 from repro.engine.metrics import MetricsCollector
+from repro.engine.reasons import REASON_CLIENT_ABORT, REASON_DEADLOCK
 from repro.engine.results import (
     CASE_LATE_WRITE,
     CASE_READ_UNCOMMITTED,
@@ -62,8 +64,6 @@ from repro.errors import InvalidOperation
 
 __all__ = ["REASON_DEADLOCK", "TwoPhaseManager"]
 
-REASON_DEADLOCK = "deadlock"
-
 
 class TwoPhaseManager:
     """Strict-2PL divergence control over one :class:`Database`."""
@@ -76,6 +76,8 @@ class TwoPhaseManager:
         export_policy: str = "max",
         metrics: MetricsCollector | None = None,
         timestamps: TimestampGenerator | None = None,
+        recorder: HistoryRecorder | None = None,
+        record_history: bool = False,
     ):
         self.database = database
         #: With ``relaxed`` False this is plain strict 2PL (the SR
@@ -87,7 +89,11 @@ class TwoPhaseManager:
         self.snapshot = None
         self.distance = distance
         self.export_policy = export_policy
-        self.metrics = metrics if metrics is not None else MetricsCollector()
+        if recorder is not None:
+            self.recorder = recorder
+        else:
+            self.recorder = HistoryRecorder(metrics, record=record_history)
+        self.metrics = self.recorder.metrics
         self.waits = WaitRegistry()
         self.locks = LockTable()
         self._timestamps = (
@@ -128,6 +134,7 @@ class TwoPhaseManager:
         )
         self._next_id += 1
         self._active[txn.transaction_id] = txn
+        self.recorder.begin(txn)
         return txn
 
     def adopt(self, txn: TransactionState) -> None:
@@ -143,7 +150,9 @@ class TwoPhaseManager:
 
     # -- deadlock handling -----------------------------------------------------------
 
-    def _park_or_break(self, txn: TransactionState, blocker: int) -> Outcome:
+    def _park_or_break(
+        self, txn: TransactionState, blocker: int, op: str, object_id: int
+    ) -> Outcome:
         """Wait on ``blocker`` unless that edge would close a cycle."""
         seen = {txn.transaction_id}
         node: int | None = blocker
@@ -156,11 +165,11 @@ class TwoPhaseManager:
                         f"transaction {txn.transaction_id}"
                     ),
                 )
-                self._reject(txn, outcome)
+                self._reject(txn, op, object_id, outcome)
                 return outcome
             seen.add(node)
             node = self.waits.waiting_on(node)
-        self.metrics.record_wait()
+        self.recorder.wait(txn, op, object_id, blocker)
         return MustWait(blocker)
 
     # -- operations -------------------------------------------------------------------
@@ -192,7 +201,7 @@ class TwoPhaseManager:
                 return self._granted_read(
                     txn, obj, Granted(value=present, inconsistency=d, esr_case=case)
                 )
-        return self._park_or_break(txn, blocker)
+        return self._park_or_break(txn, blocker, "read", object_id)
 
     def write(self, txn: TransactionState, object_id: int, value: float) -> Outcome:
         """Submit a write; X lock, or an export-relaxed write-past."""
@@ -246,7 +255,7 @@ class TwoPhaseManager:
                     )
                 # Export budget exhausted: unlike a late TSO write, a lock
                 # conflict is curable by waiting for the readers to finish.
-        return self._park_or_break(txn, blocker)
+        return self._park_or_break(txn, blocker, "write", object_id)
 
     # -- effects --------------------------------------------------------------------
 
@@ -263,7 +272,7 @@ class TwoPhaseManager:
             txn.inconsistent_operations += 1
         if txn.import_account is not None and outcome.value is not None:
             txn.import_account.observe_value(obj.object_id, outcome.value)
-        self.metrics.record_read(outcome.esr_case)
+        self.recorder.read(txn, obj.object_id, outcome)
         return outcome
 
     def _granted_write(
@@ -274,11 +283,17 @@ class TwoPhaseManager:
         txn.operations += 1
         if outcome.esr_case is not None:
             txn.inconsistent_operations += 1
-        self.metrics.record_write(outcome.esr_case)
+        self.recorder.write(txn, obj.object_id, value, outcome)
         return outcome
 
-    def _reject(self, txn: TransactionState, outcome: Rejected) -> None:
-        self.metrics.record_rejection()
+    def _reject(
+        self,
+        txn: TransactionState,
+        op: str,
+        object_id: int | None,
+        outcome: Rejected,
+    ) -> None:
+        self.recorder.rejection(txn, op, object_id, outcome)
         self._finish(txn, TransactionStatus.ABORTED, outcome.reason)
 
     # -- completion -------------------------------------------------------------------
@@ -286,7 +301,7 @@ class TwoPhaseManager:
     def commit(self, txn: TransactionState) -> None:
         txn.require_active()
         self._promote(txn)
-        self.metrics.record_commit(txn.is_query, txn.imported, txn.exported)
+        self.recorder.commit(txn)
         self._finish(txn, TransactionStatus.COMMITTED, None)
 
     def _promote(self, txn: TransactionState) -> None:
@@ -304,7 +319,9 @@ class TwoPhaseManager:
             self._promote(txn)
         self._finish(txn, status, reason, record=False)
 
-    def abort(self, txn: TransactionState, reason: str = "client-abort") -> None:
+    def abort(
+        self, txn: TransactionState, reason: str = REASON_CLIENT_ABORT
+    ) -> None:
         if txn.status is TransactionStatus.ABORTED:
             return
         if txn.status is TransactionStatus.COMMITTED:
@@ -328,7 +345,7 @@ class TwoPhaseManager:
                     obj.abort_write()
             txn.abort_reason = reason
             if record:
-                self.metrics.record_abort(reason or "unknown")
+                self.recorder.abort(txn, reason)
         if txn.is_query:
             for object_id in txn.read_set:
                 self.database.get(object_id).forget_reader(txn.transaction_id)

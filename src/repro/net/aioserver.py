@@ -77,6 +77,7 @@ from typing import Any
 from repro import perf
 from repro.engine.api import Engine, create_engine
 from repro.engine.database import Database
+from repro.engine.reasons import REASON_CLIENT_DISCONNECTED
 from repro.errors import ProtocolError
 from repro.net.protocol import (
     BINARY_CODEC,
@@ -530,6 +531,7 @@ class AsyncTransactionServer:
         processes: bool | str = False,
         shard_rpc: str = "fast",
         codecs: tuple[str, ...] | None = SUPPORTED_CODECS,
+        record_history: bool = False,
     ):
         self.manager: Engine = create_engine(
             database,
@@ -540,6 +542,7 @@ class AsyncTransactionServer:
             shards=shards,
             processes=processes,
             shard_rpc=shard_rpc,
+            record_history=record_history,
         )
         #: Upper bound on one strict-ordering wait, in seconds.
         self.wait_timeout = wait_timeout
@@ -618,8 +621,14 @@ class AsyncTransactionServer:
         """Abort whatever a disconnected client left active."""
         for txn in conn.sessions.values():
             if txn.is_active:
-                self.manager.abort(txn, "client-disconnected")
+                self.manager.abort(txn, REASON_CLIENT_DISCONNECTED)
         conn.sessions.clear()
+
+    def history(self) -> "HistoryLog":
+        """The recorded history so far (empty when recording is off)."""
+        from repro.engine.history import HistoryLog
+
+        return HistoryLog.from_engine(self.manager)
 
     # -- batched dispatch ------------------------------------------------------
 
@@ -926,6 +935,7 @@ def serve_in_thread(
     shard_rpc: str = "fast",
     codecs: tuple[str, ...] | None = SUPPORTED_CODECS,
     use_uvloop: bool | None = None,
+    record_history: bool = False,
 ) -> AsyncServerThread:
     """Start an async server on a background loop thread (bound and live)."""
     server = AsyncTransactionServer(
@@ -940,5 +950,6 @@ def serve_in_thread(
         processes=processes,
         shard_rpc=shard_rpc,
         codecs=codecs,
+        record_history=record_history,
     )
     return AsyncServerThread(server, host, port, use_uvloop=use_uvloop)

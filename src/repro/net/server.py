@@ -41,6 +41,7 @@ from typing import Any
 
 from repro.engine.api import create_engine
 from repro.engine.database import Database
+from repro.engine.reasons import REASON_CLIENT_DISCONNECTED
 from repro.engine.transactions import TransactionState
 from repro.errors import ProtocolError
 from repro.net.protocol import (
@@ -144,6 +145,7 @@ class TransactionServer(socketserver.ThreadingTCPServer):
         processes: bool | str = False,
         shard_rpc: str = "fast",
         codecs: tuple[str, ...] | None = SUPPORTED_CODECS,
+        record_history: bool = False,
     ):
         # Build (and validate) the engine before binding the socket, so
         # a bad protocol/option combination never leaks a bound port —
@@ -158,6 +160,7 @@ class TransactionServer(socketserver.ThreadingTCPServer):
             shards=shards,
             processes=processes,
             shard_rpc=shard_rpc,
+            record_history=record_history,
         )
         super().__init__(address, _Handler)
         #: Upper bound on one strict-ordering wait (see module constant).
@@ -229,8 +232,14 @@ class TransactionServer(socketserver.ThreadingTCPServer):
         with self._mutex:
             for txn in sessions.values():
                 if txn.is_active:
-                    self.manager.abort(txn, "client-disconnected")
+                    self.manager.abort(txn, REASON_CLIENT_DISCONNECTED)
         sessions.clear()
+
+    def history(self) -> "HistoryLog":
+        """The recorded history so far (empty when recording is off)."""
+        from repro.engine.history import HistoryLog
+
+        return HistoryLog.from_engine(self.manager)
 
 
 def serve_forever(
@@ -246,6 +255,7 @@ def serve_forever(
     processes: bool | str = False,
     shard_rpc: str = "fast",
     codecs: tuple[str, ...] | None = SUPPORTED_CODECS,
+    record_history: bool = False,
 ) -> TransactionServer:
     """Start a server on a background thread; returns it (bound and live)."""
     server = TransactionServer(
@@ -260,6 +270,7 @@ def serve_forever(
         processes=processes,
         shard_rpc=shard_rpc,
         codecs=codecs,
+        record_history=record_history,
     )
     thread = threading.Thread(target=server.serve_forever, daemon=True)
     thread.start()

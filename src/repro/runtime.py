@@ -26,6 +26,11 @@ from typing import Mapping
 from repro.core.bounds import EpsilonLevel, TransactionBounds
 from repro.engine.api import Engine, create_engine
 from repro.engine.database import Database
+from repro.engine.reasons import (
+    REASON_AGGREGATE_BOUND,
+    REASON_CLIENT_ABORT,
+    REASON_RETRY_EXHAUSTED,
+)
 from repro.engine.results import Granted, MustWait, Rejected
 from repro.engine.transactions import TransactionState
 from repro.errors import TransactionAborted, TransactionError
@@ -123,18 +128,18 @@ class LocalSession:
         envelope = aggregate_bounds(name, ranges)
         limit = self.txn.bounds.import_limit
         if not envelope.within(limit):
-            self._manager.abort(self.txn, "aggregate-bound-violation")
+            self._manager.abort(self.txn, REASON_AGGREGATE_BOUND)
             raise TransactionAborted(
                 f"{name} result inconsistency {envelope.inconsistency:g} "
                 f"exceeds TIL {limit:g}",
                 self.txn.transaction_id,
-                reason="aggregate-bound-violation",
+                reason=REASON_AGGREGATE_BOUND,
             )
 
     def commit(self) -> None:
         self._manager.commit(self.txn)
 
-    def abort(self, reason: str = "client-abort") -> None:
+    def abort(self, reason: str = REASON_CLIENT_ABORT) -> None:
         self._manager.abort(self.txn, reason)
 
     def __enter__(self) -> "LocalSession":
@@ -163,6 +168,13 @@ class LocalClient:
     @property
     def database(self) -> Database:
         return self.manager.database
+
+    def history(self) -> "HistoryLog":
+        """The recorded history so far (empty unless the client was
+        built with ``record_history=True``)."""
+        from repro.engine.history import HistoryLog
+
+        return HistoryLog.from_engine(self.manager)
 
     def begin(
         self,
@@ -208,5 +220,5 @@ class LocalClient:
             return result, restarts
         raise TransactionAborted(
             f"program did not commit within {max_attempts} attempts",
-            reason="retry-exhausted",
+            reason=REASON_RETRY_EXHAUSTED,
         )

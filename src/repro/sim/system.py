@@ -17,6 +17,7 @@ from repro.core.bounds import ObjectBounds
 from repro.core.metric import distance_by_name
 from repro.engine.api import create_engine, validate_protocol_options
 from repro.engine.database import Database
+from repro.engine.history import HistoryLog
 from repro.engine.metrics import MetricsSnapshot
 from repro.engine.objects import DEFAULT_VERSION_WINDOW
 from repro.errors import ExperimentError, SpecificationError
@@ -104,6 +105,11 @@ class SimulationConfig:
     #: Setting this builds the database with the three-level catalog and
     #: exercises the paper's hierarchical control path on every query.
     query_group_limits: tuple[tuple[str, float], ...] | None = None
+    #: Record a full event history (:mod:`repro.engine.history`) during
+    #: the measured phase; the result then carries a ``history`` the
+    #: offline checker (:mod:`repro.check`) can replay.  Event wall
+    #: clocks are the simulated clock.
+    record_history: bool = False
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -145,6 +151,8 @@ class RunResult:
     #: Snapshot-cache tallies as ``(name, value)`` pairs — hits, misses,
     #: fallbacks, divergence_charged — or None when the cache is off.
     cache: tuple[tuple[str, float], ...] | None = None
+    #: The recorded history (post-warm-up) when the config asked for one.
+    history: "HistoryLog | None" = None
 
     @property
     def cache_stats(self) -> dict[str, float] | None:
@@ -207,7 +215,11 @@ def build_simulation(
         snapshot_cache=config.snapshot_cache,
         shards=config.shards,
         processes=config.processes,
+        record_history=config.record_history,
     )
+    if config.record_history:
+        # History events carry the simulated clock, not the host's.
+        manager.recorder.clock = lambda: engine.now
     server = SimServer(
         manager,
         engine,
@@ -255,7 +267,9 @@ def run_simulation(config: SimulationConfig) -> RunResult:
     else:
         if config.warmup_ms > 0:
             engine.run(until=config.warmup_ms)
-            manager.metrics.reset()
+            # Reset through the recorder so warm-up events are dropped
+            # together with the counters they derived.
+            manager.recorder.reset()
             busy_at_start = server.cpu.busy_snapshot()
             for client in clients:
                 client.committed = 0
@@ -274,5 +288,10 @@ def run_simulation(config: SimulationConfig) -> RunResult:
         server_utilisation=server.cpu.utilisation(measured_ms, busy_at_start),
         cache=(
             tuple(store.stats().items()) if store is not None else None
+        ),
+        history=(
+            HistoryLog.from_engine(manager)
+            if config.record_history
+            else None
         ),
     )

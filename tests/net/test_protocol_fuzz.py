@@ -3,18 +3,32 @@
 Whatever bytes arrive, the protocol layer must either produce a message
 or raise :class:`ProtocolError` — never anything else — and the server
 dispatcher must answer every conceivable request object with a response
-dict instead of crashing the connection thread.
+dict instead of crashing the connection thread.  The binary-1 framing
+gets the same treatment: truncated, padded and oversized frames —
+including the 0x0F tagged-JSON frame — must decode or raise, and a live
+server (threaded and async alike) must answer them with a protocol
+error and keep serving fresh connections.
 """
 
 from __future__ import annotations
+
+import json
+import socket
 
 import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.engine.database import Database
 from repro.errors import ProtocolError
-from repro.net.protocol import decode_message, encode_message
-from repro.net.server import TransactionServer
+from repro.net.aioserver import serve_in_thread
+from repro.net.protocol import (
+    BINARY_CODEC,
+    FRAME_JSON,
+    MAX_FRAME_BYTES,
+    decode_message,
+    encode_message,
+)
+from repro.net.server import TransactionServer, serve_forever
 
 
 class TestDecodeFuzz:
@@ -97,3 +111,205 @@ class TestDispatchFuzz:
         )
         assert read["ok"] is True and read["value"] == 100.0
         assert server.dispatch({"op": "commit", "txn": txn_id}, sessions)["ok"]
+
+
+# -- binary-1 frame fuzzing (codec level) -------------------------------------
+
+#: One well-formed frame body of every fixed layout, plus the 0x0F
+#: tagged-JSON frame (frame body = type byte + payload, no size prefix).
+_VALID_FRAME_BODIES = [
+    BINARY_CODEC.pack_begin(1, 10.0, 1)[4:],
+    BINARY_CODEC.pack_read(1, 2, 3)[4:],
+    BINARY_CODEC.pack_write(1, 2, 4.5, 6)[4:],
+    BINARY_CODEC.pack_commit(1, 7)[4:],
+    BINARY_CODEC.pack_abort(1, 8)[4:],
+    BINARY_CODEC.encode_request({"op": "time", "id": 9})[4:],  # 0x0F
+]
+
+
+class TestBinaryFrameFuzz:
+    @given(st.binary(min_size=0, max_size=64))
+    def test_arbitrary_frame_bodies_decode_or_raise(self, body):
+        try:
+            message = BINARY_CODEC.decode(body)
+        except ProtocolError:
+            return
+        assert isinstance(message, dict)
+
+    @settings(max_examples=200)
+    @given(
+        st.sampled_from(_VALID_FRAME_BODIES),
+        st.integers(min_value=1, max_value=40),
+    )
+    def test_truncated_frames_raise(self, body, cut):
+        if cut >= len(body):
+            return
+        truncated = body[:cut]
+        if truncated[0] == FRAME_JSON:
+            return  # a JSON prefix may still parse; covered below
+        with pytest.raises(ProtocolError):
+            BINARY_CODEC.decode(truncated)
+
+    @settings(max_examples=200)
+    @given(
+        st.sampled_from(_VALID_FRAME_BODIES[:5]),
+        st.binary(min_size=1, max_size=16),
+    )
+    def test_oversized_fixed_frames_raise(self, body, padding):
+        # Fixed layouts declare exact payload sizes; trailing bytes in
+        # the frame body must be rejected, not silently ignored.
+        with pytest.raises(ProtocolError):
+            BINARY_CODEC.decode(body + padding)
+
+    @given(st.binary(min_size=0, max_size=64))
+    def test_json_frame_garbage_payload_decodes_or_raises(self, payload):
+        try:
+            message = BINARY_CODEC.decode(bytes((FRAME_JSON,)) + payload)
+        except ProtocolError:
+            return
+        assert isinstance(message, dict)
+
+    def test_json_frame_non_object_payload_raises(self):
+        for payload in (b"[1,2]", b'"text"', b"42", b"null"):
+            with pytest.raises(ProtocolError):
+                BINARY_CODEC.decode(bytes((FRAME_JSON,)) + payload)
+
+    def test_json_frame_roundtrip(self):
+        message = {"op": "time", "id": 3}
+        body = BINARY_CODEC.encode_request(message)[4:]
+        assert body[0] == FRAME_JSON
+        assert BINARY_CODEC.decode(body) == message
+
+
+# -- binary-1 frame fuzzing (live servers) ------------------------------------
+
+
+def _connect(port: int) -> socket.socket:
+    sock = socket.create_connection(("127.0.0.1", port), timeout=10.0)
+    sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    return sock
+
+
+def _negotiate_binary(sock: socket.socket) -> bytes:
+    sock.sendall(b'{"op":"hello","codecs":["binary-1"]}\n')
+    buffer = b""
+    while b"\n" not in buffer:
+        chunk = sock.recv(65536)
+        assert chunk, "server closed during negotiation"
+        buffer += chunk
+    line, rest = buffer.split(b"\n", 1)
+    response = json.loads(line)
+    assert response["ok"] and response["codec"] == "binary-1"
+    return rest
+
+
+def _drain(sock: socket.socket) -> bytes:
+    data = b""
+    try:
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                return data
+            data += chunk
+    except OSError:
+        return data
+
+
+@pytest.fixture(params=["threaded", "async"])
+def live_server(request):
+    db = Database()
+    db.create_many((i, 100.0) for i in range(1, 4))
+    if request.param == "threaded":
+        srv = serve_forever(db)
+        yield srv
+        srv.shutdown()
+        srv.server_close()
+    else:
+        handle = serve_in_thread(db)
+        yield handle
+        handle.shutdown()
+
+
+def _assert_still_serving(port: int) -> None:
+    """A fresh binary connection completes a full transaction."""
+    from repro.net.client import RemoteConnection
+
+    with RemoteConnection("127.0.0.1", port, codec="binary-1") as conn:
+        assert conn.negotiated_codec == "binary-1"
+        txn = conn.begin("query", 1e6)
+        assert txn.read(1) == 100.0
+        txn.commit()
+
+
+class TestLiveBinaryFrameFuzz:
+    def test_oversize_declared_frame_is_refused(self, live_server):
+        sock = _connect(live_server.port)
+        try:
+            _negotiate_binary(sock)
+            sock.sendall((MAX_FRAME_BYTES + 1).to_bytes(4, "little"))
+            answer = _drain(sock)
+            assert b"too_large" in answer
+        finally:
+            sock.close()
+        _assert_still_serving(live_server.port)
+
+    def test_truncated_frame_then_disconnect(self, live_server):
+        frame = BINARY_CODEC.pack_read(1, 2, 3)
+        sock = _connect(live_server.port)
+        try:
+            _negotiate_binary(sock)
+            sock.sendall(frame[: len(frame) // 2])
+        finally:
+            sock.close()
+        _assert_still_serving(live_server.port)
+
+    def test_padded_fixed_frame_is_refused(self, live_server):
+        # A read frame body padded with trailing bytes, with the size
+        # prefix matching the padded length: framing accepts it, the
+        # decoder must reject it.
+        body = BINARY_CODEC.pack_read(1, 2, 3)[4:] + b"\x00\x00"
+        sock = _connect(live_server.port)
+        try:
+            _negotiate_binary(sock)
+            sock.sendall(len(body).to_bytes(4, "little") + body)
+            answer = _drain(sock)
+            assert b"protocol" in answer
+        finally:
+            sock.close()
+        _assert_still_serving(live_server.port)
+
+    def test_malformed_tagged_json_frame_is_refused(self, live_server):
+        payload = b"{not json"
+        body = bytes((FRAME_JSON,)) + payload
+        sock = _connect(live_server.port)
+        try:
+            _negotiate_binary(sock)
+            sock.sendall(len(body).to_bytes(4, "little") + body)
+            answer = _drain(sock)
+            assert b"protocol" in answer
+        finally:
+            sock.close()
+        _assert_still_serving(live_server.port)
+
+    def test_unknown_frame_type_is_refused(self, live_server):
+        body = bytes((0x7E,)) + b"\x00" * 8
+        sock = _connect(live_server.port)
+        try:
+            _negotiate_binary(sock)
+            sock.sendall(len(body).to_bytes(4, "little") + body)
+            answer = _drain(sock)
+            assert b"protocol" in answer
+        finally:
+            sock.close()
+        _assert_still_serving(live_server.port)
+
+    def test_zero_size_frame_is_refused(self, live_server):
+        sock = _connect(live_server.port)
+        try:
+            _negotiate_binary(sock)
+            sock.sendall((0).to_bytes(4, "little"))
+            answer = _drain(sock)
+            assert b"too_large" in answer or answer == b""
+        finally:
+            sock.close()
+        _assert_still_serving(live_server.port)
